@@ -1,0 +1,123 @@
+// Ablation: virtual placement algorithm. Relaxation (the paper's choice,
+// spring system / quadratic proxy), centroid (structure-blind one-shot),
+// gradient (Weiszfeld on the true linear objective), plus the physical
+// baselines (consumer-side, producer-side, random) and the exhaustive
+// oracle lower bound on small circuits.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/summary.h"
+#include "common/table.h"
+#include "overlay/metrics.h"
+#include "placement/baselines.h"
+#include "placement/mapping.h"
+#include "placement/relaxation.h"
+#include "query/enumerate.h"
+
+namespace sbon {
+namespace {
+
+using overlay::Circuit;
+
+void Run() {
+  // Per-placer network usage accumulated over shared instances.
+  const std::vector<std::string> names = {
+      "relaxation", "gradient", "centroid",
+      "consumer",   "producer", "random",   "oracle"};
+  std::map<std::string, Summary> usage;
+  size_t trials = 0;
+
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    auto sbon = bench::MakeTransitStubSbon(200, seed * 89);
+    Rng& rng = sbon->rng();
+    query::Catalog cat;
+    std::vector<StreamId> ids;
+    for (int i = 0; i < 3; ++i) {
+      ids.push_back(cat.AddStream(
+          "s" + std::to_string(i), rng.Uniform(20.0, 300.0), 128.0,
+          sbon->overlay_nodes()[rng.UniformInt(
+              sbon->overlay_nodes().size())]));
+    }
+    const query::QuerySpec spec = query::QuerySpec::SimpleJoin(
+        ids,
+        sbon->overlay_nodes()[rng.UniformInt(sbon->overlay_nodes().size())],
+        0.001);
+    auto plans =
+        query::EnumeratePlans(spec, cat, query::EnumerationOptions{});
+    if (!plans.ok()) continue;
+    auto base = Circuit::FromPlan((*plans)[0], cat);
+    if (!base.ok()) continue;
+    ++trials;
+
+    auto measure = [&](const std::string& name, Circuit c) {
+      auto cost = overlay::ComputeCircuitCost(c, sbon->latency(), nullptr);
+      if (cost.ok()) usage[name].Add(cost->network_usage / 1000.0);
+    };
+
+    // Virtual placers + mapping.
+    for (const auto& [name, placer] :
+         std::vector<std::pair<std::string,
+                               std::shared_ptr<placement::VirtualPlacer>>>{
+             {"relaxation", std::make_shared<placement::RelaxationPlacer>()},
+             {"gradient", std::make_shared<placement::GradientPlacer>()},
+             {"centroid", std::make_shared<placement::CentroidPlacer>()}}) {
+      Circuit c = base.value();
+      if (!placer->Place(&c, sbon->cost_space()).ok()) continue;
+      if (!placement::MapCircuit(&c, *sbon, placement::MappingOptions{},
+                                 nullptr)
+               .ok()) {
+        continue;
+      }
+      measure(name, std::move(c));
+    }
+    // Physical baselines.
+    {
+      Circuit c = base.value();
+      if (placement::ConsumerPlacer().Place(&c, *sbon).ok()) {
+        measure("consumer", std::move(c));
+      }
+    }
+    {
+      Circuit c = base.value();
+      if (placement::ProducerPlacer().Place(&c, *sbon).ok()) {
+        measure("producer", std::move(c));
+      }
+    }
+    {
+      Circuit c = base.value();
+      placement::RandomPlacer rp(seed);
+      if (rp.Place(&c, *sbon).ok()) measure("random", std::move(c));
+    }
+    {
+      Circuit c = base.value();
+      placement::ExhaustiveOraclePlacer::Params op;
+      op.node_sample = 120;
+      placement::ExhaustiveOraclePlacer oracle(op);
+      if (oracle.Place(&c, *sbon).ok()) measure("oracle", std::move(c));
+    }
+  }
+
+  TableWriter t({"placer", "usage (KB*ms/s)", "p90", "vs oracle"});
+  const double oracle_mean = usage["oracle"].Mean();
+  for (const std::string& name : names) {
+    Summary& s = usage[name];
+    t.AddRow({name, TableWriter::Num(s.Mean()),
+              TableWriter::Num(s.Percentile(90)),
+              TableWriter::Fixed(s.Mean() / oracle_mean, 2) + "x"});
+  }
+  std::printf("%s", t.Render().c_str());
+  std::printf("(%zu shared 3-way-join instances, 200-node transit-stub "
+              "overlays)\n", trials);
+}
+
+}  // namespace
+}  // namespace sbon
+
+int main() {
+  std::printf("Ablation: virtual placers and physical baselines vs the "
+              "exhaustive oracle\n");
+  sbon::Run();
+  return 0;
+}

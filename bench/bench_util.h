@@ -1,0 +1,53 @@
+#ifndef SBON_BENCH_BENCH_UTIL_H_
+#define SBON_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "net/generators.h"
+#include "overlay/sbon.h"
+
+namespace sbon::bench {
+
+/// Builds a transit-stub SBON of roughly `target_nodes` nodes (>= 100).
+/// All harnesses share this so figures are comparable.
+inline std::unique_ptr<overlay::Sbon> MakeTransitStubSbon(
+    size_t target_nodes, uint64_t seed,
+    overlay::Sbon::Options opts = overlay::Sbon::Options()) {
+  net::TransitStubParams p;
+  // Scale stub domains to approximate the target size:
+  // nodes = td*tn + td*tn*sd*ns with td*tn transit routers.
+  p.transit_domains = target_nodes >= 400 ? 4 : 2;
+  p.transit_nodes_per_domain = target_nodes >= 200 ? 4 : 2;
+  p.stub_domains_per_transit_node = 3;
+  const size_t transit = p.transit_domains * p.transit_nodes_per_domain;
+  p.nodes_per_stub_domain =
+      std::max<size_t>(2, (target_nodes - transit) /
+                              (transit * p.stub_domains_per_transit_node));
+  Rng rng(seed);
+  auto topo = net::GenerateTransitStub(p, &rng);
+  if (!topo.ok()) {
+    std::fprintf(stderr, "topology generation failed: %s\n",
+                 topo.status().ToString().c_str());
+    std::abort();
+  }
+  opts.seed = seed;
+  auto s = overlay::Sbon::Create(std::move(topo.value()), opts);
+  if (!s.ok()) {
+    std::fprintf(stderr, "sbon creation failed: %s\n",
+                 s.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(s.value());
+}
+
+/// Prints a section header in the harness output.
+inline void Section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace sbon::bench
+
+#endif  // SBON_BENCH_BENCH_UTIL_H_

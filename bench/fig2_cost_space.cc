@@ -1,0 +1,135 @@
+// Reproduces Figure 2 of the paper: 600 nodes in a 3-dimensional cost
+// space over a simulated transit-stub topology. Communication cost is
+// measured along the x/y axes (a 2-D latency embedding) and CPU load along
+// the z axis with a *squared* weighting function that discourages the use
+// of overloaded nodes such as the paper's "node a".
+//
+// The harness prints: the embedding quality of the latency plane (the part
+// the paper takes from [14-17]), the z-axis distribution under the squared
+// weighting, the identity of the overloaded exemplar node, and a scatter
+// sample of the 3-D points (the data behind the figure).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/summary.h"
+#include "common/table.h"
+#include "coords/mds.h"
+
+namespace sbon {
+namespace {
+
+void Run() {
+  overlay::Sbon::Options opts;
+  opts.space_spec = coords::CostSpaceSpec::LatencyAndLoad(2, 100.0);
+  opts.load_params.mean = 0.3;
+  opts.load_params.sigma = 0.25;
+  opts.load_params.hotspot_frac = 0.02;
+  opts.load_params.hotspot_mean = 0.95;
+  auto sbon = bench::MakeTransitStubSbon(600, /*seed=*/42, opts);
+
+  std::printf("topology: %s\n", sbon->topology().Summary().c_str());
+
+  bench::Section("Latency-plane embedding quality (Vivaldi, 2-D)");
+  {
+    std::vector<Vec> coords;
+    for (NodeId n = 0; n < sbon->topology().NumNodes(); ++n) {
+      coords.push_back(sbon->cost_space().VectorCoord(n));
+    }
+    const coords::EmbeddingError err =
+        coords::EvaluateEmbedding(sbon->latency(), coords);
+    TableWriter t({"metric", "value"});
+    t.AddRow({"median relative error",
+              TableWriter::Fixed(err.median_relative_error, 4)});
+    t.AddRow({"mean relative error",
+              TableWriter::Fixed(err.mean_relative_error, 4)});
+    t.AddRow({"p95 relative error",
+              TableWriter::Fixed(err.p95_relative_error, 4)});
+    t.AddRow({"stress", TableWriter::Fixed(err.stress, 4)});
+    t.AddRow({"network mean latency (ms)",
+              TableWriter::Fixed(sbon->latency().MeanLatency(), 2)});
+    t.AddRow({"network diameter (ms)",
+              TableWriter::Fixed(sbon->latency().MaxLatency(), 2)});
+    std::printf("%s", t.Render().c_str());
+  }
+
+  bench::Section("z-axis: squared CPU-load weighting");
+  {
+    Summary raw, weighted;
+    NodeId node_a = 0;
+    double worst = -1.0;
+    for (NodeId n : sbon->overlay_nodes()) {
+      const double load = sbon->TotalLoad(n);
+      raw.Add(load);
+      weighted.Add(sbon->cost_space().WeightedScalar(n, 0));
+      if (load > worst) {
+        worst = load;
+        node_a = n;
+      }
+    }
+    TableWriter t({"metric", "raw load", "z = 100*load^2"});
+    t.AddRow({"median", TableWriter::Fixed(raw.Median(), 3),
+              TableWriter::Fixed(weighted.Median(), 2)});
+    t.AddRow({"p95", TableWriter::Fixed(raw.Percentile(95), 3),
+              TableWriter::Fixed(weighted.Percentile(95), 2)});
+    t.AddRow({"max (node a)", TableWriter::Fixed(raw.Max(), 3),
+              TableWriter::Fixed(weighted.Max(), 2)});
+    std::printf("%s", t.Render().c_str());
+    std::printf(
+        "overloaded exemplar 'node a' = node %u: load=%.3f -> z=%.1f "
+        "(%.1fx the median z),\nso mapping sees it %.1f cost-space ms "
+        "farther from ideal than an idle twin.\n",
+        node_a, worst, sbon->cost_space().WeightedScalar(node_a, 0),
+        sbon->cost_space().WeightedScalar(node_a, 0) /
+            std::max(1e-9, weighted.Median()),
+        sbon->cost_space().WeightedScalar(node_a, 0));
+  }
+
+  bench::Section("scatter sample (x, y = latency plane; z = weighted load)");
+  {
+    TableWriter t({"node", "kind", "x", "y", "raw load", "z"});
+    const auto& nodes = sbon->overlay_nodes();
+    for (size_t i = 0; i < nodes.size(); i += nodes.size() / 20) {
+      const NodeId n = nodes[i];
+      const Vec& c = sbon->cost_space().VectorCoord(n);
+      t.AddRow({std::to_string(n), "stub", TableWriter::Fixed(c[0], 1),
+                TableWriter::Fixed(c[1], 1),
+                TableWriter::Fixed(sbon->TotalLoad(n), 3),
+                TableWriter::Fixed(
+                    sbon->cost_space().WeightedScalar(n, 0), 2)});
+    }
+    std::printf("%s", t.Render().c_str());
+    std::printf("(%zu overlay nodes total; every %zu-th shown)\n",
+                nodes.size(), nodes.size() / 20);
+  }
+
+  bench::Section("weighting-function shapes at z-scale 100");
+  {
+    TableWriter t({"load", "identity", "squared (paper)", "exponential",
+                   "threshold(0.7)"});
+    coords::IdentityWeighting ident(100.0);
+    coords::SquaredWeighting sq(100.0);
+    coords::ExponentialWeighting ex(4.0, 100.0 / 53.598);  // normalized to 100 at 1
+    coords::ThresholdWeighting th(0.7, 100.0 / 0.3);
+    for (double load : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      t.AddRow({TableWriter::Fixed(load, 2),
+                TableWriter::Fixed(ident.Apply(load), 1),
+                TableWriter::Fixed(sq.Apply(load), 1),
+                TableWriter::Fixed(ex.Apply(load), 1),
+                TableWriter::Fixed(th.Apply(load), 1)});
+    }
+    std::printf("%s", t.Render().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace sbon
+
+int main() {
+  std::printf(
+      "Figure 2 reproduction: 600-node transit-stub SBON in a 3-D cost "
+      "space\n(2 latency dims + squared CPU load dim)\n");
+  sbon::Run();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Reproduces Figure 4 of the paper: multi-query optimization pruned by a
+// radius-r hyper-sphere in the cost space. Only circuits whose reusable
+// services sit within radius r of the new service's virtual coordinate are
+// considered for reuse; faraway circuits (the paper's C1, C2) are ignored,
+// bounding optimizer work, while nearby compatible services (the paper's
+// S3) still get merged, reducing the marginal cost of the new circuit.
+//
+// Sweep: radius r from 0 (no reuse / pure integrated) to unbounded (no
+// pruning). Expected shape: optimizer work (reuse candidates examined, DHT
+// probes) grows with r; marginal circuit cost drops steeply at small r and
+// then flattens — most of the benefit of unbounded search at a fraction of
+// its cost, which is the pruning argument of Sec. 3.4.
+
+#include <cstdio>
+#include <limits>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/summary.h"
+#include "common/table.h"
+#include "core/multi_query.h"
+#include "overlay/metrics.h"
+#include "query/workload.h"
+
+namespace sbon {
+namespace {
+
+using bench::MakeTransitStubSbon;
+using bench::Section;
+
+void Run() {
+  // A workload with heavy stream sharing: few streams, many queries.
+  query::WorkloadParams wp;
+  wp.num_streams = 12;
+  wp.min_streams_per_query = 2;
+  wp.max_streams_per_query = 4;
+  // Coarse selectivity grid so identical (stream set, selectivity) ops
+  // recur across queries and reuse signatures collide meaningfully.
+  wp.join_sel_log10_min = -3.0;
+  wp.join_sel_log10_max = -3.0;
+  wp.filter_prob = 0.0;
+  wp.aggregate_prob = 0.0;
+
+  auto sbon = MakeTransitStubSbon(300, /*seed=*/2025);
+  query::Catalog cat =
+      query::RandomCatalog(wp, sbon->overlay_nodes(), &sbon->rng());
+
+  auto placer = std::make_shared<placement::RelaxationPlacer>();
+  core::OptimizerConfig cfg;
+  cfg.enumeration.top_k = 4;
+
+  // Populate the SBON with a base of running circuits (reuse enabled so
+  // the base itself shares services, as a mature SBON would).
+  core::MultiQueryOptimizer::Params base_params;
+  base_params.reuse_radius = 60.0;
+  core::MultiQueryOptimizer base_opt(cfg, placer, base_params);
+  size_t installed = 0;
+  for (int i = 0; i < 40; ++i) {
+    query::QuerySpec q =
+        query::RandomQuery(wp, cat, sbon->overlay_nodes(), &sbon->rng());
+    auto r = base_opt.Optimize(q, cat, sbon.get());
+    if (!r.ok()) continue;
+    if (sbon->InstallCircuit(std::move(r->circuit)).ok()) ++installed;
+  }
+  std::printf("base workload: %zu circuits, %zu service instances, "
+              "total usage %.4g KB*ms/s\n",
+              sbon->circuits().size(), sbon->NumServices(),
+              sbon->TotalNetworkUsage() / 1000.0);
+
+  // Fresh queries evaluated (not installed) under every radius.
+  std::vector<query::QuerySpec> probes;
+  for (int i = 0; i < 25; ++i) {
+    probes.push_back(
+        query::RandomQuery(wp, cat, sbon->overlay_nodes(), &sbon->rng()));
+  }
+
+  Section("radius sweep (per new query, averaged over 25 queries)");
+  TableWriter t({"radius r", "reuse cands", "ring probes", "reused svcs",
+                 "est marginal cost", "true marginal usage",
+                 "vs no-reuse"});
+  double no_reuse_usage = -1.0;
+  for (double radius : {0.0, 5.0, 15.0, 30.0, 60.0, 120.0, 240.0, -1.0}) {
+    core::MultiQueryOptimizer::Params params;
+    params.reuse_radius = radius;
+    core::MultiQueryOptimizer opt(cfg, placer, params);
+    Summary cands, probes_s, reused, est_cost, usage;
+    for (const query::QuerySpec& q : probes) {
+      auto r = opt.Optimize(q, cat, sbon.get());
+      if (!r.ok()) continue;
+      cands.Add(static_cast<double>(r->reuse_candidates_considered));
+      probes_s.Add(static_cast<double>(r->mapping.dht_cost.ring_probes));
+      reused.Add(static_cast<double>(r->services_reused));
+      est_cost.Add(r->estimated_cost / 1000.0);
+      auto cost = overlay::ComputeCircuitCost(r->circuit, sbon->latency(),
+                                              &sbon->cost_space());
+      if (cost.ok()) usage.Add(cost->network_usage / 1000.0);
+    }
+    if (no_reuse_usage < 0.0) no_reuse_usage = usage.Mean();
+    const std::string rlabel =
+        radius < 0.0 ? "unbounded" : TableWriter::Fixed(radius, 0);
+    t.AddRow({rlabel, TableWriter::Fixed(cands.Mean(), 1),
+              TableWriter::Fixed(probes_s.Mean(), 1),
+              TableWriter::Fixed(reused.Mean(), 2),
+              TableWriter::Num(est_cost.Mean()),
+              TableWriter::Num(usage.Mean()),
+              TableWriter::Fixed(
+                  100.0 * (1.0 - usage.Mean() /
+                                     std::max(1e-9, no_reuse_usage)),
+                  1) +
+                  "%"});
+  }
+  std::printf("%s", t.Render().c_str());
+  std::printf(
+      "\nShape check (paper claim): work (candidates, probes) grows with "
+      "r; marginal cost\nfalls quickly then flattens — a small radius "
+      "captures most of unbounded reuse's benefit\nwhile ignoring faraway "
+      "circuits like C1/C2 in the figure.\n");
+}
+
+}  // namespace
+}  // namespace sbon
+
+int main() {
+  std::printf(
+      "Figure 4 reproduction: multi-query optimization with cost-space "
+      "radius pruning\n");
+  sbon::Run();
+  return 0;
+}

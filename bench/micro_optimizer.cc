@@ -1,0 +1,161 @@
+// Kernel throughput of the optimizer path: plan enumeration, relaxation
+// placement, physical mapping, and the full optimizers end to end.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/integrated.h"
+#include "core/multi_query.h"
+#include "core/two_step.h"
+#include "query/enumerate.h"
+#include "query/workload.h"
+
+namespace sbon {
+namespace {
+
+query::Catalog UniformCatalog(size_t n, Rng* rng) {
+  query::Catalog cat;
+  for (size_t i = 0; i < n; ++i) {
+    cat.AddStream("s" + std::to_string(i), rng->Uniform(10, 500), 128.0,
+                  static_cast<NodeId>(i));
+  }
+  return cat;
+}
+
+void BM_EnumeratePlans(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t top_k = static_cast<size_t>(state.range(1));
+  Rng rng(1);
+  query::Catalog cat = UniformCatalog(n, &rng);
+  std::vector<StreamId> ids;
+  for (size_t i = 0; i < n; ++i) ids.push_back(static_cast<StreamId>(i));
+  const query::QuerySpec spec =
+      query::QuerySpec::SimpleJoin(ids, 0, 0.001);
+  query::EnumerationOptions opts;
+  opts.top_k = top_k;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::EnumeratePlans(spec, cat, opts));
+  }
+}
+BENCHMARK(BM_EnumeratePlans)
+    ->Args({4, 1})
+    ->Args({4, 8})
+    ->Args({6, 1})
+    ->Args({6, 8})
+    ->Args({8, 8})
+    ->Args({10, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RelaxationPlace(benchmark::State& state) {
+  const size_t producers = static_cast<size_t>(state.range(0));
+  auto sbon = bench::MakeTransitStubSbon(200, 11);
+  Rng rng(2);
+  query::Catalog cat;
+  std::vector<StreamId> ids;
+  for (size_t i = 0; i < producers; ++i) {
+    ids.push_back(cat.AddStream(
+        "s" + std::to_string(i), rng.Uniform(10, 500), 128.0,
+        sbon->overlay_nodes()[rng.UniformInt(sbon->overlay_nodes().size())]));
+  }
+  const query::QuerySpec spec = query::QuerySpec::SimpleJoin(
+      ids, sbon->overlay_nodes()[0], 0.001);
+  auto plans = query::EnumeratePlans(spec, cat, query::EnumerationOptions{});
+  auto circuit = overlay::Circuit::FromPlan((*plans)[0], cat);
+  placement::RelaxationPlacer placer;
+  for (auto _ : state) {
+    overlay::Circuit c = circuit.value();
+    benchmark::DoNotOptimize(placer.Place(&c, sbon->cost_space()));
+  }
+}
+BENCHMARK(BM_RelaxationPlace)->Arg(3)->Arg(5)->Arg(8)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_MapCircuit(benchmark::State& state) {
+  auto sbon = bench::MakeTransitStubSbon(
+      static_cast<size_t>(state.range(0)), 12);
+  Rng rng(3);
+  query::Catalog cat;
+  std::vector<StreamId> ids;
+  for (size_t i = 0; i < 4; ++i) {
+    ids.push_back(cat.AddStream(
+        "s" + std::to_string(i), rng.Uniform(10, 500), 128.0,
+        sbon->overlay_nodes()[rng.UniformInt(sbon->overlay_nodes().size())]));
+  }
+  const query::QuerySpec spec = query::QuerySpec::SimpleJoin(
+      ids, sbon->overlay_nodes()[0], 0.001);
+  auto plans = query::EnumeratePlans(spec, cat, query::EnumerationOptions{});
+  auto circuit = overlay::Circuit::FromPlan((*plans)[0], cat);
+  placement::RelaxationPlacer placer;
+  (void)placer.Place(&circuit.value(), sbon->cost_space());
+  for (auto _ : state) {
+    overlay::Circuit c = circuit.value();
+    benchmark::DoNotOptimize(
+        placement::MapCircuit(&c, *sbon, placement::MappingOptions{},
+                              nullptr));
+  }
+}
+BENCHMARK(BM_MapCircuit)->Arg(100)->Arg(600)->Unit(benchmark::kMicrosecond);
+
+void RunOptimizerBench(benchmark::State& state, int which) {
+  auto sbon = bench::MakeTransitStubSbon(200, 13);
+  query::WorkloadParams wp;
+  wp.num_streams = 16;
+  wp.min_streams_per_query = 4;
+  wp.max_streams_per_query = 4;
+  query::Catalog cat =
+      query::RandomCatalog(wp, sbon->overlay_nodes(), &sbon->rng());
+  core::OptimizerConfig cfg;
+  cfg.enumeration.top_k = 8;
+  auto placer = std::make_shared<placement::RelaxationPlacer>();
+  core::TwoStepOptimizer two(cfg, placer);
+  core::IntegratedOptimizer integrated(cfg, placer);
+  core::MultiQueryOptimizer::Params mp;
+  mp.reuse_radius = 60.0;
+  core::MultiQueryOptimizer multi(cfg, placer, mp);
+  // Base circuits so multi-query has something to reuse.
+  for (int i = 0; i < 10; ++i) {
+    query::QuerySpec q =
+        query::RandomQuery(wp, cat, sbon->overlay_nodes(), &sbon->rng());
+    auto r = integrated.Optimize(q, cat, sbon.get());
+    if (r.ok()) (void)sbon->InstallCircuit(std::move(r->circuit));
+  }
+  std::vector<query::QuerySpec> specs;
+  for (int i = 0; i < 32; ++i) {
+    specs.push_back(
+        query::RandomQuery(wp, cat, sbon->overlay_nodes(), &sbon->rng()));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const query::QuerySpec& q = specs[i & 31];
+    switch (which) {
+      case 0:
+        benchmark::DoNotOptimize(two.Optimize(q, cat, sbon.get()));
+        break;
+      case 1:
+        benchmark::DoNotOptimize(integrated.Optimize(q, cat, sbon.get()));
+        break;
+      case 2:
+        benchmark::DoNotOptimize(multi.Optimize(q, cat, sbon.get()));
+        break;
+    }
+    ++i;
+  }
+}
+
+void BM_OptimizeTwoStep(benchmark::State& state) {
+  RunOptimizerBench(state, 0);
+}
+void BM_OptimizeIntegrated(benchmark::State& state) {
+  RunOptimizerBench(state, 1);
+}
+void BM_OptimizeMultiQuery(benchmark::State& state) {
+  RunOptimizerBench(state, 2);
+}
+BENCHMARK(BM_OptimizeTwoStep)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_OptimizeIntegrated)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_OptimizeMultiQuery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sbon

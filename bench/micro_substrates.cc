@@ -1,0 +1,169 @@
+// Kernel throughput of the substrate pieces: Hilbert curve, Chord routing,
+// coordinate-index queries, Vivaldi updates, shortest paths.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "coords/vivaldi.h"
+#include "dht/chord.h"
+#include "dht/coord_index.h"
+#include "dht/hilbert.h"
+#include "net/generators.h"
+#include "net/shortest_path.h"
+
+namespace sbon {
+namespace {
+
+void BM_HilbertEncode(benchmark::State& state) {
+  const unsigned dims = static_cast<unsigned>(state.range(0));
+  const unsigned bits = 10;
+  Rng rng(1);
+  std::vector<std::vector<uint32_t>> inputs;
+  for (int i = 0; i < 256; ++i) {
+    std::vector<uint32_t> axes(dims);
+    for (auto& a : axes) {
+      a = static_cast<uint32_t>(rng.UniformInt(uint64_t{1} << bits));
+    }
+    inputs.push_back(std::move(axes));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dht::HilbertEncode(inputs[i & 255], bits));
+    ++i;
+  }
+}
+BENCHMARK(BM_HilbertEncode)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+
+void BM_HilbertDecode(benchmark::State& state) {
+  const unsigned dims = static_cast<unsigned>(state.range(0));
+  const unsigned bits = 10;
+  Rng rng(2);
+  std::vector<dht::U128> keys;
+  for (int i = 0; i < 256; ++i) {
+    keys.push_back(dht::U128(0, rng.Next() &
+                                    ((1ULL << (dims * bits)) - 1)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dht::HilbertDecode(keys[i & 255], dims, bits));
+    ++i;
+  }
+}
+BENCHMARK(BM_HilbertDecode)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+
+void BM_ChordLookup(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  dht::ChordRing ring;
+  for (size_t i = 0; i < n; ++i) {
+    ring.Join(dht::HashU64(rng.Next()), static_cast<NodeId>(i));
+  }
+  ring.Stabilize();
+  size_t hops = 0, lookups = 0;
+  for (auto _ : state) {
+    auto r = ring.Lookup(dht::HashU64(rng.Next()),
+                         dht::HashU64(rng.Next()));
+    benchmark::DoNotOptimize(r);
+    hops += r.ok() ? r->hops : 0;
+    ++lookups;
+  }
+  state.counters["hops"] =
+      benchmark::Counter(static_cast<double>(hops) / lookups);
+}
+BENCHMARK(BM_ChordLookup)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ChordStabilize(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  dht::ChordRing ring;
+  for (size_t i = 0; i < n; ++i) {
+    ring.Join(dht::HashU64(rng.Next()), static_cast<NodeId>(i));
+  }
+  for (auto _ : state) {
+    ring.Stabilize();
+  }
+}
+BENCHMARK(BM_ChordStabilize)->Arg(64)->Arg(256);
+
+dht::CoordinateIndex MakeIndex(size_t n, Rng* rng) {
+  std::vector<Vec> coords;
+  for (size_t i = 0; i < n; ++i) {
+    coords.push_back(Vec{rng->Uniform(0, 200), rng->Uniform(0, 200),
+                         rng->Uniform(0, 100)});
+  }
+  dht::CoordinateIndex idx(dht::HilbertQuantizer::FitTo(coords, 10));
+  for (size_t i = 0; i < n; ++i) {
+    idx.Publish(static_cast<NodeId>(i), coords[i]);
+  }
+  idx.Stabilize();
+  return idx;
+}
+
+void BM_IndexKNearest(benchmark::State& state) {
+  Rng rng(5);
+  auto idx = MakeIndex(static_cast<size_t>(state.range(0)), &rng);
+  for (auto _ : state) {
+    const Vec target{rng.Uniform(0, 200), rng.Uniform(0, 200), 0.0};
+    benchmark::DoNotOptimize(idx.KNearest(target, 8, 16));
+  }
+}
+BENCHMARK(BM_IndexKNearest)->Arg(100)->Arg(600)->Arg(2000);
+
+void BM_IndexWithinRadius(benchmark::State& state) {
+  Rng rng(6);
+  auto idx = MakeIndex(600, &rng);
+  const double radius = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const Vec target{rng.Uniform(0, 200), rng.Uniform(0, 200), 0.0};
+    benchmark::DoNotOptimize(idx.WithinRadius(target, radius));
+  }
+}
+BENCHMARK(BM_IndexWithinRadius)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_VivaldiUpdate(benchmark::State& state) {
+  Rng rng(7);
+  coords::VivaldiSystem sys(512, coords::VivaldiSystem::Params{}, &rng);
+  for (auto _ : state) {
+    const NodeId a = static_cast<NodeId>(rng.UniformInt(uint64_t{512}));
+    const NodeId b = static_cast<NodeId>(rng.UniformInt(uint64_t{512}));
+    if (a == b) continue;
+    sys.Update(a, b, rng.Uniform(1.0, 200.0));
+  }
+}
+BENCHMARK(BM_VivaldiUpdate);
+
+void BM_VivaldiFullRun(benchmark::State& state) {
+  Rng trng(8);
+  net::TransitStubParams p;
+  p.transit_domains = 2;
+  p.stub_domains_per_transit_node = 2;
+  p.nodes_per_stub_domain = static_cast<size_t>(state.range(0));
+  auto topo = net::GenerateTransitStub(p, &trng);
+  const net::LatencyMatrix lat(*topo);
+  for (auto _ : state) {
+    Rng rng(9);
+    coords::VivaldiRunOptions run;
+    run.rounds = 30;
+    benchmark::DoNotOptimize(coords::RunVivaldi(
+        lat, coords::VivaldiSystem::Params{}, run, &rng));
+  }
+  state.counters["nodes"] =
+      benchmark::Counter(static_cast<double>(lat.NumNodes()));
+}
+BENCHMARK(BM_VivaldiFullRun)->Arg(6)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_LatencyMatrix(benchmark::State& state) {
+  Rng trng(10);
+  net::TransitStubParams p;
+  p.nodes_per_stub_domain = static_cast<size_t>(state.range(0));
+  auto topo = net::GenerateTransitStub(p, &trng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::LatencyMatrix(*topo));
+  }
+  state.counters["nodes"] =
+      benchmark::Counter(static_cast<double>(topo->NumNodes()));
+}
+BENCHMARK(BM_LatencyMatrix)->Arg(4)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sbon

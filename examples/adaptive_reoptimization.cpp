@@ -1,0 +1,146 @@
+// Adaptive re-optimization under network dynamics (paper Sec. 2 & 3.3):
+// long-running circuits outlive the conditions they were optimized for.
+// This example drives a discrete-event simulation where node loads evolve
+// as stochastic processes, and compares a static deployment against one
+// that periodically runs local re-optimization (service migration) with an
+// occasional full re-plan.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/integrated.h"
+#include "core/reopt.h"
+#include "net/generators.h"
+#include "overlay/event_sim.h"
+#include "overlay/sbon.h"
+#include "query/workload.h"
+
+using namespace sbon;
+
+namespace {
+
+struct RunResult {
+  double mean_cost = 0.0;   // time-averaged estimated circuit cost
+  size_t migrations = 0;
+  size_t replans = 0;
+};
+
+RunResult Simulate(bool adaptive, uint64_t seed) {
+  Rng rng(seed);
+  net::TransitStubParams tp;
+  tp.transit_domains = 2;
+  tp.nodes_per_stub_domain = 8;
+  auto topo = net::GenerateTransitStub(tp, &rng);
+  overlay::Sbon::Options options;
+  options.seed = seed;
+  options.load_params.sigma = 0.35;  // volatile loads
+  options.load_params.theta = 0.4;
+  options.load_params.hotspot_frac = 0.05;
+  options.latency_jitter_sigma = 0.2;  // transient congestion epochs
+  auto sbon = std::move(
+      overlay::Sbon::Create(std::move(topo.value()), options).value());
+
+  query::WorkloadParams wp;
+  wp.num_streams = 12;
+  query::Catalog catalog =
+      query::RandomCatalog(wp, sbon->overlay_nodes(), &sbon->rng());
+
+  core::OptimizerConfig config;
+  core::IntegratedOptimizer optimizer(
+      config, std::make_shared<placement::RelaxationPlacer>());
+
+  // Deploy 6 long-running queries.
+  std::vector<std::pair<CircuitId, query::QuerySpec>> deployed;
+  for (int i = 0; i < 6; ++i) {
+    query::QuerySpec q = query::RandomQuery(wp, catalog,
+                                            sbon->overlay_nodes(),
+                                            &sbon->rng());
+    auto r = optimizer.Optimize(q, catalog, sbon.get());
+    if (!r.ok()) continue;
+    auto id = sbon->InstallCircuit(std::move(r->circuit));
+    if (id.ok()) deployed.emplace_back(*id, q);
+  }
+
+  overlay::EventSim sim;
+  RunResult result;
+  size_t samples = 0;
+
+  // Load dynamics every 1 time unit; index refresh follows.
+  sim.SchedulePeriodic(1.0, [&] {
+    sbon->Tick(1.0);
+    sbon->RefreshIndex();
+  }, /*until=*/120.0);
+
+  // Congestion epochs every 15 units; coordinates track them online.
+  sim.SchedulePeriodic(15.0, [&] {
+    sbon->TickNetwork();
+    sbon->UpdateCoordinatesOnline(8);
+  }, 120.0);
+
+  // Cost sampling every 5 units.
+  sim.SchedulePeriodic(5.0, [&] {
+    for (auto& [id, spec] : deployed) {
+      const overlay::Circuit* c = sbon->FindCircuit(id);
+      if (c == nullptr) continue;
+      auto cost = core::EstimateCost(*c, *sbon, config.lambda);
+      if (cost.ok()) {
+        result.mean_cost += *cost;
+        ++samples;
+      }
+    }
+  }, 120.0);
+
+  if (adaptive) {
+    placement::RelaxationPlacer placer;
+    // Local re-optimization every 10 units; full re-plan every 40.
+    sim.SchedulePeriodic(10.0, [&] {
+      for (auto& [id, spec] : deployed) {
+        if (sbon->FindCircuit(id) == nullptr) continue;
+        auto rep = core::LocalReoptimize(sbon.get(), id, placer,
+                                         core::ReoptConfig{});
+        if (rep.ok()) result.migrations += rep->migrations;
+      }
+    }, 120.0);
+    sim.SchedulePeriodic(40.0, [&] {
+      for (auto& [id, spec] : deployed) {
+        if (sbon->FindCircuit(id) == nullptr) continue;
+        auto rep = core::FullReoptimize(sbon.get(), id, spec, catalog,
+                                        &optimizer, core::ReoptConfig{});
+        if (rep.ok() && rep->redeployed) {
+          ++result.replans;
+          id = rep->new_circuit;  // track the replacement circuit
+        }
+      }
+    }, 120.0);
+  }
+
+  sim.RunUntil(120.0);
+  if (samples > 0) result.mean_cost /= static_cast<double>(samples);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("adaptive re-optimization under volatile node load "
+              "(120 time units, 6 circuits)\n\n");
+  std::printf("%-10s %-22s %-12s %-9s\n", "mode", "time-avg est cost",
+              "migrations", "replans");
+  double static_cost = 0.0, adaptive_cost = 0.0;
+  for (uint64_t seed : {3, 4, 5}) {
+    const RunResult st = Simulate(/*adaptive=*/false, seed);
+    const RunResult ad = Simulate(/*adaptive=*/true, seed);
+    static_cost += st.mean_cost;
+    adaptive_cost += ad.mean_cost;
+    std::printf("seed %llu:\n", static_cast<unsigned long long>(seed));
+    std::printf("%-10s %-22.1f %-12zu %-9zu\n", "  static", st.mean_cost,
+                st.migrations, st.replans);
+    std::printf("%-10s %-22.1f %-12zu %-9zu\n", "  adaptive", ad.mean_cost,
+                ad.migrations, ad.replans);
+  }
+  std::printf("\nadaptive deployment averages %.1f%% lower estimated cost "
+              "than leaving initial placements to rot\n",
+              100.0 * (1.0 - adaptive_cost / std::max(1.0, static_cost)));
+  return 0;
+}

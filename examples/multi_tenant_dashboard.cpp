@@ -1,0 +1,106 @@
+// Multi-tenant dashboards: many users pose overlapping continuous queries
+// over a shared pool of feeds. The multi-query optimizer (paper Sec. 3.4)
+// merges identical services across tenants, but only searches for reuse
+// inside a cost-space sphere of radius r around each new service.
+//
+// The example deploys 30 dashboard queries twice — once with reuse disabled
+// and once with radius pruning — and compares deployed services, total
+// network usage, and optimizer work.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/multi_query.h"
+#include "net/generators.h"
+#include "overlay/sbon.h"
+#include "query/workload.h"
+
+using namespace sbon;
+
+namespace {
+
+struct DeployStats {
+  size_t circuits = 0;
+  size_t services = 0;
+  size_t reused = 0;
+  size_t reuse_candidates = 0;
+  double usage = 0.0;
+};
+
+DeployStats DeployAll(double radius, uint64_t seed) {
+  Rng rng(seed);
+  net::TransitStubParams tp;
+  tp.transit_domains = 2;
+  tp.nodes_per_stub_domain = 8;
+  auto topo = net::GenerateTransitStub(tp, &rng);
+  overlay::Sbon::Options options;
+  options.seed = seed;
+  auto sbon = std::move(
+      overlay::Sbon::Create(std::move(topo.value()), options).value());
+
+  // A small pool of popular feeds shared by all tenants.
+  query::WorkloadParams wp;
+  wp.num_streams = 10;
+  wp.min_streams_per_query = 2;
+  wp.max_streams_per_query = 3;
+  wp.join_sel_log10_min = -3.0;
+  wp.join_sel_log10_max = -3.0;  // fixed predicate grid => shareable ops
+  wp.filter_prob = 0.0;
+  wp.aggregate_prob = 0.0;
+  query::Catalog catalog =
+      query::RandomCatalog(wp, sbon->overlay_nodes(), &sbon->rng());
+
+  core::OptimizerConfig config;
+  config.enumeration.top_k = 4;
+  core::MultiQueryOptimizer::Params params;
+  params.reuse_radius = radius;
+  core::MultiQueryOptimizer optimizer(
+      config, std::make_shared<placement::RelaxationPlacer>(), params);
+
+  DeployStats stats;
+  for (int tenant = 0; tenant < 30; ++tenant) {
+    query::QuerySpec q = query::RandomQuery(wp, catalog,
+                                            sbon->overlay_nodes(),
+                                            &sbon->rng());
+    auto r = optimizer.Optimize(q, catalog, sbon.get());
+    if (!r.ok()) continue;
+    stats.reused += r->services_reused;
+    stats.reuse_candidates += r->reuse_candidates_considered;
+    auto id = sbon->InstallCircuit(std::move(r->circuit));
+    if (id.ok()) {
+      ++stats.circuits;
+      sbon->RefreshIndex();
+    }
+  }
+  stats.services = sbon->NumServices();
+  stats.usage = sbon->TotalNetworkUsage() / 1000.0;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("30 dashboard tenants over 10 shared feeds\n\n");
+  std::printf("%-22s %-9s %-9s %-13s %-12s %s\n", "mode", "circuits",
+              "services", "reused binds", "cands seen", "usage KB*ms/s");
+  const DeployStats isolated = DeployAll(/*radius=*/0.0, /*seed=*/5);
+  std::printf("%-22s %-9zu %-9zu %-13zu %-12zu %.1f\n",
+              "no reuse (r = 0)", isolated.circuits, isolated.services,
+              isolated.reused, isolated.reuse_candidates, isolated.usage);
+  const DeployStats pruned = DeployAll(/*radius=*/25.0, /*seed=*/5);
+  std::printf("%-22s %-9zu %-9zu %-13zu %-12zu %.1f\n",
+              "radius pruning (r=25)", pruned.circuits, pruned.services,
+              pruned.reused, pruned.reuse_candidates, pruned.usage);
+  const DeployStats unbounded = DeployAll(/*radius=*/-1.0, /*seed=*/5);
+  std::printf("%-22s %-9zu %-9zu %-13zu %-12zu %.1f\n",
+              "unbounded reuse", unbounded.circuits, unbounded.services,
+              unbounded.reused, unbounded.reuse_candidates, unbounded.usage);
+
+  std::printf("\nradius pruning keeps %.0f%% of unbounded reuse's usage "
+              "saving while examining %.0f%% of its candidates\n",
+              100.0 * (isolated.usage - pruned.usage) /
+                  std::max(1.0, isolated.usage - unbounded.usage),
+              100.0 * pruned.reuse_candidates /
+                  std::max<size_t>(1, unbounded.reuse_candidates));
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Quickstart: build an overlay, register streams, optimize one continuous
+// query with the integrated cost-space optimizer, deploy it, and inspect
+// the resulting circuit.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "core/integrated.h"
+#include "net/generators.h"
+#include "overlay/metrics.h"
+#include "overlay/sbon.h"
+#include "query/enumerate.h"
+
+using namespace sbon;  // examples favour brevity over namespace hygiene
+
+int main() {
+  // 1. A simulated transit-stub network (the paper's evaluation substrate).
+  Rng rng(7);
+  net::TransitStubParams topo_params;  // defaults: ~600 nodes
+  auto topo = net::GenerateTransitStub(topo_params, &rng);
+  if (!topo.ok()) {
+    std::fprintf(stderr, "topology: %s\n", topo.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("topology: %s\n", topo->Summary().c_str());
+
+  // 2. The SBON runtime: latency matrix, Vivaldi coordinates, a
+  //    latency+load cost space, and the Hilbert/Chord coordinate index.
+  overlay::Sbon::Options options;
+  options.seed = 7;
+  auto sbon_or = overlay::Sbon::Create(std::move(topo.value()), options);
+  if (!sbon_or.ok()) {
+    std::fprintf(stderr, "sbon: %s\n", sbon_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<overlay::Sbon> sbon = std::move(sbon_or.value());
+
+  // 3. Streams are pinned at their producers; a query joins three of them.
+  const auto& nodes = sbon->overlay_nodes();
+  query::Catalog catalog;
+  const StreamId temps =
+      catalog.AddStream("temperatures", /*tuples_per_s=*/50,
+                        /*bytes_per_tuple=*/64, nodes[10]);
+  const StreamId quakes =
+      catalog.AddStream("seismic", 200, 128, nodes[200]);
+  const StreamId alerts =
+      catalog.AddStream("alert_config", 1, 256, nodes[400]);
+  query::QuerySpec query = query::QuerySpec::SimpleJoin(
+      {temps, quakes, alerts}, /*consumer=*/nodes[500],
+      /*selectivity=*/0.002);
+
+  // 4. Integrated optimization: every candidate plan is virtually placed
+  //    and physically mapped in the cost space; cheapest circuit wins.
+  core::OptimizerConfig config;
+  config.enumeration.top_k = 8;
+  core::IntegratedOptimizer optimizer(
+      config, std::make_shared<placement::RelaxationPlacer>());
+  auto result = optimizer.Optimize(query, catalog, sbon.get());
+  if (!result.ok()) {
+    std::fprintf(stderr, "optimize: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("chosen plan: %s\n", result->circuit.plan().Canonical().c_str());
+  std::printf("candidates considered: %zu plans, %zu placements\n",
+              result->plans_considered, result->placements_evaluated);
+
+  // 5. Deploy and measure against true network latencies.
+  auto cost = overlay::ComputeCircuitCost(result->circuit, sbon->latency(),
+                                          &sbon->cost_space());
+  auto id = sbon->InstallCircuit(std::move(result->circuit));
+  if (!id.ok() || !cost.ok()) {
+    std::fprintf(stderr, "install failed\n");
+    return 1;
+  }
+  std::printf("deployed circuit %llu:\n",
+              static_cast<unsigned long long>(*id));
+  std::printf("  network usage        : %.1f KB*ms/s\n",
+              cost->network_usage / 1000.0);
+  std::printf("  consumer latency     : %.1f ms\n",
+              cost->critical_path_latency_ms);
+  std::printf("  services deployed    : %zu\n", sbon->NumServices());
+  for (const auto& [cid, circuit] : sbon->circuits()) {
+    for (int v : circuit.UnpinnedVertices()) {
+      std::printf("  service %-9s at node %u (load %.2f)\n",
+                  query::OpKindName(circuit.plan().op(v).kind),
+                  circuit.vertex(v).host,
+                  sbon->TotalLoad(circuit.vertex(v).host));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+#ifndef SBON_COMMON_IDS_H_
+#define SBON_COMMON_IDS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace sbon {
+
+/// Index of a physical node in a `Topology` / `Sbon`.
+using NodeId = uint32_t;
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Identifier of a deployed service instance in an `Sbon`.
+using ServiceInstanceId = uint64_t;
+/// Identifier of a deployed circuit (instantiated query) in an `Sbon`.
+using CircuitId = uint64_t;
+/// Identifier of a stream in the catalog.
+using StreamId = uint32_t;
+
+inline constexpr ServiceInstanceId kInvalidService =
+    std::numeric_limits<ServiceInstanceId>::max();
+inline constexpr CircuitId kInvalidCircuit =
+    std::numeric_limits<CircuitId>::max();
+
+}  // namespace sbon
+
+#endif  // SBON_COMMON_IDS_H_

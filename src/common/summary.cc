@@ -1,0 +1,70 @@
+#include "common/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sbon {
+
+void Summary::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Summary::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+double Summary::Sum() const {
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s;
+}
+
+double Summary::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return Sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::Min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::Max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = Mean();
+  double s = 0.0;
+  for (double x : samples_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p <= 0.0) return samples_.front();
+  if (p >= 100.0) return samples_.back();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::string Summary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.4g p50=%.4g p95=%.4g max=%.4g", count(), Mean(),
+                Percentile(50), Percentile(95), Max());
+  return buf;
+}
+
+}  // namespace sbon

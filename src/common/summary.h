@@ -1,0 +1,41 @@
+#ifndef SBON_COMMON_SUMMARY_H_
+#define SBON_COMMON_SUMMARY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sbon {
+
+/// Accumulates samples and reports order statistics. Used by every benchmark
+/// harness to summarize per-seed measurements.
+class Summary {
+ public:
+  void Add(double x);
+  void AddAll(const std::vector<double>& xs);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for < 2 samples.
+  double Stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// "mean=… p50=… p95=… max=…" rendering for log lines.
+  std::string ToString() const;
+
+ private:
+  // Sorted lazily by Percentile.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace sbon
+
+#endif  // SBON_COMMON_SUMMARY_H_

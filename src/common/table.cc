@@ -1,0 +1,57 @@
+#include "common/table.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace sbon {
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::Num(double x) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4g", x);
+  return buf;
+}
+
+std::string TableWriter::Fixed(double x, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, x);
+  return buf;
+}
+
+std::string TableWriter::Render() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += (c == 0) ? "| " : " | ";
+      line += row[c];
+      line.append(width[c] - row[c].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+  std::string out = render_row(header_);
+  std::string rule = "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule.append(width[c] + 2, '-');
+    rule += "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace sbon

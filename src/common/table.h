@@ -1,0 +1,38 @@
+#ifndef SBON_COMMON_TABLE_H_
+#define SBON_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace sbon {
+
+/// Minimal ASCII table writer used by the benchmark harnesses to print
+/// paper-style result rows.
+///
+/// Usage:
+///   TableWriter t({"nodes", "two-step", "integrated", "ratio"});
+///   t.AddRow({"100", "12.3", "9.1", "1.35x"});
+///   std::cout << t.Render();
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with %.4g.
+  static std::string Num(double x);
+  /// Formats with fixed decimals.
+  static std::string Fixed(double x, int decimals);
+
+  /// Renders the table with column alignment and a separator rule.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sbon
+
+#endif  // SBON_COMMON_TABLE_H_

@@ -1,0 +1,95 @@
+#include "common/vec.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace sbon {
+
+Vec& Vec::operator+=(const Vec& o) {
+  assert(dims() == o.dims());
+  for (size_t i = 0; i < v_.size(); ++i) v_[i] += o.v_[i];
+  return *this;
+}
+
+Vec& Vec::operator-=(const Vec& o) {
+  assert(dims() == o.dims());
+  for (size_t i = 0; i < v_.size(); ++i) v_[i] -= o.v_[i];
+  return *this;
+}
+
+Vec& Vec::operator*=(double s) {
+  for (double& x : v_) x *= s;
+  return *this;
+}
+
+Vec& Vec::operator/=(double s) {
+  assert(s != 0.0);
+  for (double& x : v_) x /= s;
+  return *this;
+}
+
+double Vec::Norm() const { return std::sqrt(NormSquared()); }
+
+double Vec::NormSquared() const {
+  double s = 0.0;
+  for (double x : v_) s += x * x;
+  return s;
+}
+
+double Vec::Dot(const Vec& o) const {
+  assert(dims() == o.dims());
+  double s = 0.0;
+  for (size_t i = 0; i < v_.size(); ++i) s += v_[i] * o.v_[i];
+  return s;
+}
+
+double Vec::DistanceTo(const Vec& o) const {
+  assert(dims() == o.dims());
+  double s = 0.0;
+  for (size_t i = 0; i < v_.size(); ++i) {
+    const double d = v_[i] - o.v_[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+Vec Vec::Unit(uint64_t tiebreak) const {
+  const double n = Norm();
+  if (n > 1e-12) {
+    Vec out = *this;
+    out /= n;
+    return out;
+  }
+  // Deterministic pseudo-random direction for coincident points.
+  Vec out(dims());
+  uint64_t h = tiebreak * 0x9e3779b97f4a7c15ULL + 0x1234567ULL;
+  double norm2 = 0.0;
+  for (size_t i = 0; i < out.dims(); ++i) {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    const double x =
+        static_cast<double>(h >> 11) * 0x1.0p-53 - 0.5;  // [-0.5, 0.5)
+    out[i] = x;
+    norm2 += x * x;
+  }
+  if (norm2 < 1e-24 && out.dims() > 0) out[0] = 1.0;
+  const double n2 = out.Norm();
+  if (n2 > 0.0) out /= n2;
+  return out;
+}
+
+std::string Vec::ToString() const {
+  std::string s = "(";
+  char buf[32];
+  for (size_t i = 0; i < v_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.4g", v_[i]);
+    if (i) s += ", ";
+    s += buf;
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace sbon

@@ -1,0 +1,68 @@
+#ifndef SBON_COMMON_VEC_H_
+#define SBON_COMMON_VEC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sbon {
+
+/// A small dense vector of doubles used for cost-space coordinates.
+///
+/// Coordinates in this library are low-dimensional (2-6 dims), so a
+/// std::vector-backed value type with out-of-line arithmetic is plenty fast
+/// and keeps call sites readable.
+class Vec {
+ public:
+  Vec() = default;
+  explicit Vec(size_t dims, double fill = 0.0) : v_(dims, fill) {}
+  Vec(std::initializer_list<double> init) : v_(init) {}
+
+  size_t dims() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+
+  double& operator[](size_t i) { return v_[i]; }
+  double operator[](size_t i) const { return v_[i]; }
+
+  const std::vector<double>& data() const { return v_; }
+
+  Vec& operator+=(const Vec& o);
+  Vec& operator-=(const Vec& o);
+  Vec& operator*=(double s);
+  Vec& operator/=(double s);
+
+  friend Vec operator+(Vec a, const Vec& b) { return a += b; }
+  friend Vec operator-(Vec a, const Vec& b) { return a -= b; }
+  friend Vec operator*(Vec a, double s) { return a *= s; }
+  friend Vec operator*(double s, Vec a) { return a *= s; }
+  friend Vec operator/(Vec a, double s) { return a /= s; }
+
+  friend bool operator==(const Vec& a, const Vec& b) { return a.v_ == b.v_; }
+
+  /// Euclidean norm.
+  double Norm() const;
+  /// Squared Euclidean norm.
+  double NormSquared() const;
+  /// Dot product; both vectors must have equal dims.
+  double Dot(const Vec& o) const;
+  /// Euclidean distance to `o`.
+  double DistanceTo(const Vec& o) const;
+
+  /// Returns this vector scaled to unit length; the zero vector maps to a
+  /// deterministic pseudo-random unit direction derived from `tiebreak` so
+  /// that force computations never stall at coincident points.
+  Vec Unit(uint64_t tiebreak = 0) const;
+
+  /// Appends a component.
+  void Append(double x) { v_.push_back(x); }
+
+  /// "(x, y, z)" rendering with 4 significant digits.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> v_;
+};
+
+}  // namespace sbon
+
+#endif  // SBON_COMMON_VEC_H_

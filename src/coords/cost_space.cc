@@ -1,0 +1,88 @@
+#include "coords/cost_space.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sbon::coords {
+
+CostSpaceSpec CostSpaceSpec::LatencyOnly(size_t vector_dims) {
+  return CostSpaceSpec(vector_dims, {});
+}
+
+CostSpaceSpec CostSpaceSpec::LatencyAndLoad(size_t vector_dims,
+                                            double load_scale) {
+  std::vector<ScalarDimSpec> scalars;
+  scalars.push_back(ScalarDimSpec{
+      "cpu_load", std::make_shared<SquaredWeighting>(load_scale)});
+  return CostSpaceSpec(vector_dims, std::move(scalars));
+}
+
+CostSpace::CostSpace(CostSpaceSpec spec, size_t num_nodes)
+    : spec_(std::move(spec)),
+      vector_coords_(num_nodes, Vec(spec_.vector_dims())),
+      raw_scalars_(num_nodes,
+                   std::vector<double>(spec_.num_scalar_dims(), 0.0)) {}
+
+Status CostSpace::SetVectorCoord(NodeId n, const Vec& coord) {
+  if (n >= NumNodes()) return Status::OutOfRange("node id");
+  if (coord.dims() != spec_.vector_dims()) {
+    return Status::InvalidArgument("vector coord dims mismatch");
+  }
+  vector_coords_[n] = coord;
+  return Status::OK();
+}
+
+Status CostSpace::SetScalarMetric(NodeId n, size_t i, double raw) {
+  if (n >= NumNodes()) return Status::OutOfRange("node id");
+  if (i >= spec_.num_scalar_dims()) {
+    return Status::OutOfRange("scalar dim index");
+  }
+  raw_scalars_[n][i] = raw;
+  return Status::OK();
+}
+
+double CostSpace::WeightedScalar(NodeId n, size_t i) const {
+  return spec_.scalar_dim(i).weighting->Apply(raw_scalars_[n][i]);
+}
+
+double CostSpace::ScalarPenalty(NodeId n) const {
+  double s = 0.0;
+  for (size_t i = 0; i < spec_.num_scalar_dims(); ++i) {
+    s += WeightedScalar(n, i);
+  }
+  return s;
+}
+
+Vec CostSpace::FullCoord(NodeId n) const {
+  Vec out = vector_coords_[n];
+  for (size_t i = 0; i < spec_.num_scalar_dims(); ++i) {
+    out.Append(WeightedScalar(n, i));
+  }
+  return out;
+}
+
+double CostSpace::VectorDistance(NodeId a, NodeId b) const {
+  return vector_coords_[a].DistanceTo(vector_coords_[b]);
+}
+
+double CostSpace::VectorDistanceTo(NodeId a, const Vec& vector_point) const {
+  return vector_coords_[a].DistanceTo(vector_point);
+}
+
+double CostSpace::FullDistanceToIdeal(NodeId n,
+                                      const Vec& vector_point) const {
+  assert(vector_point.dims() == spec_.vector_dims());
+  double s = 0.0;
+  const Vec& vc = vector_coords_[n];
+  for (size_t i = 0; i < vc.dims(); ++i) {
+    const double d = vc[i] - vector_point[i];
+    s += d * d;
+  }
+  for (size_t i = 0; i < spec_.num_scalar_dims(); ++i) {
+    const double w = WeightedScalar(n, i);  // target scalar coordinate is 0
+    s += w * w;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace sbon::coords

@@ -1,0 +1,117 @@
+#include "coords/mds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/summary.h"
+
+namespace sbon::coords {
+
+std::vector<Vec> ClassicalMds(const net::LatencyMatrix& lat, size_t dims,
+                              Rng* rng, size_t power_iters) {
+  const size_t n = lat.NumNodes();
+  std::vector<Vec> out(n, Vec(dims));
+  if (n == 0 || dims == 0) return out;
+
+  // B = -1/2 * J * D^2 * J with J = I - 11^T/n (double centering).
+  std::vector<double> d2(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const double l = lat.Latency(static_cast<NodeId>(i),
+                                   static_cast<NodeId>(j));
+      d2[i * n + j] = std::isfinite(l) ? l * l : 0.0;
+    }
+  }
+  std::vector<double> row_mean(n, 0.0), col_mean(n, 0.0);
+  double total_mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) row_mean[i] += d2[i * n + j];
+    row_mean[i] /= static_cast<double>(n);
+    total_mean += row_mean[i];
+  }
+  total_mean /= static_cast<double>(n);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < n; ++i) col_mean[j] += d2[i * n + j];
+    col_mean[j] /= static_cast<double>(n);
+  }
+  std::vector<double> b(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      b[i * n + j] =
+          -0.5 * (d2[i * n + j] - row_mean[i] - col_mean[j] + total_mean);
+    }
+  }
+
+  // Power iteration with deflation for the top `dims` eigenpairs.
+  std::vector<std::vector<double>> eigvecs;
+  std::vector<double> eigvals;
+  std::vector<double> v(n), bv(n);
+  for (size_t d = 0; d < dims; ++d) {
+    for (size_t i = 0; i < n; ++i) v[i] = rng->Uniform(-1.0, 1.0);
+    double lambda = 0.0;
+    for (size_t it = 0; it < power_iters; ++it) {
+      // bv = B v
+      for (size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        const double* row = &b[i * n];
+        for (size_t j = 0; j < n; ++j) s += row[j] * v[j];
+        bv[i] = s;
+      }
+      // Deflate previously found components.
+      for (size_t k = 0; k < eigvecs.size(); ++k) {
+        double proj = 0.0;
+        for (size_t i = 0; i < n; ++i) proj += eigvecs[k][i] * bv[i];
+        for (size_t i = 0; i < n; ++i) bv[i] -= proj * eigvecs[k][i];
+      }
+      double norm = 0.0;
+      for (double x : bv) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;
+      for (size_t i = 0; i < n; ++i) v[i] = bv[i] / norm;
+      lambda = norm;
+    }
+    eigvecs.push_back(v);
+    eigvals.push_back(std::max(lambda, 0.0));
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dims; ++d) {
+      out[i][d] = eigvecs[d][i] * std::sqrt(eigvals[d]);
+    }
+  }
+  return out;
+}
+
+EmbeddingError EvaluateEmbedding(const net::LatencyMatrix& lat,
+                                 const std::vector<Vec>& coords,
+                                 size_t max_pairs) {
+  EmbeddingError err;
+  const size_t n = coords.size();
+  if (n < 2) return err;
+  const size_t total_pairs = n * (n - 1) / 2;
+  const size_t stride =
+      std::max<size_t>(1, total_pairs / std::max<size_t>(1, max_pairs));
+
+  Summary rel;
+  double num = 0.0, den = 0.0;
+  size_t pair_idx = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j, ++pair_idx) {
+      if (pair_idx % stride != 0) continue;
+      const double l = lat.Latency(static_cast<NodeId>(i),
+                                   static_cast<NodeId>(j));
+      if (!std::isfinite(l) || l <= 0.0) continue;
+      const double d = coords[i].DistanceTo(coords[j]);
+      rel.Add(std::abs(d - l) / l);
+      num += (d - l) * (d - l);
+      den += l * l;
+    }
+  }
+  err.median_relative_error = rel.Median();
+  err.mean_relative_error = rel.Mean();
+  err.p95_relative_error = rel.Percentile(95);
+  err.stress = den > 0.0 ? std::sqrt(num / den) : 0.0;
+  return err;
+}
+
+}  // namespace sbon::coords

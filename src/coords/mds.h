@@ -1,0 +1,40 @@
+#ifndef SBON_COORDS_MDS_H_
+#define SBON_COORDS_MDS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "net/shortest_path.h"
+
+namespace sbon::coords {
+
+/// Classical multidimensional scaling over the full latency matrix: the
+/// "oracle" embedding used in ablations to separate optimizer quality from
+/// Vivaldi embedding error. Centralized and O(n^2 * dims * iters) — fine for
+/// simulated topologies, impossible in a live SBON (which is exactly why the
+/// paper uses decentralized coordinates).
+///
+/// Implementation: double-center the squared-latency matrix and extract the
+/// top `dims` eigenvectors by power iteration with deflation.
+std::vector<Vec> ClassicalMds(const net::LatencyMatrix& lat, size_t dims,
+                              Rng* rng, size_t power_iters = 200);
+
+/// Embedding quality metrics comparing coordinate distances against true
+/// latencies.
+struct EmbeddingError {
+  double median_relative_error = 0.0;  ///< med |dist - lat| / lat
+  double mean_relative_error = 0.0;
+  double p95_relative_error = 0.0;
+  double stress = 0.0;  ///< sqrt(sum (dist-lat)^2 / sum lat^2)
+};
+
+/// Evaluates `coords` against the true latency matrix over all pairs (or a
+/// sample of `max_pairs` pairs for large n).
+EmbeddingError EvaluateEmbedding(const net::LatencyMatrix& lat,
+                                 const std::vector<Vec>& coords,
+                                 size_t max_pairs = 200000);
+
+}  // namespace sbon::coords
+
+#endif  // SBON_COORDS_MDS_H_

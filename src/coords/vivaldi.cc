@@ -1,0 +1,87 @@
+#include "coords/vivaldi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbon::coords {
+
+VivaldiSystem::VivaldiSystem(size_t num_nodes, const Params& params, Rng* rng)
+    : params_(params),
+      coords_(num_nodes, Vec(params.dims)),
+      error_(num_nodes, params.initial_error),
+      rng_(rng) {
+  // Start at tiny random offsets so initial forces have direction.
+  for (auto& c : coords_) {
+    for (size_t d = 0; d < c.dims(); ++d) c[d] = rng->Uniform(-0.1, 0.1);
+  }
+}
+
+void VivaldiSystem::Update(NodeId self, NodeId peer, double measured_rtt_ms) {
+  const double rtt = std::max(measured_rtt_ms, params_.min_rtt_ms);
+  const Vec diff = coords_[self] - coords_[peer];
+  const double dist = diff.Norm();
+  // Sample weight balances local vs remote confidence.
+  const double w_self = error_[self];
+  const double w_peer = error_[peer];
+  const double w = (w_self + w_peer) > 0.0 ? w_self / (w_self + w_peer) : 0.5;
+  // Relative error of this sample.
+  const double es = std::abs(dist - rtt) / rtt;
+  // Update the local error with an EWMA weighted by confidence.
+  error_[self] =
+      es * params_.ce * w + error_[self] * (1.0 - params_.ce * w);
+  error_[self] = std::clamp(error_[self], 0.0, 10.0);
+  // Move along the spring force direction.
+  const double delta = params_.cc * w;
+  const Vec dir = diff.Unit(static_cast<uint64_t>(self) * 1000003u + peer);
+  coords_[self] += dir * (delta * (rtt - dist));
+}
+
+VivaldiSystem RunVivaldi(const net::LatencyMatrix& lat,
+                         const VivaldiSystem::Params& params,
+                         const VivaldiRunOptions& options, Rng* rng) {
+  const size_t n = lat.NumNodes();
+  VivaldiSystem sys(n, params, rng);
+  if (n < 2) return sys;
+
+  // Fixed neighbor sets (half the samples), per Vivaldi's recommendation to
+  // mix long-lived and random neighbors.
+  std::vector<std::vector<NodeId>> fixed(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t k = std::min(options.fixed_neighbors, n - 1);
+    for (size_t j = 0; j < k; ++j) {
+      NodeId peer;
+      do {
+        peer = static_cast<NodeId>(rng->UniformInt(n));
+      } while (peer == i);
+      fixed[i].push_back(peer);
+    }
+  }
+
+  std::vector<NodeId> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<NodeId>(i);
+
+  for (size_t round = 0; round < options.rounds; ++round) {
+    rng->Shuffle(&order);
+    for (NodeId self : order) {
+      for (size_t s = 0; s < options.neighbors_per_round; ++s) {
+        NodeId peer;
+        if (!fixed[self].empty() && s % 2 == 0) {
+          peer = fixed[self][rng->UniformInt(fixed[self].size())];
+        } else {
+          do {
+            peer = static_cast<NodeId>(rng->UniformInt(n));
+          } while (peer == self);
+        }
+        double rtt = lat.Latency(self, peer);
+        if (!std::isfinite(rtt)) continue;
+        if (options.rtt_noise_sigma > 0.0) {
+          rtt *= std::exp(rng->Normal(0.0, options.rtt_noise_sigma));
+        }
+        sys.Update(self, peer, rtt);
+      }
+    }
+  }
+  return sys;
+}
+
+}  // namespace sbon::coords

@@ -1,0 +1,72 @@
+#ifndef SBON_COORDS_VIVALDI_H_
+#define SBON_COORDS_VIVALDI_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/vec.h"
+#include "net/shortest_path.h"
+
+namespace sbon::coords {
+
+/// Vivaldi decentralized network coordinates (Dabek et al., SIGCOMM'04),
+/// the coordinate system the paper cites for constructing latency cost
+/// spaces [17]. Each node keeps a coordinate and a confidence-weighted local
+/// error; pairwise RTT samples pull/push coordinates like springs.
+class VivaldiSystem {
+ public:
+  struct Params {
+    size_t dims = 2;
+    double ce = 0.25;           ///< Error damping constant.
+    double cc = 0.25;           ///< Coordinate step constant.
+    double initial_error = 1.0; ///< Starting local error estimate.
+    double min_rtt_ms = 0.01;   ///< Samples below this are clamped.
+  };
+
+  VivaldiSystem(size_t num_nodes, const Params& params, Rng* rng);
+
+  size_t NumNodes() const { return coords_.size(); }
+  size_t dims() const { return params_.dims; }
+
+  const Vec& Coord(NodeId n) const { return coords_[n]; }
+  double LocalError(NodeId n) const { return error_[n]; }
+
+  /// Processes one RTT sample between `self` and `peer`, moving only `self`
+  /// (each node runs the update for its own measurements, as in Vivaldi).
+  void Update(NodeId self, NodeId peer, double measured_rtt_ms);
+
+  /// Predicted latency between two nodes: coordinate distance.
+  double Predict(NodeId a, NodeId b) const {
+    return coords_[a].DistanceTo(coords_[b]);
+  }
+
+ private:
+  Params params_;
+  std::vector<Vec> coords_;
+  std::vector<double> error_;
+  Rng* rng_;  // not owned; used for tiebreak directions
+};
+
+/// Options for driving Vivaldi to convergence against a latency oracle.
+struct VivaldiRunOptions {
+  size_t rounds = 60;               ///< Gossip rounds.
+  size_t neighbors_per_round = 8;   ///< RTT samples per node per round.
+  double rtt_noise_sigma = 0.05;    ///< Multiplicative LogNormal noise on
+                                    ///< each sample (measurement error).
+  /// Fraction of samples drawn from a fixed long-lived neighbor set (the
+  /// rest are random nodes; mixing near and far neighbors is what makes
+  /// Vivaldi embeddings globally accurate).
+  size_t fixed_neighbors = 8;
+};
+
+/// Runs Vivaldi over simulated RTTs from `lat` (shortest-path latencies with
+/// multiplicative noise) and leaves converged coordinates in the returned
+/// system. Deterministic given `rng`'s state.
+VivaldiSystem RunVivaldi(const net::LatencyMatrix& lat,
+                         const VivaldiSystem::Params& params,
+                         const VivaldiRunOptions& options, Rng* rng);
+
+}  // namespace sbon::coords
+
+#endif  // SBON_COORDS_VIVALDI_H_

@@ -1,0 +1,38 @@
+#include "coords/weighting.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbon::coords {
+
+double IdentityWeighting::Apply(double raw) const {
+  return scale_ * std::max(0.0, raw);
+}
+
+double SquaredWeighting::Apply(double raw) const {
+  const double x = std::max(0.0, raw);
+  return scale_ * x * x;
+}
+
+double ExponentialWeighting::Apply(double raw) const {
+  const double x = std::max(0.0, raw);
+  return scale_ * (std::exp(alpha_ * x) - 1.0);
+}
+
+double ThresholdWeighting::Apply(double raw) const {
+  const double x = std::max(0.0, raw);
+  return x <= knee_ ? 0.0 : slope_ * (x - knee_);
+}
+
+std::unique_ptr<WeightingFn> MakeWeighting(const std::string& name,
+                                           double scale) {
+  if (name == "identity") return std::make_unique<IdentityWeighting>(scale);
+  if (name == "squared") return std::make_unique<SquaredWeighting>(scale);
+  if (name == "exponential") {
+    return std::make_unique<ExponentialWeighting>(4.0, scale);
+  }
+  if (name == "threshold") return std::make_unique<ThresholdWeighting>();
+  return nullptr;
+}
+
+}  // namespace sbon::coords

@@ -1,0 +1,79 @@
+#ifndef SBON_COORDS_WEIGHTING_H_
+#define SBON_COORDS_WEIGHTING_H_
+
+#include <memory>
+#include <string>
+
+namespace sbon::coords {
+
+/// A deployer-supplied weighting function for a scalar cost-space dimension
+/// (paper Sec. 3.1): non-negative, with zero at the ideal value. The input is
+/// the raw node metric (e.g. CPU load in [0,1]); the output is the node's
+/// coordinate in that dimension.
+class WeightingFn {
+ public:
+  virtual ~WeightingFn() = default;
+  /// Maps raw metric value -> coordinate. Must be >= 0 and monotone
+  /// non-decreasing in the metric for load-like metrics.
+  virtual double Apply(double raw) const = 0;
+  /// Short identifier used in bench output ("squared", "identity", ...).
+  virtual std::string Name() const = 0;
+};
+
+/// w(x) = scale * x. The mildest penalty.
+class IdentityWeighting : public WeightingFn {
+ public:
+  explicit IdentityWeighting(double scale = 1.0) : scale_(scale) {}
+  double Apply(double raw) const override;
+  std::string Name() const override { return "identity"; }
+
+ private:
+  double scale_;
+};
+
+/// w(x) = scale * x^2 — the paper's running example (Figure 2): discourages
+/// the use of overloaded nodes super-linearly.
+class SquaredWeighting : public WeightingFn {
+ public:
+  explicit SquaredWeighting(double scale = 1.0) : scale_(scale) {}
+  double Apply(double raw) const override;
+  std::string Name() const override { return "squared"; }
+
+ private:
+  double scale_;
+};
+
+/// w(x) = scale * (exp(alpha*x) - 1) — very sharp penalty near saturation.
+class ExponentialWeighting : public WeightingFn {
+ public:
+  explicit ExponentialWeighting(double alpha = 4.0, double scale = 1.0)
+      : alpha_(alpha), scale_(scale) {}
+  double Apply(double raw) const override;
+  std::string Name() const override { return "exponential"; }
+
+ private:
+  double alpha_;
+  double scale_;
+};
+
+/// w(x) = 0 below the knee, then linear with a steep slope: admits any node
+/// under the threshold equally, then penalizes hard.
+class ThresholdWeighting : public WeightingFn {
+ public:
+  explicit ThresholdWeighting(double knee = 0.7, double slope = 10.0)
+      : knee_(knee), slope_(slope) {}
+  double Apply(double raw) const override;
+  std::string Name() const override { return "threshold"; }
+
+ private:
+  double knee_;
+  double slope_;
+};
+
+/// Factory by name; returns nullptr for unknown names.
+std::unique_ptr<WeightingFn> MakeWeighting(const std::string& name,
+                                           double scale = 1.0);
+
+}  // namespace sbon::coords
+
+#endif  // SBON_COORDS_WEIGHTING_H_

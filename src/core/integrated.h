@@ -1,0 +1,39 @@
+#ifndef SBON_CORE_INTEGRATED_H_
+#define SBON_CORE_INTEGRATED_H_
+
+#include <memory>
+
+#include "core/optimizer.h"
+
+namespace sbon::core {
+
+/// The paper's integrated cost-space optimizer (Sec. 3.3): enumerate a set
+/// of candidate plans, *virtually place and physically map every one of
+/// them* in the cost space — "this yields exactly one candidate circuit per
+/// plan, with the cost of the circuit representing the current node and
+/// network state" — and select the cheapest candidate circuit.
+///
+/// Virtual placement is computationally inexpensive (no services are
+/// instantiated), which is what makes considering placement for every
+/// candidate plan tractable at overlay scale.
+class IntegratedOptimizer : public Optimizer {
+ public:
+  IntegratedOptimizer(OptimizerConfig config,
+                      std::shared_ptr<const placement::VirtualPlacer> placer);
+
+  StatusOr<OptimizeResult> Optimize(const query::QuerySpec& spec,
+                                    const query::Catalog& catalog,
+                                    overlay::Sbon* sbon) override;
+  std::string Name() const override { return "integrated"; }
+
+  const OptimizerConfig& config() const { return config_; }
+  const placement::VirtualPlacer& placer() const { return *placer_; }
+
+ private:
+  OptimizerConfig config_;
+  std::shared_ptr<const placement::VirtualPlacer> placer_;
+};
+
+}  // namespace sbon::core
+
+#endif  // SBON_CORE_INTEGRATED_H_

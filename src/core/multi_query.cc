@@ -1,0 +1,173 @@
+#include "core/multi_query.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "core/two_step.h"
+#include "overlay/metrics.h"
+
+namespace sbon::core {
+namespace {
+
+// A compatible, in-radius instance for one placeable vertex.
+struct ReuseCandidate {
+  int vertex = -1;
+  const overlay::ServiceInstance* instance = nullptr;
+  double distance = 0.0;
+};
+
+// Ideal full-space target for a virtual coordinate (zero scalars).
+Vec IdealTarget(const Vec& virtual_coord, size_t scalar_dims) {
+  Vec t = virtual_coord;
+  for (size_t i = 0; i < scalar_dims; ++i) t.Append(0.0);
+  return t;
+}
+
+double UpstreamLatencyOf(const overlay::ServiceInstance& inst,
+                         const overlay::Sbon& sbon) {
+  for (CircuitId cid : inst.circuits) {
+    const overlay::Circuit* src = sbon.FindCircuit(cid);
+    if (src == nullptr) continue;
+    auto lat = overlay::UpstreamLatencyToService(*src, inst.id,
+                                                 sbon.latency());
+    if (lat.ok()) return *lat;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+MultiQueryOptimizer::MultiQueryOptimizer(
+    OptimizerConfig config,
+    std::shared_ptr<const placement::VirtualPlacer> placer, Params params)
+    : config_(std::move(config)), placer_(std::move(placer)),
+      params_(params) {}
+
+StatusOr<OptimizeResult> MultiQueryOptimizer::Optimize(
+    const query::QuerySpec& spec, const query::Catalog& catalog,
+    overlay::Sbon* sbon) {
+  auto plans = query::EnumeratePlans(spec, catalog, config_.enumeration);
+  if (!plans.ok()) return plans.status();
+
+  const size_t scalar_dims = sbon->cost_space().spec().num_scalar_dims();
+  OptimizeResult best;
+  bool have_best = false;
+
+  for (const query::LogicalPlan& plan : *plans) {
+    auto base = overlay::Circuit::FromPlan(plan, catalog);
+    if (!base.ok()) return base.status();
+    placement::MappingReport report;
+    Status st = PlaceAndMap(&base.value(), sbon, *placer_, config_.mapping,
+                            &report);
+    if (!st.ok()) return st;
+    best.placements_evaluated += 1;
+
+    auto base_cost = EstimateCost(*base, *sbon, config_.lambda);
+    if (!base_cost.ok()) return base_cost.status();
+    overlay::Circuit current = std::move(base.value());
+    double current_cost = *base_cost;
+    size_t current_reused = 0;
+
+    // Greedy reuse passes.
+    for (size_t pass = 0;
+         pass < params_.max_reuse_bindings && params_.reuse_radius != 0.0;
+         ++pass) {
+      // Consider larger subtrees first (bigger savings when reused).
+      std::vector<int> order = current.PlaceableVertices();
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return plan.op(a).stream_set.size() > plan.op(b).stream_set.size();
+      });
+
+      bool improved = false;
+      overlay::Circuit pass_best;
+      double pass_best_cost = current_cost;
+      size_t pass_best_extra_reused = 0;
+
+      for (int v : order) {
+        const uint64_t sig = plan.OpSignature(v);
+        const auto instances = sbon->ServicesWithSignature(sig);
+        if (instances.empty()) continue;
+
+        // Cost-space pruning: keep instances whose hosts fall inside the
+        // radius-r hyper-sphere around the service's virtual coordinate.
+        std::vector<ReuseCandidate> cands;
+        if (params_.reuse_radius < 0.0) {
+          for (const overlay::ServiceInstance* inst : instances) {
+            const double d = sbon->cost_space().VectorDistanceTo(
+                inst->host, current.vertex(v).virtual_coord);
+            cands.push_back(ReuseCandidate{v, inst, d});
+          }
+        } else {
+          // Hyper-sphere search via the Hilbert/Chord index, charged as
+          // DHT traffic; only nodes the sphere search returns are eligible.
+          dht::IndexQueryCost qcost;
+          auto nearby = sbon->index().WithinRadius(
+              IdealTarget(current.vertex(v).virtual_coord, scalar_dims),
+              params_.reuse_radius, &qcost);
+          report.dht_cost.lookups += qcost.lookups;
+          report.dht_cost.routing_hops += qcost.routing_hops;
+          report.dht_cost.ring_probes += qcost.ring_probes;
+          if (!nearby.ok()) return nearby.status();
+          std::set<NodeId> in_sphere;
+          for (const dht::IndexMatch& m : *nearby) in_sphere.insert(m.node);
+          for (const overlay::ServiceInstance* inst : instances) {
+            if (in_sphere.count(inst->host) == 0) continue;
+            const double d = sbon->cost_space().VectorDistanceTo(
+                inst->host, current.vertex(v).virtual_coord);
+            cands.push_back(ReuseCandidate{v, inst, d});
+          }
+        }
+        std::sort(cands.begin(), cands.end(),
+                  [](const ReuseCandidate& a, const ReuseCandidate& b) {
+                    return a.distance < b.distance;
+                  });
+        if (cands.size() > params_.max_candidates_per_service) {
+          cands.resize(params_.max_candidates_per_service);
+        }
+        best.reuse_candidates_considered += cands.size();
+
+        for (const ReuseCandidate& rc : cands) {
+          overlay::Circuit variant = current;  // deep copy
+          variant.BindReusedSubtree(
+              rc.vertex, rc.instance->id, rc.instance->host,
+              UpstreamLatencyOf(*rc.instance, *sbon));
+          Status pst = PlaceAndMap(&variant, sbon, *placer_, config_.mapping,
+                                   nullptr);
+          if (!pst.ok()) return pst;
+          best.placements_evaluated += 1;
+          auto vcost = EstimateCost(variant, *sbon, config_.lambda);
+          if (!vcost.ok()) return vcost.status();
+          if (*vcost < pass_best_cost) {
+            pass_best = std::move(variant);
+            pass_best_cost = *vcost;
+            pass_best_extra_reused = 1;
+            improved = true;
+          }
+        }
+      }
+      if (!improved) break;
+      current = std::move(pass_best);
+      current_cost = pass_best_cost;
+      current_reused += pass_best_extra_reused;
+    }
+
+    if (!have_best || current_cost < best.estimated_cost) {
+      best.circuit = std::move(current);
+      best.estimated_cost = current_cost;
+      best.services_reused = current_reused;
+      have_best = true;
+    }
+    best.mapping.dht_cost.lookups += report.dht_cost.lookups;
+    best.mapping.dht_cost.routing_hops += report.dht_cost.routing_hops;
+    best.mapping.dht_cost.ring_probes += report.dht_cost.ring_probes;
+    best.mapping.services_mapped += report.services_mapped;
+    best.mapping.total_mapping_error += report.total_mapping_error;
+    best.mapping.load_overrides += report.load_overrides;
+  }
+  if (!have_best) return Status::Internal("no candidate circuit produced");
+  best.plans_considered = plans->size();
+  return best;
+}
+
+}  // namespace sbon::core

@@ -1,0 +1,54 @@
+#ifndef SBON_CORE_MULTI_QUERY_H_
+#define SBON_CORE_MULTI_QUERY_H_
+
+#include <memory>
+
+#include "core/optimizer.h"
+
+namespace sbon::core {
+
+/// Multi-query optimization with cost-space pruning (paper Sec. 3.4).
+///
+/// When a new circuit is optimized, existing service instances can be
+/// reused — but only instances whose hosts fall within a hyper-sphere of
+/// radius `reuse_radius` around the new service's virtual coordinate are
+/// considered ("query plans that involve operators hosted on physical nodes
+/// that are far away in the cost space are less likely to be useful and
+/// thus can be ignored"). The sphere search runs over the Hilbert/Chord
+/// coordinate index, so pruning also bounds DHT traffic.
+///
+/// radius = 0 disables reuse (degenerates to the integrated optimizer);
+/// radius < 0 means unbounded (every compatible instance is considered —
+/// the "no pruning" upper baseline whose optimizer work Figure 4 argues is
+/// unnecessary).
+class MultiQueryOptimizer : public Optimizer {
+ public:
+  struct Params {
+    double reuse_radius = 50.0;
+    /// Greedy reuse passes per candidate circuit (each pass may bind one
+    /// more existing instance).
+    size_t max_reuse_bindings = 4;
+    /// Cap on instances evaluated per service (closest first).
+    size_t max_candidates_per_service = 8;
+  };
+
+  MultiQueryOptimizer(OptimizerConfig config,
+                      std::shared_ptr<const placement::VirtualPlacer> placer,
+                      Params params);
+
+  StatusOr<OptimizeResult> Optimize(const query::QuerySpec& spec,
+                                    const query::Catalog& catalog,
+                                    overlay::Sbon* sbon) override;
+  std::string Name() const override { return "multi-query"; }
+
+  const Params& params() const { return params_; }
+
+ private:
+  OptimizerConfig config_;
+  std::shared_ptr<const placement::VirtualPlacer> placer_;
+  Params params_;
+};
+
+}  // namespace sbon::core
+
+#endif  // SBON_CORE_MULTI_QUERY_H_

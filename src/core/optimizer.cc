@@ -1,0 +1,14 @@
+#include "core/optimizer.h"
+
+#include "overlay/metrics.h"
+
+namespace sbon::core {
+
+StatusOr<double> EstimateCost(const overlay::Circuit& circuit,
+                              const overlay::Sbon& sbon, double lambda) {
+  auto cost = overlay::EstimateCircuitCostInSpace(circuit, sbon.cost_space());
+  if (!cost.ok()) return cost.status();
+  return cost->Total(lambda);
+}
+
+}  // namespace sbon::core

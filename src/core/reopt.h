@@ -1,0 +1,63 @@
+#ifndef SBON_CORE_REOPT_H_
+#define SBON_CORE_REOPT_H_
+
+#include "core/optimizer.h"
+
+namespace sbon::core {
+
+/// Configuration of circuit re-optimization (paper Sec. 3.3): as network and
+/// node dynamics change, hosting nodes can locally re-run placement and
+/// migrate services; stronger drifts trigger a full re-optimization that
+/// deploys a parallel circuit and cancels the original.
+struct ReoptConfig {
+  /// Minimum fractional estimated-cost improvement before any migration is
+  /// performed (hysteresis against oscillation).
+  double migration_hysteresis = 0.05;
+  /// Minimum fractional improvement before a full re-plan replaces the
+  /// running circuit.
+  double replan_threshold = 0.15;
+  double lambda = 1.0;
+  placement::MappingOptions mapping;
+  /// Shared service instances serve several circuits; migrating them for
+  /// one circuit's benefit can hurt the others, so local re-optimization
+  /// skips them unless this is set.
+  bool migrate_shared_services = false;
+};
+
+/// Outcome of one local re-optimization pass.
+struct LocalReoptReport {
+  size_t services_considered = 0;
+  size_t migrations = 0;
+  double estimated_cost_before = 0.0;
+  double estimated_cost_after = 0.0;
+};
+
+/// Re-runs virtual placement + mapping for `circuit_id` against the current
+/// cost space and migrates services whose new hosts improve the estimated
+/// cost by at least the hysteresis fraction. Local: no plan rewriting.
+StatusOr<LocalReoptReport> LocalReoptimize(
+    overlay::Sbon* sbon, CircuitId circuit_id,
+    const placement::VirtualPlacer& placer, const ReoptConfig& config);
+
+/// Outcome of a full re-optimization attempt.
+struct FullReoptReport {
+  bool redeployed = false;
+  CircuitId new_circuit = kInvalidCircuit;
+  double estimated_cost_before = 0.0;
+  double estimated_cost_candidate = 0.0;
+};
+
+/// Runs `optimizer` afresh for the circuit's original spec; if the candidate
+/// circuit is cheaper than the running one by more than `replan_threshold`,
+/// deploys it in parallel and cancels the original (the paper's stronger
+/// re-optimization). Returns the report either way.
+StatusOr<FullReoptReport> FullReoptimize(overlay::Sbon* sbon,
+                                         CircuitId circuit_id,
+                                         const query::QuerySpec& spec,
+                                         const query::Catalog& catalog,
+                                         Optimizer* optimizer,
+                                         const ReoptConfig& config);
+
+}  // namespace sbon::core
+
+#endif  // SBON_CORE_REOPT_H_

@@ -1,0 +1,40 @@
+#ifndef SBON_CORE_TWO_STEP_H_
+#define SBON_CORE_TWO_STEP_H_
+
+#include <memory>
+
+#include "core/optimizer.h"
+
+namespace sbon::core {
+
+/// The classical two-step baseline (paper Sec. 2.3): plan generation runs
+/// network-blind — dynamic programming picks the single plan minimizing
+/// intermediate data volume — and only then is that one plan placed
+/// (virtual placement + physical mapping). Everything after plan selection
+/// is identical to the integrated optimizer, so measured differences are
+/// attributable to integration, not placement machinery.
+class TwoStepOptimizer : public Optimizer {
+ public:
+  TwoStepOptimizer(OptimizerConfig config,
+                   std::shared_ptr<const placement::VirtualPlacer> placer);
+
+  StatusOr<OptimizeResult> Optimize(const query::QuerySpec& spec,
+                                    const query::Catalog& catalog,
+                                    overlay::Sbon* sbon) override;
+  std::string Name() const override { return "two-step"; }
+
+ private:
+  OptimizerConfig config_;
+  std::shared_ptr<const placement::VirtualPlacer> placer_;
+};
+
+/// Places and maps an unplaced circuit in one go (virtual placement with
+/// `placer`, then DHT mapping); shared by all optimizers.
+Status PlaceAndMap(overlay::Circuit* circuit, overlay::Sbon* sbon,
+                   const placement::VirtualPlacer& placer,
+                   const placement::MappingOptions& mapping,
+                   placement::MappingReport* report);
+
+}  // namespace sbon::core
+
+#endif  // SBON_CORE_TWO_STEP_H_

@@ -1,0 +1,130 @@
+#include "dht/chord.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sbon::dht {
+namespace {
+
+// True if `x` lies in the half-open clockwise interval (a, b].
+bool InIntervalOpenClosed(const U128& x, const U128& a, const U128& b) {
+  // Ring distance trick: x in (a, b] iff (x - a) <= (b - a) and x != a.
+  if (x == a) return false;
+  return (x - a) <= (b - a);
+}
+
+}  // namespace
+
+void ChordRing::Join(U128 key, NodeId node) {
+  // Perturb exact duplicates so every member has a unique ring key.
+  U128 k = key;
+  auto exists = [&](const U128& candidate) {
+    return std::any_of(members_.begin(), members_.end(),
+                       [&](const Member& m) { return m.key == candidate; });
+  };
+  while (exists(k)) k = k + U128::FromU64((static_cast<uint64_t>(node) << 1) | 1);
+  members_.push_back(Member{k, node});
+  std::sort(members_.begin(), members_.end(),
+            [](const Member& a, const Member& b) { return a.key < b.key; });
+  stale_ = true;
+}
+
+void ChordRing::Leave(NodeId node) {
+  members_.erase(std::remove_if(members_.begin(), members_.end(),
+                                [&](const Member& m) {
+                                  return m.node == node;
+                                }),
+                 members_.end());
+  stale_ = true;
+}
+
+size_t ChordRing::SuccessorIndex(U128 key) const {
+  assert(!members_.empty());
+  // First member with key >= `key`, wrapping to 0.
+  const auto it = std::lower_bound(
+      members_.begin(), members_.end(), key,
+      [](const Member& m, const U128& k) { return m.key < k; });
+  if (it == members_.end()) return 0;
+  return static_cast<size_t>(it - members_.begin());
+}
+
+void ChordRing::Stabilize() {
+  const size_t n = members_.size();
+  fingers_.assign(n, {});
+  for (size_t m = 0; m < n; ++m) {
+    fingers_[m].reserve(128);
+    for (unsigned i = 0; i < 128; ++i) {
+      const U128 target = members_[m].key + PowerOfTwo(i);
+      fingers_[m].push_back(static_cast<uint32_t>(SuccessorIndex(target)));
+    }
+  }
+  stale_ = false;
+}
+
+StatusOr<ChordRing::LookupResult> ChordRing::Lookup(U128 key,
+                                                    U128 origin_key) const {
+  if (members_.empty()) return Status::FailedPrecondition("empty ring");
+  if (stale_) return Status::FailedPrecondition("ring not stabilized");
+
+  // Start at the member owning origin_key (its successor).
+  size_t cur = SuccessorIndex(origin_key);
+  size_t hops = 0;
+  const size_t n = members_.size();
+  const size_t target_idx = SuccessorIndex(key);
+
+  // Greedy Chord routing: while the key is not between cur and its
+  // immediate successor, forward to the closest preceding finger.
+  while (cur != target_idx) {
+    const U128& cur_key = members_[cur].key;
+    const size_t succ = (cur + 1) % n;
+    if (InIntervalOpenClosed(key, cur_key, members_[succ].key)) {
+      cur = succ;
+      ++hops;
+      break;
+    }
+    // Closest preceding finger: the largest finger strictly between
+    // cur_key and key.
+    size_t next = succ;
+    for (unsigned i = 128; i-- > 0;) {
+      const size_t f = fingers_[cur][i];
+      const U128& fkey = members_[f].key;
+      if (f != cur && InIntervalOpenClosed(fkey, cur_key, key) &&
+          fkey != key) {
+        next = f;
+        break;
+      }
+    }
+    if (next == cur) {
+      next = succ;  // fallback: always make progress
+    }
+    cur = next;
+    ++hops;
+    if (hops > n + 130) {
+      return Status::Internal("chord routing failed to converge");
+    }
+  }
+  LookupResult r;
+  r.node = members_[cur].node;
+  r.key = members_[cur].key;
+  r.hops = hops;
+  r.member_index = cur;
+  return r;
+}
+
+StatusOr<ChordRing::LookupResult> ChordRing::Lookup(U128 key) const {
+  if (members_.empty()) return Status::FailedPrecondition("empty ring");
+  return Lookup(key, members_[0].key);
+}
+
+const ChordRing::Member& ChordRing::SuccessorAt(size_t member_index,
+                                                size_t i) const {
+  return members_[(member_index + i) % members_.size()];
+}
+
+const ChordRing::Member& ChordRing::PredecessorAt(size_t member_index,
+                                                  size_t i) const {
+  const size_t n = members_.size();
+  return members_[(member_index + n - (i % n)) % n];
+}
+
+}  // namespace sbon::dht

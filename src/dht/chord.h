@@ -1,0 +1,72 @@
+#ifndef SBON_DHT_CHORD_H_
+#define SBON_DHT_CHORD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "dht/u128.h"
+
+namespace sbon::dht {
+
+/// A simulated Chord ring [19]: the decentralized catalog the paper proposes
+/// for mapping cost-space coordinates back to physical nodes (Sec. 3.2).
+///
+/// This is a functional simulation, not a networked implementation: the ring
+/// membership is held centrally, but *lookups are routed* exactly as Chord
+/// routes them — greedy closest-preceding-finger hops — so the library can
+/// account for lookup cost (hop counts) the way a deployment would pay it.
+class ChordRing {
+ public:
+  struct Member {
+    U128 key;
+    NodeId node = kInvalidNode;
+  };
+
+  struct LookupResult {
+    NodeId node = kInvalidNode;  ///< successor(key) owner
+    U128 key;                    ///< its ring key
+    size_t hops = 0;             ///< routing hops taken
+    size_t member_index = 0;     ///< index into sorted membership
+  };
+
+  /// Adds a member with the given ring key. Duplicate exact keys are
+  /// perturbed by the node id (low bits) to keep keys unique.
+  void Join(U128 key, NodeId node);
+  /// Removes all entries owned by `node`.
+  void Leave(NodeId node);
+
+  size_t NumMembers() const { return members_.size(); }
+  const std::vector<Member>& members() const { return members_; }
+
+  /// (Re)builds finger tables. Must be called after membership changes and
+  /// before Lookup; Join/Leave mark the tables stale.
+  void Stabilize();
+
+  /// Chord-routes from the member owning `origin_key` toward `key`;
+  /// returns successor(key). Requires a stabilized, non-empty ring.
+  StatusOr<LookupResult> Lookup(U128 key, U128 origin_key) const;
+
+  /// Lookup starting from the first member (deterministic origin).
+  StatusOr<LookupResult> Lookup(U128 key) const;
+
+  /// The i-th member clockwise from `member_index` (wraps).
+  const Member& SuccessorAt(size_t member_index, size_t i) const;
+  /// The i-th member counter-clockwise from `member_index` (wraps).
+  const Member& PredecessorAt(size_t member_index, size_t i) const;
+
+ private:
+  // Sorted by key.
+  std::vector<Member> members_;
+  // fingers_[m][i] = index of successor(members_[m].key + 2^i), for the
+  // subset of i in kFingerBits.
+  std::vector<std::vector<uint32_t>> fingers_;
+  bool stale_ = false;
+
+  size_t SuccessorIndex(U128 key) const;
+};
+
+}  // namespace sbon::dht
+
+#endif  // SBON_DHT_CHORD_H_

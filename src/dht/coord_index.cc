@@ -1,0 +1,160 @@
+#include "dht/coord_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace sbon::dht {
+
+CoordinateIndex::CoordinateIndex(HilbertQuantizer quantizer)
+    : quantizer_(std::move(quantizer)) {}
+
+void CoordinateIndex::Publish(NodeId node, const Vec& coord) {
+  assert(coord.dims() == quantizer_.dims());
+  if (coords_.size() <= node) {
+    coords_.resize(node + 1);
+    published_.resize(node + 1, false);
+  }
+  if (published_[node]) ring_.Leave(node);
+  coords_[node] = coord;
+  published_[node] = true;
+  ring_.Join(quantizer_.Key(coord), node);
+}
+
+void CoordinateIndex::Withdraw(NodeId node) {
+  if (node < published_.size() && published_[node]) {
+    ring_.Leave(node);
+    published_[node] = false;
+  }
+}
+
+void CoordinateIndex::Stabilize() { ring_.Stabilize(); }
+
+double CoordinateIndex::DistanceTo(NodeId n, const Vec& target) const {
+  return coords_[n].DistanceTo(target);
+}
+
+StatusOr<std::vector<IndexMatch>> CoordinateIndex::KNearest(
+    const Vec& target, size_t k, size_t probe_width, IndexQueryCost* cost,
+    const std::vector<NodeId>& exclude) const {
+  if (ring_.NumMembers() == 0) {
+    return Status::FailedPrecondition("coordinate index is empty");
+  }
+  const U128 key = quantizer_.Key(target);
+  auto lookup = ring_.Lookup(key);
+  if (!lookup.ok()) return lookup.status();
+  if (cost != nullptr) {
+    cost->lookups += 1;
+    cost->routing_hops += lookup->hops;
+  }
+
+  const std::set<NodeId> excluded(exclude.begin(), exclude.end());
+  std::vector<IndexMatch> candidates;
+  std::set<NodeId> seen;
+  const size_t n = ring_.NumMembers();
+  const size_t width = std::min(probe_width, n);
+  auto consider = [&](const ChordRing::Member& m) {
+    if (cost != nullptr) cost->ring_probes += 1;
+    if (seen.count(m.node) != 0 || excluded.count(m.node) != 0) return;
+    seen.insert(m.node);
+    candidates.push_back(
+        IndexMatch{m.node, DistanceTo(m.node, target), coords_[m.node]});
+  };
+  consider(ring_.SuccessorAt(lookup->member_index, 0));
+  for (size_t i = 1; i <= width; ++i) {
+    consider(ring_.SuccessorAt(lookup->member_index, i));
+    consider(ring_.PredecessorAt(lookup->member_index, i));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const IndexMatch& a, const IndexMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.node < b.node;
+            });
+  if (candidates.size() > k) candidates.resize(k);
+  return candidates;
+}
+
+StatusOr<IndexMatch> CoordinateIndex::Nearest(const Vec& target,
+                                              size_t probe_width,
+                                              IndexQueryCost* cost) const {
+  auto matches = KNearest(target, 1, probe_width, cost);
+  if (!matches.ok()) return matches.status();
+  if (matches->empty()) return Status::NotFound("no nodes in index");
+  return (*matches)[0];
+}
+
+StatusOr<std::vector<IndexMatch>> CoordinateIndex::WithinRadius(
+    const Vec& target, double radius, IndexQueryCost* cost) const {
+  if (ring_.NumMembers() == 0) {
+    return Status::FailedPrecondition("coordinate index is empty");
+  }
+  const U128 key = quantizer_.Key(target);
+  auto lookup = ring_.Lookup(key);
+  if (!lookup.ok()) return lookup.status();
+  if (cost != nullptr) {
+    cost->lookups += 1;
+    cost->routing_hops += lookup->hops;
+  }
+
+  std::vector<IndexMatch> out;
+  std::set<NodeId> seen;
+  const size_t n = ring_.NumMembers();
+  auto consider = [&](const ChordRing::Member& m) {
+    if (cost != nullptr) cost->ring_probes += 1;
+    if (seen.count(m.node) != 0) return false;
+    seen.insert(m.node);
+    const double d = DistanceTo(m.node, target);
+    if (d <= radius) {
+      out.push_back(IndexMatch{m.node, d, coords_[m.node]});
+    }
+    return d <= radius;
+  };
+
+  consider(ring_.SuccessorAt(lookup->member_index, 0));
+  // Walk both directions; stop a direction after `kMissesToStop` consecutive
+  // members outside the radius (the curve has carried us away from the
+  // sphere), or when the whole ring was seen.
+  constexpr size_t kMissesToStop = 8;
+  size_t succ_misses = 0, pred_misses = 0;
+  bool succ_done = false, pred_done = false;
+  for (size_t i = 1; i < n && (!succ_done || !pred_done); ++i) {
+    if (!succ_done) {
+      if (consider(ring_.SuccessorAt(lookup->member_index, i))) {
+        succ_misses = 0;
+      } else if (++succ_misses >= kMissesToStop) {
+        succ_done = true;
+      }
+    }
+    if (!pred_done) {
+      if (consider(ring_.PredecessorAt(lookup->member_index, i))) {
+        pred_misses = 0;
+      } else if (++pred_misses >= kMissesToStop) {
+        pred_done = true;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const IndexMatch& a, const IndexMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.node < b.node;
+            });
+  return out;
+}
+
+std::vector<IndexMatch> CoordinateIndex::KNearestExact(const Vec& target,
+                                                       size_t k) const {
+  std::vector<IndexMatch> all;
+  for (NodeId n = 0; n < published_.size(); ++n) {
+    if (!published_[n]) continue;
+    all.push_back(IndexMatch{n, DistanceTo(n, target), coords_[n]});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const IndexMatch& a, const IndexMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.node < b.node;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace sbon::dht

@@ -1,0 +1,91 @@
+#ifndef SBON_DHT_COORD_INDEX_H_
+#define SBON_DHT_COORD_INDEX_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/vec.h"
+#include "dht/chord.h"
+#include "dht/hilbert.h"
+
+namespace sbon::dht {
+
+/// Statistics of the DHT traffic an index query would generate in a real
+/// deployment.
+struct IndexQueryCost {
+  size_t lookups = 0;     ///< Chord lookups issued.
+  size_t routing_hops = 0;///< total Chord routing hops.
+  size_t ring_probes = 0; ///< neighborhood members examined on the ring.
+};
+
+/// A node returned by a coordinate query, with its distance to the target.
+struct IndexMatch {
+  NodeId node = kInvalidNode;
+  double distance = 0.0;  ///< distance in the indexed (full) coordinate space
+  Vec coord;              ///< the coordinate the node published
+};
+
+/// Decentralized coordinate catalog (paper Sec. 3.2): every node publishes
+/// its cost-space coordinate under a Hilbert-curve key into a Chord ring;
+/// queries find nodes close to a target coordinate by looking up the
+/// target's key and walking the curve neighborhood in both ring directions.
+///
+/// Because the Hilbert curve preserves locality only approximately, the
+/// walk examines `probe_width` members on each side and re-ranks them by
+/// true coordinate distance; widening the walk trades DHT traffic for
+/// mapping accuracy (measured by `bench/fig3_placement_mapping`).
+class CoordinateIndex {
+ public:
+  /// `quantizer` fixes the indexed box/dimensionality.
+  explicit CoordinateIndex(HilbertQuantizer quantizer);
+
+  const HilbertQuantizer& quantizer() const { return quantizer_; }
+
+  /// Publishes (or republishes) a node's coordinate.
+  void Publish(NodeId node, const Vec& coord);
+  /// Removes a node from the index.
+  void Withdraw(NodeId node);
+  /// Rebuilds routing state; must be called after a batch of
+  /// Publish/Withdraw calls and before queries.
+  void Stabilize();
+
+  size_t NumPublished() const { return ring_.NumMembers(); }
+
+  /// Returns up to `k` published nodes closest to `target` (by true
+  /// distance in the indexed space), examining `probe_width` ring members
+  /// on each side of the target key. `cost` (optional) accumulates DHT
+  /// traffic. Nodes listed in `exclude` are skipped.
+  StatusOr<std::vector<IndexMatch>> KNearest(
+      const Vec& target, size_t k, size_t probe_width = 16,
+      IndexQueryCost* cost = nullptr,
+      const std::vector<NodeId>& exclude = {}) const;
+
+  /// Single nearest node (convenience wrapper over KNearest).
+  StatusOr<IndexMatch> Nearest(const Vec& target, size_t probe_width = 16,
+                               IndexQueryCost* cost = nullptr) const;
+
+  /// All probed nodes within `radius` of `target` — the hyper-sphere search
+  /// the paper's multi-query pruning uses (Sec. 3.4). The probe widens
+  /// adaptively until the curve walk has moved past the radius on both
+  /// sides or the whole ring was examined.
+  StatusOr<std::vector<IndexMatch>> WithinRadius(
+      const Vec& target, double radius, IndexQueryCost* cost = nullptr) const;
+
+  /// Exact linear-scan answer (the oracle a centralized index would give);
+  /// used by tests and by accuracy measurements.
+  std::vector<IndexMatch> KNearestExact(const Vec& target, size_t k) const;
+
+ private:
+  HilbertQuantizer quantizer_;
+  ChordRing ring_;
+  // Published coordinates, addressed by node id.
+  std::vector<Vec> coords_;
+  std::vector<bool> published_;
+
+  double DistanceTo(NodeId n, const Vec& target) const;
+};
+
+}  // namespace sbon::dht
+
+#endif  // SBON_DHT_COORD_INDEX_H_

@@ -1,0 +1,154 @@
+#include "dht/hilbert.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sbon::dht {
+namespace {
+
+// Skilling's in-place conversion from axes to the "transpose" form, in which
+// the Hilbert index bits are distributed across the words of X.
+void AxesToTranspose(std::vector<uint32_t>* x_ptr, unsigned bits) {
+  std::vector<uint32_t>& x = *x_ptr;
+  const unsigned n = static_cast<unsigned>(x.size());
+  uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    const uint32_t p = q - 1;
+    for (unsigned i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        const uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (unsigned i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (unsigned i = 0; i < n; ++i) x[i] ^= t;
+}
+
+// Inverse of AxesToTranspose.
+void TransposeToAxes(std::vector<uint32_t>* x_ptr, unsigned bits) {
+  std::vector<uint32_t>& x = *x_ptr;
+  const unsigned n = static_cast<unsigned>(x.size());
+  const uint32_t top = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = x[n - 1] >> 1;
+  for (unsigned i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != top; q <<= 1) {
+    const uint32_t p = q - 1;
+    for (unsigned ii = n; ii-- > 0;) {
+      if (x[ii] & q) {
+        x[0] ^= p;
+      } else {
+        const uint32_t tt = (x[0] ^ x[ii]) & p;
+        x[0] ^= tt;
+        x[ii] ^= tt;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+U128 HilbertEncode(const std::vector<uint32_t>& axes, unsigned bits) {
+  const unsigned n = static_cast<unsigned>(axes.size());
+  assert(n >= 1 && bits >= 1 && n * bits <= 128);
+  std::vector<uint32_t> x = axes;
+  AxesToTranspose(&x, bits);
+  // Interleave transpose words MSB-first: index bit (bits*n - 1) comes from
+  // x[0]'s bit (bits-1), then x[1]'s bit (bits-1), ...
+  U128 out;
+  unsigned out_bit = n * bits;
+  for (unsigned b = bits; b-- > 0;) {
+    for (unsigned d = 0; d < n; ++d) {
+      --out_bit;
+      if ((x[d] >> b) & 1u) out.SetBit(out_bit);
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> HilbertDecode(U128 index, unsigned dims,
+                                    unsigned bits) {
+  assert(dims >= 1 && bits >= 1 && dims * bits <= 128);
+  std::vector<uint32_t> x(dims, 0);
+  unsigned in_bit = dims * bits;
+  for (unsigned b = bits; b-- > 0;) {
+    for (unsigned d = 0; d < dims; ++d) {
+      --in_bit;
+      if (index.Bit(in_bit)) x[d] |= (1u << b);
+    }
+  }
+  TransposeToAxes(&x, bits);
+  return x;
+}
+
+HilbertQuantizer::HilbertQuantizer(std::vector<double> lo,
+                                   std::vector<double> hi, unsigned bits)
+    : lo_(std::move(lo)), hi_(std::move(hi)), bits_(bits) {
+  assert(lo_.size() == hi_.size());
+  assert(!lo_.empty() && bits_ >= 1 && lo_.size() * bits_ <= 128);
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (hi_[i] <= lo_[i]) hi_[i] = lo_[i] + 1.0;  // degenerate dim guard
+  }
+}
+
+HilbertQuantizer HilbertQuantizer::FitTo(const std::vector<Vec>& points,
+                                         unsigned bits, double margin) {
+  assert(!points.empty());
+  const size_t dims = points[0].dims();
+  std::vector<double> lo(dims, 1e300), hi(dims, -1e300);
+  for (const Vec& p : points) {
+    for (size_t d = 0; d < dims; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+  for (size_t d = 0; d < dims; ++d) {
+    const double span = std::max(hi[d] - lo[d], 1e-9);
+    lo[d] -= margin * span;
+    hi[d] += margin * span;
+  }
+  return HilbertQuantizer(std::move(lo), std::move(hi), bits);
+}
+
+std::vector<uint32_t> HilbertQuantizer::Quantize(const Vec& p) const {
+  assert(p.dims() == lo_.size());
+  const double cells = static_cast<double>(1u << bits_);
+  std::vector<uint32_t> out(lo_.size());
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    const double t = (p[d] - lo_[d]) / (hi_[d] - lo_[d]);
+    const double cell = std::floor(t * cells);
+    out[d] = static_cast<uint32_t>(
+        std::clamp(cell, 0.0, cells - 1.0));
+  }
+  return out;
+}
+
+Vec HilbertQuantizer::Dequantize(const std::vector<uint32_t>& cell) const {
+  assert(cell.size() == lo_.size());
+  const double cells = static_cast<double>(1u << bits_);
+  Vec out(lo_.size());
+  for (size_t d = 0; d < lo_.size(); ++d) {
+    out[d] = lo_[d] + (static_cast<double>(cell[d]) + 0.5) / cells *
+                          (hi_[d] - lo_[d]);
+  }
+  return out;
+}
+
+U128 HilbertQuantizer::Key(const Vec& p) const {
+  return HilbertEncode(Quantize(p), bits_);
+}
+
+}  // namespace sbon::dht

@@ -1,0 +1,62 @@
+#ifndef SBON_DHT_HILBERT_H_
+#define SBON_DHT_HILBERT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vec.h"
+#include "dht/u128.h"
+
+namespace sbon::dht {
+
+/// Hilbert space-filling curve encode/decode (Skilling's transpose
+/// algorithm, "Programming the Hilbert curve", 2004). The curve linearizes a
+/// `dims`-dimensional grid of side 2^bits while preserving locality; the
+/// paper [20, 21] uses it to turn multi-dimensional cost-space coordinates
+/// into one-dimensional DHT keys.
+///
+/// Constraints: dims >= 1, bits >= 1, dims * bits <= 128.
+
+/// Maps grid coordinates (each < 2^bits) to the Hilbert index.
+U128 HilbertEncode(const std::vector<uint32_t>& axes, unsigned bits);
+
+/// Maps a Hilbert index back to grid coordinates.
+std::vector<uint32_t> HilbertDecode(U128 index, unsigned dims, unsigned bits);
+
+/// Quantizes continuous cost-space coordinates into the Hilbert grid.
+/// The box is fixed at construction; out-of-box values are clamped (cost
+/// spaces are unbounded in principle, but placement targets always fall
+/// within the box spanned by the nodes that defined it).
+class HilbertQuantizer {
+ public:
+  /// Builds a quantizer for `dims` dimensions over [lo[i], hi[i]] per dim,
+  /// with 2^bits cells per dimension.
+  HilbertQuantizer(std::vector<double> lo, std::vector<double> hi,
+                   unsigned bits);
+
+  /// Derives a bounding box from a point cloud with `margin` fractional
+  /// padding (so later targets near the hull still quantize distinctly).
+  static HilbertQuantizer FitTo(const std::vector<Vec>& points, unsigned bits,
+                                double margin = 0.10);
+
+  unsigned dims() const { return static_cast<unsigned>(lo_.size()); }
+  unsigned bits() const { return bits_; }
+
+  /// Continuous point -> grid cell per dimension (clamped).
+  std::vector<uint32_t> Quantize(const Vec& p) const;
+  /// Grid cell -> cell-center continuous point.
+  Vec Dequantize(const std::vector<uint32_t>& cell) const;
+
+  /// Continuous point -> Hilbert key.
+  U128 Key(const Vec& p) const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  unsigned bits_;
+};
+
+}  // namespace sbon::dht
+
+#endif  // SBON_DHT_HILBERT_H_

@@ -1,0 +1,154 @@
+#include "dht/pastry.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sbon::dht {
+
+PastryRing::PastryRing(unsigned digit_bits) : digit_bits_(digit_bits) {
+  assert(digit_bits_ >= 1 && digit_bits_ <= 8);
+  assert(kKeyBits % digit_bits_ == 0);
+  num_digits_ = kKeyBits / digit_bits_;
+}
+
+void PastryRing::Join(U128 key, NodeId node) {
+  U128 k = key;
+  auto exists = [&](const U128& candidate) {
+    return std::any_of(members_.begin(), members_.end(),
+                       [&](const Member& m) { return m.key == candidate; });
+  };
+  while (exists(k)) {
+    k = k + U128::FromU64((static_cast<uint64_t>(node) << 1) | 1);
+  }
+  members_.push_back(Member{k, node});
+  std::sort(members_.begin(), members_.end(),
+            [](const Member& a, const Member& b) { return a.key < b.key; });
+  stale_ = true;
+}
+
+void PastryRing::Leave(NodeId node) {
+  members_.erase(std::remove_if(members_.begin(), members_.end(),
+                                [&](const Member& m) {
+                                  return m.node == node;
+                                }),
+                 members_.end());
+  stale_ = true;
+}
+
+unsigned PastryRing::DigitAt(const U128& key, unsigned row) const {
+  // Row 0 is the most significant digit.
+  const unsigned shift = kKeyBits - (row + 1) * digit_bits_;
+  const U128 shifted = key >> shift;
+  return static_cast<unsigned>(shifted.lo & ((1u << digit_bits_) - 1u));
+}
+
+unsigned PastryRing::SharedPrefixDigits(const U128& a, const U128& b) const {
+  for (unsigned row = 0; row < num_digits_; ++row) {
+    if (DigitAt(a, row) != DigitAt(b, row)) return row;
+  }
+  return num_digits_;
+}
+
+U128 PastryRing::RingDistance(const U128& a, const U128& b) {
+  const U128 d1 = a - b;
+  const U128 d2 = b - a;
+  return d1 < d2 ? d1 : d2;
+}
+
+size_t PastryRing::NumericallyClosest(U128 key) const {
+  assert(!members_.empty());
+  const auto it = std::lower_bound(
+      members_.begin(), members_.end(), key,
+      [](const Member& m, const U128& k) { return m.key < k; });
+  // Candidates: successor (with wrap) and predecessor (with wrap).
+  const size_t n = members_.size();
+  const size_t succ = (it == members_.end())
+                          ? 0
+                          : static_cast<size_t>(it - members_.begin());
+  const size_t pred = (succ + n - 1) % n;
+  return RingDistance(members_[succ].key, key) <
+                 RingDistance(members_[pred].key, key)
+             ? succ
+             : pred;
+}
+
+void PastryRing::Stabilize() {
+  const size_t n = members_.size();
+  const unsigned cols = 1u << digit_bits_;
+  // Rows are only needed up to the longest shared prefix in the system;
+  // computing all 32 rows for hex digits is cheap enough at sim scale.
+  routing_.assign(n, std::vector<std::vector<size_t>>(
+                         num_digits_, std::vector<size_t>(cols, SIZE_MAX)));
+  for (size_t m = 0; m < n; ++m) {
+    const U128& self = members_[m].key;
+    for (size_t o = 0; o < n; ++o) {
+      if (o == m) continue;
+      const unsigned row = SharedPrefixDigits(self, members_[o].key);
+      if (row >= num_digits_) continue;
+      const unsigned col = DigitAt(members_[o].key, row);
+      // Keep the entry numerically closest to the target column slot (any
+      // member with the right prefix works; prefer stability via min key).
+      size_t& slot = routing_[m][row][col];
+      if (slot == SIZE_MAX || members_[o].key < members_[slot].key) {
+        slot = o;
+      }
+    }
+  }
+  stale_ = false;
+}
+
+StatusOr<PastryRing::LookupResult> PastryRing::Lookup(
+    U128 key, U128 origin_key) const {
+  if (members_.empty()) return Status::FailedPrecondition("empty ring");
+  if (stale_) return Status::FailedPrecondition("ring not stabilized");
+  const size_t n = members_.size();
+  const size_t target = NumericallyClosest(key);
+  size_t cur = NumericallyClosest(origin_key);
+  size_t hops = 0;
+
+  while (cur != target) {
+    const U128& cur_key = members_[cur].key;
+    const unsigned row = SharedPrefixDigits(cur_key, key);
+    size_t next = SIZE_MAX;
+    if (row < num_digits_) {
+      next = routing_[cur][row][DigitAt(key, row)];
+    }
+    if (next == SIZE_MAX) {
+      // Leaf-set / rare-case fallback: scan the leaf set (and, failing
+      // that, the routing row) for a member strictly closer to the key.
+      const U128 cur_dist = RingDistance(cur_key, key);
+      size_t best = cur;
+      U128 best_dist = cur_dist;
+      for (size_t i = 1; i <= kLeafSetHalf; ++i) {
+        for (size_t cand : {(cur + i) % n, (cur + n - i) % n}) {
+          const U128 d = RingDistance(members_[cand].key, key);
+          if (d < best_dist) {
+            best = cand;
+            best_dist = d;
+          }
+        }
+      }
+      if (best == cur) {
+        return Status::Internal("pastry routing stalled");
+      }
+      next = best;
+    }
+    cur = next;
+    ++hops;
+    if (hops > n + num_digits_) {
+      return Status::Internal("pastry routing failed to converge");
+    }
+  }
+  LookupResult r;
+  r.node = members_[cur].node;
+  r.key = members_[cur].key;
+  r.hops = hops;
+  return r;
+}
+
+StatusOr<PastryRing::LookupResult> PastryRing::Lookup(U128 key) const {
+  if (members_.empty()) return Status::FailedPrecondition("empty ring");
+  return Lookup(key, members_[0].key);
+}
+
+}  // namespace sbon::dht

@@ -1,0 +1,72 @@
+#ifndef SBON_DHT_PASTRY_H_
+#define SBON_DHT_PASTRY_H_
+
+#include <array>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "dht/u128.h"
+
+namespace sbon::dht {
+
+/// A simulated Pastry ring (Rowstron & Druschel [22]) — the other overlay
+/// the paper cites for its decentralized catalog. Like `ChordRing`, the
+/// membership is held centrally but *routing is faithful*: each hop either
+/// extends the shared key prefix by at least one base-2^b digit via the
+/// routing table, or falls back to the leaf set / numerically closer
+/// neighbor, so hop counts match what a deployment would see
+/// (O(log_{2^b} N) with the default b = 4).
+class PastryRing {
+ public:
+  struct Member {
+    U128 key;
+    NodeId node = kInvalidNode;
+  };
+
+  struct LookupResult {
+    NodeId node = kInvalidNode;
+    U128 key;
+    size_t hops = 0;
+  };
+
+  /// Digit width in bits (Pastry's `b`); 4 gives hexadecimal digits.
+  explicit PastryRing(unsigned digit_bits = 4);
+
+  void Join(U128 key, NodeId node);
+  void Leave(NodeId node);
+  size_t NumMembers() const { return members_.size(); }
+
+  /// Rebuilds routing tables and leaf sets; required before Lookup after
+  /// membership changes.
+  void Stabilize();
+
+  /// Routes from the member numerically closest to `origin_key` toward the
+  /// member whose key is numerically closest to `key` (Pastry delivers to
+  /// the numerically closest node, unlike Chord's successor semantics).
+  StatusOr<LookupResult> Lookup(U128 key, U128 origin_key) const;
+  StatusOr<LookupResult> Lookup(U128 key) const;
+
+ private:
+  static constexpr unsigned kKeyBits = 128;
+
+  unsigned digit_bits_;
+  unsigned num_digits_;
+  std::vector<Member> members_;  // sorted by key
+  // routing_[m][row][col] = member index owning a key that shares `row`
+  // digits with members_[m].key and has digit `col` at position `row`
+  // (SIZE_MAX = empty). Leaf sets are the +/- kLeafSetHalf ring neighbors.
+  std::vector<std::vector<std::vector<size_t>>> routing_;
+  static constexpr size_t kLeafSetHalf = 8;
+  bool stale_ = false;
+
+  unsigned DigitAt(const U128& key, unsigned row) const;
+  unsigned SharedPrefixDigits(const U128& a, const U128& b) const;
+  size_t NumericallyClosest(U128 key) const;
+  // |a - b| on the ring (minimum of the two directions).
+  static U128 RingDistance(const U128& a, const U128& b);
+};
+
+}  // namespace sbon::dht
+
+#endif  // SBON_DHT_PASTRY_H_

@@ -1,0 +1,26 @@
+#include "dht/u128.h"
+
+#include <cstdio>
+
+namespace sbon::dht {
+
+std::string U128::ToString() const {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "0x%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+U128 HashU64(uint64_t x) {
+  auto mix = [](uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  const uint64_t a = mix(x + 0x9e3779b97f4a7c15ULL);
+  const uint64_t b = mix(a + 0x9e3779b97f4a7c15ULL);
+  return U128(a, b);
+}
+
+}  // namespace sbon::dht

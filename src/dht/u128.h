@@ -1,0 +1,106 @@
+#ifndef SBON_DHT_U128_H_
+#define SBON_DHT_U128_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sbon::dht {
+
+/// Minimal unsigned 128-bit integer for DHT keys and Hilbert indices (up to
+/// ~8 dims x 14 bits). Implemented portably (no compiler extensions) with
+/// just the operations ring arithmetic needs.
+struct U128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  constexpr U128() = default;
+  constexpr U128(uint64_t hi_, uint64_t lo_) : hi(hi_), lo(lo_) {}
+  static constexpr U128 FromU64(uint64_t x) { return U128(0, x); }
+  static constexpr U128 Max() { return U128(~0ULL, ~0ULL); }
+
+  friend constexpr bool operator==(const U128& a, const U128& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend constexpr bool operator!=(const U128& a, const U128& b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const U128& a, const U128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+  friend constexpr bool operator<=(const U128& a, const U128& b) {
+    return !(b < a);
+  }
+  friend constexpr bool operator>(const U128& a, const U128& b) {
+    return b < a;
+  }
+  friend constexpr bool operator>=(const U128& a, const U128& b) {
+    return !(a < b);
+  }
+
+  /// Wrapping addition (mod 2^128), the ring group operation.
+  friend constexpr U128 operator+(const U128& a, const U128& b) {
+    U128 r;
+    r.lo = a.lo + b.lo;
+    r.hi = a.hi + b.hi + (r.lo < a.lo ? 1 : 0);
+    return r;
+  }
+  /// Wrapping subtraction (mod 2^128); `a - b` is the clockwise ring
+  /// distance from b to a.
+  friend constexpr U128 operator-(const U128& a, const U128& b) {
+    U128 r;
+    r.lo = a.lo - b.lo;
+    r.hi = a.hi - b.hi - (a.lo < b.lo ? 1 : 0);
+    return r;
+  }
+  friend constexpr U128 operator^(const U128& a, const U128& b) {
+    return U128(a.hi ^ b.hi, a.lo ^ b.lo);
+  }
+  friend constexpr U128 operator|(const U128& a, const U128& b) {
+    return U128(a.hi | b.hi, a.lo | b.lo);
+  }
+  friend constexpr U128 operator&(const U128& a, const U128& b) {
+    return U128(a.hi & b.hi, a.lo & b.lo);
+  }
+
+  constexpr U128 operator<<(unsigned s) const {
+    if (s == 0) return *this;
+    if (s >= 128) return U128();
+    if (s >= 64) return U128(lo << (s - 64), 0);
+    return U128((hi << s) | (lo >> (64 - s)), lo << s);
+  }
+  constexpr U128 operator>>(unsigned s) const {
+    if (s == 0) return *this;
+    if (s >= 128) return U128();
+    if (s >= 64) return U128(0, hi >> (s - 64));
+    return U128(hi >> s, (lo >> s) | (hi << (64 - s)));
+  }
+
+  constexpr bool Bit(unsigned i) const {
+    return i < 64 ? ((lo >> i) & 1) != 0 : ((hi >> (i - 64)) & 1) != 0;
+  }
+  constexpr void SetBit(unsigned i) {
+    if (i < 64) {
+      lo |= (1ULL << i);
+    } else {
+      hi |= (1ULL << (i - 64));
+    }
+  }
+
+  /// Hex rendering, e.g. "0x0000..0042".
+  std::string ToString() const;
+};
+
+/// 2^k as a U128 (k < 128).
+constexpr U128 PowerOfTwo(unsigned k) {
+  U128 r;
+  r.SetBit(k);
+  return r;
+}
+
+/// SplitMix-style 128-bit hash of a 64-bit value; used for uniform DHT node
+/// ids when key balance (not coordinate locality) is wanted.
+U128 HashU64(uint64_t x);
+
+}  // namespace sbon::dht
+
+#endif  // SBON_DHT_U128_H_

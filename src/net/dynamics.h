@@ -1,0 +1,73 @@
+#ifndef SBON_NET_DYNAMICS_H_
+#define SBON_NET_DYNAMICS_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace sbon::net {
+
+/// Per-node CPU load as a mean-reverting stochastic process clamped to
+/// [0, 1]. Stands in for "node characteristics (such as load) are dynamic"
+/// (paper Sec. 1): dL = theta*(mean - L)*dt + sigma*sqrt(dt)*N(0,1).
+class LoadModel {
+ public:
+  struct Params {
+    double mean = 0.3;        ///< Long-run mean load.
+    double theta = 0.5;       ///< Mean-reversion strength per time unit.
+    double sigma = 0.25;      ///< Volatility.
+    double hotspot_frac = 0;  ///< Fraction of nodes pinned to high load.
+    double hotspot_mean = 0.9;
+  };
+
+  /// Initializes `n` nodes with loads drawn around the mean; `hotspot_frac`
+  /// of them revert to `hotspot_mean` instead (the paper's "overloaded node
+  /// a" exemplars in Figure 2).
+  LoadModel(size_t n, const Params& params, Rng* rng);
+
+  /// Advances every node by `dt` time units.
+  void Step(double dt, Rng* rng);
+
+  double load(NodeId n) const { return load_[n]; }
+  const std::vector<double>& loads() const { return load_; }
+  /// Directly sets a node's load (tests / scripted scenarios).
+  void SetLoad(NodeId n, double load);
+  bool is_hotspot(NodeId n) const { return hotspot_[n]; }
+
+  size_t NumNodes() const { return load_.size(); }
+
+ private:
+  Params params_;
+  std::vector<double> load_;
+  std::vector<bool> hotspot_;
+};
+
+/// Multiplicative latency jitter: every pairwise latency is scaled by a
+/// per-epoch factor drawn from LogNormal(0, sigma). Models transient
+/// congestion without rebuilding the topology.
+class LatencyJitter {
+ public:
+  LatencyJitter(size_t n, double sigma, Rng* rng);
+
+  /// Resamples all factors (a new congestion epoch).
+  void Resample(Rng* rng);
+
+  /// Jittered latency for base latency between a and b. The factor is
+  /// symmetric: Factor(a,b) == Factor(b,a).
+  double Apply(NodeId a, NodeId b, double base_latency) const;
+
+  double Factor(NodeId a, NodeId b) const;
+
+ private:
+  size_t n_;
+  double sigma_;
+  // One factor per node pair (upper triangle), stored densely.
+  std::vector<double> factors_;
+
+  size_t Index(NodeId a, NodeId b) const;
+};
+
+}  // namespace sbon::net
+
+#endif  // SBON_NET_DYNAMICS_H_

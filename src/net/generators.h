@@ -1,0 +1,71 @@
+#ifndef SBON_NET_GENERATORS_H_
+#define SBON_NET_GENERATORS_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/topology.h"
+
+namespace sbon::net {
+
+/// Parameters of the GT-ITM-style transit-stub generator. Defaults produce
+/// the paper's ~600-node topology (Figure 2): 4 transit domains x 4 transit
+/// nodes, 3 stub domains per transit node, ~12 nodes per stub domain:
+/// 16 transit + 48*12 = 592 routers, plus stub hosts if configured.
+struct TransitStubParams {
+  size_t transit_domains = 4;
+  size_t transit_nodes_per_domain = 4;
+  size_t stub_domains_per_transit_node = 3;
+  size_t nodes_per_stub_domain = 12;
+
+  /// Latency ranges (ms) per link class; actual latencies drawn uniformly.
+  double intra_transit_latency_min = 10.0;
+  double intra_transit_latency_max = 30.0;
+  double inter_transit_latency_min = 30.0;
+  double inter_transit_latency_max = 80.0;
+  double transit_stub_latency_min = 5.0;
+  double transit_stub_latency_max = 15.0;
+  double intra_stub_latency_min = 1.0;
+  double intra_stub_latency_max = 5.0;
+
+  /// Probability of an extra intra-domain edge beyond the connecting ring
+  /// (adds redundancy, mirrors GT-ITM edge probability).
+  double extra_transit_edge_prob = 0.5;
+  double extra_stub_edge_prob = 0.25;
+
+  /// If true, only stub-domain nodes can host overlay services (transit
+  /// routers are plain forwarders, matching the SBON deployment model).
+  bool overlay_on_stub_only = true;
+};
+
+/// Generates a connected transit-stub topology. Never fails for positive
+/// sizes; returns InvalidArgument for degenerate parameters.
+StatusOr<Topology> GenerateTransitStub(const TransitStubParams& params,
+                                       Rng* rng);
+
+/// Parameters of a Waxman random graph on the unit square.
+struct WaxmanParams {
+  size_t nodes = 100;
+  double alpha = 0.25;           ///< Edge probability scale.
+  double beta = 0.35;            ///< Edge length sensitivity.
+  double latency_per_unit = 50;  ///< ms per unit Euclidean distance.
+};
+
+/// Generates a connected Waxman graph (extra edges are added from a random
+/// spanning tree if the probabilistic phase leaves the graph disconnected).
+StatusOr<Topology> GenerateWaxman(const WaxmanParams& params, Rng* rng);
+
+/// Generates a `side` x `side` grid with uniform `link_latency_ms` links.
+/// Useful for tests where shortest-path distances are known analytically.
+StatusOr<Topology> GenerateGrid(size_t side, double link_latency_ms);
+
+/// Generates a star: node 0 is the hub, nodes 1..n-1 are leaves.
+StatusOr<Topology> GenerateStar(size_t leaves, double link_latency_ms);
+
+/// Generates a line of `n` nodes with uniform links.
+StatusOr<Topology> GenerateLine(size_t n, double link_latency_ms);
+
+}  // namespace sbon::net
+
+#endif  // SBON_NET_GENERATORS_H_

@@ -1,0 +1,82 @@
+#include "net/shortest_path.h"
+
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace sbon::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void DijkstraWithPredecessors(const Topology& topo, NodeId src,
+                              std::vector<double>* dist,
+                              std::vector<NodeId>* pred) {
+  const size_t n = topo.NumNodes();
+  dist->assign(n, kInf);
+  if (pred != nullptr) pred->assign(n, kInvalidNode);
+  (*dist)[src] = 0.0;
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > (*dist)[u]) continue;
+    for (uint32_t li : topo.IncidentLinks(u)) {
+      const Link& l = topo.links()[li];
+      const NodeId v = (l.a == u) ? l.b : l.a;
+      const double nd = d + l.latency_ms;
+      if (nd < (*dist)[v]) {
+        (*dist)[v] = nd;
+        if (pred != nullptr) (*pred)[v] = u;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+}
+
+std::vector<double> DijkstraLatencies(const Topology& topo, NodeId src) {
+  std::vector<double> dist;
+  DijkstraWithPredecessors(topo, src, &dist, nullptr);
+  return dist;
+}
+
+LatencyMatrix::LatencyMatrix(const Topology& topo) : n_(topo.NumNodes()) {
+  m_.resize(n_ * n_);
+  for (NodeId s = 0; s < n_; ++s) {
+    const std::vector<double> d = DijkstraLatencies(topo, s);
+    for (NodeId t = 0; t < n_; ++t) m_[s * n_ + t] = d[t];
+  }
+}
+
+double LatencyMatrix::MeanLatency() const {
+  if (n_ < 2) return 0.0;
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t a = 0; a < n_; ++a) {
+    for (size_t b = 0; b < n_; ++b) {
+      if (a == b) continue;
+      const double v = m_[a * n_ + b];
+      if (v < kInf) {
+        sum += v;
+        ++count;
+      }
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double LatencyMatrix::MaxLatency() const {
+  double mx = 0.0;
+  for (size_t a = 0; a < n_; ++a) {
+    for (size_t b = 0; b < n_; ++b) {
+      const double v = m_[a * n_ + b];
+      if (v < kInf && v > mx) mx = v;
+    }
+  }
+  return mx;
+}
+
+}  // namespace sbon::net

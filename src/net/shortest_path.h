@@ -1,0 +1,53 @@
+#ifndef SBON_NET_SHORTEST_PATH_H_
+#define SBON_NET_SHORTEST_PATH_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "net/topology.h"
+
+namespace sbon::net {
+
+/// Single-source shortest-path latencies (ms) from `src` over the topology's
+/// link latencies (Dijkstra). Unreachable nodes get +inf.
+std::vector<double> DijkstraLatencies(const Topology& topo, NodeId src);
+
+/// Same as `DijkstraLatencies` but also returns the predecessor of each node
+/// on its shortest path (kInvalidNode for src/unreachable).
+void DijkstraWithPredecessors(const Topology& topo, NodeId src,
+                              std::vector<double>* dist,
+                              std::vector<NodeId>* pred);
+
+/// Dense all-pairs latency matrix. Built once per topology; queries are O(1).
+/// This is the "network oracle" that stands in for real RTT measurements:
+/// Vivaldi samples it with noise, and circuit cost accounting uses it exactly.
+class LatencyMatrix {
+ public:
+  /// Runs Dijkstra from every node. O(n * m log n).
+  explicit LatencyMatrix(const Topology& topo);
+
+  size_t NumNodes() const { return n_; }
+
+  /// Shortest-path latency in ms between a and b.
+  double Latency(NodeId a, NodeId b) const { return m_[a * n_ + b]; }
+
+  /// Overrides one symmetric pairwise latency (dynamic-latency models
+  /// apply jitter factors on top of a pristine base matrix).
+  void Set(NodeId a, NodeId b, double latency_ms) {
+    m_[a * n_ + b] = latency_ms;
+    m_[b * n_ + a] = latency_ms;
+  }
+
+  /// Mean of all off-diagonal pairwise latencies (used for normalization).
+  double MeanLatency() const;
+  /// Maximum finite pairwise latency (network diameter in ms).
+  double MaxLatency() const;
+
+ private:
+  size_t n_;
+  std::vector<double> m_;
+};
+
+}  // namespace sbon::net
+
+#endif  // SBON_NET_SHORTEST_PATH_H_

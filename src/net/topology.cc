@@ -1,0 +1,77 @@
+#include "net/topology.h"
+
+#include <cstdio>
+#include <deque>
+
+namespace sbon::net {
+
+NodeId Topology::AddNode(NodeKind kind, int domain, bool overlay_eligible) {
+  const NodeId id = static_cast<NodeId>(kinds_.size());
+  kinds_.push_back(kind);
+  domains_.push_back(domain);
+  overlay_eligible_.push_back(overlay_eligible);
+  incident_.emplace_back();
+  return id;
+}
+
+Status Topology::AddLink(NodeId a, NodeId b, double latency_ms,
+                         double bandwidth_mbps) {
+  if (a >= NumNodes() || b >= NumNodes()) {
+    return Status::InvalidArgument("link endpoint out of range");
+  }
+  if (a == b) return Status::InvalidArgument("self link");
+  if (latency_ms < 0.0) return Status::InvalidArgument("negative latency");
+  const uint32_t idx = static_cast<uint32_t>(links_.size());
+  links_.push_back(Link{a, b, latency_ms, bandwidth_mbps});
+  incident_[a].push_back(idx);
+  incident_[b].push_back(idx);
+  return Status::OK();
+}
+
+std::vector<NodeId> Topology::OverlayNodes() const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < NumNodes(); ++n) {
+    if (overlay_eligible_[n]) out.push_back(n);
+  }
+  return out;
+}
+
+bool Topology::IsConnected() const {
+  if (NumNodes() == 0) return true;
+  std::vector<bool> seen(NumNodes(), false);
+  std::deque<NodeId> frontier{0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop_front();
+    for (uint32_t li : incident_[n]) {
+      const Link& l = links_[li];
+      const NodeId other = (l.a == n) ? l.b : l.a;
+      if (!seen[other]) {
+        seen[other] = true;
+        ++count;
+        frontier.push_back(other);
+      }
+    }
+  }
+  return count == NumNodes();
+}
+
+std::string Topology::Summary() const {
+  size_t transit = 0, stub = 0, host = 0;
+  for (NodeKind k : kinds_) {
+    switch (k) {
+      case NodeKind::kTransit: ++transit; break;
+      case NodeKind::kStub: ++stub; break;
+      case NodeKind::kHost: ++host; break;
+    }
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%zu nodes (%zu transit, %zu stub, %zu host), %zu links",
+                NumNodes(), transit, stub, host, NumLinks());
+  return buf;
+}
+
+}  // namespace sbon::net

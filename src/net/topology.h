@@ -1,0 +1,78 @@
+#ifndef SBON_NET_TOPOLOGY_H_
+#define SBON_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace sbon::net {
+
+/// Role of a node in a transit-stub topology. Generators other than the
+/// transit-stub one mark everything `kHost`.
+enum class NodeKind : uint8_t {
+  kTransit,  ///< Backbone router in a transit domain.
+  kStub,     ///< Router in a stub (edge) domain.
+  kHost,     ///< End host / overlay-capable node.
+};
+
+/// An undirected weighted edge of the physical network.
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double latency_ms = 0.0;        ///< Propagation latency of this hop.
+  double bandwidth_mbps = 1000.;  ///< Capacity (used by congestion models).
+};
+
+/// Static description of the physical network: a connected undirected graph
+/// with per-link latencies. Overlay nodes are a subset of graph nodes
+/// (`overlay_eligible`). Pairwise latency between nodes is the weighted
+/// shortest path (see `LatencyMatrix`).
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Adds a node and returns its id. `domain` groups nodes of the same
+  /// transit or stub domain (generator-specific, -1 if not applicable).
+  NodeId AddNode(NodeKind kind, int domain = -1, bool overlay_eligible = true);
+
+  /// Adds an undirected link. Invalid or self links are rejected.
+  Status AddLink(NodeId a, NodeId b, double latency_ms,
+                 double bandwidth_mbps = 1000.0);
+
+  size_t NumNodes() const { return kinds_.size(); }
+  size_t NumLinks() const { return links_.size(); }
+
+  NodeKind kind(NodeId n) const { return kinds_[n]; }
+  int domain(NodeId n) const { return domains_[n]; }
+  bool overlay_eligible(NodeId n) const { return overlay_eligible_[n]; }
+
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Neighbors of `n` as (link index) list.
+  const std::vector<uint32_t>& IncidentLinks(NodeId n) const {
+    return incident_[n];
+  }
+
+  /// Ids of all overlay-eligible nodes.
+  std::vector<NodeId> OverlayNodes() const;
+
+  /// True if the graph is connected (BFS from node 0).
+  bool IsConnected() const;
+
+  /// Multi-line human-readable summary ("n nodes, m links, kinds=...").
+  std::string Summary() const;
+
+ private:
+  std::vector<NodeKind> kinds_;
+  std::vector<int> domains_;
+  std::vector<bool> overlay_eligible_;
+  std::vector<Link> links_;
+  std::vector<std::vector<uint32_t>> incident_;
+};
+
+}  // namespace sbon::net
+
+#endif  // SBON_NET_TOPOLOGY_H_

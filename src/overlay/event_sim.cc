@@ -1,0 +1,52 @@
+#include "overlay/event_sim.h"
+
+#include <cassert>
+#include <memory>
+
+namespace sbon::overlay {
+
+void EventSim::ScheduleAt(double t, Callback cb) {
+  assert(t >= now_);
+  queue_.push(Event{t, seq_++, std::move(cb)});
+}
+
+void EventSim::ScheduleIn(double delay, Callback cb) {
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void EventSim::SchedulePeriodic(double period, Callback cb, double until) {
+  assert(period > 0.0);
+  // Self-rescheduling wrapper.
+  auto tick = std::make_shared<Callback>();
+  auto shared_cb = std::make_shared<Callback>(std::move(cb));
+  auto self = this;
+  *tick = [self, period, until, shared_cb, tick]() {
+    (*shared_cb)();
+    const double next = self->now() + period;
+    if (until < 0.0 || next <= until) {
+      self->ScheduleAt(next, *tick);
+    }
+  };
+  ScheduleAt(now_ + period, *tick);
+}
+
+void EventSim::RunUntil(double t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    e.cb();
+  }
+  if (t_end > now_) now_ = t_end;
+}
+
+void EventSim::RunAll() {
+  while (!queue_.empty()) {
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    e.cb();
+  }
+}
+
+}  // namespace sbon::overlay

@@ -1,0 +1,54 @@
+#ifndef SBON_OVERLAY_EVENT_SIM_H_
+#define SBON_OVERLAY_EVENT_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sbon::overlay {
+
+/// A minimal discrete-event simulator driving dynamics/re-optimization
+/// experiments. Events fire in (time, insertion-order) order; callbacks may
+/// schedule further events.
+class EventSim {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now).
+  void ScheduleAt(double t, Callback cb);
+  /// Schedules `cb` `delay` time units from now.
+  void ScheduleIn(double delay, Callback cb);
+  /// Schedules `cb` every `period`, starting at now + period, until
+  /// `RunUntil` passes `until` (or forever if until < 0).
+  void SchedulePeriodic(double period, Callback cb, double until = -1.0);
+
+  /// Runs events with time <= t_end; advances now() to t_end.
+  void RunUntil(double t_end);
+  /// Runs until the queue drains.
+  void RunAll();
+
+  size_t NumPending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace sbon::overlay
+
+#endif  // SBON_OVERLAY_EVENT_SIM_H_

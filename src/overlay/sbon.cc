@@ -1,0 +1,355 @@
+#include "overlay/sbon.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <cmath>
+
+namespace sbon::overlay {
+
+Sbon::Sbon(net::Topology topo, Options options)
+    : topo_(std::move(topo)), options_(std::move(options)),
+      rng_(options_.seed) {}
+
+StatusOr<std::unique_ptr<Sbon>> Sbon::Create(net::Topology topo,
+                                             Options options) {
+  if (topo.NumNodes() == 0) {
+    return Status::InvalidArgument("empty topology");
+  }
+  if (!topo.IsConnected()) {
+    return Status::InvalidArgument("topology must be connected");
+  }
+  std::unique_ptr<Sbon> s(new Sbon(std::move(topo), std::move(options)));
+  Status st = s->Initialize();
+  if (!st.ok()) return st;
+  return s;
+}
+
+Status Sbon::Initialize() {
+  const size_t n = topo_.NumNodes();
+  overlay_nodes_ = topo_.OverlayNodes();
+  if (overlay_nodes_.empty()) {
+    return Status::InvalidArgument("no overlay-eligible nodes");
+  }
+  base_lat_ = std::make_unique<net::LatencyMatrix>(topo_);
+  lat_ = std::make_unique<net::LatencyMatrix>(*base_lat_);
+  if (options_.latency_jitter_sigma > 0.0) {
+    jitter_ = std::make_unique<net::LatencyJitter>(
+        n, options_.latency_jitter_sigma, &rng_);
+  }
+
+  // Vector coordinates.
+  std::vector<Vec> coords;
+  switch (options_.coord_mode) {
+    case CoordMode::kVivaldi: {
+      coords::VivaldiSystem::Params vp = options_.vivaldi_params;
+      vp.dims = options_.space_spec.vector_dims();
+      vivaldi_ = std::make_unique<coords::VivaldiSystem>(
+          coords::RunVivaldi(*lat_, vp, options_.vivaldi_run, &rng_));
+      coords.reserve(n);
+      for (NodeId i = 0; i < n; ++i) coords.push_back(vivaldi_->Coord(i));
+      break;
+    }
+    case CoordMode::kMds:
+    case CoordMode::kTrue: {
+      coords = coords::ClassicalMds(*lat_, options_.space_spec.vector_dims(),
+                                    &rng_);
+      break;
+    }
+  }
+
+  space_ = std::make_unique<coords::CostSpace>(options_.space_spec, n);
+  for (NodeId i = 0; i < n; ++i) {
+    Status st = space_->SetVectorCoord(i, coords[i]);
+    if (!st.ok()) return st;
+  }
+
+  load_model_ = std::make_unique<net::LoadModel>(n, options_.load_params,
+                                                 &rng_);
+  service_load_.assign(n, 0.0);
+  UpdateScalarMetrics();
+
+  // Coordinate index over *overlay* nodes' full coordinates.
+  std::vector<Vec> full_coords;
+  full_coords.reserve(overlay_nodes_.size());
+  for (NodeId i : overlay_nodes_) full_coords.push_back(space_->FullCoord(i));
+  // The quantizer box spans the vector part of all nodes plus the maximum
+  // scalar penalty range observed at full load, so republished coordinates
+  // under any load stay inside the box.
+  std::vector<Vec> box_points = full_coords;
+  {
+    // Add synthetic corner points with worst-case scalar penalty.
+    Vec worst = full_coords[0];
+    for (size_t d = options_.space_spec.vector_dims(); d < worst.dims();
+         ++d) {
+      const size_t scalar_i = d - options_.space_spec.vector_dims();
+      worst[d] =
+          options_.space_spec.scalar_dim(scalar_i).weighting->Apply(1.0);
+    }
+    box_points.push_back(worst);
+  }
+  index_ = std::make_unique<dht::CoordinateIndex>(
+      dht::HilbertQuantizer::FitTo(box_points, options_.hilbert_bits));
+  for (size_t k = 0; k < overlay_nodes_.size(); ++k) {
+    index_->Publish(overlay_nodes_[k], full_coords[k]);
+  }
+  index_->Stabilize();
+  return Status::OK();
+}
+
+double Sbon::TotalLoad(NodeId n) const {
+  return std::clamp(load_model_->load(n) + service_load_[n], 0.0, 1.0);
+}
+
+void Sbon::SetBaseLoad(NodeId n, double load) {
+  load_model_->SetLoad(n, load);
+  UpdateScalarMetrics();
+}
+
+void Sbon::UpdateScalarMetrics() {
+  const size_t scalar_dims = options_.space_spec.num_scalar_dims();
+  if (scalar_dims == 0) return;
+  for (NodeId n = 0; n < topo_.NumNodes(); ++n) {
+    // Dimension 0 is CPU load by convention of LatencyAndLoad; additional
+    // scalar dims (if any) default to the same metric.
+    for (size_t i = 0; i < scalar_dims; ++i) {
+      space_->SetScalarMetric(n, i, TotalLoad(n));
+    }
+  }
+}
+
+void Sbon::ApplyServiceLoadDelta(NodeId host, double input_bytes_per_s,
+                                 double sign) {
+  service_load_[host] = std::max(
+      0.0, service_load_[host] +
+               sign * input_bytes_per_s * options_.load_per_byte_per_s);
+}
+
+StatusOr<CircuitId> Sbon::InstallCircuit(Circuit circuit) {
+  if (!circuit.FullyPlaced()) {
+    return Status::FailedPrecondition("cannot install unplaced circuit");
+  }
+  const CircuitId id = next_circuit_id_++;
+  circuit.set_id(id);
+
+  // Per-vertex physical input rates (physical edges into the vertex).
+  std::vector<double> input_rate(circuit.NumVertices(), 0.0);
+  for (const CircuitEdge& e : circuit.edges()) {
+    if (e.physical) input_rate[e.to] += e.rate_bytes_per_s;
+  }
+
+  for (int i = 0; i < static_cast<int>(circuit.NumVertices()); ++i) {
+    CircuitVertex& v = circuit.mutable_vertex(i);
+    if (v.pinned) continue;
+    if (v.reused) {
+      if (v.service != kInvalidService) {
+        if (services_.find(v.service) == services_.end()) {
+          return Status::NotFound("reused service instance does not exist");
+        }
+        // Attach this circuit to the instance *and* to every instance in
+        // its feeding subtree, so tearing down the source circuit cannot
+        // orphan the data path this circuit now depends on.
+        Status st = AttachDependencyChain(id, v.service);
+        if (!st.ok()) return st;
+      }
+      continue;  // nothing deployed for reused subtrees
+    }
+    ServiceInstance inst;
+    inst.id = next_service_id_++;
+    inst.signature = circuit.plan().OpSignature(i);
+    inst.kind = circuit.plan().op(i).kind;
+    inst.host = v.host;
+    inst.input_bytes_per_s = input_rate[i];
+    inst.output_bytes_per_s = circuit.plan().op(i).out_bytes_per_s;
+    inst.circuits.push_back(id);
+    v.service = inst.id;
+    ApplyServiceLoadDelta(v.host, inst.input_bytes_per_s, +1.0);
+    services_by_signature_.emplace(inst.signature, inst.id);
+    services_.emplace(inst.id, std::move(inst));
+  }
+  UpdateScalarMetrics();
+  circuits_.emplace(id, std::move(circuit));
+  return id;
+}
+
+Status Sbon::AttachDependencyChain(CircuitId circuit_id,
+                                   ServiceInstanceId root) {
+  std::vector<ServiceInstanceId> stack{root};
+  std::set<ServiceInstanceId> visited;
+  while (!stack.empty()) {
+    const ServiceInstanceId sid = stack.back();
+    stack.pop_back();
+    if (!visited.insert(sid).second) continue;
+    auto it = services_.find(sid);
+    if (it == services_.end()) {
+      return Status::NotFound("dependency instance missing");
+    }
+    ServiceInstance& inst = it->second;
+    if (std::find(inst.circuits.begin(), inst.circuits.end(), circuit_id) ==
+        inst.circuits.end()) {
+      inst.circuits.push_back(circuit_id);
+    }
+    // Find the instance's feeding services through any circuit that
+    // deploys it: the services bound to the descendants of its vertex.
+    for (CircuitId cid : inst.circuits) {
+      if (cid == circuit_id) continue;
+      auto cit = circuits_.find(cid);
+      if (cit == circuits_.end()) continue;
+      const Circuit& src = cit->second;
+      for (int vi = 0; vi < static_cast<int>(src.NumVertices()); ++vi) {
+        if (src.vertex(vi).service != sid) continue;
+        // Walk descendants of vi collecting bound services.
+        std::vector<int> vstack = src.plan().op(vi).children;
+        while (!vstack.empty()) {
+          const int d = vstack.back();
+          vstack.pop_back();
+          const CircuitVertex& dv = src.vertex(d);
+          if (dv.service != kInvalidService) stack.push_back(dv.service);
+          for (int ch : src.plan().op(d).children) vstack.push_back(ch);
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Sbon::RemoveCircuit(CircuitId id) {
+  auto it = circuits_.find(id);
+  if (it == circuits_.end()) return Status::NotFound("no such circuit");
+  // Detach this circuit from every instance referencing it (vertex bindings
+  // plus reuse dependency chains), releasing instances left without users.
+  for (auto sit = services_.begin(); sit != services_.end();) {
+    ServiceInstance& inst = sit->second;
+    inst.circuits.erase(
+        std::remove(inst.circuits.begin(), inst.circuits.end(), id),
+        inst.circuits.end());
+    if (inst.circuits.empty()) {
+      ApplyServiceLoadDelta(inst.host, inst.input_bytes_per_s, -1.0);
+      auto range = services_by_signature_.equal_range(inst.signature);
+      for (auto r = range.first; r != range.second; ++r) {
+        if (r->second == inst.id) {
+          services_by_signature_.erase(r);
+          break;
+        }
+      }
+      sit = services_.erase(sit);
+    } else {
+      ++sit;
+    }
+  }
+  circuits_.erase(it);
+  UpdateScalarMetrics();
+  return Status::OK();
+}
+
+const Circuit* Sbon::FindCircuit(CircuitId id) const {
+  auto it = circuits_.find(id);
+  return it == circuits_.end() ? nullptr : &it->second;
+}
+
+const ServiceInstance* Sbon::FindService(ServiceInstanceId id) const {
+  auto it = services_.find(id);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ServiceInstance*> Sbon::ServicesWithSignature(
+    uint64_t signature) const {
+  std::vector<const ServiceInstance*> out;
+  auto range = services_by_signature_.equal_range(signature);
+  for (auto it = range.first; it != range.second; ++it) {
+    out.push_back(&services_.at(it->second));
+  }
+  return out;
+}
+
+Status Sbon::MigrateService(ServiceInstanceId id, NodeId new_host) {
+  auto it = services_.find(id);
+  if (it == services_.end()) return Status::NotFound("no such service");
+  if (new_host >= topo_.NumNodes()) {
+    return Status::OutOfRange("migration target out of range");
+  }
+  ServiceInstance& inst = it->second;
+  if (inst.host == new_host) return Status::OK();
+  ApplyServiceLoadDelta(inst.host, inst.input_bytes_per_s, -1.0);
+  ApplyServiceLoadDelta(new_host, inst.input_bytes_per_s, +1.0);
+  inst.host = new_host;
+  for (CircuitId cid : inst.circuits) {
+    auto cit = circuits_.find(cid);
+    if (cit == circuits_.end()) continue;
+    for (int i = 0; i < static_cast<int>(cit->second.NumVertices()); ++i) {
+      CircuitVertex& v = cit->second.mutable_vertex(i);
+      if (v.service == id && !v.pinned) v.host = new_host;
+    }
+  }
+  UpdateScalarMetrics();
+  return Status::OK();
+}
+
+void Sbon::Tick(double dt) {
+  load_model_->Step(dt, &rng_);
+  UpdateScalarMetrics();
+}
+
+void Sbon::TickNetwork() {
+  if (jitter_ == nullptr) return;
+  jitter_->Resample(&rng_);
+  const size_t n = topo_.NumNodes();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      lat_->Set(a, b, jitter_->Apply(a, b, base_lat_->Latency(a, b)));
+    }
+  }
+}
+
+void Sbon::UpdateCoordinatesOnline(size_t samples_per_node) {
+  if (vivaldi_ == nullptr) return;
+  const size_t n = topo_.NumNodes();
+  if (n < 2) return;
+  for (NodeId self = 0; self < n; ++self) {
+    for (size_t s = 0; s < samples_per_node; ++s) {
+      NodeId peer;
+      do {
+        peer = static_cast<NodeId>(rng_.UniformInt(n));
+      } while (peer == self);
+      double rtt = lat_->Latency(self, peer);
+      if (options_.vivaldi_run.rtt_noise_sigma > 0.0) {
+        rtt *= std::exp(rng_.Normal(0.0, options_.vivaldi_run.rtt_noise_sigma));
+      }
+      vivaldi_->Update(self, peer, rtt);
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    space_->SetVectorCoord(i, vivaldi_->Coord(i));
+  }
+}
+
+void Sbon::RefreshIndex() {
+  for (NodeId n : overlay_nodes_) {
+    index_->Publish(n, space_->FullCoord(n));
+  }
+  index_->Stabilize();
+}
+
+StatusOr<CircuitCost> Sbon::CircuitCostOf(CircuitId id) const {
+  const Circuit* c = FindCircuit(id);
+  if (c == nullptr) return Status::NotFound("no such circuit");
+  return ComputeCircuitCost(*c, *lat_, space_.get());
+}
+
+double Sbon::TotalNetworkUsage() const {
+  double total = 0.0;
+  for (const auto& [id, c] : circuits_) {
+    auto cost = ComputeCircuitCost(c, *lat_, nullptr);
+    if (cost.ok()) total += cost->network_usage;
+  }
+  return total;
+}
+
+double Sbon::MaxLoad() const {
+  double mx = 0.0;
+  for (NodeId n : overlay_nodes_) mx = std::max(mx, TotalLoad(n));
+  return mx;
+}
+
+}  // namespace sbon::overlay

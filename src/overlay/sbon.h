@@ -1,0 +1,160 @@
+#ifndef SBON_OVERLAY_SBON_H_
+#define SBON_OVERLAY_SBON_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "coords/cost_space.h"
+#include "coords/mds.h"
+#include "coords/vivaldi.h"
+#include "dht/coord_index.h"
+#include "net/dynamics.h"
+#include "net/shortest_path.h"
+#include "net/topology.h"
+#include "overlay/circuit.h"
+#include "overlay/metrics.h"
+#include "overlay/service.h"
+
+namespace sbon::overlay {
+
+/// The stream-based overlay network: the runtime that optimizers operate
+/// against. Owns the physical topology and its latency oracle, the cost
+/// space (network coordinates + load metrics), the decentralized coordinate
+/// index, node load state, and all deployed circuits / service instances.
+class Sbon {
+ public:
+  /// How vector coordinates are obtained.
+  enum class CoordMode {
+    kVivaldi,  ///< decentralized Vivaldi embedding (deployable; default)
+    kMds,      ///< centralized classical-MDS oracle (ablation)
+    kTrue,     ///< no embedding: mapping/cost-space queries use MDS coords,
+               ///< but this mode is reserved for ablation harnesses
+  };
+
+  struct Options {
+    coords::CostSpaceSpec space_spec = coords::CostSpaceSpec::LatencyAndLoad();
+    CoordMode coord_mode = CoordMode::kVivaldi;
+    coords::VivaldiSystem::Params vivaldi_params;
+    coords::VivaldiRunOptions vivaldi_run;
+    unsigned hilbert_bits = 10;
+    net::LoadModel::Params load_params;
+    /// Load a service adds to its host per (byte/s) of input it processes.
+    double load_per_byte_per_s = 2e-6;
+    /// Sigma of the multiplicative LogNormal latency jitter applied per
+    /// pair on every `TickNetwork` epoch (0 = static latencies).
+    double latency_jitter_sigma = 0.0;
+    uint64_t seed = 1;
+  };
+
+  /// Builds the overlay: latency matrix, coordinates, cost space, index.
+  static StatusOr<std::unique_ptr<Sbon>> Create(net::Topology topo,
+                                                Options options);
+
+  Sbon(const Sbon&) = delete;
+  Sbon& operator=(const Sbon&) = delete;
+
+  // --- substrate accessors ---
+  const net::Topology& topology() const { return topo_; }
+  const net::LatencyMatrix& latency() const { return *lat_; }
+  const coords::CostSpace& cost_space() const { return *space_; }
+  const dht::CoordinateIndex& index() const { return *index_; }
+  dht::IndexQueryCost& index_cost() { return index_cost_; }
+  Rng& rng() { return rng_; }
+  const std::vector<NodeId>& overlay_nodes() const { return overlay_nodes_; }
+  const Options& options() const { return options_; }
+
+  // --- load state ---
+  double BaseLoad(NodeId n) const { return load_model_->load(n); }
+  double ServiceLoad(NodeId n) const { return service_load_[n]; }
+  /// Total CPU load in [0, 1]: ambient + service-induced.
+  double TotalLoad(NodeId n) const;
+  /// Scripted load override for tests/scenarios (sets the ambient part).
+  void SetBaseLoad(NodeId n, double load);
+
+  // --- circuits & services ---
+  /// Deploys a fully placed circuit: creates (or attaches to) service
+  /// instances, adds load, and registers the circuit. Returns its id.
+  StatusOr<CircuitId> InstallCircuit(Circuit circuit);
+  /// Tears a circuit down, releasing service instances with no users left.
+  Status RemoveCircuit(CircuitId id);
+
+  const Circuit* FindCircuit(CircuitId id) const;
+  const std::map<CircuitId, Circuit>& circuits() const { return circuits_; }
+  const ServiceInstance* FindService(ServiceInstanceId id) const;
+  /// Deployed instances whose reuse signature matches.
+  std::vector<const ServiceInstance*> ServicesWithSignature(
+      uint64_t signature) const;
+  size_t NumServices() const { return services_.size(); }
+
+  /// Moves a service instance to a new host, updating load accounting and
+  /// the vertices of every circuit bound to it.
+  Status MigrateService(ServiceInstanceId id, NodeId new_host);
+
+  // --- dynamics ---
+  /// Advances ambient load by `dt` and refreshes cost-space scalar metrics.
+  void Tick(double dt);
+  /// Starts a new latency epoch: resamples pairwise jitter factors (when
+  /// `latency_jitter_sigma > 0`) and rewrites the live latency matrix.
+  /// Everything downstream — circuit costs, reopt, Vivaldi samples — sees
+  /// the new latencies immediately.
+  void TickNetwork();
+  /// Online coordinate maintenance: every node takes `samples_per_node`
+  /// RTT measurements against the *current* (jittered) latencies and runs
+  /// Vivaldi updates, then the cost space is refreshed. No-op when the
+  /// overlay was built with MDS coordinates.
+  void UpdateCoordinatesOnline(size_t samples_per_node);
+  /// The pristine latency matrix (before jitter), for measuring how far
+  /// the current epoch has drifted.
+  const net::LatencyMatrix& base_latency() const { return *base_lat_; }
+  /// Republished every node's (possibly changed) full coordinate into the
+  /// index and restabilizes. Call after load changes when index queries
+  /// should see fresh scalars.
+  void RefreshIndex();
+
+  // --- metrics ---
+  /// Cost of one deployed circuit against true latencies (marginal: only
+  /// physically flowing edges and newly deployed hosts are charged).
+  StatusOr<CircuitCost> CircuitCostOf(CircuitId id) const;
+  /// Sum of network usage over all deployed circuits (physical edges only —
+  /// shared subtrees counted once).
+  double TotalNetworkUsage() const;
+  /// Maximum total load over overlay nodes.
+  double MaxLoad() const;
+
+ private:
+  Sbon(net::Topology topo, Options options);
+
+  Status Initialize();
+  Status AttachDependencyChain(CircuitId circuit_id, ServiceInstanceId root);
+  void ApplyServiceLoadDelta(NodeId host, double input_bytes_per_s,
+                             double sign);
+  void UpdateScalarMetrics();
+
+  net::Topology topo_;
+  Options options_;
+  Rng rng_;
+  std::unique_ptr<net::LatencyMatrix> lat_;       // live (jittered) view
+  std::unique_ptr<net::LatencyMatrix> base_lat_;  // pristine
+  std::unique_ptr<net::LatencyJitter> jitter_;
+  std::unique_ptr<coords::VivaldiSystem> vivaldi_;
+  std::unique_ptr<coords::CostSpace> space_;
+  std::unique_ptr<dht::CoordinateIndex> index_;
+  std::unique_ptr<net::LoadModel> load_model_;
+  std::vector<NodeId> overlay_nodes_;
+  std::vector<double> service_load_;
+  dht::IndexQueryCost index_cost_;
+
+  std::map<CircuitId, Circuit> circuits_;
+  std::map<ServiceInstanceId, ServiceInstance> services_;
+  std::multimap<uint64_t, ServiceInstanceId> services_by_signature_;
+  CircuitId next_circuit_id_ = 1;
+  ServiceInstanceId next_service_id_ = 1;
+};
+
+}  // namespace sbon::overlay
+
+#endif  // SBON_OVERLAY_SBON_H_

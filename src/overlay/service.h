@@ -1,0 +1,31 @@
+#ifndef SBON_OVERLAY_SERVICE_H_
+#define SBON_OVERLAY_SERVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "query/plan.h"
+
+namespace sbon::overlay {
+
+/// A service instance deployed on a physical node. Multiple circuits may
+/// share one instance when their logical ops have the same reuse signature
+/// (same kind, parameters, and input stream set — paper Sec. 2.2: "merge
+/// identical services (serving different queries) into one physical service
+/// instance").
+struct ServiceInstance {
+  ServiceInstanceId id = kInvalidService;
+  uint64_t signature = 0;          ///< reuse signature (LogicalPlan::OpSignature)
+  query::OpKind kind = query::OpKind::kJoin;
+  NodeId host = kInvalidNode;
+  double input_bytes_per_s = 0.0;  ///< total rate entering this instance
+  double output_bytes_per_s = 0.0; ///< rate leaving it (per subscriber)
+  std::vector<CircuitId> circuits; ///< circuits using this instance
+
+  bool Shared() const { return circuits.size() > 1; }
+};
+
+}  // namespace sbon::overlay
+
+#endif  // SBON_OVERLAY_SERVICE_H_

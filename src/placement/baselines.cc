@@ -1,0 +1,105 @@
+#include "placement/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "overlay/metrics.h"
+
+namespace sbon::placement {
+
+Status ConsumerPlacer::Place(overlay::Circuit* circuit,
+                             const overlay::Sbon& sbon) {
+  (void)sbon;
+  const NodeId consumer = circuit->plan().consumer();
+  for (int v : circuit->PlaceableVertices()) {
+    circuit->mutable_vertex(v).host = consumer;
+  }
+  return Status::OK();
+}
+
+Status ProducerPlacer::Place(overlay::Circuit* circuit,
+                             const overlay::Sbon& sbon) {
+  (void)sbon;
+  // Process ops bottom-up (children precede parents in the arena): each
+  // service lands on the host of its highest-rate child.
+  for (int v = 0; v < static_cast<int>(circuit->NumVertices()); ++v) {
+    overlay::CircuitVertex& cv = circuit->mutable_vertex(v);
+    if (cv.pinned || cv.reused) continue;
+    NodeId best = kInvalidNode;
+    double best_rate = -1.0;
+    for (int child : circuit->plan().op(v).children) {
+      const double rate = circuit->plan().op(child).out_bytes_per_s;
+      if (rate > best_rate &&
+          circuit->vertex(child).host != kInvalidNode) {
+        best_rate = rate;
+        best = circuit->vertex(child).host;
+      }
+    }
+    if (best == kInvalidNode) best = circuit->plan().consumer();
+    cv.host = best;
+  }
+  return Status::OK();
+}
+
+Status RandomPlacer::Place(overlay::Circuit* circuit,
+                           const overlay::Sbon& sbon) {
+  const std::vector<NodeId>& nodes = sbon.overlay_nodes();
+  if (nodes.empty()) return Status::FailedPrecondition("no overlay nodes");
+  for (int v : circuit->PlaceableVertices()) {
+    circuit->mutable_vertex(v).host = nodes[rng_.UniformInt(nodes.size())];
+  }
+  return Status::OK();
+}
+
+Status ExhaustiveOraclePlacer::Place(overlay::Circuit* circuit,
+                                     const overlay::Sbon& sbon) {
+  const std::vector<int> placeable = circuit->PlaceableVertices();
+  if (placeable.empty()) return Status::OK();
+  if (placeable.size() > params_.max_services) {
+    return Status::InvalidArgument(
+        "oracle placement limited to max_services placeable vertices");
+  }
+  std::vector<NodeId> nodes = sbon.overlay_nodes();
+  if (params_.node_sample > 0 && params_.node_sample < nodes.size()) {
+    Rng rng(params_.seed);
+    std::vector<NodeId> sampled;
+    for (size_t idx :
+         rng.SampleWithoutReplacement(nodes.size(), params_.node_sample)) {
+      sampled.push_back(nodes[idx]);
+    }
+    nodes = std::move(sampled);
+  }
+
+  const size_t k = placeable.size();
+  std::vector<size_t> choice(k, 0);
+  double best_cost = 1e300;
+  std::vector<NodeId> best_hosts(k, nodes[0]);
+
+  for (;;) {
+    for (size_t i = 0; i < k; ++i) {
+      circuit->mutable_vertex(placeable[i]).host = nodes[choice[i]];
+    }
+    auto cost = overlay::ComputeCircuitCost(*circuit, sbon.latency(),
+                                            &sbon.cost_space());
+    if (cost.ok()) {
+      const double total = cost->Total(params_.lambda);
+      if (total < best_cost) {
+        best_cost = total;
+        for (size_t i = 0; i < k; ++i) best_hosts[i] = nodes[choice[i]];
+      }
+    }
+    // Odometer increment.
+    size_t d = 0;
+    while (d < k && ++choice[d] == nodes.size()) {
+      choice[d] = 0;
+      ++d;
+    }
+    if (d == k) break;
+  }
+  for (size_t i = 0; i < k; ++i) {
+    circuit->mutable_vertex(placeable[i]).host = best_hosts[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace sbon::placement

@@ -1,0 +1,75 @@
+#ifndef SBON_PLACEMENT_BASELINES_H_
+#define SBON_PLACEMENT_BASELINES_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "overlay/sbon.h"
+
+namespace sbon::placement {
+
+/// Placers that assign physical hosts directly (no cost space, no DHT) —
+/// the pre-SBON strategies circuits would get without placement logic.
+/// They fill `host` on every placeable vertex.
+class PhysicalPlacer {
+ public:
+  virtual ~PhysicalPlacer() = default;
+  virtual Status Place(overlay::Circuit* circuit,
+                       const overlay::Sbon& sbon) = 0;
+  virtual std::string Name() const = 0;
+};
+
+/// Every service at the consumer node ("ship everything to the client").
+class ConsumerPlacer : public PhysicalPlacer {
+ public:
+  Status Place(overlay::Circuit* circuit, const overlay::Sbon& sbon) override;
+  std::string Name() const override { return "consumer"; }
+};
+
+/// Each service at the producer-side child with the highest input rate
+/// ("push processing to the heaviest source").
+class ProducerPlacer : public PhysicalPlacer {
+ public:
+  Status Place(overlay::Circuit* circuit, const overlay::Sbon& sbon) override;
+  std::string Name() const override { return "producer"; }
+};
+
+/// Uniformly random overlay nodes.
+class RandomPlacer : public PhysicalPlacer {
+ public:
+  explicit RandomPlacer(uint64_t seed) : rng_(seed) {}
+  Status Place(overlay::Circuit* circuit, const overlay::Sbon& sbon) override;
+  std::string Name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Exhaustive oracle: tries every assignment of overlay nodes to placeable
+/// vertices and keeps the one minimizing true-latency circuit cost
+/// (network usage + lambda * node penalty). Exponential — refuses circuits
+/// with more than `max_services` placeable vertices.
+class ExhaustiveOraclePlacer : public PhysicalPlacer {
+ public:
+  struct Params {
+    size_t max_services = 3;
+    double lambda = 0.0;  ///< node-penalty weight in the optimized cost
+    /// Optional subsample of overlay nodes per service (0 = all). Keeps
+    /// n^k tractable on 600-node topologies when k = 3.
+    size_t node_sample = 0;
+    uint64_t seed = 17;
+  };
+
+  ExhaustiveOraclePlacer() : ExhaustiveOraclePlacer(Params()) {}
+  explicit ExhaustiveOraclePlacer(Params params) : params_(params) {}
+  Status Place(overlay::Circuit* circuit, const overlay::Sbon& sbon) override;
+  std::string Name() const override { return "oracle"; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace sbon::placement
+
+#endif  // SBON_PLACEMENT_BASELINES_H_

@@ -1,0 +1,117 @@
+#include "placement/relaxation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbon::placement {
+
+using internal::AnchorCoord;
+using internal::SeedAtPinnedCentroid;
+
+Status RelaxationPlacer::Place(overlay::Circuit* circuit,
+                               const coords::CostSpace& space) const {
+  const std::vector<int> placeable = circuit->PlaceableVertices();
+  if (placeable.empty()) return Status::OK();
+  SeedAtPinnedCentroid(circuit, space);
+
+  for (size_t sweep = 0; sweep < params_.max_sweeps; ++sweep) {
+    double max_move = 0.0;
+    for (int v : placeable) {
+      Vec num(space.spec().vector_dims());
+      double den = 0.0;
+      for (const auto& [edge_idx, other] : circuit->IncidentEdges(v)) {
+        const double rate = circuit->edges()[edge_idx].rate_bytes_per_s;
+        if (rate <= 0.0) continue;
+        num += AnchorCoord(*circuit, other, space) * rate;
+        den += rate;
+      }
+      if (den <= 0.0) continue;
+      const Vec target = num / den;
+      overlay::CircuitVertex& cv = circuit->mutable_vertex(v);
+      max_move = std::max(max_move, cv.virtual_coord.DistanceTo(target));
+      cv.virtual_coord = target;
+    }
+    if (max_move < params_.tolerance) break;
+  }
+  return Status::OK();
+}
+
+Status CentroidPlacer::Place(overlay::Circuit* circuit,
+                             const coords::CostSpace& space) const {
+  SeedAtPinnedCentroid(circuit, space);
+  return Status::OK();
+}
+
+Status GradientPlacer::Place(overlay::Circuit* circuit,
+                             const coords::CostSpace& space) const {
+  const std::vector<int> placeable = circuit->PlaceableVertices();
+  if (placeable.empty()) return Status::OK();
+  // Seed from the spring equilibrium: Weiszfeld sweeps are monotone
+  // non-increasing in the linear objective (each per-vertex step minimizes
+  // an MM majorizer), so starting there guarantees the result is at least
+  // as good as relaxation on sum(rate * dist) — and avoids the coordinate-
+  // descent stalls the centroid seed can hit at non-smooth points.
+  Status seed = RelaxationPlacer().Place(circuit, space);
+  if (!seed.ok()) return seed;
+
+  for (size_t sweep = 0; sweep < params_.max_sweeps; ++sweep) {
+    double max_move = 0.0;
+    for (int v : placeable) {
+      // Weiszfeld step for the rate-weighted geometric median of the
+      // neighbor anchors.
+      Vec num(space.spec().vector_dims());
+      double den = 0.0;
+      const Vec cur = circuit->vertex(v).virtual_coord;
+      for (const auto& [edge_idx, other] : circuit->IncidentEdges(v)) {
+        const double rate = circuit->edges()[edge_idx].rate_bytes_per_s;
+        if (rate <= 0.0) continue;
+        const Vec a = AnchorCoord(*circuit, other, space);
+        const double d = std::max(cur.DistanceTo(a), params_.epsilon);
+        num += a * (rate / d);
+        den += rate / d;
+      }
+      if (den <= 0.0) continue;
+      const Vec target = num / den;
+      overlay::CircuitVertex& cv = circuit->mutable_vertex(v);
+      max_move = std::max(max_move, cv.virtual_coord.DistanceTo(target));
+      cv.virtual_coord = target;
+    }
+    if (max_move < params_.tolerance) break;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Vec EndpointCoord(const overlay::Circuit& c, int i,
+                  const coords::CostSpace& space) {
+  return AnchorCoord(c, i, space);
+}
+
+}  // namespace
+
+double VirtualLinearCost(const overlay::Circuit& circuit,
+                         const coords::CostSpace& space) {
+  double total = 0.0;
+  for (const overlay::CircuitEdge& e : circuit.edges()) {
+    if (!e.physical) continue;
+    total += e.rate_bytes_per_s *
+             EndpointCoord(circuit, e.from, space)
+                 .DistanceTo(EndpointCoord(circuit, e.to, space));
+  }
+  return total;
+}
+
+double VirtualQuadraticCost(const overlay::Circuit& circuit,
+                            const coords::CostSpace& space) {
+  double total = 0.0;
+  for (const overlay::CircuitEdge& e : circuit.edges()) {
+    if (!e.physical) continue;
+    const double d = EndpointCoord(circuit, e.from, space)
+                         .DistanceTo(EndpointCoord(circuit, e.to, space));
+    total += e.rate_bytes_per_s * d * d;
+  }
+  return total;
+}
+
+}  // namespace sbon::placement

@@ -1,0 +1,79 @@
+#ifndef SBON_PLACEMENT_RELAXATION_H_
+#define SBON_PLACEMENT_RELAXATION_H_
+
+#include "placement/virtual_placement.h"
+
+namespace sbon::placement {
+
+/// Relaxation placement (paper Sec. 3.2, after TR-26-04 [7]): models the
+/// circuit as a spring system — every data edge is a spring whose constant
+/// is the edge's data rate and whose extension is the coordinate distance;
+/// pinned services are fixed bodies, unpinned services are massless bodies
+/// that settle where forces balance.
+///
+/// The equilibrium of that system minimizes the spring energy
+/// sum(rate * dist^2); we reach it by Gauss-Seidel sweeps (each unpinned
+/// vertex moves to the rate-weighted average of its neighbors), which is
+/// the same fixed point the force integration in [7] converges to, reached
+/// deterministically.
+class RelaxationPlacer : public VirtualPlacer {
+ public:
+  struct Params {
+    size_t max_sweeps = 200;
+    /// Stop when no vertex moved farther than this (cost-space units).
+    double tolerance = 1e-4;
+  };
+
+  RelaxationPlacer() : RelaxationPlacer(Params()) {}
+  explicit RelaxationPlacer(Params params) : params_(params) {}
+
+  Status Place(overlay::Circuit* circuit,
+               const coords::CostSpace& space) const override;
+  std::string Name() const override { return "relaxation"; }
+
+ private:
+  Params params_;
+};
+
+/// One-shot baseline: every unpinned service at the rate-weighted centroid
+/// of the circuit's pinned endpoints. Ignores circuit structure.
+class CentroidPlacer : public VirtualPlacer {
+ public:
+  Status Place(overlay::Circuit* circuit,
+               const coords::CostSpace& space) const override;
+  std::string Name() const override { return "centroid"; }
+};
+
+/// Iteratively minimizes the *linear* network-usage objective
+/// sum(rate * dist) by per-vertex Weiszfeld updates (the true "amount of
+/// data in transit" objective, vs. the spring system's quadratic proxy).
+class GradientPlacer : public VirtualPlacer {
+ public:
+  struct Params {
+    size_t max_sweeps = 300;
+    double tolerance = 1e-4;
+    double epsilon = 1e-6;  ///< distance guard for Weiszfeld weights
+  };
+
+  GradientPlacer() : GradientPlacer(Params()) {}
+  explicit GradientPlacer(Params params) : params_(params) {}
+
+  Status Place(overlay::Circuit* circuit,
+               const coords::CostSpace& space) const override;
+  std::string Name() const override { return "gradient"; }
+
+ private:
+  Params params_;
+};
+
+/// Objective helpers over virtual coordinates (used by tests/benches).
+/// sum over edges of rate * distance(anchor(from), anchor(to)).
+double VirtualLinearCost(const overlay::Circuit& circuit,
+                         const coords::CostSpace& space);
+/// sum over edges of rate * distance^2.
+double VirtualQuadraticCost(const overlay::Circuit& circuit,
+                            const coords::CostSpace& space);
+
+}  // namespace sbon::placement
+
+#endif  // SBON_PLACEMENT_RELAXATION_H_

@@ -1,0 +1,35 @@
+#include "placement/virtual_placement.h"
+
+namespace sbon::placement::internal {
+
+Vec AnchorCoord(const overlay::Circuit& c, int i,
+                const coords::CostSpace& space) {
+  const overlay::CircuitVertex& v = c.vertex(i);
+  if (v.pinned || v.reused) return space.VectorCoord(v.host);
+  return v.virtual_coord;
+}
+
+Vec SeedAtPinnedCentroid(overlay::Circuit* circuit,
+                         const coords::CostSpace& space) {
+  const size_t dims = space.spec().vector_dims();
+  Vec centroid(dims);
+  double weight = 0.0;
+  for (const overlay::CircuitEdge& e : circuit->edges()) {
+    for (int end : {e.from, e.to}) {
+      const overlay::CircuitVertex& v = circuit->vertex(end);
+      if (v.pinned || v.reused) {
+        centroid += space.VectorCoord(v.host) * e.rate_bytes_per_s;
+        weight += e.rate_bytes_per_s;
+      }
+    }
+  }
+  if (weight > 0.0) {
+    centroid /= weight;
+  }
+  for (int i : circuit->PlaceableVertices()) {
+    circuit->mutable_vertex(i).virtual_coord = centroid;
+  }
+  return centroid;
+}
+
+}  // namespace sbon::placement::internal

@@ -1,0 +1,50 @@
+#ifndef SBON_PLACEMENT_VIRTUAL_PLACEMENT_H_
+#define SBON_PLACEMENT_VIRTUAL_PLACEMENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "coords/cost_space.h"
+#include "overlay/circuit.h"
+
+namespace sbon::placement {
+
+/// Computes ideal cost-space coordinates for a circuit's placeable services
+/// (paper Sec. 3.2, "Virtual Placement"). Operates only over the vector
+/// dimensions; scalar dimensions enter later, during physical mapping.
+///
+/// Implementations read the coordinates of pinned vertices (producers,
+/// consumer) and of already-bound reused vertices from `space` via their
+/// hosts, and write `virtual_coord` on every placeable vertex.
+class VirtualPlacer {
+ public:
+  virtual ~VirtualPlacer() = default;
+
+  /// Fills `virtual_coord` (vector dims) for all placeable vertices.
+  /// Virtual placement is computationally cheap and instantiates nothing.
+  virtual Status Place(overlay::Circuit* circuit,
+                       const coords::CostSpace& space) const = 0;
+
+  /// Identifier used in bench output.
+  virtual std::string Name() const = 0;
+};
+
+namespace internal {
+
+/// Anchor coordinate of vertex `i`: pinned and reused vertices anchor at
+/// their host's vector coordinate; placeable vertices use their current
+/// `virtual_coord`. Shared by the iterative placers.
+Vec AnchorCoord(const overlay::Circuit& c, int i,
+                const coords::CostSpace& space);
+
+/// Initializes every placeable vertex's virtual_coord to the rate-weighted
+/// centroid of the circuit's pinned endpoints (a sane, deterministic start
+/// for the iterative refiners). Returns that centroid.
+Vec SeedAtPinnedCentroid(overlay::Circuit* circuit,
+                         const coords::CostSpace& space);
+
+}  // namespace internal
+
+}  // namespace sbon::placement
+
+#endif  // SBON_PLACEMENT_VIRTUAL_PLACEMENT_H_

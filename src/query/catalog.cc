@@ -1,0 +1,13 @@
+#include "query/catalog.h"
+
+namespace sbon::query {
+
+StreamId Catalog::AddStream(std::string name, double tuple_rate_per_s,
+                            double tuple_size_bytes, NodeId producer) {
+  const StreamId id = static_cast<StreamId>(streams_.size());
+  streams_.push_back(StreamDef{id, std::move(name), tuple_rate_per_s,
+                               tuple_size_bytes, producer});
+  return id;
+}
+
+}  // namespace sbon::query

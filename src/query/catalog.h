@@ -1,0 +1,42 @@
+#ifndef SBON_QUERY_CATALOG_H_
+#define SBON_QUERY_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace sbon::query {
+
+/// A data stream available in the SBON. Streams are *pinned*: they originate
+/// at a fixed producer node ("one cannot move mountains", paper Sec. 2 — the
+/// SBON setting has no data placement problem).
+struct StreamDef {
+  StreamId id = 0;
+  std::string name;
+  double tuple_rate_per_s = 1.0;   ///< Tuples emitted per second.
+  double tuple_size_bytes = 64.0;  ///< Serialized tuple size.
+  NodeId producer = kInvalidNode;  ///< Pinned origin node.
+
+  double BytesPerSecond() const { return tuple_rate_per_s * tuple_size_bytes; }
+};
+
+/// Registry of the streams that queries may reference.
+class Catalog {
+ public:
+  /// Registers a stream; the id is assigned and returned.
+  StreamId AddStream(std::string name, double tuple_rate_per_s,
+                     double tuple_size_bytes, NodeId producer);
+
+  size_t NumStreams() const { return streams_.size(); }
+  const StreamDef& stream(StreamId id) const { return streams_[id]; }
+  bool Has(StreamId id) const { return id < streams_.size(); }
+
+ private:
+  std::vector<StreamDef> streams_;
+};
+
+}  // namespace sbon::query
+
+#endif  // SBON_QUERY_CATALOG_H_

@@ -1,0 +1,248 @@
+#include "query/enumerate.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "query/stats.h"
+
+namespace sbon::query {
+namespace {
+
+// Join-tree arena node over stream *positions* of the spec.
+struct TreeNode {
+  int left = -1;
+  int right = -1;
+  size_t leaf_pos = 0;  // valid when left < 0
+};
+
+// A partial DP result over one stream subset.
+struct Partial {
+  double tuple_rate = 0.0;
+  double tuple_size = 0.0;
+  double cost = 0.0;  // bytes/s shipped on edges internal to the subtree
+  int tree = -1;
+  uint64_t shape_hash = 0;  // order-insensitive structural hash for dedupe
+};
+
+uint64_t MixHash(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9e3779b97f4a7c15ULL + b + 0x7f4a7c15ULL;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+std::vector<size_t> MaskPositions(uint32_t mask) {
+  std::vector<size_t> out;
+  for (size_t i = 0; mask != 0; ++i, mask >>= 1) {
+    if (mask & 1u) out.push_back(i);
+  }
+  return out;
+}
+
+// Builds a LogicalPlan from a join tree over spec positions.
+int EmitTree(const std::vector<TreeNode>& arena, int node,
+             const QuerySpec& spec,
+             const std::vector<std::vector<double>>& pair_sel,
+             LogicalPlan* plan, std::vector<size_t>* positions_out) {
+  const TreeNode& t = arena[node];
+  if (t.left < 0) {
+    const size_t pos = t.leaf_pos;
+    int op = plan->AddProducer(spec.streams[pos]);
+    const double fsel = spec.filter_sel.empty() ? 1.0 : spec.filter_sel[pos];
+    if (fsel < 1.0) op = plan->AddSelect(op, fsel);
+    positions_out->assign(1, pos);
+    return op;
+  }
+  std::vector<size_t> left_pos, right_pos;
+  const int l = EmitTree(arena, t.left, spec, pair_sel, plan, &left_pos);
+  const int r = EmitTree(arena, t.right, spec, pair_sel, plan, &right_pos);
+  const double sel = CrossSelectivity(left_pos, right_pos, pair_sel);
+  const int op = plan->AddJoin(l, r, sel);
+  positions_out->assign(left_pos.begin(), left_pos.end());
+  positions_out->insert(positions_out->end(), right_pos.begin(),
+                        right_pos.end());
+  return op;
+}
+
+StatusOr<LogicalPlan> FinishPlan(const std::vector<TreeNode>& arena, int root,
+                                 const QuerySpec& spec,
+                                 const std::vector<std::vector<double>>& psel,
+                                 const Catalog& catalog) {
+  LogicalPlan plan;
+  std::vector<size_t> positions;
+  int op = EmitTree(arena, root, spec, psel, &plan, &positions);
+  if (spec.aggregate_factor < 1.0) {
+    op = plan.AddAggregate(op, spec.aggregate_factor);
+  }
+  plan.SetConsumer(op, spec.consumer);
+  Status s = plan.AnnotateRates(catalog, spec.join_window_s);
+  if (!s.ok()) return s;
+  return plan;
+}
+
+// Effective pairwise-selectivity matrix (all 1.0 when the spec omits it).
+std::vector<std::vector<double>> EffectivePairSel(const QuerySpec& spec) {
+  if (!spec.join_sel.empty()) return spec.join_sel;
+  return std::vector<std::vector<double>>(
+      spec.NumStreams(), std::vector<double>(spec.NumStreams(), 1.0));
+}
+
+}  // namespace
+
+StatusOr<std::vector<LogicalPlan>> EnumeratePlans(
+    const QuerySpec& spec, const Catalog& catalog,
+    const EnumerationOptions& options) {
+  Status valid = spec.Validate(catalog);
+  if (!valid.ok()) return valid;
+  const size_t n = spec.NumStreams();
+  if (n > options.max_streams || n > 31) {
+    return Status::InvalidArgument("too many streams for subset DP");
+  }
+  if (options.top_k == 0) {
+    return Status::InvalidArgument("top_k must be >= 1");
+  }
+  const std::vector<std::vector<double>> psel = EffectivePairSel(spec);
+
+  std::vector<TreeNode> arena;
+  // dp[mask] = up to top_k best partials, sorted by cost.
+  std::vector<std::vector<Partial>> dp(1u << n);
+
+  for (size_t i = 0; i < n; ++i) {
+    const StreamDef& sd = catalog.stream(spec.streams[i]);
+    const double fsel = spec.filter_sel.empty() ? 1.0 : spec.filter_sel[i];
+    Partial p;
+    p.tuple_rate = SelectOutputRate(sd.tuple_rate_per_s, fsel);
+    p.tuple_size = sd.tuple_size_bytes;
+    // A pushed-down filter receives the raw stream over a local edge.
+    p.cost = fsel < 1.0 ? sd.BytesPerSecond() : 0.0;
+    arena.push_back(TreeNode{-1, -1, i});
+    p.tree = static_cast<int>(arena.size()) - 1;
+    p.shape_hash = MixHash(0x51ea5ULL, i);
+    dp[1u << i].push_back(p);
+  }
+
+  const uint32_t full = (n >= 31) ? 0x7fffffffu : ((1u << n) - 1u);
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;  // singletons already seeded
+    const uint32_t lowest = mask & (~mask + 1u);
+    std::vector<Partial>& bucket = dp[mask];
+    // Iterate proper submasks containing the lowest bit (canonical split).
+    for (uint32_t sub = (mask - 1u) & mask; sub != 0;
+         sub = (sub - 1u) & mask) {
+      if ((sub & lowest) == 0) continue;
+      const uint32_t rest = mask ^ sub;
+      if (options.left_deep_only) {
+        const bool sub_single = (sub & (sub - 1)) == 0;
+        const bool rest_single = (rest & (rest - 1)) == 0;
+        if (!sub_single && !rest_single) continue;
+      }
+      const auto left_pos = MaskPositions(sub);
+      const auto right_pos = MaskPositions(rest);
+      const double sel = CrossSelectivity(left_pos, right_pos, psel);
+      for (const Partial& a : dp[sub]) {
+        for (const Partial& b : dp[rest]) {
+          Partial p;
+          p.tuple_rate = JoinOutputRate(a.tuple_rate, b.tuple_rate, sel,
+                                        spec.join_window_s);
+          p.tuple_size = JoinOutputTupleSize(a.tuple_size, b.tuple_size);
+          p.cost = a.cost + b.cost + a.tuple_rate * a.tuple_size +
+                   b.tuple_rate * b.tuple_size;
+          const uint64_t ha = a.shape_hash, hb = b.shape_hash;
+          p.shape_hash = MixHash(std::min(ha, hb), std::max(ha, hb));
+          arena.push_back(TreeNode{a.tree, b.tree, 0});
+          p.tree = static_cast<int>(arena.size()) - 1;
+          bucket.push_back(p);
+        }
+      }
+    }
+    // Keep the top_k cheapest distinct shapes.
+    std::sort(bucket.begin(), bucket.end(),
+              [](const Partial& a, const Partial& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                return a.shape_hash < b.shape_hash;
+              });
+    std::vector<Partial> kept;
+    for (const Partial& p : bucket) {
+      const bool dup = std::any_of(kept.begin(), kept.end(),
+                                   [&](const Partial& q) {
+                                     return q.shape_hash == p.shape_hash;
+                                   });
+      if (!dup) kept.push_back(p);
+      if (kept.size() >= options.top_k) break;
+    }
+    bucket = std::move(kept);
+  }
+
+  std::vector<LogicalPlan> plans;
+  for (const Partial& p : dp[full]) {
+    auto plan = FinishPlan(arena, p.tree, spec, psel, catalog);
+    if (!plan.ok()) return plan.status();
+    plans.push_back(std::move(plan.value()));
+  }
+  if (plans.empty()) return Status::Internal("enumeration produced no plans");
+  return plans;
+}
+
+namespace {
+
+// Recursively enumerates every distinct join tree over `mask`.
+void AllTrees(uint32_t mask, std::vector<TreeNode>* arena,
+              std::map<uint32_t, std::vector<int>>* memo) {
+  if (memo->count(mask) != 0) return;
+  std::vector<int>& out = (*memo)[mask];
+  if ((mask & (mask - 1)) == 0) {
+    size_t pos = 0;
+    while (((mask >> pos) & 1u) == 0) ++pos;
+    arena->push_back(TreeNode{-1, -1, pos});
+    out.push_back(static_cast<int>(arena->size()) - 1);
+    return;
+  }
+  const uint32_t lowest = mask & (~mask + 1u);
+  for (uint32_t sub = (mask - 1u) & mask; sub != 0; sub = (sub - 1u) & mask) {
+    if ((sub & lowest) == 0) continue;
+    const uint32_t rest = mask ^ sub;
+    AllTrees(sub, arena, memo);
+    AllTrees(rest, arena, memo);
+    // Copy index lists: recursion may invalidate references into the map.
+    const std::vector<int> lefts = (*memo)[sub];
+    const std::vector<int> rights = (*memo)[rest];
+    for (int l : lefts) {
+      for (int r : rights) {
+        arena->push_back(TreeNode{l, r, 0});
+        (*memo)[mask].push_back(static_cast<int>(arena->size()) - 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<LogicalPlan>> EnumerateAllPlansExhaustive(
+    const QuerySpec& spec, const Catalog& catalog) {
+  Status valid = spec.Validate(catalog);
+  if (!valid.ok()) return valid;
+  const size_t n = spec.NumStreams();
+  if (n > 7) {
+    return Status::InvalidArgument("exhaustive enumeration limited to n<=7");
+  }
+  const std::vector<std::vector<double>> psel = EffectivePairSel(spec);
+  std::vector<TreeNode> arena;
+  std::map<uint32_t, std::vector<int>> memo;
+  const uint32_t full = (1u << n) - 1u;
+  AllTrees(full, &arena, &memo);
+  std::vector<LogicalPlan> plans;
+  for (int root : memo[full]) {
+    auto plan = FinishPlan(arena, root, spec, psel, catalog);
+    if (!plan.ok()) return plan.status();
+    plans.push_back(std::move(plan.value()));
+  }
+  std::sort(plans.begin(), plans.end(),
+            [](const LogicalPlan& a, const LogicalPlan& b) {
+              return a.IntermediateDataRate() < b.IntermediateDataRate();
+            });
+  return plans;
+}
+
+}  // namespace sbon::query

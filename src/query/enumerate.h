@@ -1,0 +1,46 @@
+#ifndef SBON_QUERY_ENUMERATE_H_
+#define SBON_QUERY_ENUMERATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/catalog.h"
+#include "query/plan.h"
+#include "query/query_spec.h"
+
+namespace sbon::query {
+
+/// Plan-enumeration options.
+struct EnumerationOptions {
+  /// Candidate plans to return (ranked by network-blind intermediate data
+  /// rate). The integrated optimizer virtually places *all* of them; the
+  /// two-step baseline only ever looks at the first. K partial plans are
+  /// also retained per DP subset, so K=1 is exactly the classical DP.
+  size_t top_k = 8;
+  /// Restrict to left-deep join trees (classical System-R style); false
+  /// explores bushy trees too.
+  bool left_deep_only = false;
+  /// Maximum streams the subset DP accepts (2^n * K state blowup guard).
+  size_t max_streams = 14;
+};
+
+/// Enumerates candidate logical plans for `spec` using dynamic programming
+/// over stream subsets with top-K pruning (paper Sec. 2.1: "dynamic
+/// programming with pruning or some other enumeration algorithm").
+///
+/// Returned plans are distinct join shapes, annotated with rates, best
+/// (lowest data volume) first. Per-stream filters are pushed to the leaves;
+/// an aggregate (if any) sits directly under the consumer.
+StatusOr<std::vector<LogicalPlan>> EnumeratePlans(
+    const QuerySpec& spec, const Catalog& catalog,
+    const EnumerationOptions& options);
+
+/// Exhaustively enumerates *every* distinct join tree (bushy, all leaf
+/// partitions) — the oracle used to test DP optimality. Practical for
+/// NumStreams() <= 6 (105 trees at n=5, 945 at n=6).
+StatusOr<std::vector<LogicalPlan>> EnumerateAllPlansExhaustive(
+    const QuerySpec& spec, const Catalog& catalog);
+
+}  // namespace sbon::query
+
+#endif  // SBON_QUERY_ENUMERATE_H_

@@ -1,0 +1,45 @@
+#ifndef SBON_QUERY_QUERY_SPEC_H_
+#define SBON_QUERY_QUERY_SPEC_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "query/catalog.h"
+
+namespace sbon::query {
+
+/// A declarative continuous query: join a set of streams (with optional
+/// per-stream filters and a pairwise join-predicate selectivity matrix),
+/// optionally aggregate, and deliver to a pinned consumer node. Plan
+/// generation chooses the join order; placement chooses the hosts.
+struct QuerySpec {
+  NodeId consumer = kInvalidNode;
+  std::vector<StreamId> streams;  ///< >= 1 streams, joined k-way.
+
+  /// Per-position filter selectivity (1.0 = no filter). Size = streams.
+  std::vector<double> filter_sel;
+
+  /// Symmetric pairwise join-predicate selectivity matrix; entry 1.0 means
+  /// no predicate between that pair. Size = streams x streams.
+  std::vector<std::vector<double>> join_sel;
+
+  /// Rate factor of a final aggregation (1.0 = no aggregate op).
+  double aggregate_factor = 1.0;
+
+  /// Join window in seconds for the rate model.
+  double join_window_s = 1.0;
+
+  size_t NumStreams() const { return streams.size(); }
+
+  /// Structural validation against a catalog.
+  Status Validate(const Catalog& catalog) const;
+
+  /// A spec with no filters and uniform pairwise selectivity `sel`.
+  static QuerySpec SimpleJoin(std::vector<StreamId> streams, NodeId consumer,
+                              double sel, double window_s = 1.0);
+};
+
+}  // namespace sbon::query
+
+#endif  // SBON_QUERY_QUERY_SPEC_H_

@@ -1,0 +1,88 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sbon::query {
+
+Catalog RandomCatalog(const WorkloadParams& params,
+                      const std::vector<NodeId>& producer_sites, Rng* rng) {
+  assert(!producer_sites.empty());
+  Catalog catalog;
+  for (size_t i = 0; i < params.num_streams; ++i) {
+    const double rate = std::min(
+        rng->Pareto(params.rate_pareto_xm, params.rate_pareto_alpha),
+        params.rate_cap);
+    const double size =
+        rng->Uniform(params.tuple_size_min, params.tuple_size_max);
+    const NodeId producer =
+        producer_sites[rng->UniformInt(producer_sites.size())];
+    catalog.AddStream("s" + std::to_string(i), rate, size, producer);
+  }
+  return catalog;
+}
+
+QuerySpec RandomQuery(const WorkloadParams& params, const Catalog& catalog,
+                      const std::vector<NodeId>& consumer_sites, Rng* rng) {
+  assert(!consumer_sites.empty());
+  assert(catalog.NumStreams() >= params.min_streams_per_query);
+  const size_t hi =
+      std::min(params.max_streams_per_query, catalog.NumStreams());
+  const size_t lo = std::min(params.min_streams_per_query, hi);
+  const size_t k = static_cast<size_t>(
+      rng->UniformInt(static_cast<int64_t>(lo), static_cast<int64_t>(hi)));
+
+  QuerySpec q;
+  q.consumer = consumer_sites[rng->UniformInt(consumer_sites.size())];
+  for (size_t idx : rng->SampleWithoutReplacement(catalog.NumStreams(), k)) {
+    q.streams.push_back(static_cast<StreamId>(idx));
+  }
+  q.join_window_s = params.join_window_s;
+
+  q.filter_sel.assign(k, 1.0);
+  for (size_t i = 0; i < k; ++i) {
+    if (rng->Bernoulli(params.filter_prob)) {
+      q.filter_sel[i] =
+          rng->Uniform(params.filter_sel_min, params.filter_sel_max);
+    }
+  }
+
+  JoinGraphShape shape = JoinGraphShape::kChain;
+  if (!rng->Bernoulli(params.chain_prob)) {
+    shape = rng->Bernoulli(0.5) ? JoinGraphShape::kStar
+                                : JoinGraphShape::kClique;
+  }
+  auto draw_sel = [&]() {
+    const double log10s =
+        rng->Uniform(params.join_sel_log10_min, params.join_sel_log10_max);
+    return std::pow(10.0, log10s);
+  };
+  q.join_sel.assign(k, std::vector<double>(k, 1.0));
+  auto set_pair = [&](size_t i, size_t j) {
+    const double s = draw_sel();
+    q.join_sel[i][j] = s;
+    q.join_sel[j][i] = s;
+  };
+  switch (shape) {
+    case JoinGraphShape::kChain:
+      for (size_t i = 0; i + 1 < k; ++i) set_pair(i, i + 1);
+      break;
+    case JoinGraphShape::kStar:
+      for (size_t i = 1; i < k; ++i) set_pair(0, i);
+      break;
+    case JoinGraphShape::kClique:
+      for (size_t i = 0; i < k; ++i) {
+        for (size_t j = i + 1; j < k; ++j) set_pair(i, j);
+      }
+      break;
+  }
+
+  if (rng->Bernoulli(params.aggregate_prob)) {
+    q.aggregate_factor = rng->Uniform(params.aggregate_factor_min,
+                                      params.aggregate_factor_max);
+  }
+  return q;
+}
+
+}  // namespace sbon::query

@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/integrated.h"
+#include "core/multi_query.h"
+#include "core/reopt.h"
+#include "core/two_step.h"
+#include "net/generators.h"
+#include "overlay/metrics.h"
+#include "query/enumerate.h"
+#include "query/workload.h"
+
+namespace sbon::core {
+namespace {
+
+using overlay::Sbon;
+
+std::unique_ptr<Sbon> MakeSbon(uint64_t seed, size_t scale = 1) {
+  Rng rng(seed);
+  net::TransitStubParams p;
+  p.transit_domains = 2 * scale;
+  p.transit_nodes_per_domain = 2;
+  p.stub_domains_per_transit_node = 2;
+  p.nodes_per_stub_domain = 6;
+  auto topo = net::GenerateTransitStub(p, &rng);
+  EXPECT_TRUE(topo.ok());
+  Sbon::Options opts;
+  opts.seed = seed;
+  opts.load_params.sigma = 0.0;
+  opts.load_params.mean = 0.2;
+  auto s = Sbon::Create(std::move(topo.value()), opts);
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return std::move(s.value());
+}
+
+std::shared_ptr<const placement::VirtualPlacer> Relaxation() {
+  return std::make_shared<placement::RelaxationPlacer>();
+}
+
+query::WorkloadParams TestWorkload() {
+  query::WorkloadParams wp;
+  wp.num_streams = 20;
+  wp.min_streams_per_query = 3;
+  wp.max_streams_per_query = 5;
+  return wp;
+}
+
+// --------------------------- TwoStep ---------------------------
+
+TEST(TwoStepTest, ProducesInstallableCircuit) {
+  auto s = MakeSbon(1);
+  query::WorkloadParams wp = TestWorkload();
+  query::Catalog cat = query::RandomCatalog(wp, s->overlay_nodes(),
+                                            &s->rng());
+  query::QuerySpec q =
+      query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+  TwoStepOptimizer opt(OptimizerConfig{}, Relaxation());
+  auto r = opt.Optimize(q, cat, s.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->circuit.FullyPlaced());
+  EXPECT_EQ(r->plans_considered, 1u);
+  EXPECT_EQ(r->placements_evaluated, 1u);
+  EXPECT_GT(r->estimated_cost, 0.0);
+  auto id = s->InstallCircuit(std::move(r->circuit));
+  ASSERT_TRUE(id.ok());
+  EXPECT_GT(s->NumServices(), 0u);
+}
+
+TEST(TwoStepTest, ChoosesMinDataVolumePlan) {
+  auto s = MakeSbon(2);
+  query::WorkloadParams wp = TestWorkload();
+  query::Catalog cat =
+      query::RandomCatalog(wp, s->overlay_nodes(), &s->rng());
+  query::QuerySpec q =
+      query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+  TwoStepOptimizer opt(OptimizerConfig{}, Relaxation());
+  auto r = opt.Optimize(q, cat, s.get());
+  ASSERT_TRUE(r.ok());
+  auto all = query::EnumerateAllPlansExhaustive(q, cat);
+  ASSERT_TRUE(all.ok());
+  EXPECT_NEAR(r->circuit.plan().IntermediateDataRate(),
+              (*all)[0].IntermediateDataRate(),
+              1e-6 * (*all)[0].IntermediateDataRate());
+}
+
+// --------------------------- Integrated ---------------------------
+
+TEST(IntegratedTest, ConsidersMultiplePlans) {
+  auto s = MakeSbon(3);
+  query::WorkloadParams wp = TestWorkload();
+  query::Catalog cat =
+      query::RandomCatalog(wp, s->overlay_nodes(), &s->rng());
+  query::QuerySpec q = query::QuerySpec::SimpleJoin(
+      {0, 1, 2, 3}, s->overlay_nodes()[0], 0.001);
+  OptimizerConfig cfg;
+  cfg.enumeration.top_k = 8;
+  IntegratedOptimizer opt(cfg, Relaxation());
+  auto r = opt.Optimize(q, cat, s.get());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->plans_considered, 1u);
+  EXPECT_EQ(r->placements_evaluated, r->plans_considered);
+  EXPECT_TRUE(r->circuit.FullyPlaced());
+}
+
+// Invariant 5: integrated never estimates worse than two-step when the
+// two-step plan is in its candidate set (same placer, same mapper).
+class IntegratedDominanceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntegratedDominanceTest, IntegratedLeqTwoStepOnEstimate) {
+  auto s = MakeSbon(GetParam());
+  query::WorkloadParams wp = TestWorkload();
+  query::Catalog cat =
+      query::RandomCatalog(wp, s->overlay_nodes(), &s->rng());
+  OptimizerConfig cfg;
+  cfg.enumeration.top_k = 8;
+  TwoStepOptimizer two(cfg, Relaxation());
+  IntegratedOptimizer integrated(cfg, Relaxation());
+  for (int rep = 0; rep < 5; ++rep) {
+    query::QuerySpec q =
+        query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+    auto rt = two.Optimize(q, cat, s.get());
+    auto ri = integrated.Optimize(q, cat, s.get());
+    ASSERT_TRUE(rt.ok() && ri.ok());
+    // The integrated candidate set contains the two-step plan (it is the
+    // DP optimum, always rank 1 of the top-k), so integrated can never
+    // estimate worse.
+    EXPECT_LE(ri->estimated_cost, rt->estimated_cost * (1.0 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegratedDominanceTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+TEST(IntegratedTest, SingleCandidateEqualsTwoStep) {
+  auto s = MakeSbon(4);
+  query::WorkloadParams wp = TestWorkload();
+  query::Catalog cat =
+      query::RandomCatalog(wp, s->overlay_nodes(), &s->rng());
+  query::QuerySpec q =
+      query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+  OptimizerConfig cfg;
+  cfg.enumeration.top_k = 1;
+  TwoStepOptimizer two(cfg, Relaxation());
+  IntegratedOptimizer one(cfg, Relaxation());
+  auto rt = two.Optimize(q, cat, s.get());
+  auto ri = one.Optimize(q, cat, s.get());
+  ASSERT_TRUE(rt.ok() && ri.ok());
+  EXPECT_DOUBLE_EQ(ri->estimated_cost, rt->estimated_cost);
+  EXPECT_EQ(ri->circuit.plan().Canonical(), rt->circuit.plan().Canonical());
+}
+
+// --------------------------- MultiQuery ---------------------------
+
+MultiQueryOptimizer::Params RadiusParams(double r) {
+  MultiQueryOptimizer::Params p;
+  p.reuse_radius = r;
+  return p;
+}
+
+TEST(MultiQueryTest, RadiusZeroMatchesIntegrated) {
+  auto s = MakeSbon(5);
+  query::WorkloadParams wp = TestWorkload();
+  query::Catalog cat =
+      query::RandomCatalog(wp, s->overlay_nodes(), &s->rng());
+  OptimizerConfig cfg;
+  IntegratedOptimizer integrated(cfg, Relaxation());
+  MultiQueryOptimizer mq(cfg, Relaxation(), RadiusParams(0.0));
+  // Pre-install some circuits so reuse would be possible.
+  for (int i = 0; i < 3; ++i) {
+    query::QuerySpec q =
+        query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+    auto r = integrated.Optimize(q, cat, s.get());
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(s->InstallCircuit(std::move(r->circuit)).ok());
+  }
+  query::QuerySpec q =
+      query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+  auto ri = integrated.Optimize(q, cat, s.get());
+  auto rm = mq.Optimize(q, cat, s.get());
+  ASSERT_TRUE(ri.ok() && rm.ok());
+  EXPECT_DOUBLE_EQ(rm->estimated_cost, ri->estimated_cost);
+  EXPECT_EQ(rm->services_reused, 0u);
+}
+
+TEST(MultiQueryTest, IdenticalQueryReusesWholeSubtree) {
+  auto s = MakeSbon(6);
+  query::WorkloadParams wp = TestWorkload();
+  query::Catalog cat =
+      query::RandomCatalog(wp, s->overlay_nodes(), &s->rng());
+  OptimizerConfig cfg;
+  MultiQueryOptimizer mq(cfg, Relaxation(), RadiusParams(-1.0));
+  const query::QuerySpec q = query::QuerySpec::SimpleJoin(
+      {0, 1, 2}, s->overlay_nodes()[5], 0.001);
+  auto first = mq.Optimize(q, cat, s.get());
+  ASSERT_TRUE(first.ok());
+  const double standalone_cost = first->estimated_cost;
+  ASSERT_TRUE(s->InstallCircuit(std::move(first->circuit)).ok());
+
+  // Same query, different consumer: the root join should be reused and the
+  // marginal cost must be far below standalone.
+  query::QuerySpec q2 = q;
+  q2.consumer = s->overlay_nodes()[40];
+  auto second = mq.Optimize(q2, cat, s.get());
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(second->services_reused, 1u);
+  EXPECT_LT(second->estimated_cost, standalone_cost * 0.8);
+  // And it installs cleanly against the live instances.
+  auto id = s->InstallCircuit(std::move(second->circuit));
+  ASSERT_TRUE(id.ok());
+}
+
+TEST(MultiQueryTest, UnboundedRadiusNeverWorseThanNoReuse) {
+  auto s = MakeSbon(7);
+  query::WorkloadParams wp = TestWorkload();
+  query::Catalog cat =
+      query::RandomCatalog(wp, s->overlay_nodes(), &s->rng());
+  OptimizerConfig cfg;
+  MultiQueryOptimizer none(cfg, Relaxation(), RadiusParams(0.0));
+  MultiQueryOptimizer all(cfg, Relaxation(), RadiusParams(-1.0));
+  // Install a base of circuits.
+  for (int i = 0; i < 5; ++i) {
+    query::QuerySpec q =
+        query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+    auto r = all.Optimize(q, cat, s.get());
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(s->InstallCircuit(std::move(r->circuit)).ok());
+  }
+  for (int rep = 0; rep < 5; ++rep) {
+    query::QuerySpec q =
+        query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+    auto rn = none.Optimize(q, cat, s.get());
+    auto ra = all.Optimize(q, cat, s.get());
+    ASSERT_TRUE(rn.ok() && ra.ok());
+    // Invariant 6: unbounded reuse search cannot produce a costlier pick.
+    EXPECT_LE(ra->estimated_cost, rn->estimated_cost * (1.0 + 1e-9));
+  }
+}
+
+TEST(MultiQueryTest, RadiusMonotoneInOptimizerWork) {
+  auto s = MakeSbon(8);
+  query::WorkloadParams wp = TestWorkload();
+  wp.num_streams = 10;  // denser sharing
+  query::Catalog cat =
+      query::RandomCatalog(wp, s->overlay_nodes(), &s->rng());
+  OptimizerConfig cfg;
+  MultiQueryOptimizer mq(cfg, Relaxation(), RadiusParams(-1.0));
+  for (int i = 0; i < 8; ++i) {
+    query::QuerySpec q =
+        query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+    auto r = mq.Optimize(q, cat, s.get());
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(s->InstallCircuit(std::move(r->circuit)).ok());
+  }
+  // Optimizer work (reuse candidates examined) grows with radius.
+  const double diameter =
+      2.0 * s->latency().MaxLatency();  // generous cost-space bound
+  size_t small_work = 0, large_work = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    query::QuerySpec q =
+        query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+    MultiQueryOptimizer small(cfg, Relaxation(), RadiusParams(1.0));
+    MultiQueryOptimizer large(cfg, Relaxation(),
+                              RadiusParams(diameter));
+    auto rs = small.Optimize(q, cat, s.get());
+    auto rl = large.Optimize(q, cat, s.get());
+    ASSERT_TRUE(rs.ok() && rl.ok());
+    small_work += rs->reuse_candidates_considered;
+    large_work += rl->reuse_candidates_considered;
+  }
+  EXPECT_LE(small_work, large_work);
+}
+
+// --------------------------- Reopt ---------------------------
+
+TEST(ReoptTest, LocalReoptMigratesAwayFromLoadedHost) {
+  auto s = MakeSbon(9);
+  query::WorkloadParams wp = TestWorkload();
+  query::Catalog cat =
+      query::RandomCatalog(wp, s->overlay_nodes(), &s->rng());
+  OptimizerConfig cfg;
+  IntegratedOptimizer opt(cfg, Relaxation());
+  query::QuerySpec q =
+      query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+  auto r = opt.Optimize(q, cat, s.get());
+  ASSERT_TRUE(r.ok());
+  auto id = s->InstallCircuit(std::move(r->circuit));
+  ASSERT_TRUE(id.ok());
+
+  // Saturate every host the circuit's services run on.
+  const overlay::Circuit* live = s->FindCircuit(*id);
+  ASSERT_NE(live, nullptr);
+  for (int v : live->PlaceableVertices()) {
+    s->SetBaseLoad(live->vertex(v).host, 1.0);
+  }
+  s->RefreshIndex();
+
+  placement::RelaxationPlacer placer;
+  ReoptConfig rc;
+  rc.migration_hysteresis = 0.02;
+  auto report = LocalReoptimize(s.get(), *id, placer, rc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->migrations, 0u);
+  EXPECT_LT(report->estimated_cost_after, report->estimated_cost_before);
+}
+
+TEST(ReoptTest, LocalReoptNoOpWhenAlreadyGood) {
+  auto s = MakeSbon(10);
+  query::WorkloadParams wp = TestWorkload();
+  query::Catalog cat =
+      query::RandomCatalog(wp, s->overlay_nodes(), &s->rng());
+  OptimizerConfig cfg;
+  IntegratedOptimizer opt(cfg, Relaxation());
+  query::QuerySpec q =
+      query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+  auto r = opt.Optimize(q, cat, s.get());
+  ASSERT_TRUE(r.ok());
+  auto id = s->InstallCircuit(std::move(r->circuit));
+  ASSERT_TRUE(id.ok());
+  placement::RelaxationPlacer placer;
+  auto report = LocalReoptimize(s.get(), *id, placer, ReoptConfig{});
+  ASSERT_TRUE(report.ok());
+  // Nothing changed since installation: no migrations expected.
+  EXPECT_EQ(report->migrations, 0u);
+}
+
+TEST(ReoptTest, FullReoptRedeploysUnderDrift) {
+  auto s = MakeSbon(11);
+  query::WorkloadParams wp = TestWorkload();
+  query::Catalog cat =
+      query::RandomCatalog(wp, s->overlay_nodes(), &s->rng());
+  OptimizerConfig cfg;
+  IntegratedOptimizer opt(cfg, Relaxation());
+  query::QuerySpec q =
+      query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+  auto r = opt.Optimize(q, cat, s.get());
+  ASSERT_TRUE(r.ok());
+  auto id = s->InstallCircuit(std::move(r->circuit));
+  ASSERT_TRUE(id.ok());
+
+  // Overload all current hosts so a fresh optimization finds a much better
+  // circuit elsewhere.
+  const overlay::Circuit* live = s->FindCircuit(*id);
+  for (int v : live->PlaceableVertices()) {
+    s->SetBaseLoad(live->vertex(v).host, 1.0);
+  }
+  s->RefreshIndex();
+
+  ReoptConfig rc;
+  rc.replan_threshold = 0.05;
+  auto report = FullReoptimize(s.get(), *id, q, cat, &opt, rc);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  if (report->redeployed) {
+    EXPECT_EQ(s->FindCircuit(*id), nullptr);
+    ASSERT_NE(s->FindCircuit(report->new_circuit), nullptr);
+    EXPECT_LT(report->estimated_cost_candidate,
+              report->estimated_cost_before);
+  }
+  // Either way the SBON stays consistent: exactly one circuit.
+  EXPECT_EQ(s->circuits().size(), 1u);
+}
+
+TEST(ReoptTest, FullReoptKeepsCircuitWhenNoGain) {
+  auto s = MakeSbon(12);
+  query::WorkloadParams wp = TestWorkload();
+  query::Catalog cat =
+      query::RandomCatalog(wp, s->overlay_nodes(), &s->rng());
+  OptimizerConfig cfg;
+  IntegratedOptimizer opt(cfg, Relaxation());
+  query::QuerySpec q =
+      query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+  auto r = opt.Optimize(q, cat, s.get());
+  ASSERT_TRUE(r.ok());
+  auto id = s->InstallCircuit(std::move(r->circuit));
+  ASSERT_TRUE(id.ok());
+  ReoptConfig rc;
+  rc.replan_threshold = 0.15;
+  auto report = FullReoptimize(s.get(), *id, q, cat, &opt, rc);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->redeployed);
+  EXPECT_NE(s->FindCircuit(*id), nullptr);
+}
+
+TEST(ReoptTest, MissingCircuitRejected) {
+  auto s = MakeSbon(13);
+  placement::RelaxationPlacer placer;
+  EXPECT_FALSE(LocalReoptimize(s.get(), 999, placer, ReoptConfig{}).ok());
+}
+
+// --------------------------- End-to-end ---------------------------
+
+TEST(EndToEndTest, ManyQueriesLifecycle) {
+  auto s = MakeSbon(14);
+  query::WorkloadParams wp = TestWorkload();
+  query::Catalog cat =
+      query::RandomCatalog(wp, s->overlay_nodes(), &s->rng());
+  OptimizerConfig cfg;
+  MultiQueryOptimizer mq(cfg, Relaxation(), RadiusParams(80.0));
+  std::vector<CircuitId> ids;
+  for (int i = 0; i < 12; ++i) {
+    query::QuerySpec q =
+        query::RandomQuery(wp, cat, s->overlay_nodes(), &s->rng());
+    auto r = mq.Optimize(q, cat, s.get());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    auto id = s->InstallCircuit(std::move(r->circuit));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+    s->Tick(0.5);
+    s->RefreshIndex();
+  }
+  EXPECT_EQ(s->circuits().size(), 12u);
+  EXPECT_GT(s->TotalNetworkUsage(), 0.0);
+  // Tear down every other circuit; the rest must stay consistent.
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    ASSERT_TRUE(s->RemoveCircuit(ids[i]).ok());
+  }
+  EXPECT_EQ(s->circuits().size(), 6u);
+  for (size_t i = 1; i < ids.size(); i += 2) {
+    auto cost = s->CircuitCostOf(ids[i]);
+    ASSERT_TRUE(cost.ok());
+    EXPECT_GE(cost->network_usage, 0.0);
+  }
+  // Remove the rest: SBON drains to empty.
+  for (size_t i = 1; i < ids.size(); i += 2) {
+    ASSERT_TRUE(s->RemoveCircuit(ids[i]).ok());
+  }
+  EXPECT_EQ(s->NumServices(), 0u);
+  EXPECT_DOUBLE_EQ(s->TotalNetworkUsage(), 0.0);
+}
+
+}  // namespace
+}  // namespace sbon::core

@@ -1,0 +1,498 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "dht/chord.h"
+#include "dht/coord_index.h"
+#include "dht/hilbert.h"
+#include "dht/u128.h"
+
+namespace sbon::dht {
+namespace {
+
+// --------------------------- U128 ---------------------------
+
+TEST(U128Test, ComparisonOrdering) {
+  EXPECT_LT(U128(0, 1), U128(0, 2));
+  EXPECT_LT(U128(0, ~0ULL), U128(1, 0));
+  EXPECT_LT(U128(1, 5), U128(2, 0));
+  EXPECT_EQ(U128(3, 4), U128(3, 4));
+  EXPECT_NE(U128(3, 4), U128(3, 5));
+}
+
+TEST(U128Test, AdditionCarries) {
+  const U128 a(0, ~0ULL);
+  const U128 b = a + U128::FromU64(1);
+  EXPECT_EQ(b, U128(1, 0));
+}
+
+TEST(U128Test, SubtractionBorrowsAndWraps) {
+  EXPECT_EQ(U128(1, 0) - U128::FromU64(1), U128(0, ~0ULL));
+  // Ring wrap: 0 - 1 == max.
+  EXPECT_EQ(U128() - U128::FromU64(1), U128::Max());
+}
+
+TEST(U128Test, AddSubRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const U128 a(rng.Next(), rng.Next());
+    const U128 b(rng.Next(), rng.Next());
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST(U128Test, Shifts) {
+  const U128 one = U128::FromU64(1);
+  EXPECT_EQ(one << 64, U128(1, 0));
+  EXPECT_EQ(one << 127, U128(1ULL << 63, 0));
+  EXPECT_EQ((one << 64) >> 64, one);
+  EXPECT_EQ(one << 128, U128());
+  EXPECT_EQ((U128(1, 0) >> 1), U128(0, 1ULL << 63));
+}
+
+TEST(U128Test, BitSetAndGet) {
+  U128 x;
+  x.SetBit(5);
+  x.SetBit(70);
+  EXPECT_TRUE(x.Bit(5));
+  EXPECT_TRUE(x.Bit(70));
+  EXPECT_FALSE(x.Bit(6));
+  EXPECT_FALSE(x.Bit(69));
+}
+
+TEST(U128Test, PowerOfTwo) {
+  EXPECT_EQ(PowerOfTwo(0), U128::FromU64(1));
+  EXPECT_EQ(PowerOfTwo(63), U128::FromU64(1ULL << 63));
+  EXPECT_EQ(PowerOfTwo(64), U128(1, 0));
+}
+
+TEST(U128Test, HashDispersion) {
+  std::set<uint64_t> his;
+  for (uint64_t i = 0; i < 1000; ++i) his.insert(HashU64(i).hi);
+  EXPECT_EQ(his.size(), 1000u);  // no collisions in hi word over 1k inputs
+}
+
+// --------------------------- Hilbert ---------------------------
+
+class HilbertRoundTripTest
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(HilbertRoundTripTest, EncodeDecodeBijective) {
+  const auto [dims, bits] = GetParam();
+  Rng rng(dims * 100 + bits);
+  for (int rep = 0; rep < 500; ++rep) {
+    std::vector<uint32_t> axes(dims);
+    for (auto& a : axes) {
+      a = static_cast<uint32_t>(rng.UniformInt(uint64_t{1} << bits));
+    }
+    const U128 idx = HilbertEncode(axes, bits);
+    EXPECT_EQ(HilbertDecode(idx, dims, bits), axes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsBits, HilbertRoundTripTest,
+    ::testing::Values(std::make_pair(1u, 8u), std::make_pair(2u, 4u),
+                      std::make_pair(2u, 10u), std::make_pair(3u, 7u),
+                      std::make_pair(3u, 16u), std::make_pair(4u, 10u),
+                      std::make_pair(5u, 12u), std::make_pair(6u, 10u),
+                      std::make_pair(8u, 14u)));
+
+TEST(HilbertTest, CurveVisitsEveryCellExactlyOnce) {
+  // 2-D, 3 bits: 64 cells; walking indices 0..63 must enumerate all cells.
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (uint64_t i = 0; i < 64; ++i) {
+    const auto axes = HilbertDecode(U128::FromU64(i), 2, 3);
+    seen.insert({axes[0], axes[1]});
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining locality property: successive curve positions differ by
+  // exactly one step in exactly one dimension.
+  for (unsigned dims : {2u, 3u}) {
+    const unsigned bits = (dims == 2) ? 5u : 3u;
+    const uint64_t total = 1ULL << (dims * bits);
+    auto prev = HilbertDecode(U128::FromU64(0), dims, bits);
+    for (uint64_t i = 1; i < total; ++i) {
+      const auto cur = HilbertDecode(U128::FromU64(i), dims, bits);
+      unsigned changed = 0;
+      unsigned delta = 0;
+      for (unsigned d = 0; d < dims; ++d) {
+        if (cur[d] != prev[d]) {
+          ++changed;
+          delta = std::max(delta,
+                           static_cast<unsigned>(std::abs(
+                               static_cast<int64_t>(cur[d]) -
+                               static_cast<int64_t>(prev[d]))));
+        }
+      }
+      ASSERT_EQ(changed, 1u) << "at index " << i;
+      ASSERT_EQ(delta, 1u) << "at index " << i;
+      prev = cur;
+    }
+  }
+}
+
+TEST(HilbertTest, NearbyIndicesNearbyInSpaceOnAverage) {
+  // Weaker locality in the useful direction: small index deltas should map
+  // to small average grid distances compared to random pairs.
+  Rng rng(7);
+  const unsigned dims = 2, bits = 8;
+  const uint64_t total = 1ULL << (dims * bits);
+  double near_dist = 0.0, rand_dist = 0.0;
+  const int reps = 2000;
+  for (int rep = 0; rep < reps; ++rep) {
+    const uint64_t i = rng.UniformInt(total - 16);
+    const auto a = HilbertDecode(U128::FromU64(i), dims, bits);
+    const auto b = HilbertDecode(U128::FromU64(i + 1 + rng.UniformInt(15)),
+                                 dims, bits);
+    const auto c = HilbertDecode(U128::FromU64(rng.UniformInt(total)), dims,
+                                 bits);
+    auto dist = [](const std::vector<uint32_t>& x,
+                   const std::vector<uint32_t>& y) {
+      double s = 0;
+      for (size_t d = 0; d < x.size(); ++d) {
+        const double diff =
+            static_cast<double>(x[d]) - static_cast<double>(y[d]);
+        s += diff * diff;
+      }
+      return std::sqrt(s);
+    };
+    near_dist += dist(a, b);
+    rand_dist += dist(a, c);
+  }
+  EXPECT_LT(near_dist, rand_dist * 0.1);
+}
+
+TEST(HilbertQuantizerTest, QuantizeDequantizeWithinCell) {
+  HilbertQuantizer q({0.0, 0.0}, {100.0, 100.0}, 8);
+  Rng rng(9);
+  const double cell = 100.0 / 256.0;
+  for (int rep = 0; rep < 300; ++rep) {
+    Vec p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const Vec back = q.Dequantize(q.Quantize(p));
+    EXPECT_NEAR(back[0], p[0], cell);
+    EXPECT_NEAR(back[1], p[1], cell);
+  }
+}
+
+TEST(HilbertQuantizerTest, ClampsOutOfBox) {
+  HilbertQuantizer q({0.0}, {10.0}, 4);
+  EXPECT_EQ(q.Quantize(Vec{-5.0})[0], 0u);
+  EXPECT_EQ(q.Quantize(Vec{50.0})[0], 15u);
+}
+
+TEST(HilbertQuantizerTest, FitToCoversPointsWithMargin) {
+  std::vector<Vec> pts = {{0.0, 5.0}, {10.0, -5.0}, {5.0, 0.0}};
+  const HilbertQuantizer q = HilbertQuantizer::FitTo(pts, 8, 0.1);
+  for (const Vec& p : pts) {
+    const auto cell = q.Quantize(p);
+    EXPECT_GT(cell[0], 0u);
+    EXPECT_LT(cell[0], 255u);
+    EXPECT_GT(cell[1], 0u);
+    EXPECT_LT(cell[1], 255u);
+  }
+}
+
+TEST(HilbertQuantizerTest, DegenerateDimensionHandled) {
+  // All points share one coordinate; quantizer must not divide by zero.
+  std::vector<Vec> pts = {{1.0, 7.0}, {2.0, 7.0}};
+  const HilbertQuantizer q = HilbertQuantizer::FitTo(pts, 6);
+  (void)q.Key(Vec{1.5, 7.0});  // must not crash
+}
+
+// --------------------------- Chord ---------------------------
+
+TEST(ChordTest, LookupReturnsSuccessor) {
+  ChordRing ring;
+  for (uint64_t k : {10, 20, 30, 40, 50}) {
+    ring.Join(U128::FromU64(k), static_cast<NodeId>(k));
+  }
+  ring.Stabilize();
+  auto r = ring.Lookup(U128::FromU64(25));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->node, 30u);
+  // Exact key hits its owner.
+  r = ring.Lookup(U128::FromU64(30));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->node, 30u);
+  // Wraps past the top.
+  r = ring.Lookup(U128::FromU64(55));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->node, 10u);
+}
+
+TEST(ChordTest, EmptyRingFails) {
+  ChordRing ring;
+  EXPECT_FALSE(ring.Lookup(U128::FromU64(1)).ok());
+}
+
+TEST(ChordTest, UnstabilizedRingFails) {
+  ChordRing ring;
+  ring.Join(U128::FromU64(1), 1);
+  EXPECT_FALSE(ring.Lookup(U128::FromU64(1)).ok());
+}
+
+TEST(ChordTest, LeaveRemovesNode) {
+  ChordRing ring;
+  ring.Join(U128::FromU64(10), 1);
+  ring.Join(U128::FromU64(20), 2);
+  ring.Leave(1);
+  ring.Stabilize();
+  auto r = ring.Lookup(U128::FromU64(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->node, 2u);
+}
+
+TEST(ChordTest, DuplicateKeysPerturbed) {
+  ChordRing ring;
+  ring.Join(U128::FromU64(10), 1);
+  ring.Join(U128::FromU64(10), 2);
+  EXPECT_EQ(ring.NumMembers(), 2u);
+  EXPECT_NE(ring.members()[0].key, ring.members()[1].key);
+}
+
+class ChordPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChordPropertyTest, LookupMatchesSortedMapOracle) {
+  const size_t n = GetParam();
+  Rng rng(n);
+  ChordRing ring;
+  std::map<U128, NodeId> oracle;
+  for (size_t i = 0; i < n; ++i) {
+    const U128 key = HashU64(rng.Next());
+    ring.Join(key, static_cast<NodeId>(i));
+    oracle[key] = static_cast<NodeId>(i);
+  }
+  ring.Stabilize();
+  for (int rep = 0; rep < 300; ++rep) {
+    const U128 q = HashU64(rng.Next());
+    auto it = oracle.lower_bound(q);
+    const NodeId expected =
+        (it == oracle.end()) ? oracle.begin()->second : it->second;
+    // Route from a random origin to exercise finger tables.
+    const U128 origin = HashU64(rng.Next());
+    auto r = ring.Lookup(q, origin);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->node, expected);
+  }
+}
+
+TEST_P(ChordPropertyTest, HopCountLogarithmic) {
+  const size_t n = GetParam();
+  Rng rng(n + 777);
+  ChordRing ring;
+  for (size_t i = 0; i < n; ++i) {
+    ring.Join(HashU64(rng.Next()), static_cast<NodeId>(i));
+  }
+  ring.Stabilize();
+  const double log2n = std::log2(static_cast<double>(n));
+  size_t worst = 0;
+  double total = 0.0;
+  const int reps = 400;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto r = ring.Lookup(HashU64(rng.Next()), HashU64(rng.Next()));
+    ASSERT_TRUE(r.ok());
+    worst = std::max(worst, r->hops);
+    total += static_cast<double>(r->hops);
+  }
+  EXPECT_LE(worst, static_cast<size_t>(2.0 * log2n + 4.0));
+  EXPECT_LE(total / reps, log2n + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, ChordPropertyTest,
+                         ::testing::Values(2, 5, 16, 64, 200, 500));
+
+TEST(ChordTest, SuccessorPredecessorWalk) {
+  ChordRing ring;
+  for (uint64_t k : {10, 20, 30}) {
+    ring.Join(U128::FromU64(k), static_cast<NodeId>(k));
+  }
+  ring.Stabilize();
+  auto r = ring.Lookup(U128::FromU64(15));
+  ASSERT_TRUE(r.ok());  // member 20 at index 1
+  EXPECT_EQ(ring.SuccessorAt(r->member_index, 0).node, 20u);
+  EXPECT_EQ(ring.SuccessorAt(r->member_index, 1).node, 30u);
+  EXPECT_EQ(ring.SuccessorAt(r->member_index, 2).node, 10u);  // wrap
+  EXPECT_EQ(ring.PredecessorAt(r->member_index, 1).node, 10u);
+  EXPECT_EQ(ring.PredecessorAt(r->member_index, 2).node, 30u);  // wrap
+}
+
+// --------------------------- CoordinateIndex ---------------------------
+
+CoordinateIndex MakeIndex(const std::vector<Vec>& coords, unsigned bits = 8) {
+  CoordinateIndex idx(HilbertQuantizer::FitTo(coords, bits));
+  for (size_t i = 0; i < coords.size(); ++i) {
+    idx.Publish(static_cast<NodeId>(i), coords[i]);
+  }
+  idx.Stabilize();
+  return idx;
+}
+
+TEST(CoordinateIndexTest, NearestFindsObviousNeighbor) {
+  std::vector<Vec> coords = {{0, 0}, {100, 100}, {50, 50}, {10, 2}};
+  auto idx = MakeIndex(coords);
+  auto m = idx.Nearest(Vec{9, 1});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->node, 3u);
+}
+
+TEST(CoordinateIndexTest, EmptyIndexFails) {
+  CoordinateIndex idx(HilbertQuantizer({0.0}, {1.0}, 4));
+  EXPECT_FALSE(idx.Nearest(Vec{0.5}).ok());
+}
+
+TEST(CoordinateIndexTest, WithdrawRemoves) {
+  std::vector<Vec> coords = {{0, 0}, {1, 1}};
+  auto idx = MakeIndex(coords);
+  idx.Withdraw(0);
+  idx.Stabilize();
+  auto m = idx.Nearest(Vec{0, 0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->node, 1u);
+}
+
+TEST(CoordinateIndexTest, RepublishMovesNode) {
+  std::vector<Vec> coords = {{0, 0}, {100, 100}};
+  auto idx = MakeIndex(coords);
+  idx.Publish(0, Vec{90, 90});
+  idx.Stabilize();
+  auto m = idx.Nearest(Vec{80, 80});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->node, 0u);
+  EXPECT_EQ(idx.NumPublished(), 2u);
+}
+
+TEST(CoordinateIndexTest, ExcludeSkipsNodes) {
+  std::vector<Vec> coords = {{0, 0}, {1, 0}, {2, 0}};
+  auto idx = MakeIndex(coords);
+  auto ms = idx.KNearest(Vec{0, 0}, 1, 16, nullptr, {0});
+  ASSERT_TRUE(ms.ok());
+  ASSERT_EQ(ms->size(), 1u);
+  EXPECT_EQ((*ms)[0].node, 1u);
+}
+
+TEST(CoordinateIndexTest, KNearestSortedByDistance) {
+  Rng rng(3);
+  std::vector<Vec> coords;
+  for (int i = 0; i < 60; ++i) {
+    coords.push_back(Vec{rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  auto idx = MakeIndex(coords);
+  auto ms = idx.KNearest(Vec{50, 50}, 10, 30);
+  ASSERT_TRUE(ms.ok());
+  for (size_t i = 1; i < ms->size(); ++i) {
+    EXPECT_LE((*ms)[i - 1].distance, (*ms)[i].distance);
+  }
+}
+
+class IndexAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexAccuracyTest, WideProbeMatchesExactOracle) {
+  Rng rng(GetParam());
+  std::vector<Vec> coords;
+  const size_t n = 120;
+  for (size_t i = 0; i < n; ++i) {
+    coords.push_back(Vec{rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  auto idx = MakeIndex(coords, 10);
+  for (int rep = 0; rep < 30; ++rep) {
+    const Vec target{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    // Probe width covering the whole ring: must equal the oracle.
+    auto got = idx.KNearest(target, 5, n);
+    ASSERT_TRUE(got.ok());
+    const auto want = idx.KNearestExact(target, 5);
+    ASSERT_EQ(got->size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ((*got)[i].node, want[i].node);
+    }
+  }
+}
+
+TEST_P(IndexAccuracyTest, NarrowProbeNearOptimal) {
+  Rng rng(GetParam() + 50);
+  std::vector<Vec> coords;
+  const size_t n = 200;
+  for (size_t i = 0; i < n; ++i) {
+    coords.push_back(Vec{rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  auto idx = MakeIndex(coords, 10);
+  double got_total = 0.0, want_total = 0.0;
+  for (int rep = 0; rep < 60; ++rep) {
+    const Vec target{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    auto got = idx.Nearest(target, /*probe_width=*/16);
+    ASSERT_TRUE(got.ok());
+    const auto want = idx.KNearestExact(target, 1);
+    got_total += got->distance;
+    want_total += want[0].distance;
+  }
+  // Hilbert probing is approximate; on average it must stay within 2x of
+  // the exact nearest distance (typically much closer).
+  EXPECT_LE(got_total, want_total * 2.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexAccuracyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(CoordinateIndexTest, WithinRadiusFindsAllNearby) {
+  std::vector<Vec> coords = {{0, 0}, {3, 0}, {0, 4}, {30, 40}, {100, 100}};
+  auto idx = MakeIndex(coords);
+  auto ms = idx.WithinRadius(Vec{0, 0}, 5.5);
+  ASSERT_TRUE(ms.ok());
+  std::set<NodeId> nodes;
+  for (const auto& m : *ms) nodes.insert(m.node);
+  EXPECT_TRUE(nodes.count(0));
+  EXPECT_TRUE(nodes.count(1));
+  EXPECT_TRUE(nodes.count(2));
+  EXPECT_FALSE(nodes.count(4));
+}
+
+TEST(CoordinateIndexTest, WithinRadiusZeroMatchesOnlyCoincident) {
+  std::vector<Vec> coords = {{5, 5}, {6, 6}};
+  auto idx = MakeIndex(coords);
+  auto ms = idx.WithinRadius(Vec{5, 5}, 0.0);
+  ASSERT_TRUE(ms.ok());
+  ASSERT_EQ(ms->size(), 1u);
+  EXPECT_EQ((*ms)[0].node, 0u);
+}
+
+TEST(CoordinateIndexTest, QueryCostAccounted) {
+  Rng rng(5);
+  std::vector<Vec> coords;
+  for (int i = 0; i < 100; ++i) {
+    coords.push_back(Vec{rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  auto idx = MakeIndex(coords);
+  IndexQueryCost cost;
+  auto ms = idx.KNearest(Vec{50, 50}, 4, 8, &cost);
+  ASSERT_TRUE(ms.ok());
+  EXPECT_EQ(cost.lookups, 1u);
+  EXPECT_GT(cost.ring_probes, 0u);
+}
+
+TEST(CoordinateIndexTest, HigherDimensionalIndexWorks) {
+  Rng rng(7);
+  std::vector<Vec> coords;
+  for (int i = 0; i < 80; ++i) {
+    Vec v(4);
+    for (int d = 0; d < 4; ++d) v[d] = rng.Uniform(0, 10);
+    coords.push_back(v);
+  }
+  auto idx = MakeIndex(coords, 8);
+  Vec target(4);
+  for (int d = 0; d < 4; ++d) target[d] = 5.0;
+  auto got = idx.KNearest(target, 3, 80);
+  ASSERT_TRUE(got.ok());
+  const auto want = idx.KNearestExact(target, 3);
+  EXPECT_EQ((*got)[0].node, want[0].node);
+}
+
+}  // namespace
+}  // namespace sbon::dht

@@ -1,0 +1,478 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/generators.h"
+#include "overlay/circuit.h"
+#include "overlay/event_sim.h"
+#include "overlay/metrics.h"
+#include "overlay/sbon.h"
+#include "query/catalog.h"
+#include "query/plan.h"
+
+namespace sbon::overlay {
+namespace {
+
+query::Catalog TwoStreamCatalog() {
+  query::Catalog c;
+  c.AddStream("a", 100.0, 64.0, /*producer=*/0);  // 6400 B/s
+  c.AddStream("b", 10.0, 128.0, /*producer=*/1);  // 1280 B/s
+  return c;
+}
+
+// A simple join plan: (a JOIN b) -> consumer.
+query::LogicalPlan JoinPlan(const query::Catalog& c, NodeId consumer,
+                            double sel = 0.01) {
+  query::LogicalPlan p;
+  const int a = p.AddProducer(0);
+  const int b = p.AddProducer(1);
+  const int j = p.AddJoin(a, b, sel);
+  p.SetConsumer(j, consumer);
+  EXPECT_TRUE(p.AnnotateRates(c).ok());
+  return p;
+}
+
+// --------------------------- Circuit ---------------------------
+
+TEST(CircuitTest, FromPlanPinsEndpoints) {
+  query::Catalog c = TwoStreamCatalog();
+  auto circuit = Circuit::FromPlan(JoinPlan(c, 5), c);
+  ASSERT_TRUE(circuit.ok());
+  EXPECT_EQ(circuit->NumVertices(), 4u);
+  EXPECT_EQ(circuit->NumEdges(), 3u);
+  EXPECT_TRUE(circuit->vertex(0).pinned);
+  EXPECT_EQ(circuit->vertex(0).host, 0u);
+  EXPECT_TRUE(circuit->vertex(1).pinned);
+  EXPECT_EQ(circuit->vertex(1).host, 1u);
+  EXPECT_FALSE(circuit->vertex(2).pinned);  // join
+  EXPECT_TRUE(circuit->vertex(3).pinned);   // consumer
+  EXPECT_EQ(circuit->vertex(3).host, 5u);
+  EXPECT_FALSE(circuit->FullyPlaced());
+  EXPECT_EQ(circuit->UnpinnedVertices(), (std::vector<int>{2}));
+}
+
+TEST(CircuitTest, EdgeRatesComeFromPlanAnnotations) {
+  query::Catalog c = TwoStreamCatalog();
+  auto circuit = Circuit::FromPlan(JoinPlan(c, 5), c);
+  ASSERT_TRUE(circuit.ok());
+  // Producer edges into join, join edge into consumer.
+  EXPECT_DOUBLE_EQ(circuit->edges()[0].rate_bytes_per_s, 6400.0);
+  EXPECT_DOUBLE_EQ(circuit->edges()[1].rate_bytes_per_s, 1280.0);
+  // join out: 2*0.01*100*10=20 t/s * 192 B = 3840 B/s.
+  EXPECT_DOUBLE_EQ(circuit->edges()[2].rate_bytes_per_s, 3840.0);
+  EXPECT_DOUBLE_EQ(circuit->TotalEdgeRate(), 6400.0 + 1280.0 + 3840.0);
+}
+
+TEST(CircuitTest, FromPlanRejectsUnknownStream) {
+  query::Catalog c = TwoStreamCatalog();
+  query::LogicalPlan p;
+  const int a = p.AddProducer(7);
+  p.SetConsumer(a, 5);
+  // Annotate will fail, so construct directly from the raw plan.
+  auto circuit = Circuit::FromPlan(p, c);
+  EXPECT_FALSE(circuit.ok());
+}
+
+TEST(CircuitTest, IncidentEdges) {
+  query::Catalog c = TwoStreamCatalog();
+  auto circuit = Circuit::FromPlan(JoinPlan(c, 5), c);
+  ASSERT_TRUE(circuit.ok());
+  const auto inc = circuit->IncidentEdges(2);  // the join vertex
+  EXPECT_EQ(inc.size(), 3u);
+}
+
+TEST(CircuitTest, BindReusedSubtreeMarksEverything) {
+  query::Catalog c = TwoStreamCatalog();
+  auto circuit = Circuit::FromPlan(JoinPlan(c, 5), c);
+  ASSERT_TRUE(circuit.ok());
+  circuit->BindReusedSubtree(/*vertex=*/2, /*instance=*/42,
+                             /*instance_host=*/7,
+                             /*upstream_latency_ms=*/12.5);
+  const CircuitVertex& v = circuit->vertex(2);
+  EXPECT_TRUE(v.reused);
+  EXPECT_EQ(v.service, 42u);
+  EXPECT_EQ(v.host, 7u);
+  EXPECT_DOUBLE_EQ(v.reused_upstream_latency_ms, 12.5);
+  // Subtree edges (producers -> join) now non-physical.
+  EXPECT_FALSE(circuit->edges()[0].physical);
+  EXPECT_FALSE(circuit->edges()[1].physical);
+  // Join -> consumer stays physical.
+  EXPECT_TRUE(circuit->edges()[2].physical);
+  EXPECT_TRUE(circuit->PlaceableVertices().empty());
+  EXPECT_TRUE(circuit->FullyPlaced());
+  EXPECT_DOUBLE_EQ(circuit->TotalEdgeRate(), 3840.0);
+}
+
+// --------------------------- Metrics ---------------------------
+
+TEST(MetricsTest, CostOnLineTopology) {
+  // line 0-1-2-3-4, 10ms links; producers at 0 and 1, consumer at 4.
+  auto topo = net::GenerateLine(5, 10.0);
+  ASSERT_TRUE(topo.ok());
+  const net::LatencyMatrix lat(*topo);
+  query::Catalog c = TwoStreamCatalog();
+  auto circuit = Circuit::FromPlan(JoinPlan(c, 4), c);
+  ASSERT_TRUE(circuit.ok());
+  circuit->mutable_vertex(2).host = 2;  // join in the middle
+
+  auto cost = ComputeCircuitCost(*circuit, lat, nullptr);
+  ASSERT_TRUE(cost.ok());
+  // usage: 6400*20 + 1280*10 + 3840*20.
+  EXPECT_DOUBLE_EQ(cost->network_usage,
+                   6400.0 * 20 + 1280.0 * 10 + 3840.0 * 20);
+  // critical path: producer0 (0->2: 20ms) + join->consumer (2->4: 20ms).
+  EXPECT_DOUBLE_EQ(cost->critical_path_latency_ms, 40.0);
+  EXPECT_DOUBLE_EQ(cost->node_penalty, 0.0);
+}
+
+TEST(MetricsTest, UnplacedCircuitRejected) {
+  auto topo = net::GenerateLine(5, 10.0);
+  ASSERT_TRUE(topo.ok());
+  const net::LatencyMatrix lat(*topo);
+  query::Catalog c = TwoStreamCatalog();
+  auto circuit = Circuit::FromPlan(JoinPlan(c, 4), c);
+  ASSERT_TRUE(circuit.ok());
+  EXPECT_FALSE(ComputeCircuitCost(*circuit, lat, nullptr).ok());
+}
+
+TEST(MetricsTest, NodePenaltyScalesWithServiceInputRate) {
+  auto topo = net::GenerateLine(3, 1.0);
+  ASSERT_TRUE(topo.ok());
+  const net::LatencyMatrix lat(*topo);
+  coords::CostSpace space(coords::CostSpaceSpec::LatencyAndLoad(2, 10.0), 3);
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_TRUE(space.SetVectorCoord(n, Vec{0.0, 0.0}).ok());
+  }
+  ASSERT_TRUE(space.SetScalarMetric(1, 0, 0.5).ok());  // w = 10*0.25 = 2.5
+
+  query::Catalog c = TwoStreamCatalog();
+  auto circuit = Circuit::FromPlan(JoinPlan(c, 2), c);
+  ASSERT_TRUE(circuit.ok());
+  circuit->mutable_vertex(2).host = 1;
+  auto cost = ComputeCircuitCost(*circuit, lat, &space);
+  ASSERT_TRUE(cost.ok());
+  // Penalty = w(load) * service input rate = 2.5 * (6400 + 1280).
+  EXPECT_DOUBLE_EQ(cost->node_penalty, 2.5 * 7680.0);
+  EXPECT_DOUBLE_EQ(cost->Total(2.0),
+                   cost->network_usage + 2.0 * 2.5 * 7680.0);
+}
+
+TEST(MetricsTest, ReusedVertexUsesUpstreamLatency) {
+  auto topo = net::GenerateLine(5, 10.0);
+  ASSERT_TRUE(topo.ok());
+  const net::LatencyMatrix lat(*topo);
+  query::Catalog c = TwoStreamCatalog();
+  auto circuit = Circuit::FromPlan(JoinPlan(c, 4), c);
+  ASSERT_TRUE(circuit.ok());
+  circuit->BindReusedSubtree(2, /*instance=*/1, /*instance_host=*/2,
+                             /*upstream_latency_ms=*/33.0);
+  auto cost = ComputeCircuitCost(*circuit, lat, nullptr);
+  ASSERT_TRUE(cost.ok());
+  // Only the join->consumer edge is physical: 3840 B/s * 20 ms.
+  EXPECT_DOUBLE_EQ(cost->network_usage, 3840.0 * 20);
+  // Latency: upstream 33 + hop 2->4 (20ms).
+  EXPECT_DOUBLE_EQ(cost->critical_path_latency_ms, 53.0);
+}
+
+// --------------------------- EventSim ---------------------------
+
+TEST(EventSimTest, FiresInTimeOrder) {
+  EventSim sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(EventSimTest, TiesFireInInsertionOrder) {
+  EventSim sim;
+  std::vector<int> order;
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventSimTest, RunUntilStopsAtBoundary) {
+  EventSim sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] { ++fired; });
+  sim.ScheduleAt(5.0, [&] { ++fired; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventSimTest, CallbacksCanSchedule) {
+  EventSim sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] {
+    ++fired;
+    sim.ScheduleIn(1.0, [&] { ++fired; });
+  });
+  sim.RunUntil(3.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventSimTest, PeriodicUntilBound) {
+  EventSim sim;
+  int fired = 0;
+  sim.SchedulePeriodic(1.0, [&] { ++fired; }, /*until=*/5.0);
+  sim.RunUntil(20.0);
+  EXPECT_EQ(fired, 5);
+}
+
+// --------------------------- Sbon ---------------------------
+
+std::unique_ptr<Sbon> MakeSbon(uint64_t seed = 1, size_t line = 6) {
+  auto topo = net::GenerateLine(line, 10.0);
+  EXPECT_TRUE(topo.ok());
+  Sbon::Options opts;
+  opts.seed = seed;
+  opts.load_params.sigma = 0.0;  // deterministic load in unit tests
+  opts.load_params.mean = 0.2;
+  auto s = Sbon::Create(std::move(topo.value()), opts);
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return std::move(s.value());
+}
+
+TEST(SbonTest, CreateRejectsBadTopologies) {
+  net::Topology empty;
+  EXPECT_FALSE(Sbon::Create(std::move(empty), Sbon::Options{}).ok());
+
+  net::Topology disconnected;
+  disconnected.AddNode(net::NodeKind::kHost);
+  disconnected.AddNode(net::NodeKind::kHost);
+  EXPECT_FALSE(Sbon::Create(std::move(disconnected), Sbon::Options{}).ok());
+}
+
+TEST(SbonTest, CreateBuildsSubstrate) {
+  auto s = MakeSbon();
+  EXPECT_EQ(s->topology().NumNodes(), 6u);
+  EXPECT_EQ(s->overlay_nodes().size(), 6u);
+  EXPECT_EQ(s->index().NumPublished(), 6u);
+  EXPECT_EQ(s->cost_space().NumNodes(), 6u);
+  EXPECT_DOUBLE_EQ(s->latency().Latency(0, 5), 50.0);
+}
+
+TEST(SbonTest, InstallCircuitCreatesServices) {
+  auto s = MakeSbon();
+  query::Catalog c = TwoStreamCatalog();
+  auto circuit = Circuit::FromPlan(JoinPlan(c, 5), c);
+  ASSERT_TRUE(circuit.ok());
+  circuit->mutable_vertex(2).host = 3;
+  auto id = s->InstallCircuit(std::move(circuit.value()));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(s->circuits().size(), 1u);
+  EXPECT_EQ(s->NumServices(), 1u);
+  const Circuit* live = s->FindCircuit(*id);
+  ASSERT_NE(live, nullptr);
+  EXPECT_NE(live->vertex(2).service, kInvalidService);
+  // Service load was applied to host 3: input 6400+1280 B/s.
+  EXPECT_GT(s->ServiceLoad(3), 0.0);
+  EXPECT_DOUBLE_EQ(s->ServiceLoad(2), 0.0);
+}
+
+TEST(SbonTest, InstallRejectsUnplaced) {
+  auto s = MakeSbon();
+  query::Catalog c = TwoStreamCatalog();
+  auto circuit = Circuit::FromPlan(JoinPlan(c, 5), c);
+  ASSERT_TRUE(circuit.ok());
+  EXPECT_FALSE(s->InstallCircuit(std::move(circuit.value())).ok());
+}
+
+TEST(SbonTest, RemoveCircuitReleasesServicesAndLoad) {
+  auto s = MakeSbon();
+  query::Catalog c = TwoStreamCatalog();
+  auto circuit = Circuit::FromPlan(JoinPlan(c, 5), c);
+  ASSERT_TRUE(circuit.ok());
+  circuit->mutable_vertex(2).host = 3;
+  auto id = s->InstallCircuit(std::move(circuit.value()));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(s->RemoveCircuit(*id).ok());
+  EXPECT_EQ(s->circuits().size(), 0u);
+  EXPECT_EQ(s->NumServices(), 0u);
+  EXPECT_DOUBLE_EQ(s->ServiceLoad(3), 0.0);
+  EXPECT_FALSE(s->RemoveCircuit(*id).ok());  // second remove fails
+}
+
+TEST(SbonTest, ServicesWithSignatureFindsMatch) {
+  auto s = MakeSbon();
+  query::Catalog c = TwoStreamCatalog();
+  const query::LogicalPlan plan = JoinPlan(c, 5);
+  auto circuit = Circuit::FromPlan(plan, c);
+  ASSERT_TRUE(circuit.ok());
+  circuit->mutable_vertex(2).host = 3;
+  ASSERT_TRUE(s->InstallCircuit(std::move(circuit.value())).ok());
+  const uint64_t sig = plan.OpSignature(2);
+  const auto matches = s->ServicesWithSignature(sig);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0]->host, 3u);
+  EXPECT_TRUE(s->ServicesWithSignature(sig + 1).empty());
+}
+
+TEST(SbonTest, MigrateServiceMovesLoadAndVertices) {
+  auto s = MakeSbon();
+  query::Catalog c = TwoStreamCatalog();
+  auto circuit = Circuit::FromPlan(JoinPlan(c, 5), c);
+  ASSERT_TRUE(circuit.ok());
+  circuit->mutable_vertex(2).host = 3;
+  auto id = s->InstallCircuit(std::move(circuit.value()));
+  ASSERT_TRUE(id.ok());
+  const ServiceInstanceId sid = s->FindCircuit(*id)->vertex(2).service;
+  ASSERT_TRUE(s->MigrateService(sid, 4).ok());
+  EXPECT_EQ(s->FindCircuit(*id)->vertex(2).host, 4u);
+  EXPECT_DOUBLE_EQ(s->ServiceLoad(3), 0.0);
+  EXPECT_GT(s->ServiceLoad(4), 0.0);
+  EXPECT_EQ(s->FindService(sid)->host, 4u);
+}
+
+TEST(SbonTest, MigrateRejectsBadArgs) {
+  auto s = MakeSbon();
+  EXPECT_FALSE(s->MigrateService(999, 0).ok());
+}
+
+TEST(SbonTest, ReuseSharesInstanceAndSurvivesSourceRemoval) {
+  auto s = MakeSbon();
+  query::Catalog c = TwoStreamCatalog();
+  const query::LogicalPlan plan = JoinPlan(c, 5);
+
+  auto c1 = Circuit::FromPlan(plan, c);
+  ASSERT_TRUE(c1.ok());
+  c1->mutable_vertex(2).host = 3;
+  auto id1 = s->InstallCircuit(std::move(c1.value()));
+  ASSERT_TRUE(id1.ok());
+  const ServiceInstanceId sid = s->FindCircuit(*id1)->vertex(2).service;
+
+  // Second circuit (different consumer) reuses the join instance.
+  const query::LogicalPlan plan2 = JoinPlan(c, 4);
+  auto c2 = Circuit::FromPlan(plan2, c);
+  ASSERT_TRUE(c2.ok());
+  c2->BindReusedSubtree(2, sid, 3, 20.0);
+  auto id2 = s->InstallCircuit(std::move(c2.value()));
+  ASSERT_TRUE(id2.ok());
+
+  EXPECT_EQ(s->NumServices(), 1u);
+  EXPECT_EQ(s->FindService(sid)->circuits.size(), 2u);
+  EXPECT_TRUE(s->FindService(sid)->Shared());
+
+  // Removing the source circuit must keep the instance alive (the second
+  // circuit depends on it).
+  ASSERT_TRUE(s->RemoveCircuit(*id1).ok());
+  ASSERT_NE(s->FindService(sid), nullptr);
+  EXPECT_EQ(s->FindService(sid)->circuits.size(), 1u);
+
+  // Removing the last user releases it.
+  ASSERT_TRUE(s->RemoveCircuit(*id2).ok());
+  EXPECT_EQ(s->NumServices(), 0u);
+}
+
+TEST(SbonTest, TotalNetworkUsageCountsSharedEdgesOnce) {
+  auto s = MakeSbon();
+  query::Catalog c = TwoStreamCatalog();
+  const query::LogicalPlan plan = JoinPlan(c, 5);
+  auto c1 = Circuit::FromPlan(plan, c);
+  ASSERT_TRUE(c1.ok());
+  c1->mutable_vertex(2).host = 3;
+  auto id1 = s->InstallCircuit(std::move(c1.value()));
+  ASSERT_TRUE(id1.ok());
+  const double usage_one = s->TotalNetworkUsage();
+  ASSERT_GT(usage_one, 0.0);
+
+  const ServiceInstanceId sid = s->FindCircuit(*id1)->vertex(2).service;
+  auto c2 = Circuit::FromPlan(JoinPlan(c, 4), c);
+  ASSERT_TRUE(c2.ok());
+  c2->BindReusedSubtree(2, sid, 3, 20.0);
+  ASSERT_TRUE(s->InstallCircuit(std::move(c2.value())).ok());
+
+  // Second circuit only adds the join->consumer(4) edge: 3840 B/s * 10 ms.
+  EXPECT_NEAR(s->TotalNetworkUsage(), usage_one + 3840.0 * 10.0, 1e-6);
+}
+
+TEST(SbonTest, TickEvolvesLoadAndScalars) {
+  auto topo = net::GenerateLine(4, 5.0);
+  ASSERT_TRUE(topo.ok());
+  Sbon::Options opts;
+  opts.seed = 3;
+  opts.load_params.sigma = 0.3;
+  auto s = Sbon::Create(std::move(topo.value()), opts);
+  ASSERT_TRUE(s.ok());
+  const double before = (*s)->cost_space().RawScalar(0, 0);
+  std::vector<double> loads_before;
+  for (NodeId n = 0; n < 4; ++n) loads_before.push_back((*s)->BaseLoad(n));
+  (*s)->Tick(1.0);
+  bool changed = false;
+  for (NodeId n = 0; n < 4; ++n) {
+    if ((*s)->BaseLoad(n) != loads_before[n]) changed = true;
+  }
+  EXPECT_TRUE(changed);
+  // Scalar metric tracks total load.
+  EXPECT_DOUBLE_EQ((*s)->cost_space().RawScalar(0, 0), (*s)->TotalLoad(0));
+  (void)before;
+}
+
+TEST(SbonTest, SetBaseLoadReflectsInCostSpace) {
+  auto s = MakeSbon();
+  s->SetBaseLoad(2, 0.8);
+  EXPECT_DOUBLE_EQ(s->TotalLoad(2), 0.8);
+  EXPECT_DOUBLE_EQ(s->cost_space().RawScalar(2, 0), 0.8);
+}
+
+TEST(SbonTest, RefreshIndexPublishesNewScalars) {
+  auto s = MakeSbon();
+  // Push node 2's load to max; after refresh its full coordinate in the
+  // index should carry a large scalar component, pushing it away from
+  // ideal targets.
+  s->SetBaseLoad(2, 1.0);
+  s->RefreshIndex();
+  const Vec full = s->cost_space().FullCoord(2);
+  EXPECT_GT(full[2], 0.0);
+}
+
+TEST(SbonTest, DeterministicAcrossIdenticalSeeds) {
+  auto a = MakeSbon(42);
+  auto b = MakeSbon(42);
+  for (NodeId n = 0; n < 6; ++n) {
+    EXPECT_EQ(a->cost_space().VectorCoord(n).data(),
+              b->cost_space().VectorCoord(n).data());
+    EXPECT_DOUBLE_EQ(a->BaseLoad(n), b->BaseLoad(n));
+  }
+}
+
+TEST(SbonTest, MdsCoordModeWorks) {
+  auto topo = net::GenerateLine(6, 10.0);
+  ASSERT_TRUE(topo.ok());
+  Sbon::Options opts;
+  opts.coord_mode = Sbon::CoordMode::kMds;
+  auto s = Sbon::Create(std::move(topo.value()), opts);
+  ASSERT_TRUE(s.ok());
+  // MDS on a line should embed near-perfectly: check end-to-end distance.
+  const double d = (*s)->cost_space().VectorDistance(0, 5);
+  EXPECT_NEAR(d, 50.0, 5.0);
+}
+
+TEST(SbonTest, CircuitCostOfMatchesDirectComputation) {
+  auto s = MakeSbon();
+  query::Catalog c = TwoStreamCatalog();
+  auto circuit = Circuit::FromPlan(JoinPlan(c, 5), c);
+  ASSERT_TRUE(circuit.ok());
+  circuit->mutable_vertex(2).host = 3;
+  Circuit copy = circuit.value();
+  auto id = s->InstallCircuit(std::move(circuit.value()));
+  ASSERT_TRUE(id.ok());
+  auto got = s->CircuitCostOf(*id);
+  ASSERT_TRUE(got.ok());
+  auto want = ComputeCircuitCost(copy, s->latency(), &s->cost_space());
+  ASSERT_TRUE(want.ok());
+  EXPECT_DOUBLE_EQ(got->network_usage, want->network_usage);
+}
+
+}  // namespace
+}  // namespace sbon::overlay

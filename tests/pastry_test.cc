@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "dht/chord.h"
+#include "dht/pastry.h"
+
+namespace sbon::dht {
+namespace {
+
+TEST(PastryTest, SingleMemberAnswersEverything) {
+  PastryRing ring;
+  ring.Join(U128::FromU64(42), 7);
+  ring.Stabilize();
+  auto r = ring.Lookup(U128::FromU64(999));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->node, 7u);
+  EXPECT_EQ(r->hops, 0u);
+}
+
+TEST(PastryTest, EmptyAndStaleRejected) {
+  PastryRing ring;
+  EXPECT_FALSE(ring.Lookup(U128::FromU64(1)).ok());
+  ring.Join(U128::FromU64(1), 1);
+  EXPECT_FALSE(ring.Lookup(U128::FromU64(1)).ok());  // not stabilized
+}
+
+TEST(PastryTest, DeliversToNumericallyClosest) {
+  PastryRing ring;
+  // Spread keys across the top digits so routing tables are exercised.
+  for (uint64_t k : {10, 20, 30, 40}) {
+    ring.Join(U128(k << 56, 0), static_cast<NodeId>(k));
+  }
+  ring.Stabilize();
+  auto r = ring.Lookup(U128(uint64_t{24} << 56, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->node, 20u);  // 24 is closer to 20 than to 30
+  r = ring.Lookup(U128(uint64_t{26} << 56, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->node, 30u);
+}
+
+TEST(PastryTest, LeaveRemovesMember) {
+  PastryRing ring;
+  ring.Join(U128(uint64_t{10} << 56, 0), 1);
+  ring.Join(U128(uint64_t{200} << 56, 0), 2);
+  ring.Leave(1);
+  ring.Stabilize();
+  auto r = ring.Lookup(U128(uint64_t{11} << 56, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->node, 2u);
+}
+
+TEST(PastryTest, DuplicateKeysPerturbed) {
+  PastryRing ring;
+  ring.Join(U128::FromU64(5), 1);
+  ring.Join(U128::FromU64(5), 2);
+  EXPECT_EQ(ring.NumMembers(), 2u);
+}
+
+class PastryPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PastryPropertyTest, LookupMatchesNumericOracle) {
+  const size_t n = GetParam();
+  Rng rng(n * 3 + 1);
+  PastryRing ring;
+  std::map<U128, NodeId> keys;
+  for (size_t i = 0; i < n; ++i) {
+    const U128 key = HashU64(rng.Next());
+    ring.Join(key, static_cast<NodeId>(i));
+    keys[key] = static_cast<NodeId>(i);
+  }
+  ring.Stabilize();
+  auto ring_distance = [](const U128& a, const U128& b) {
+    const U128 d1 = a - b, d2 = b - a;
+    return d1 < d2 ? d1 : d2;
+  };
+  for (int rep = 0; rep < 200; ++rep) {
+    const U128 q = HashU64(rng.Next());
+    // Oracle: numerically closest key on the ring.
+    NodeId expected = kInvalidNode;
+    U128 best = U128::Max();
+    for (const auto& [key, node] : keys) {
+      const U128 d = ring_distance(key, q);
+      if (d < best) {
+        best = d;
+        expected = node;
+      }
+    }
+    auto r = ring.Lookup(q, HashU64(rng.Next()));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->node, expected);
+  }
+}
+
+TEST_P(PastryPropertyTest, HopCountLogarithmicInDigits) {
+  const size_t n = GetParam();
+  Rng rng(n * 7 + 5);
+  PastryRing ring;
+  for (size_t i = 0; i < n; ++i) {
+    ring.Join(HashU64(rng.Next()), static_cast<NodeId>(i));
+  }
+  ring.Stabilize();
+  // Pastry with b=4: expected hops ~ log_16(n); allow generous slack.
+  const double log16n = std::log2(static_cast<double>(n)) / 4.0;
+  double total = 0.0;
+  size_t worst = 0;
+  const int reps = 300;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto r = ring.Lookup(HashU64(rng.Next()), HashU64(rng.Next()));
+    ASSERT_TRUE(r.ok());
+    total += static_cast<double>(r->hops);
+    worst = std::max(worst, r->hops);
+  }
+  EXPECT_LE(total / reps, log16n + 2.0);
+  EXPECT_LE(worst, static_cast<size_t>(3.0 * log16n + 6.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, PastryPropertyTest,
+                         ::testing::Values(2, 8, 32, 128, 512));
+
+TEST(PastryVsChordTest, PastryNeedsFewerHopsAtScale) {
+  // With b = 4, Pastry resolves 4 key bits per routing hop vs Chord's ~1:
+  // at identical membership its mean hop count should be clearly lower.
+  Rng rng(99);
+  PastryRing pastry;
+  ChordRing chord;
+  const size_t n = 512;
+  for (size_t i = 0; i < n; ++i) {
+    const U128 key = HashU64(rng.Next());
+    pastry.Join(key, static_cast<NodeId>(i));
+    chord.Join(key, static_cast<NodeId>(i));
+  }
+  pastry.Stabilize();
+  chord.Stabilize();
+  double pastry_hops = 0.0, chord_hops = 0.0;
+  const int reps = 300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const U128 q = HashU64(rng.Next());
+    const U128 origin = HashU64(rng.Next());
+    auto rp = pastry.Lookup(q, origin);
+    auto rc = chord.Lookup(q, origin);
+    ASSERT_TRUE(rp.ok() && rc.ok());
+    pastry_hops += static_cast<double>(rp->hops);
+    chord_hops += static_cast<double>(rc->hops);
+  }
+  EXPECT_LT(pastry_hops, chord_hops * 0.8);
+}
+
+TEST(PastryTest, DigitWidthOneStillCorrect) {
+  // b = 1 degenerates to binary-trie routing; correctness must hold.
+  Rng rng(7);
+  PastryRing ring(/*digit_bits=*/1);
+  for (size_t i = 0; i < 64; ++i) {
+    ring.Join(HashU64(rng.Next()), static_cast<NodeId>(i));
+  }
+  ring.Stabilize();
+  for (int rep = 0; rep < 50; ++rep) {
+    auto r = ring.Lookup(HashU64(rng.Next()), HashU64(rng.Next()));
+    ASSERT_TRUE(r.ok());
+  }
+}
+
+}  // namespace
+}  // namespace sbon::dht

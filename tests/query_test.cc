@@ -1,0 +1,447 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "query/catalog.h"
+#include "query/enumerate.h"
+#include "query/plan.h"
+#include "query/query_spec.h"
+#include "query/stats.h"
+#include "query/workload.h"
+
+namespace sbon::query {
+namespace {
+
+Catalog SmallCatalog() {
+  Catalog c;
+  c.AddStream("a", 100.0, 64.0, 1);   // 6400 B/s
+  c.AddStream("b", 10.0, 128.0, 2);   // 1280 B/s
+  c.AddStream("c", 1000.0, 32.0, 3);  // 32000 B/s
+  c.AddStream("d", 50.0, 256.0, 4);   // 12800 B/s
+  return c;
+}
+
+// --------------------------- Catalog ---------------------------
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog c = SmallCatalog();
+  EXPECT_EQ(c.NumStreams(), 4u);
+  EXPECT_TRUE(c.Has(0));
+  EXPECT_FALSE(c.Has(4));
+  EXPECT_EQ(c.stream(2).name, "c");
+  EXPECT_DOUBLE_EQ(c.stream(0).BytesPerSecond(), 6400.0);
+  EXPECT_EQ(c.stream(3).producer, 4u);
+}
+
+// --------------------------- Stats ---------------------------
+
+TEST(StatsTest, SelectRate) {
+  EXPECT_DOUBLE_EQ(SelectOutputRate(100.0, 0.25), 25.0);
+  EXPECT_DOUBLE_EQ(SelectOutputRate(100.0, 2.0), 100.0);   // clamped
+  EXPECT_DOUBLE_EQ(SelectOutputRate(100.0, -1.0), 0.0);    // clamped
+}
+
+TEST(StatsTest, JoinRateWindowModel) {
+  // 2 * sel * rL * rR * W
+  EXPECT_DOUBLE_EQ(JoinOutputRate(10.0, 20.0, 0.01, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(JoinOutputRate(10.0, 20.0, 0.01, 2.0), 8.0);
+  EXPECT_DOUBLE_EQ(JoinOutputRate(10.0, 20.0, 0.0, 1.0), 0.0);
+}
+
+TEST(StatsTest, JoinTupleSizeConcatenates) {
+  EXPECT_DOUBLE_EQ(JoinOutputTupleSize(64.0, 32.0), 96.0);
+}
+
+TEST(StatsTest, CrossSelectivityProductOverCut) {
+  std::vector<std::vector<double>> sel = {
+      {1.0, 0.1, 1.0},
+      {0.1, 1.0, 0.5},
+      {1.0, 0.5, 1.0},
+  };
+  EXPECT_DOUBLE_EQ(CrossSelectivity({0}, {1}, sel), 0.1);
+  EXPECT_DOUBLE_EQ(CrossSelectivity({0, 1}, {2}, sel), 0.5);
+  EXPECT_DOUBLE_EQ(CrossSelectivity({0}, {1, 2}, sel), 0.1);
+}
+
+// --------------------------- LogicalPlan ---------------------------
+
+TEST(PlanTest, BuildAndValidate) {
+  LogicalPlan p;
+  const int a = p.AddProducer(0);
+  const int b = p.AddProducer(1);
+  const int j = p.AddJoin(a, b, 0.01);
+  p.SetConsumer(j, 99);
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_EQ(p.consumer(), 99u);
+  EXPECT_EQ(p.NumOps(), 4u);
+  EXPECT_EQ(p.UnpinnedOps().size(), 1u);
+  EXPECT_EQ(p.ProducerOps().size(), 2u);
+}
+
+TEST(PlanTest, ValidateRejectsIncomplete) {
+  LogicalPlan p;
+  p.AddProducer(0);
+  EXPECT_FALSE(p.Validate().ok());  // no consumer
+}
+
+TEST(PlanTest, AnnotateRatesPropagates) {
+  Catalog c = SmallCatalog();
+  LogicalPlan p;
+  const int a = p.AddProducer(0);  // 100 t/s, 64 B
+  const int s = p.AddSelect(a, 0.5);
+  const int b = p.AddProducer(1);  // 10 t/s, 128 B
+  const int j = p.AddJoin(s, b, 0.01);
+  const int g = p.AddAggregate(j, 0.1);
+  p.SetConsumer(g, 9);
+  ASSERT_TRUE(p.AnnotateRates(c, 1.0).ok());
+
+  EXPECT_DOUBLE_EQ(p.op(a).out_tuple_rate, 100.0);
+  EXPECT_DOUBLE_EQ(p.op(s).out_tuple_rate, 50.0);
+  EXPECT_DOUBLE_EQ(p.op(s).out_tuple_size, 64.0);
+  // join: 2 * 0.01 * 50 * 10 * 1 = 10 t/s, 192 B tuples.
+  EXPECT_DOUBLE_EQ(p.op(j).out_tuple_rate, 10.0);
+  EXPECT_DOUBLE_EQ(p.op(j).out_tuple_size, 192.0);
+  EXPECT_DOUBLE_EQ(p.op(g).out_tuple_rate, 1.0);
+  EXPECT_DOUBLE_EQ(p.op(p.root()).out_bytes_per_s, 192.0);
+}
+
+TEST(PlanTest, StreamSetsSortedAndMerged) {
+  Catalog c = SmallCatalog();
+  LogicalPlan p;
+  const int b = p.AddProducer(2);
+  const int a = p.AddProducer(0);
+  const int j = p.AddJoin(b, a, 0.1);
+  p.SetConsumer(j, 9);
+  ASSERT_TRUE(p.AnnotateRates(c).ok());
+  EXPECT_EQ(p.op(j).stream_set, (std::vector<StreamId>{0, 2}));
+}
+
+TEST(PlanTest, AnnotateRejectsUnknownStream) {
+  Catalog c = SmallCatalog();
+  LogicalPlan p;
+  const int a = p.AddProducer(77);
+  p.SetConsumer(a, 9);
+  EXPECT_FALSE(p.AnnotateRates(c).ok());
+}
+
+TEST(PlanTest, IntermediateDataRateCountsNonRootOps) {
+  Catalog c = SmallCatalog();
+  LogicalPlan p;
+  const int a = p.AddProducer(0);  // 6400 B/s
+  const int b = p.AddProducer(1);  // 1280 B/s
+  const int j = p.AddJoin(a, b, 0.01);
+  p.SetConsumer(j, 9);
+  ASSERT_TRUE(p.AnnotateRates(c).ok());
+  // join out: 2*0.01*100*10 = 20 t/s * 192 B = 3840 B/s.
+  EXPECT_DOUBLE_EQ(p.IntermediateDataRate(), 6400.0 + 1280.0 + 3840.0);
+}
+
+TEST(PlanTest, CanonicalOrderInsensitiveForJoinChildren) {
+  Catalog c = SmallCatalog();
+  LogicalPlan p1, p2;
+  {
+    const int a = p1.AddProducer(0);
+    const int b = p1.AddProducer(1);
+    p1.SetConsumer(p1.AddJoin(a, b, 0.01), 9);
+  }
+  {
+    const int b = p2.AddProducer(1);
+    const int a = p2.AddProducer(0);
+    p2.SetConsumer(p2.AddJoin(b, a, 0.01), 9);
+  }
+  EXPECT_EQ(p1.Canonical(), p2.Canonical());
+}
+
+TEST(PlanTest, CanonicalDistinguishesShapes) {
+  Catalog c = SmallCatalog();
+  LogicalPlan p1, p2;
+  {
+    const int a = p1.AddProducer(0);
+    const int b = p1.AddProducer(1);
+    const int x = p1.AddProducer(2);
+    p1.SetConsumer(p1.AddJoin(p1.AddJoin(a, b, 0.1), x, 0.1), 9);
+  }
+  {
+    const int a = p2.AddProducer(0);
+    const int b = p2.AddProducer(1);
+    const int x = p2.AddProducer(2);
+    p2.SetConsumer(p2.AddJoin(p2.AddJoin(a, x, 0.1), b, 0.1), 9);
+  }
+  EXPECT_NE(p1.Canonical(), p2.Canonical());
+}
+
+TEST(PlanTest, OpSignatureMatchesAcrossEquivalentPlans) {
+  Catalog c = SmallCatalog();
+  LogicalPlan p1, p2;
+  {
+    const int a = p1.AddProducer(0);
+    const int b = p1.AddProducer(1);
+    p1.SetConsumer(p1.AddJoin(a, b, 0.01), 9);
+  }
+  {
+    const int b = p2.AddProducer(1);
+    const int a = p2.AddProducer(0);
+    p2.SetConsumer(p2.AddJoin(b, a, 0.01), 5);  // different consumer
+  }
+  ASSERT_TRUE(p1.AnnotateRates(c).ok());
+  ASSERT_TRUE(p2.AnnotateRates(c).ok());
+  // Join over the same streams with the same selectivity => same signature
+  // regardless of child order or consumer.
+  EXPECT_EQ(p1.OpSignature(2), p2.OpSignature(2));
+}
+
+TEST(PlanTest, OpSignatureDiffersOnSelectivity) {
+  Catalog c = SmallCatalog();
+  LogicalPlan p1, p2;
+  {
+    const int a = p1.AddProducer(0);
+    const int b = p1.AddProducer(1);
+    p1.SetConsumer(p1.AddJoin(a, b, 0.01), 9);
+  }
+  {
+    const int a = p2.AddProducer(0);
+    const int b = p2.AddProducer(1);
+    p2.SetConsumer(p2.AddJoin(a, b, 0.02), 9);
+  }
+  ASSERT_TRUE(p1.AnnotateRates(c).ok());
+  ASSERT_TRUE(p2.AnnotateRates(c).ok());
+  EXPECT_NE(p1.OpSignature(2), p2.OpSignature(2));
+}
+
+// --------------------------- QuerySpec ---------------------------
+
+TEST(QuerySpecTest, SimpleJoinShape) {
+  const QuerySpec q = QuerySpec::SimpleJoin({0, 1, 2}, 9, 0.01);
+  Catalog c = SmallCatalog();
+  EXPECT_TRUE(q.Validate(c).ok());
+  EXPECT_DOUBLE_EQ(q.join_sel[0][1], 0.01);
+  EXPECT_DOUBLE_EQ(q.join_sel[1][1], 1.0);
+}
+
+TEST(QuerySpecTest, ValidationCatchesErrors) {
+  Catalog c = SmallCatalog();
+  QuerySpec empty;
+  empty.consumer = 1;
+  EXPECT_FALSE(empty.Validate(c).ok());
+
+  QuerySpec unknown = QuerySpec::SimpleJoin({0, 99}, 9, 0.1);
+  EXPECT_FALSE(unknown.Validate(c).ok());
+
+  QuerySpec asym = QuerySpec::SimpleJoin({0, 1}, 9, 0.1);
+  asym.join_sel[0][1] = 0.5;
+  EXPECT_FALSE(asym.Validate(c).ok());
+
+  QuerySpec badagg = QuerySpec::SimpleJoin({0, 1}, 9, 0.1);
+  badagg.aggregate_factor = 2.0;
+  EXPECT_FALSE(badagg.Validate(c).ok());
+
+  QuerySpec nowin = QuerySpec::SimpleJoin({0, 1}, 9, 0.1);
+  nowin.join_window_s = 0.0;
+  EXPECT_FALSE(nowin.Validate(c).ok());
+}
+
+// --------------------------- Enumeration ---------------------------
+
+TEST(EnumerateTest, SingleStreamPlan) {
+  Catalog c = SmallCatalog();
+  QuerySpec q = QuerySpec::SimpleJoin({2}, 9, 0.1);
+  auto plans = EnumeratePlans(q, c, EnumerationOptions{});
+  ASSERT_TRUE(plans.ok());
+  ASSERT_EQ(plans->size(), 1u);
+  EXPECT_TRUE((*plans)[0].Validate().ok());
+}
+
+TEST(EnumerateTest, TwoStreamsOnePlan) {
+  Catalog c = SmallCatalog();
+  QuerySpec q = QuerySpec::SimpleJoin({0, 1}, 9, 0.01);
+  EnumerationOptions opts;
+  opts.top_k = 8;
+  auto plans = EnumeratePlans(q, c, opts);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_EQ(plans->size(), 1u);  // only one join shape exists
+}
+
+TEST(EnumerateTest, CandidatesSortedByDataRate) {
+  Catalog c = SmallCatalog();
+  QuerySpec q = QuerySpec::SimpleJoin({0, 1, 2, 3}, 9, 0.001);
+  EnumerationOptions opts;
+  opts.top_k = 8;
+  auto plans = EnumeratePlans(q, c, opts);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_GT(plans->size(), 1u);
+  for (size_t i = 1; i < plans->size(); ++i) {
+    EXPECT_LE((*plans)[i - 1].IntermediateDataRate(),
+              (*plans)[i].IntermediateDataRate() + 1e-9);
+  }
+}
+
+TEST(EnumerateTest, CandidatesAreDistinctShapes) {
+  Catalog c = SmallCatalog();
+  QuerySpec q = QuerySpec::SimpleJoin({0, 1, 2, 3}, 9, 0.001);
+  EnumerationOptions opts;
+  opts.top_k = 16;
+  auto plans = EnumeratePlans(q, c, opts);
+  ASSERT_TRUE(plans.ok());
+  std::set<std::string> shapes;
+  for (const auto& p : *plans) shapes.insert(p.Canonical());
+  EXPECT_EQ(shapes.size(), plans->size());
+}
+
+TEST(EnumerateTest, LeftDeepOnlyRestrictsShapes) {
+  Catalog c = SmallCatalog();
+  QuerySpec q = QuerySpec::SimpleJoin({0, 1, 2, 3}, 9, 0.001);
+  EnumerationOptions bushy;
+  bushy.top_k = 64;
+  EnumerationOptions ldeep;
+  ldeep.top_k = 64;
+  ldeep.left_deep_only = true;
+  auto pb = EnumeratePlans(q, c, bushy);
+  auto pl = EnumeratePlans(q, c, ldeep);
+  ASSERT_TRUE(pb.ok() && pl.ok());
+  // 4 leaves: 15 distinct bushy trees, 12 left-deep orders... left-deep is
+  // a strict subset of bushy shapes.
+  EXPECT_LT(pl->size(), pb->size());
+  std::set<std::string> bushy_shapes;
+  for (const auto& p : *pb) bushy_shapes.insert(p.Canonical());
+  for (const auto& p : *pl) {
+    EXPECT_TRUE(bushy_shapes.count(p.Canonical())) << p.Canonical();
+  }
+}
+
+TEST(EnumerateTest, RejectsTooManyStreams) {
+  Catalog c;
+  std::vector<StreamId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(c.AddStream("s", 1.0, 1.0, 0));
+  }
+  QuerySpec q = QuerySpec::SimpleJoin(ids, 9, 0.1);
+  EnumerationOptions opts;
+  opts.max_streams = 14;
+  EXPECT_FALSE(EnumeratePlans(q, c, opts).ok());
+}
+
+TEST(EnumerateTest, RejectsZeroTopK) {
+  Catalog c = SmallCatalog();
+  QuerySpec q = QuerySpec::SimpleJoin({0, 1}, 9, 0.1);
+  EnumerationOptions opts;
+  opts.top_k = 0;
+  EXPECT_FALSE(EnumeratePlans(q, c, opts).ok());
+}
+
+TEST(EnumerateTest, ExhaustiveCountsMatchDoubleFactorial) {
+  // Distinct bushy join trees over n labeled leaves = (2n-3)!!.
+  Catalog c;
+  for (int i = 0; i < 5; ++i) c.AddStream("s", 10.0 + i, 64.0, 0);
+  for (size_t n : {2u, 3u, 4u, 5u}) {
+    std::vector<StreamId> ids;
+    for (size_t i = 0; i < n; ++i) ids.push_back(static_cast<StreamId>(i));
+    QuerySpec q = QuerySpec::SimpleJoin(ids, 9, 0.01);
+    auto plans = EnumerateAllPlansExhaustive(q, c);
+    ASSERT_TRUE(plans.ok());
+    size_t expected = 1;
+    for (size_t k = 2 * n - 3; k >= 2; k -= 2) expected *= k;
+    if (n == 2) expected = 1;
+    EXPECT_EQ(plans->size(), expected) << "n=" << n;
+  }
+}
+
+// Property: the DP's best plan equals the exhaustive optimum (invariant 3).
+class DpOptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DpOptimalityTest, DpMatchesExhaustiveOptimum) {
+  Rng rng(GetParam());
+  WorkloadParams wp;
+  wp.num_streams = 8;
+  wp.min_streams_per_query = 3;
+  wp.max_streams_per_query = 5;
+  Catalog c = RandomCatalog(wp, {0, 1, 2, 3, 4}, &rng);
+  for (int rep = 0; rep < 10; ++rep) {
+    QuerySpec q = RandomQuery(wp, c, {5}, &rng);
+    auto dp = EnumeratePlans(q, c, EnumerationOptions{});
+    auto all = EnumerateAllPlansExhaustive(q, c);
+    ASSERT_TRUE(dp.ok() && all.ok());
+    EXPECT_NEAR((*dp)[0].IntermediateDataRate(),
+                (*all)[0].IntermediateDataRate(),
+                1e-6 * (*all)[0].IntermediateDataRate())
+        << "DP missed optimum for " << (*dp)[0].Canonical() << " vs "
+        << (*all)[0].Canonical();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpOptimalityTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(EnumerateTest, TopKSubsetOfExhaustiveBest) {
+  Rng rng(909);
+  WorkloadParams wp;
+  wp.num_streams = 6;
+  Catalog c = RandomCatalog(wp, {0, 1, 2}, &rng);
+  QuerySpec q = QuerySpec::SimpleJoin({0, 1, 2, 3}, 5, 0.005);
+  EnumerationOptions opts;
+  opts.top_k = 3;
+  auto dp = EnumeratePlans(q, c, opts);
+  auto all = EnumerateAllPlansExhaustive(q, c);
+  ASSERT_TRUE(dp.ok() && all.ok());
+  ASSERT_LE(dp->size(), 3u);
+  // The DP's k-th candidate can be no better than the exhaustive k-th best
+  // (DP top-k pruning is heuristic for k>1, but the best is exact).
+  EXPECT_NEAR((*dp)[0].IntermediateDataRate(),
+              (*all)[0].IntermediateDataRate(),
+              1e-9 * (*all)[0].IntermediateDataRate());
+}
+
+// --------------------------- Workload ---------------------------
+
+TEST(WorkloadTest, CatalogRespectsParams) {
+  Rng rng(31);
+  WorkloadParams wp;
+  wp.num_streams = 25;
+  Catalog c = RandomCatalog(wp, {3, 4, 5}, &rng);
+  EXPECT_EQ(c.NumStreams(), 25u);
+  for (StreamId s = 0; s < 25; ++s) {
+    const StreamDef& d = c.stream(s);
+    EXPECT_GE(d.tuple_rate_per_s, wp.rate_pareto_xm);
+    EXPECT_LE(d.tuple_rate_per_s, wp.rate_cap);
+    EXPECT_GE(d.tuple_size_bytes, wp.tuple_size_min);
+    EXPECT_LE(d.tuple_size_bytes, wp.tuple_size_max);
+    EXPECT_TRUE(d.producer == 3 || d.producer == 4 || d.producer == 5);
+  }
+}
+
+TEST(WorkloadTest, RandomQueriesValid) {
+  Rng rng(37);
+  WorkloadParams wp;
+  Catalog c = RandomCatalog(wp, {0, 1, 2}, &rng);
+  for (int rep = 0; rep < 50; ++rep) {
+    QuerySpec q = RandomQuery(wp, c, {7, 8}, &rng);
+    EXPECT_TRUE(q.Validate(c).ok());
+    EXPECT_GE(q.NumStreams(), wp.min_streams_per_query);
+    EXPECT_LE(q.NumStreams(), wp.max_streams_per_query);
+    EXPECT_TRUE(q.consumer == 7 || q.consumer == 8);
+    // Distinct streams.
+    std::set<StreamId> distinct(q.streams.begin(), q.streams.end());
+    EXPECT_EQ(distinct.size(), q.streams.size());
+  }
+}
+
+TEST(WorkloadTest, RandomQueriesEnumerable) {
+  Rng rng(41);
+  WorkloadParams wp;
+  Catalog c = RandomCatalog(wp, {0, 1}, &rng);
+  for (int rep = 0; rep < 20; ++rep) {
+    QuerySpec q = RandomQuery(wp, c, {5}, &rng);
+    auto plans = EnumeratePlans(q, c, EnumerationOptions{});
+    ASSERT_TRUE(plans.ok());
+    EXPECT_GE(plans->size(), 1u);
+    for (const auto& p : *plans) {
+      EXPECT_TRUE(p.Validate().ok());
+      EXPECT_GT(p.IntermediateDataRate(), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbon::query
