@@ -24,9 +24,9 @@ void Run() {
     std::vector<query::QuerySpec> specs;
   };
   std::vector<Instance> instances;
-  for (uint64_t seed = 1; seed <= 10; ++seed) {
+  for (uint64_t seed = 1; seed <= bench::Sweep(10); ++seed) {
     Instance inst;
-    inst.sbon = bench::MakeTransitStubSbon(200, seed * 37);
+    inst.sbon = bench::MakeTransitStubSbon(bench::Nodes(200), seed * 37);
     query::WorkloadParams wp;
     wp.num_streams = 5;
     wp.min_streams_per_query = 5;
@@ -85,7 +85,8 @@ void Run() {
 }  // namespace
 }  // namespace sbon
 
-int main() {
+int main(int argc, char** argv) {
+  sbon::bench::ParseBenchArgs(argc, argv);
   std::printf("Ablation: candidate-plan breadth K in the integrated "
               "optimizer\n");
   sbon::Run();

@@ -20,11 +20,11 @@ namespace {
 Summary RunConfig(overlay::Sbon::CoordMode mode, size_t dims,
                   Summary* embed_err) {
   Summary usage;
-  for (uint64_t seed = 1; seed <= 10; ++seed) {
+  for (uint64_t seed = 1; seed <= bench::Sweep(10); ++seed) {
     overlay::Sbon::Options opts;
     opts.coord_mode = mode;
     opts.space_spec = coords::CostSpaceSpec::LatencyAndLoad(dims, 100.0);
-    auto sbon = bench::MakeTransitStubSbon(200, seed * 61, opts);
+    auto sbon = bench::MakeTransitStubSbon(bench::Nodes(200), seed * 61, opts);
     if (embed_err != nullptr) {
       std::vector<Vec> coords;
       for (NodeId n = 0; n < sbon->topology().NumNodes(); ++n) {
@@ -92,7 +92,8 @@ void Run() {
 }  // namespace
 }  // namespace sbon
 
-int main() {
+int main(int argc, char** argv) {
+  sbon::bench::ParseBenchArgs(argc, argv);
   std::printf("Ablation: network-coordinate quality vs optimizer output "
               "quality\n");
   sbon::Run();

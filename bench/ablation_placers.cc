@@ -29,8 +29,8 @@ void Run() {
   std::map<std::string, Summary> usage;
   size_t trials = 0;
 
-  for (uint64_t seed = 1; seed <= 15; ++seed) {
-    auto sbon = bench::MakeTransitStubSbon(200, seed * 89);
+  for (uint64_t seed = 1; seed <= bench::Sweep(15); ++seed) {
+    auto sbon = bench::MakeTransitStubSbon(bench::Nodes(200), seed * 89);
     Rng& rng = sbon->rng();
     query::Catalog cat;
     std::vector<StreamId> ids;
@@ -115,7 +115,8 @@ void Run() {
 }  // namespace
 }  // namespace sbon
 
-int main() {
+int main(int argc, char** argv) {
+  sbon::bench::ParseBenchArgs(argc, argv);
   std::printf("Ablation: virtual placers and physical baselines vs the "
               "exhaustive oracle\n");
   sbon::Run();

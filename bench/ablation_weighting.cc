@@ -25,7 +25,7 @@ void Run() {
        {"identity", "squared", "exponential", "threshold"}) {
     Summary chosen_load, usage, map_err;
     size_t hot_used = 0, placements = 0;
-    for (uint64_t seed = 1; seed <= 12; ++seed) {
+    for (uint64_t seed = 1; seed <= bench::Sweep(12); ++seed) {
       overlay::Sbon::Options opts;
       std::vector<coords::ScalarDimSpec> dims;
       std::shared_ptr<coords::WeightingFn> w =
@@ -36,7 +36,7 @@ void Run() {
       opts.load_params.sigma = 0.2;
       opts.load_params.hotspot_frac = 0.15;
       opts.load_params.hotspot_mean = 0.95;
-      auto sbon = bench::MakeTransitStubSbon(200, seed * 53, opts);
+      auto sbon = bench::MakeTransitStubSbon(bench::Nodes(200), seed * 53, opts);
 
       query::WorkloadParams wp;
       wp.num_streams = 12;
@@ -84,7 +84,8 @@ void Run() {
 }  // namespace
 }  // namespace sbon
 
-int main() {
+int main(int argc, char** argv) {
+  sbon::bench::ParseBenchArgs(argc, argv);
   std::printf("Ablation: scalar weighting functions under a hotspot-heavy "
               "load distribution\n");
   sbon::Run();

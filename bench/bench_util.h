@@ -1,15 +1,65 @@
 #ifndef SBON_BENCH_BENCH_UTIL_H_
 #define SBON_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/rng.h"
 #include "net/generators.h"
 #include "overlay/sbon.h"
 
 namespace sbon::bench {
+
+inline bool& SmokeModeFlag() {
+  static bool smoke = false;
+  return smoke;
+}
+
+/// True when the harness runs in smoke mode: every code path, tiny sweeps.
+inline bool SmokeMode() { return SmokeModeFlag(); }
+
+/// Call first in main(): enables smoke mode on `--smoke` or
+/// `SBON_BENCH_SMOKE=1`. ctest smoke-runs every figure harness this way so
+/// benchmarks cannot silently bit-rot.
+inline void ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") SmokeModeFlag() = true;
+  }
+  const char* env = std::getenv("SBON_BENCH_SMOKE");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+    SmokeModeFlag() = true;
+  }
+  if (SmokeMode()) {
+    std::printf("[smoke mode: reduced sweeps; figures NOT representative]\n");
+  }
+}
+
+/// Sweep breadth: `full` seeds/trials in figure runs, `smoke` under --smoke.
+inline size_t Sweep(size_t full, size_t smoke = 2) {
+  return SmokeMode() ? std::min(full, smoke) : full;
+}
+
+/// Topology size: capped at ~120 nodes under --smoke.
+inline size_t Nodes(size_t full) {
+  return SmokeMode() ? std::min<size_t>(full, 120) : full;
+}
+
+/// Applies Nodes() to a sweep of sizes and drops the duplicates the smoke
+/// cap introduces; full runs pass through unchanged.
+inline std::vector<size_t> DedupedSizes(std::initializer_list<size_t> sizes) {
+  std::vector<size_t> out;
+  for (size_t s : sizes) {
+    const size_t n = Nodes(s);
+    if (out.empty() || out.back() != n) out.push_back(n);
+  }
+  return out;
+}
 
 /// Builds a transit-stub SBON of roughly `target_nodes` nodes (>= 100).
 /// All harnesses share this so figures are comparable.

@@ -139,7 +139,8 @@ CellResult RunUniformCell(size_t nodes, size_t producers, size_t seeds,
 }  // namespace
 }  // namespace sbon
 
-int main() {
+int main(int argc, char** argv) {
+  sbon::bench::ParseBenchArgs(argc, argv);
   using sbon::TableWriter;
   std::printf("Figure 1 reproduction: two-step vs integrated optimization\n");
   std::printf("(network usage in KB*ms/s; ratio = two-step / integrated)\n");
@@ -151,8 +152,8 @@ int main() {
     TableWriter t({"producers", "trials", "2step usage", "integr usage",
                    "mean ratio", "p90 ratio", "integr wins"});
     for (size_t producers : {3, 4, 5}) {
-      auto r = sbon::RunUniformCell(200, producers, /*seeds=*/25,
-                                    /*top_k=*/8);
+      auto r = sbon::RunUniformCell(sbon::bench::Nodes(200), producers,
+                                    sbon::bench::Sweep(25), /*top_k=*/8);
       t.AddRow({std::to_string(producers), std::to_string(r.trials),
                 TableWriter::Num(r.two_step_usage.Mean()),
                 TableWriter::Num(r.integrated_usage.Mean()),
@@ -171,10 +172,11 @@ int main() {
   {
     TableWriter t({"nodes", "trials", "2step usage", "integr usage",
                    "mean ratio", "p90 ratio", "integr wins", "tied"});
-    for (size_t nodes : {100, 200, 400, 600}) {
-      const size_t seeds = nodes >= 400 ? 15 : 25;
+    for (size_t nodes : sbon::bench::DedupedSizes({100, 200, 400, 600})) {
+      const size_t seeds = sbon::bench::Sweep(nodes >= 400 ? 15 : 25);
       auto r = sbon::RunCell(nodes, /*producers=*/4, seeds, /*top_k=*/8);
-      t.AddRow({std::to_string(nodes), std::to_string(r.trials),
+      t.AddRow({std::to_string(nodes),
+                std::to_string(r.trials),
                 TableWriter::Num(r.two_step_usage.Mean()),
                 TableWriter::Num(r.integrated_usage.Mean()),
                 TableWriter::Fixed(r.ratio.Mean(), 3),
@@ -196,7 +198,7 @@ int main() {
                    "mean ratio", "integr wins", "2step lat ms",
                    "integr lat ms"});
     for (size_t producers : {3, 4, 5, 6}) {
-      auto r = sbon::RunCell(200, producers, /*seeds=*/25, /*top_k=*/8);
+      auto r = sbon::RunCell(sbon::bench::Nodes(200), producers, sbon::bench::Sweep(25), /*top_k=*/8);
       t.AddRow({std::to_string(producers), std::to_string(r.trials),
                 TableWriter::Num(r.two_step_usage.Mean()),
                 TableWriter::Num(r.integrated_usage.Mean()),

@@ -27,7 +27,7 @@ void Run() {
   opts.load_params.sigma = 0.25;
   opts.load_params.hotspot_frac = 0.02;
   opts.load_params.hotspot_mean = 0.95;
-  auto sbon = bench::MakeTransitStubSbon(600, /*seed=*/42, opts);
+  auto sbon = bench::MakeTransitStubSbon(bench::Nodes(600), /*seed=*/42, opts);
 
   std::printf("topology: %s\n", sbon->topology().Summary().c_str());
 
@@ -126,7 +126,8 @@ void Run() {
 }  // namespace
 }  // namespace sbon
 
-int main() {
+int main(int argc, char** argv) {
+  sbon::bench::ParseBenchArgs(argc, argv);
   std::printf(
       "Figure 2 reproduction: 600-node transit-stub SBON in a 3-D cost "
       "space\n(2 latency dims + squared CPU load dim)\n");

@@ -45,11 +45,11 @@ void MappingErrorSweep() {
   Section("1. mapping error vs overlay size and probe width");
   TableWriter t({"nodes", "probe", "mean err (ms)", "p95 err (ms)",
                  "exact-oracle err", "mean net latency", "DHT hops/query"});
-  for (size_t nodes : {100, 200, 400, 600}) {
+  for (size_t nodes : bench::DedupedSizes({100, 200, 400, 600})) {
     for (size_t probe : {4, 16, 48}) {
       Summary err, exact_err, hops;
       double mean_lat = 0.0;
-      for (uint64_t seed = 1; seed <= 10; ++seed) {
+      for (uint64_t seed = 1; seed <= bench::Sweep(10); ++seed) {
         auto sbon = MakeTransitStubSbon(nodes, seed * 131);
         mean_lat = sbon->latency().MeanLatency();
         query::Catalog cat;
@@ -102,8 +102,8 @@ void LoadAwareScenario() {
   for (double overload : {0.5, 0.75, 0.95}) {
     size_t avoided = 0, trials = 0;
     Summary aware_load, blind_load, extra_err;
-    for (uint64_t seed = 1; seed <= 20; ++seed) {
-      auto sbon = MakeTransitStubSbon(200, seed * 977);
+    for (uint64_t seed = 1; seed <= bench::Sweep(20); ++seed) {
+      auto sbon = MakeTransitStubSbon(bench::Nodes(200), seed * 977);
       query::Catalog cat;
       query::QuerySpec spec =
           RandomJoinSpec(sbon.get(), &cat, 2, &sbon->rng());
@@ -166,11 +166,11 @@ void OracleGap() {
   Section("3. relaxation + mapping vs exhaustive placement oracle");
   TableWriter t({"nodes", "trials", "relax usage", "oracle usage",
                  "mean gap", "p90 gap"});
-  for (size_t nodes : {100, 200}) {
+  for (size_t nodes : bench::DedupedSizes({100, 200})) {
     Summary gap;
     Summary relax_usage, oracle_usage;
     size_t trials = 0;
-    for (uint64_t seed = 1; seed <= 12; ++seed) {
+    for (uint64_t seed = 1; seed <= bench::Sweep(12); ++seed) {
       auto sbon = MakeTransitStubSbon(nodes, seed * 271);
       // Pure 3-way join (2 services) so the exhaustive oracle is tractable:
       // no filter/aggregate ops.
@@ -228,7 +228,8 @@ void OracleGap() {
 }  // namespace
 }  // namespace sbon
 
-int main() {
+int main(int argc, char** argv) {
+  sbon::bench::ParseBenchArgs(argc, argv);
   std::printf(
       "Figure 3 reproduction: virtual placement + physical mapping in the "
       "cost space\n");

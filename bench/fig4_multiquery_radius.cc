@@ -41,7 +41,7 @@ void Run() {
   wp.filter_prob = 0.0;
   wp.aggregate_prob = 0.0;
 
-  auto sbon = MakeTransitStubSbon(300, /*seed=*/2025);
+  auto sbon = MakeTransitStubSbon(bench::Nodes(300), /*seed=*/2025);
   query::Catalog cat =
       query::RandomCatalog(wp, sbon->overlay_nodes(), &sbon->rng());
 
@@ -55,7 +55,7 @@ void Run() {
   base_params.reuse_radius = 60.0;
   core::MultiQueryOptimizer base_opt(cfg, placer, base_params);
   size_t installed = 0;
-  for (int i = 0; i < 40; ++i) {
+  for (size_t i = 0; i < bench::Sweep(40, 8); ++i) {
     query::QuerySpec q =
         query::RandomQuery(wp, cat, sbon->overlay_nodes(), &sbon->rng());
     auto r = base_opt.Optimize(q, cat, sbon.get());
@@ -69,12 +69,13 @@ void Run() {
 
   // Fresh queries evaluated (not installed) under every radius.
   std::vector<query::QuerySpec> probes;
-  for (int i = 0; i < 25; ++i) {
+  for (size_t i = 0; i < bench::Sweep(25, 5); ++i) {
     probes.push_back(
         query::RandomQuery(wp, cat, sbon->overlay_nodes(), &sbon->rng()));
   }
 
-  Section("radius sweep (per new query, averaged over 25 queries)");
+  Section("radius sweep (per new query, averaged over " +
+          std::to_string(probes.size()) + " queries)");
   TableWriter t({"radius r", "reuse cands", "ring probes", "reused svcs",
                  "est marginal cost", "true marginal usage",
                  "vs no-reuse"});
@@ -120,7 +121,8 @@ void Run() {
 }  // namespace
 }  // namespace sbon
 
-int main() {
+int main(int argc, char** argv) {
+  sbon::bench::ParseBenchArgs(argc, argv);
   std::printf(
       "Figure 4 reproduction: multi-query optimization with cost-space "
       "radius pruning\n");

@@ -16,18 +16,26 @@ void EventSim::ScheduleIn(double delay, Callback cb) {
 
 void EventSim::SchedulePeriodic(double period, Callback cb, double until) {
   assert(period > 0.0);
-  // Self-rescheduling wrapper.
+  // Self-rescheduling wrapper. The wrapper must not own itself (a shared_ptr
+  // captured in its own closure would be a reference cycle and leak); only
+  // the queued events hold strong references, so the chain is freed as soon
+  // as no further tick is scheduled.
   auto tick = std::make_shared<Callback>();
   auto shared_cb = std::make_shared<Callback>(std::move(cb));
+  std::weak_ptr<Callback> weak_tick = tick;
   auto self = this;
-  *tick = [self, period, until, shared_cb, tick]() {
+  *tick = [self, period, until, shared_cb, weak_tick]() {
     (*shared_cb)();
     const double next = self->now() + period;
     if (until < 0.0 || next <= until) {
-      self->ScheduleAt(next, *tick);
+      if (auto t = weak_tick.lock()) {
+        self->ScheduleAt(next, [t]() { (*t)(); });
+      }
     }
   };
-  ScheduleAt(now_ + period, *tick);
+  if (until < 0.0 || now_ + period <= until) {
+    ScheduleAt(now_ + period, [tick]() { (*tick)(); });
+  }
 }
 
 void EventSim::RunUntil(double t_end) {

@@ -6,6 +6,7 @@
 #include "core/multi_query.h"
 #include "core/reopt.h"
 #include "core/two_step.h"
+#include "harness/fixtures.h"
 #include "net/generators.h"
 #include "overlay/metrics.h"
 #include "query/enumerate.h"
@@ -16,26 +17,15 @@ namespace {
 
 using overlay::Sbon;
 
-std::unique_ptr<Sbon> MakeSbon(uint64_t seed, size_t scale = 1) {
-  Rng rng(seed);
-  net::TransitStubParams p;
-  p.transit_domains = 2 * scale;
-  p.transit_nodes_per_domain = 2;
-  p.stub_domains_per_transit_node = 2;
-  p.nodes_per_stub_domain = 6;
-  auto topo = net::GenerateTransitStub(p, &rng);
-  EXPECT_TRUE(topo.ok());
+std::unique_ptr<Sbon> MakeSbon(uint64_t seed) {
   Sbon::Options opts;
-  opts.seed = seed;
   opts.load_params.sigma = 0.0;
   opts.load_params.mean = 0.2;
-  auto s = Sbon::Create(std::move(topo.value()), opts);
-  EXPECT_TRUE(s.ok()) << s.status().ToString();
-  return std::move(s.value());
+  return test::MakeTransitStubSbon(test::TopologySize::kTiny, seed, opts);
 }
 
 std::shared_ptr<const placement::VirtualPlacer> Relaxation() {
-  return std::make_shared<placement::RelaxationPlacer>();
+  return test::DefaultPlacer();
 }
 
 query::WorkloadParams TestWorkload() {

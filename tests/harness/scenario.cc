@@ -1,0 +1,207 @@
+#include "harness/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace sbon::test {
+
+const char* OptimizerKindName(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kTwoStep:
+      return "two-step";
+    case OptimizerKind::kIntegrated:
+      return "integrated";
+    case OptimizerKind::kMultiQuery:
+      return "multi-query";
+  }
+  return "unknown";
+}
+
+ScenarioRunner::ScenarioRunner(ScenarioOptions options)
+    : options_(std::move(options)),
+      sbon_(MakeTransitStubSbon(options_.size, options_.seed, options_.sbon)) {}
+
+const query::Catalog& ScenarioRunner::UseRandomCatalog(
+    const query::WorkloadParams& params, uint64_t seed) {
+  catalog_ = MakeCatalog(*sbon_, params, seed);
+  return catalog_;
+}
+
+const query::Catalog& ScenarioRunner::UseCatalog(query::Catalog catalog) {
+  catalog_ = std::move(catalog);
+  return catalog_;
+}
+
+std::unique_ptr<core::Optimizer> ScenarioRunner::MakeOptimizer(
+    OptimizerKind kind) const {
+  auto placer = DefaultPlacer();
+  switch (kind) {
+    case OptimizerKind::kTwoStep:
+      return std::make_unique<core::TwoStepOptimizer>(options_.config, placer);
+    case OptimizerKind::kIntegrated:
+      return std::make_unique<core::IntegratedOptimizer>(options_.config,
+                                                         placer);
+    case OptimizerKind::kMultiQuery:
+      return std::make_unique<core::MultiQueryOptimizer>(
+          options_.config, placer, options_.multi_query);
+  }
+  return nullptr;
+}
+
+void ScenarioRunner::VerifyPlacedCircuit(const overlay::Circuit& circuit,
+                                         const overlay::Sbon& sbon) {
+  EXPECT_TRUE(circuit.FullyPlaced());
+  const size_t num_nodes = sbon.topology().NumNodes();
+  const auto& overlay_nodes = sbon.overlay_nodes();
+  for (size_t i = 0; i < circuit.NumVertices(); ++i) {
+    const auto& v = circuit.vertex(static_cast<int>(i));
+    ASSERT_NE(v.host, kInvalidNode) << "vertex " << i << " unplaced";
+    EXPECT_LT(v.host, num_nodes) << "vertex " << i << " host out of range";
+    if (!v.pinned && !v.reused) {
+      EXPECT_TRUE(std::find(overlay_nodes.begin(), overlay_nodes.end(),
+                            v.host) != overlay_nodes.end())
+          << "service vertex " << i << " placed on non-overlay node "
+          << v.host;
+    }
+  }
+  for (const auto& e : circuit.edges()) {
+    EXPECT_GE(e.rate_bytes_per_s, 0.0);
+    EXPECT_GE(e.from, 0);
+    EXPECT_GE(e.to, 0);
+    EXPECT_LT(static_cast<size_t>(e.from), circuit.NumVertices());
+    EXPECT_LT(static_cast<size_t>(e.to), circuit.NumVertices());
+  }
+}
+
+StatusOr<core::OptimizeResult> ScenarioRunner::OptimizeOnly(
+    OptimizerKind kind, const query::QuerySpec& spec) {
+  auto opt = MakeOptimizer(kind);
+  return opt->Optimize(spec, catalog_, sbon_.get());
+}
+
+PlacementRecord ScenarioRunner::PlaceAndInstall(OptimizerKind kind,
+                                                const query::QuerySpec& spec) {
+  PlacementRecord rec;
+  rec.kind = kind;
+
+  auto opt = MakeOptimizer(kind);
+  auto result = opt->Optimize(spec, catalog_, sbon_.get());
+  EXPECT_TRUE(result.ok()) << OptimizerKindName(kind)
+                           << " optimize failed: " << result.status().ToString();
+  if (!result.ok()) return rec;
+
+  rec.estimated_cost = result->estimated_cost;
+  rec.plans_considered = result->plans_considered;
+  rec.placements_evaluated = result->placements_evaluated;
+  rec.services_reused = result->services_reused;
+
+  EXPECT_TRUE(std::isfinite(rec.estimated_cost));
+  EXPECT_GT(rec.estimated_cost, 0.0);
+  VerifyPlacedCircuit(result->circuit, *sbon_);
+
+  auto id = sbon_->InstallCircuit(std::move(result->circuit));
+  EXPECT_TRUE(id.ok()) << "install failed: " << id.status().ToString();
+  if (!id.ok()) return rec;
+
+  rec.circuit_id = id.value();
+  specs_.emplace(rec.circuit_id, spec);
+
+  auto cost = sbon_->CircuitCostOf(rec.circuit_id);
+  EXPECT_TRUE(cost.ok()) << cost.status().ToString();
+  if (cost.ok()) {
+    rec.true_cost = cost.value();
+    VerifyInstalledCircuit(rec.circuit_id);
+  }
+  return rec;
+}
+
+void ScenarioRunner::VerifyInstalledCircuit(CircuitId id) const {
+  const overlay::Circuit* circuit = sbon_->FindCircuit(id);
+  ASSERT_NE(circuit, nullptr);
+  auto cost = sbon_->CircuitCostOf(id);
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  EXPECT_GE(cost->network_usage, 0.0);
+  EXPECT_GE(cost->node_penalty, 0.0);
+  EXPECT_TRUE(std::isfinite(cost->critical_path_latency_ms));
+
+  // Triangle-inequality lower bound: on a jitter-free overlay (latencies are
+  // all-pairs shortest paths, hence metric) a circuit routed through
+  // services can never deliver a producer's data faster than the direct
+  // path. Reused subtrees inherit foreign upstream latency, so skip those.
+  const bool jitter_free = options_.sbon.latency_jitter_sigma == 0.0;
+  const bool any_reused =
+      std::any_of(circuit->vertices().begin(), circuit->vertices().end(),
+                  [](const overlay::CircuitVertex& v) { return v.reused; });
+  if (jitter_free && !any_reused) {
+    const auto& plan = circuit->plan();
+    NodeId consumer = kInvalidNode;
+    double direct_bound = 0.0;
+    for (size_t i = 0; i < circuit->NumVertices(); ++i) {
+      const auto& v = circuit->vertex(static_cast<int>(i));
+      if (v.pinned && plan.op(v.plan_op).kind == query::OpKind::kConsumer) {
+        consumer = v.host;
+      }
+    }
+    if (consumer != kInvalidNode) {
+      for (size_t i = 0; i < circuit->NumVertices(); ++i) {
+        const auto& v = circuit->vertex(static_cast<int>(i));
+        if (v.pinned && plan.op(v.plan_op).kind == query::OpKind::kProducer) {
+          direct_bound = std::max(direct_bound,
+                                  sbon_->latency().Latency(v.host, consumer));
+        }
+      }
+      EXPECT_GE(cost->critical_path_latency_ms + 1e-9, direct_bound)
+          << "circuit " << id << " beats the direct-path latency bound";
+    }
+  }
+}
+
+void ScenarioRunner::VerifyAllInstalled() const {
+  for (const auto& [id, circuit] : sbon_->circuits()) {
+    (void)circuit;
+    VerifyInstalledCircuit(id);
+  }
+  EXPECT_GE(sbon_->TotalNetworkUsage(), 0.0);
+}
+
+const query::QuerySpec& ScenarioRunner::SpecOf(CircuitId id) const {
+  auto it = specs_.find(id);
+  if (it == specs_.end()) {
+    ADD_FAILURE() << "no spec recorded for circuit " << id;
+    static const query::QuerySpec kEmpty;
+    return kEmpty;
+  }
+  return it->second;
+}
+
+void ScenarioRunner::Churn(double dt, size_t vivaldi_samples) {
+  sbon_->TickNetwork();
+  sbon_->Tick(dt);
+  if (vivaldi_samples > 0) sbon_->UpdateCoordinatesOnline(vivaldi_samples);
+  sbon_->RefreshIndex();
+}
+
+StatusOr<core::LocalReoptReport> ScenarioRunner::LocalReopt(
+    CircuitId id, const core::ReoptConfig& config) {
+  return core::LocalReoptimize(sbon_.get(), id, *DefaultPlacer(), config);
+}
+
+StatusOr<core::FullReoptReport> ScenarioRunner::FullReopt(
+    CircuitId id, OptimizerKind kind, const core::ReoptConfig& config) {
+  auto opt = MakeOptimizer(kind);
+  const query::QuerySpec spec = SpecOf(id);
+  auto report = core::FullReoptimize(sbon_.get(), id, spec, catalog_,
+                                     opt.get(), config);
+  // A redeploy replaces the circuit under a new id; carry the spec over so
+  // the new circuit can be re-optimized in later epochs.
+  if (report.ok() && report->redeployed) {
+    specs_.erase(id);
+    specs_.emplace(report->new_circuit, spec);
+  }
+  return report;
+}
+
+}  // namespace sbon::test

@@ -1,0 +1,121 @@
+#ifndef SBON_TESTS_HARNESS_SCENARIO_H_
+#define SBON_TESTS_HARNESS_SCENARIO_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/integrated.h"
+#include "core/multi_query.h"
+#include "core/reopt.h"
+#include "core/two_step.h"
+#include "harness/fixtures.h"
+#include "overlay/metrics.h"
+#include "overlay/sbon.h"
+
+namespace sbon::test {
+
+/// Which optimizer a scenario step runs.
+enum class OptimizerKind { kTwoStep, kIntegrated, kMultiQuery };
+
+const char* OptimizerKindName(OptimizerKind kind);
+
+/// Configuration of an end-to-end scenario.
+struct ScenarioOptions {
+  TopologySize size = TopologySize::kSmall;
+  uint64_t seed = 42;
+  /// Overlay options (`sbon.seed` is overwritten with `seed`).
+  overlay::Sbon::Options sbon;
+  core::OptimizerConfig config = TestOptimizerConfig();
+  core::MultiQueryOptimizer::Params multi_query;
+};
+
+/// What one placement step produced, with both the optimizer's cost-space
+/// estimate and the true-latency cost measured after installation.
+struct PlacementRecord {
+  CircuitId circuit_id = kInvalidCircuit;
+  OptimizerKind kind = OptimizerKind::kIntegrated;
+  double estimated_cost = 0.0;
+  size_t plans_considered = 0;
+  size_t placements_evaluated = 0;
+  size_t services_reused = 0;
+  overlay::CircuitCost true_cost;
+};
+
+/// Drives `overlay::Sbon` end-to-end — build topology, embed coordinates,
+/// place queries, install circuits — while asserting structural and cost
+/// invariants at every step (via gtest non-fatal failures, so a broken
+/// invariant pinpoints the step that violated it).
+///
+/// Invariants checked on every placed circuit:
+///  - the circuit is fully placed and every host is a valid topology node;
+///  - unpinned (service) hosts are overlay-eligible nodes;
+///  - the optimizer's estimated cost is finite and strictly positive;
+///  - after installation, the true-latency cost is computable, its network
+///    usage is non-negative, and — on a jitter-free overlay with no reuse —
+///    the critical-path latency is at least the direct shortest-path latency
+///    from each producer to the consumer (placement can never beat the
+///    triangle inequality).
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioOptions options);
+
+  overlay::Sbon& sbon() { return *sbon_; }
+  const ScenarioOptions& options() const { return options_; }
+
+  /// Installs a seeded random catalog (see MakeCatalog) and returns it.
+  const query::Catalog& UseRandomCatalog(const query::WorkloadParams& params,
+                                         uint64_t seed);
+  /// Installs a caller-built catalog.
+  const query::Catalog& UseCatalog(query::Catalog catalog);
+  const query::Catalog& catalog() const { return catalog_; }
+
+  /// Runs `kind` on `spec`, verifies placement invariants, installs the
+  /// circuit, measures its true cost, and records the spec for later
+  /// re-optimization. Returns the record (structured failure via gtest on
+  /// invariant violations; optimizer/install errors surface as ASSERT-style
+  /// failures with the record left at defaults).
+  PlacementRecord PlaceAndInstall(OptimizerKind kind,
+                                  const query::QuerySpec& spec);
+
+  /// Optimizes without installing (for compare-only steps).
+  StatusOr<core::OptimizeResult> OptimizeOnly(OptimizerKind kind,
+                                              const query::QuerySpec& spec);
+
+  /// One churn epoch: advance ambient load by `dt`, resample latency jitter,
+  /// run `vivaldi_samples` online coordinate measurements per node, and
+  /// refresh the coordinate index.
+  void Churn(double dt, size_t vivaldi_samples);
+
+  /// Local re-optimization (service migration) for a previously installed
+  /// circuit.
+  StatusOr<core::LocalReoptReport> LocalReopt(CircuitId id,
+                                              const core::ReoptConfig& config);
+  /// Full re-optimization (parallel circuit deployment) using `kind`.
+  StatusOr<core::FullReoptReport> FullReopt(CircuitId id, OptimizerKind kind,
+                                            const core::ReoptConfig& config);
+
+  /// Re-verifies cost invariants over every installed circuit (e.g. after
+  /// churn or migration).
+  void VerifyAllInstalled() const;
+
+  /// Spec recorded for an installed circuit (dies if unknown).
+  const query::QuerySpec& SpecOf(CircuitId id) const;
+
+  /// Invariant check on a placed, not-yet-installed circuit.
+  static void VerifyPlacedCircuit(const overlay::Circuit& circuit,
+                                  const overlay::Sbon& sbon);
+
+ private:
+  std::unique_ptr<core::Optimizer> MakeOptimizer(OptimizerKind kind) const;
+  void VerifyInstalledCircuit(CircuitId id) const;
+
+  ScenarioOptions options_;
+  std::unique_ptr<overlay::Sbon> sbon_;
+  query::Catalog catalog_;
+  std::map<CircuitId, query::QuerySpec> specs_;
+};
+
+}  // namespace sbon::test
+
+#endif  // SBON_TESTS_HARNESS_SCENARIO_H_
