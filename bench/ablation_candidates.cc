@@ -9,7 +9,7 @@
 #include "bench/bench_util.h"
 #include "common/summary.h"
 #include "common/table.h"
-#include "core/integrated.h"
+#include "engine/stream_engine.h"
 #include "overlay/metrics.h"
 #include "query/workload.h"
 
@@ -19,14 +19,13 @@ namespace {
 void Run() {
   // Shared instances across K values for paired comparison.
   struct Instance {
-    std::unique_ptr<overlay::Sbon> sbon;
-    query::Catalog cat;
+    std::unique_ptr<engine::StreamEngine> engine;
     std::vector<query::QuerySpec> specs;
   };
   std::vector<Instance> instances;
   for (uint64_t seed = 1; seed <= bench::Sweep(10); ++seed) {
     Instance inst;
-    inst.sbon = bench::MakeTransitStubSbon(bench::Nodes(200), seed * 37);
+    inst.engine = bench::MakeTransitStubEngine(bench::Nodes(200), seed * 37);
     query::WorkloadParams wp;
     wp.num_streams = 5;
     wp.min_streams_per_query = 5;
@@ -36,11 +35,13 @@ void Run() {
     wp.join_sel_log10_max = -2.8;
     wp.filter_prob = 0.0;
     wp.aggregate_prob = 0.0;
-    inst.cat = query::RandomCatalog(wp, inst.sbon->overlay_nodes(),
-                                    &inst.sbon->rng());
+    overlay::Sbon& sbon = inst.engine->sbon();
+    inst.engine->SetCatalog(
+        query::RandomCatalog(wp, sbon.overlay_nodes(), &sbon.rng()));
     for (int i = 0; i < 4; ++i) {
-      inst.specs.push_back(query::RandomQuery(
-          wp, inst.cat, inst.sbon->overlay_nodes(), &inst.sbon->rng()));
+      inst.specs.push_back(query::RandomQuery(wp, inst.engine->catalog(),
+                                              sbon.overlay_nodes(),
+                                              &sbon.rng()));
     }
     instances.push_back(std::move(inst));
   }
@@ -51,15 +52,15 @@ void Run() {
   for (size_t k : {1, 2, 4, 8, 16, 32}) {
     Summary usage, est, placements, probes;
     for (Instance& inst : instances) {
+      engine::StrategySpec strategy;
       core::OptimizerConfig cfg;
       cfg.enumeration.top_k = k;
-      core::IntegratedOptimizer opt(
-          cfg, std::make_shared<placement::RelaxationPlacer>());
+      strategy.config = cfg;
       for (const query::QuerySpec& q : inst.specs) {
-        auto r = opt.Optimize(q, inst.cat, inst.sbon.get());
+        auto r = inst.engine->Optimize(q, strategy);
         if (!r.ok()) continue;
         auto cost = overlay::ComputeCircuitCost(
-            r->circuit, inst.sbon->latency(), nullptr);
+            r->circuit, inst.engine->sbon().latency(), nullptr);
         if (!cost.ok()) continue;
         usage.Add(cost->network_usage / 1000.0);
         est.Add(r->estimated_cost / 1000.0);

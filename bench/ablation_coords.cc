@@ -10,7 +10,7 @@
 #include "common/summary.h"
 #include "common/table.h"
 #include "coords/mds.h"
-#include "core/integrated.h"
+#include "engine/stream_engine.h"
 #include "overlay/metrics.h"
 #include "query/workload.h"
 
@@ -21,32 +21,31 @@ Summary RunConfig(overlay::Sbon::CoordMode mode, size_t dims,
                   Summary* embed_err) {
   Summary usage;
   for (uint64_t seed = 1; seed <= bench::Sweep(10); ++seed) {
-    overlay::Sbon::Options opts;
-    opts.coord_mode = mode;
-    opts.space_spec = coords::CostSpaceSpec::LatencyAndLoad(dims, 100.0);
-    auto sbon = bench::MakeTransitStubSbon(bench::Nodes(200), seed * 61, opts);
+    engine::EngineOptions eo;
+    eo.sbon.coord_mode = mode;
+    eo.sbon.space_spec = coords::CostSpaceSpec::LatencyAndLoad(dims, 100.0);
+    auto engine = bench::MakeTransitStubEngine(bench::Nodes(200), seed * 61,
+                                               std::move(eo));
+    overlay::Sbon& sbon = engine->sbon();
     if (embed_err != nullptr) {
       std::vector<Vec> coords;
-      for (NodeId n = 0; n < sbon->topology().NumNodes(); ++n) {
-        coords.push_back(sbon->cost_space().VectorCoord(n));
+      for (NodeId n = 0; n < sbon.topology().NumNodes(); ++n) {
+        coords.push_back(sbon.cost_space().VectorCoord(n));
       }
-      embed_err->Add(coords::EvaluateEmbedding(sbon->latency(), coords)
+      embed_err->Add(coords::EvaluateEmbedding(sbon.latency(), coords)
                          .median_relative_error);
     }
     query::WorkloadParams wp;
     wp.num_streams = 12;
-    query::Catalog cat =
-        query::RandomCatalog(wp, sbon->overlay_nodes(), &sbon->rng());
-    core::OptimizerConfig cfg;
-    core::IntegratedOptimizer opt(
-        cfg, std::make_shared<placement::RelaxationPlacer>());
+    engine->SetCatalog(
+        query::RandomCatalog(wp, sbon.overlay_nodes(), &sbon.rng()));
     for (int i = 0; i < 5; ++i) {
-      query::QuerySpec q = query::RandomQuery(wp, cat,
-                                              sbon->overlay_nodes(),
-                                              &sbon->rng());
-      auto r = opt.Optimize(q, cat, sbon.get());
+      query::QuerySpec q = query::RandomQuery(wp, engine->catalog(),
+                                              sbon.overlay_nodes(),
+                                              &sbon.rng());
+      auto r = engine->Optimize(q);
       if (!r.ok()) continue;
-      auto cost = overlay::ComputeCircuitCost(r->circuit, sbon->latency(),
+      auto cost = overlay::ComputeCircuitCost(r->circuit, sbon.latency(),
                                               nullptr);
       if (cost.ok()) usage.Add(cost->network_usage / 1000.0);
     }

@@ -10,10 +10,10 @@
 #include "bench/bench_util.h"
 #include "common/summary.h"
 #include "common/table.h"
+#include "engine/registry.h"
 #include "overlay/metrics.h"
 #include "placement/baselines.h"
 #include "placement/mapping.h"
-#include "placement/relaxation.h"
 #include "query/enumerate.h"
 
 namespace sbon {
@@ -56,15 +56,12 @@ void Run() {
       if (cost.ok()) usage[name].Add(cost->network_usage / 1000.0);
     };
 
-    // Virtual placers + mapping.
-    for (const auto& [name, placer] :
-         std::vector<std::pair<std::string,
-                               std::shared_ptr<placement::VirtualPlacer>>>{
-             {"relaxation", std::make_shared<placement::RelaxationPlacer>()},
-             {"gradient", std::make_shared<placement::GradientPlacer>()},
-             {"centroid", std::make_shared<placement::CentroidPlacer>()}}) {
+    // Virtual placers + mapping, instantiated by registry name.
+    for (const std::string name : {"relaxation", "gradient", "centroid"}) {
+      auto placer = engine::PlacerRegistry::Global().Create(name);
+      if (!placer.ok()) continue;
       Circuit c = base.value();
-      if (!placer->Place(&c, sbon->cost_space()).ok()) continue;
+      if (!(*placer)->Place(&c, sbon->cost_space()).ok()) continue;
       if (!placement::MapCircuit(&c, *sbon, placement::MappingOptions{},
                                  nullptr)
                .ok()) {

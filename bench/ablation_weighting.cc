@@ -11,7 +11,7 @@
 #include "bench/bench_util.h"
 #include "common/summary.h"
 #include "common/table.h"
-#include "core/integrated.h"
+#include "engine/stream_engine.h"
 #include "overlay/metrics.h"
 #include "query/workload.h"
 
@@ -26,43 +26,42 @@ void Run() {
     Summary chosen_load, usage, map_err;
     size_t hot_used = 0, placements = 0;
     for (uint64_t seed = 1; seed <= bench::Sweep(12); ++seed) {
-      overlay::Sbon::Options opts;
+      engine::EngineOptions eo;
       std::vector<coords::ScalarDimSpec> dims;
       std::shared_ptr<coords::WeightingFn> w =
           coords::MakeWeighting(name, 100.0);
       dims.push_back(coords::ScalarDimSpec{"cpu_load", w});
-      opts.space_spec = coords::CostSpaceSpec(2, dims);
-      opts.load_params.mean = 0.3;
-      opts.load_params.sigma = 0.2;
-      opts.load_params.hotspot_frac = 0.15;
-      opts.load_params.hotspot_mean = 0.95;
-      auto sbon = bench::MakeTransitStubSbon(bench::Nodes(200), seed * 53, opts);
+      eo.sbon.space_spec = coords::CostSpaceSpec(2, dims);
+      eo.sbon.load_params.mean = 0.3;
+      eo.sbon.load_params.sigma = 0.2;
+      eo.sbon.load_params.hotspot_frac = 0.15;
+      eo.sbon.load_params.hotspot_mean = 0.95;
+      auto engine = bench::MakeTransitStubEngine(bench::Nodes(200), seed * 53,
+                                                 std::move(eo));
+      overlay::Sbon& sbon = engine->sbon();
 
       query::WorkloadParams wp;
       wp.num_streams = 12;
-      query::Catalog cat =
-          query::RandomCatalog(wp, sbon->overlay_nodes(), &sbon->rng());
-      core::OptimizerConfig cfg;
-      core::IntegratedOptimizer opt(
-          cfg, std::make_shared<placement::RelaxationPlacer>());
+      engine->SetCatalog(
+          query::RandomCatalog(wp, sbon.overlay_nodes(), &sbon.rng()));
       for (int i = 0; i < 8; ++i) {
-        query::QuerySpec q = query::RandomQuery(wp, cat,
-                                                sbon->overlay_nodes(),
-                                                &sbon->rng());
-        auto r = opt.Optimize(q, cat, sbon.get());
+        query::QuerySpec q = query::RandomQuery(wp, engine->catalog(),
+                                                sbon.overlay_nodes(),
+                                                &sbon.rng());
+        auto r = engine->Optimize(q);
         if (!r.ok()) continue;
         for (int v : r->circuit.PlaceableVertices()) {
-          const double load = sbon->TotalLoad(r->circuit.vertex(v).host);
+          const double load = sbon.TotalLoad(r->circuit.vertex(v).host);
           chosen_load.Add(load);
           if (load > 0.7) ++hot_used;
           ++placements;
         }
         map_err.Add(r->mapping.MeanMappingError());
-        auto cost = overlay::ComputeCircuitCost(r->circuit, sbon->latency(),
+        auto cost = overlay::ComputeCircuitCost(r->circuit, sbon.latency(),
                                                 nullptr);
         if (cost.ok()) usage.Add(cost->network_usage / 1000.0);
-        auto id = sbon->InstallCircuit(std::move(r->circuit));
-        if (id.ok()) sbon->RefreshIndex();
+        auto id = sbon.InstallCircuit(std::move(r->circuit));
+        if (id.ok()) sbon.RefreshIndex();
       }
     }
     t.AddRow({name, TableWriter::Fixed(chosen_load.Mean(), 3),

@@ -4,13 +4,16 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <initializer_list>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "engine/stream_engine.h"
 #include "net/generators.h"
 #include "overlay/sbon.h"
 
@@ -24,17 +27,51 @@ inline bool& SmokeModeFlag() {
 /// True when the harness runs in smoke mode: every code path, tiny sweeps.
 inline bool SmokeMode() { return SmokeModeFlag(); }
 
+/// Default strategy names used by MakeTransitStubEngine, overridable with
+/// --optimizer= / --placer= (engine registry names), so every harness can
+/// be ablated from the command line without a rebuild.
+inline std::string& OptimizerFlag() {
+  static std::string name = "integrated";
+  return name;
+}
+inline std::string& PlacerFlag() {
+  static std::string name = "relaxation";
+  return name;
+}
+
 /// Call first in main(): enables smoke mode on `--smoke` or
-/// `SBON_BENCH_SMOKE=1`. ctest smoke-runs every figure harness this way so
-/// benchmarks cannot silently bit-rot.
+/// `SBON_BENCH_SMOKE=1` (ctest smoke-runs every figure harness this way so
+/// benchmarks cannot silently bit-rot), and parses `--optimizer=NAME` /
+/// `--placer=NAME` strategy overrides against the engine registries.
 inline void ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--smoke") SmokeModeFlag() = true;
+    const std::string_view arg(argv[i]);
+    if (arg == "--smoke") {
+      SmokeModeFlag() = true;
+    } else if (arg.rfind("--optimizer=", 0) == 0) {
+      OptimizerFlag() = std::string(arg.substr(std::strlen("--optimizer=")));
+    } else if (arg.rfind("--placer=", 0) == 0) {
+      PlacerFlag() = std::string(arg.substr(std::strlen("--placer=")));
+    }
   }
   const char* env = std::getenv("SBON_BENCH_SMOKE");
   if (env != nullptr && env[0] != '\0' && env[0] != '0') {
     SmokeModeFlag() = true;
   }
+  auto check = [](const char* what, const std::string& name, bool known,
+                  const std::vector<std::string>& names) {
+    if (known) return;
+    std::fprintf(stderr, "unknown %s '%s'; registered:", what, name.c_str());
+    for (const std::string& n : names) std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  };
+  check("optimizer", OptimizerFlag(),
+        engine::OptimizerRegistry::Global().Has(OptimizerFlag()),
+        engine::OptimizerRegistry::Global().Names());
+  check("placer", PlacerFlag(),
+        engine::PlacerRegistry::Global().Has(PlacerFlag()),
+        engine::PlacerRegistry::Global().Names());
   if (SmokeMode()) {
     std::printf("[smoke mode: reduced sweeps; figures NOT representative]\n");
   }
@@ -61,11 +98,10 @@ inline std::vector<size_t> DedupedSizes(std::initializer_list<size_t> sizes) {
   return out;
 }
 
-/// Builds a transit-stub SBON of roughly `target_nodes` nodes (>= 100).
-/// All harnesses share this so figures are comparable.
-inline std::unique_ptr<overlay::Sbon> MakeTransitStubSbon(
-    size_t target_nodes, uint64_t seed,
-    overlay::Sbon::Options opts = overlay::Sbon::Options()) {
+/// Transit-stub topology of roughly `target_nodes` nodes (>= 100). All
+/// harnesses share this so figures are comparable.
+inline net::Topology MakeTransitStubTopology(size_t target_nodes,
+                                             uint64_t seed) {
   net::TransitStubParams p;
   // Scale stub domains to approximate the target size:
   // nodes = td*tn + td*tn*sd*ns with td*tn transit routers.
@@ -83,14 +119,42 @@ inline std::unique_ptr<overlay::Sbon> MakeTransitStubSbon(
                  topo.status().ToString().c_str());
     std::abort();
   }
+  return std::move(topo.value());
+}
+
+/// Builds a transit-stub SBON of roughly `target_nodes` nodes.
+inline std::unique_ptr<overlay::Sbon> MakeTransitStubSbon(
+    size_t target_nodes, uint64_t seed,
+    overlay::Sbon::Options opts = overlay::Sbon::Options()) {
   opts.seed = seed;
-  auto s = overlay::Sbon::Create(std::move(topo.value()), opts);
+  auto s = overlay::Sbon::Create(MakeTransitStubTopology(target_nodes, seed),
+                                 opts);
   if (!s.ok()) {
     std::fprintf(stderr, "sbon creation failed: %s\n",
                  s.status().ToString().c_str());
     std::abort();
   }
   return std::move(s.value());
+}
+
+/// Builds a StreamEngine over a transit-stub overlay of roughly
+/// `target_nodes` nodes. Engine defaults come from the --optimizer= /
+/// --placer= flags; harnesses override per call via engine::StrategySpec
+/// where the figure compares fixed strategies.
+inline std::unique_ptr<engine::StreamEngine> MakeTransitStubEngine(
+    size_t target_nodes, uint64_t seed,
+    engine::EngineOptions opts = engine::EngineOptions()) {
+  opts.topology = MakeTransitStubTopology(target_nodes, seed);
+  opts.sbon.seed = seed;
+  opts.optimizer = OptimizerFlag();
+  opts.placer = PlacerFlag();
+  auto e = engine::StreamEngine::Create(std::move(opts));
+  if (!e.ok()) {
+    std::fprintf(stderr, "engine creation failed: %s\n",
+                 e.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(e.value());
 }
 
 /// Prints a section header in the harness output.

@@ -17,16 +17,24 @@
 #include "bench/bench_util.h"
 #include "common/summary.h"
 #include "common/table.h"
-#include "core/integrated.h"
-#include "core/two_step.h"
+#include "engine/stream_engine.h"
 #include "overlay/metrics.h"
 #include "query/workload.h"
 
 namespace sbon {
 namespace {
 
-using bench::MakeTransitStubSbon;
+using bench::MakeTransitStubEngine;
 using bench::Section;
+
+engine::StrategySpec Strategy(const char* optimizer, size_t top_k) {
+  engine::StrategySpec s;
+  s.optimizer = optimizer;
+  core::OptimizerConfig cfg;
+  cfg.enumeration.top_k = top_k;
+  s.config = cfg;
+  return s;
+}
 
 struct CellResult {
   Summary two_step_usage;
@@ -43,30 +51,26 @@ CellResult RunCell(size_t nodes, size_t producers, size_t seeds,
                    size_t top_k) {
   CellResult out;
   for (uint64_t seed = 1; seed <= seeds; ++seed) {
-    auto sbon = MakeTransitStubSbon(nodes, seed * 7919);
+    auto engine = MakeTransitStubEngine(nodes, seed * 7919);
+    overlay::Sbon& sbon = engine->sbon();
     query::WorkloadParams wp;
     wp.num_streams = producers;
     wp.min_streams_per_query = producers;
     wp.max_streams_per_query = producers;
-    query::Catalog cat =
-        query::RandomCatalog(wp, sbon->overlay_nodes(), &sbon->rng());
-    query::QuerySpec spec =
-        query::RandomQuery(wp, cat, sbon->overlay_nodes(), &sbon->rng());
+    engine->SetCatalog(
+        query::RandomCatalog(wp, sbon.overlay_nodes(), &sbon.rng()));
+    query::QuerySpec spec = query::RandomQuery(wp, engine->catalog(),
+                                               sbon.overlay_nodes(),
+                                               &sbon.rng());
 
-    core::OptimizerConfig cfg;
-    cfg.enumeration.top_k = top_k;
-    auto placer = std::make_shared<placement::RelaxationPlacer>();
-    core::TwoStepOptimizer two(cfg, placer);
-    core::IntegratedOptimizer integrated(cfg, placer);
-
-    auto rt = two.Optimize(spec, cat, sbon.get());
-    auto ri = integrated.Optimize(spec, cat, sbon.get());
+    auto rt = engine->Optimize(spec, Strategy("two-step", top_k));
+    auto ri = engine->Optimize(spec, Strategy("integrated", top_k));
     if (!rt.ok() || !ri.ok()) continue;
 
-    auto ct = overlay::ComputeCircuitCost(rt->circuit, sbon->latency(),
-                                          &sbon->cost_space());
-    auto ci = overlay::ComputeCircuitCost(ri->circuit, sbon->latency(),
-                                          &sbon->cost_space());
+    auto ct = overlay::ComputeCircuitCost(rt->circuit, sbon.latency(),
+                                          &sbon.cost_space());
+    auto ci = overlay::ComputeCircuitCost(ri->circuit, sbon.latency(),
+                                          &sbon.cost_space());
     if (!ct.ok() || !ci.ok()) continue;
 
     out.trials++;
@@ -95,32 +99,27 @@ CellResult RunUniformCell(size_t nodes, size_t producers, size_t seeds,
                           size_t top_k) {
   CellResult out;
   for (uint64_t seed = 1; seed <= seeds; ++seed) {
-    auto sbon = MakeTransitStubSbon(nodes, seed * 104729);
-    query::Catalog cat;
+    auto engine = MakeTransitStubEngine(nodes, seed * 104729);
+    overlay::Sbon& sbon = engine->sbon();
     std::vector<StreamId> ids;
     for (size_t i = 0; i < producers; ++i) {
-      const NodeId producer = sbon->overlay_nodes()[sbon->rng().UniformInt(
-          sbon->overlay_nodes().size())];
-      ids.push_back(cat.AddStream("s" + std::to_string(i), 50.0, 128.0,
-                                  producer));
+      const NodeId producer = sbon.overlay_nodes()[sbon.rng().UniformInt(
+          sbon.overlay_nodes().size())];
+      ids.push_back(engine->AddStream("s" + std::to_string(i), 50.0, 128.0,
+                                      producer));
     }
-    const NodeId consumer = sbon->overlay_nodes()[sbon->rng().UniformInt(
-        sbon->overlay_nodes().size())];
+    const NodeId consumer = sbon.overlay_nodes()[sbon.rng().UniformInt(
+        sbon.overlay_nodes().size())];
     query::QuerySpec spec =
         query::QuerySpec::SimpleJoin(ids, consumer, 0.0005);
 
-    core::OptimizerConfig cfg;
-    cfg.enumeration.top_k = top_k;
-    auto placer = std::make_shared<placement::RelaxationPlacer>();
-    core::TwoStepOptimizer two(cfg, placer);
-    core::IntegratedOptimizer integrated(cfg, placer);
-    auto rt = two.Optimize(spec, cat, sbon.get());
-    auto ri = integrated.Optimize(spec, cat, sbon.get());
+    auto rt = engine->Optimize(spec, Strategy("two-step", top_k));
+    auto ri = engine->Optimize(spec, Strategy("integrated", top_k));
     if (!rt.ok() || !ri.ok()) continue;
-    auto ct = overlay::ComputeCircuitCost(rt->circuit, sbon->latency(),
-                                          &sbon->cost_space());
-    auto ci = overlay::ComputeCircuitCost(ri->circuit, sbon->latency(),
-                                          &sbon->cost_space());
+    auto ct = overlay::ComputeCircuitCost(rt->circuit, sbon.latency(),
+                                          &sbon.cost_space());
+    auto ci = overlay::ComputeCircuitCost(ri->circuit, sbon.latency(),
+                                          &sbon.cost_space());
     if (!ct.ok() || !ci.ok()) continue;
     out.trials++;
     out.two_step_usage.Add(ct->network_usage / 1000.0);

@@ -18,15 +18,27 @@
 #include "bench/bench_util.h"
 #include "common/summary.h"
 #include "common/table.h"
-#include "core/multi_query.h"
+#include "engine/stream_engine.h"
 #include "overlay/metrics.h"
 #include "query/workload.h"
 
 namespace sbon {
 namespace {
 
-using bench::MakeTransitStubSbon;
+using bench::MakeTransitStubEngine;
 using bench::Section;
+
+engine::StrategySpec MultiQueryStrategy(double radius) {
+  engine::StrategySpec s;
+  s.optimizer = "multi-query";
+  core::OptimizerConfig cfg;
+  cfg.enumeration.top_k = 4;
+  s.config = cfg;
+  core::MultiQueryOptimizer::Params params;
+  params.reuse_radius = radius;
+  s.multi_query = params;
+  return s;
+}
 
 void Run() {
   // A workload with heavy stream sharing: few streams, many queries.
@@ -41,37 +53,29 @@ void Run() {
   wp.filter_prob = 0.0;
   wp.aggregate_prob = 0.0;
 
-  auto sbon = MakeTransitStubSbon(bench::Nodes(300), /*seed=*/2025);
-  query::Catalog cat =
-      query::RandomCatalog(wp, sbon->overlay_nodes(), &sbon->rng());
-
-  auto placer = std::make_shared<placement::RelaxationPlacer>();
-  core::OptimizerConfig cfg;
-  cfg.enumeration.top_k = 4;
+  auto engine = MakeTransitStubEngine(bench::Nodes(300), /*seed=*/2025);
+  overlay::Sbon& sbon = engine->sbon();
+  engine->SetCatalog(
+      query::RandomCatalog(wp, sbon.overlay_nodes(), &sbon.rng()));
 
   // Populate the SBON with a base of running circuits (reuse enabled so
   // the base itself shares services, as a mature SBON would).
-  core::MultiQueryOptimizer::Params base_params;
-  base_params.reuse_radius = 60.0;
-  core::MultiQueryOptimizer base_opt(cfg, placer, base_params);
-  size_t installed = 0;
+  std::vector<query::QuerySpec> base;
   for (size_t i = 0; i < bench::Sweep(40, 8); ++i) {
-    query::QuerySpec q =
-        query::RandomQuery(wp, cat, sbon->overlay_nodes(), &sbon->rng());
-    auto r = base_opt.Optimize(q, cat, sbon.get());
-    if (!r.ok()) continue;
-    if (sbon->InstallCircuit(std::move(r->circuit)).ok()) ++installed;
+    base.push_back(query::RandomQuery(wp, engine->catalog(),
+                                      sbon.overlay_nodes(), &sbon.rng()));
   }
+  (void)engine->SubmitAll(base, MultiQueryStrategy(/*radius=*/60.0));
   std::printf("base workload: %zu circuits, %zu service instances, "
               "total usage %.4g KB*ms/s\n",
-              sbon->circuits().size(), sbon->NumServices(),
-              sbon->TotalNetworkUsage() / 1000.0);
+              sbon.circuits().size(), sbon.NumServices(),
+              sbon.TotalNetworkUsage() / 1000.0);
 
   // Fresh queries evaluated (not installed) under every radius.
   std::vector<query::QuerySpec> probes;
   for (size_t i = 0; i < bench::Sweep(25, 5); ++i) {
-    probes.push_back(
-        query::RandomQuery(wp, cat, sbon->overlay_nodes(), &sbon->rng()));
+    probes.push_back(query::RandomQuery(wp, engine->catalog(),
+                                        sbon.overlay_nodes(), &sbon.rng()));
   }
 
   Section("radius sweep (per new query, averaged over " +
@@ -81,19 +85,16 @@ void Run() {
                  "vs no-reuse"});
   double no_reuse_usage = -1.0;
   for (double radius : {0.0, 5.0, 15.0, 30.0, 60.0, 120.0, 240.0, -1.0}) {
-    core::MultiQueryOptimizer::Params params;
-    params.reuse_radius = radius;
-    core::MultiQueryOptimizer opt(cfg, placer, params);
     Summary cands, probes_s, reused, est_cost, usage;
     for (const query::QuerySpec& q : probes) {
-      auto r = opt.Optimize(q, cat, sbon.get());
+      auto r = engine->Optimize(q, MultiQueryStrategy(radius));
       if (!r.ok()) continue;
       cands.Add(static_cast<double>(r->reuse_candidates_considered));
       probes_s.Add(static_cast<double>(r->mapping.dht_cost.ring_probes));
       reused.Add(static_cast<double>(r->services_reused));
       est_cost.Add(r->estimated_cost / 1000.0);
-      auto cost = overlay::ComputeCircuitCost(r->circuit, sbon->latency(),
-                                              &sbon->cost_space());
+      auto cost = overlay::ComputeCircuitCost(r->circuit, sbon.latency(),
+                                              &sbon.cost_space());
       if (cost.ok()) usage.Add(cost->network_usage / 1000.0);
     }
     if (no_reuse_usage < 0.0) no_reuse_usage = usage.Mean();

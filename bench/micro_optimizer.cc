@@ -6,9 +6,8 @@
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "core/integrated.h"
-#include "core/multi_query.h"
-#include "core/two_step.h"
+#include "engine/registry.h"
+#include "placement/relaxation.h"
 #include "query/enumerate.h"
 #include "query/workload.h"
 
@@ -106,19 +105,19 @@ void RunOptimizerBench(benchmark::State& state, int which) {
   wp.max_streams_per_query = 4;
   query::Catalog cat =
       query::RandomCatalog(wp, sbon->overlay_nodes(), &sbon->rng());
-  core::OptimizerConfig cfg;
-  cfg.enumeration.top_k = 8;
-  auto placer = std::make_shared<placement::RelaxationPlacer>();
-  core::TwoStepOptimizer two(cfg, placer);
-  core::IntegratedOptimizer integrated(cfg, placer);
-  core::MultiQueryOptimizer::Params mp;
-  mp.reuse_radius = 60.0;
-  core::MultiQueryOptimizer multi(cfg, placer, mp);
+  engine::OptimizerSpec spec;
+  spec.config.enumeration.top_k = 8;
+  spec.multi_query.reuse_radius = 60.0;
+  spec.placer = std::make_shared<placement::RelaxationPlacer>();
+  auto& registry = engine::OptimizerRegistry::Global();
+  auto two = std::move(registry.Create("two-step", spec).value());
+  auto integrated = std::move(registry.Create("integrated", spec).value());
+  auto multi = std::move(registry.Create("multi-query", spec).value());
   // Base circuits so multi-query has something to reuse.
   for (int i = 0; i < 10; ++i) {
     query::QuerySpec q =
         query::RandomQuery(wp, cat, sbon->overlay_nodes(), &sbon->rng());
-    auto r = integrated.Optimize(q, cat, sbon.get());
+    auto r = integrated->Optimize(q, cat, sbon.get());
     if (r.ok()) (void)sbon->InstallCircuit(std::move(r->circuit));
   }
   std::vector<query::QuerySpec> specs;
@@ -131,13 +130,13 @@ void RunOptimizerBench(benchmark::State& state, int which) {
     const query::QuerySpec& q = specs[i & 31];
     switch (which) {
       case 0:
-        benchmark::DoNotOptimize(two.Optimize(q, cat, sbon.get()));
+        benchmark::DoNotOptimize(two->Optimize(q, cat, sbon.get()));
         break;
       case 1:
-        benchmark::DoNotOptimize(integrated.Optimize(q, cat, sbon.get()));
+        benchmark::DoNotOptimize(integrated->Optimize(q, cat, sbon.get()));
         break;
       case 2:
-        benchmark::DoNotOptimize(multi.Optimize(q, cat, sbon.get()));
+        benchmark::DoNotOptimize(multi->Optimize(q, cat, sbon.get()));
         break;
     }
     ++i;

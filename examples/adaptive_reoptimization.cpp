@@ -4,86 +4,94 @@
 // as stochastic processes, and compares a static deployment against one
 // that periodically runs local re-optimization (service migration) with an
 // occasional full re-plan.
+//
+// Everything goes through the StreamEngine lifecycle: AdvanceEpoch replaces
+// the Tick/TickNetwork/UpdateCoordinatesOnline/RefreshIndex dance, and
+// Reoptimize keeps query handles valid across full re-plans (no manual
+// circuit-id juggling when a re-plan swaps the circuit).
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <utility>
 #include <vector>
 
-#include "core/integrated.h"
-#include "core/reopt.h"
+#include "engine/stream_engine.h"
 #include "net/generators.h"
 #include "overlay/event_sim.h"
-#include "overlay/sbon.h"
 #include "query/workload.h"
-
-using namespace sbon;
 
 namespace {
 
 struct RunResult {
-  double mean_cost = 0.0;   // time-averaged estimated circuit cost
+  double mean_cost = 0.0;  // time-averaged estimated circuit cost
   size_t migrations = 0;
   size_t replans = 0;
 };
 
 RunResult Simulate(bool adaptive, uint64_t seed) {
-  Rng rng(seed);
-  net::TransitStubParams tp;
+  sbon::Rng rng(seed);
+  sbon::net::TransitStubParams tp;
   tp.transit_domains = 2;
   tp.nodes_per_stub_domain = 8;
-  auto topo = net::GenerateTransitStub(tp, &rng);
-  overlay::Sbon::Options options;
-  options.seed = seed;
-  options.load_params.sigma = 0.35;  // volatile loads
-  options.load_params.theta = 0.4;
-  options.load_params.hotspot_frac = 0.05;
-  options.latency_jitter_sigma = 0.2;  // transient congestion epochs
-  auto sbon = std::move(
-      overlay::Sbon::Create(std::move(topo.value()), options).value());
+  auto topo = sbon::net::GenerateTransitStub(tp, &rng);
 
-  query::WorkloadParams wp;
+  sbon::engine::EngineOptions options;
+  options.topology = std::move(topo.value());
+  options.sbon.seed = seed;
+  options.sbon.load_params.sigma = 0.35;  // volatile loads
+  options.sbon.load_params.theta = 0.4;
+  options.sbon.load_params.hotspot_frac = 0.05;
+  options.sbon.latency_jitter_sigma = 0.2;  // transient congestion epochs
+  options.optimizer = "integrated";
+  auto created = sbon::engine::StreamEngine::Create(std::move(options));
+  if (!created.ok()) {
+    std::fprintf(stderr, "engine: %s\n", created.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::unique_ptr<sbon::engine::StreamEngine> engine =
+      std::move(created.value());
+
+  sbon::query::WorkloadParams wp;
   wp.num_streams = 12;
-  query::Catalog catalog =
-      query::RandomCatalog(wp, sbon->overlay_nodes(), &sbon->rng());
-
-  core::OptimizerConfig config;
-  core::IntegratedOptimizer optimizer(
-      config, std::make_shared<placement::RelaxationPlacer>());
+  engine->SetCatalog(sbon::query::RandomCatalog(
+      wp, engine->sbon().overlay_nodes(), &engine->sbon().rng()));
 
   // Deploy 6 long-running queries.
-  std::vector<std::pair<CircuitId, query::QuerySpec>> deployed;
+  std::vector<sbon::engine::QueryHandle> deployed;
   for (int i = 0; i < 6; ++i) {
-    query::QuerySpec q = query::RandomQuery(wp, catalog,
-                                            sbon->overlay_nodes(),
-                                            &sbon->rng());
-    auto r = optimizer.Optimize(q, catalog, sbon.get());
-    if (!r.ok()) continue;
-    auto id = sbon->InstallCircuit(std::move(r->circuit));
-    if (id.ok()) deployed.emplace_back(*id, q);
+    auto handle = engine->Submit(sbon::query::RandomQuery(
+        wp, engine->catalog(), engine->sbon().overlay_nodes(),
+        &engine->sbon().rng()));
+    if (handle.ok()) deployed.push_back(*handle);
   }
 
-  overlay::EventSim sim;
+  sbon::overlay::EventSim sim;
   RunResult result;
   size_t samples = 0;
 
   // Load dynamics every 1 time unit; index refresh follows.
   sim.SchedulePeriodic(1.0, [&] {
-    sbon->Tick(1.0);
-    sbon->RefreshIndex();
+    sbon::engine::EpochOptions epoch;
+    epoch.dt = 1.0;
+    epoch.tick_network = false;
+    engine->AdvanceEpoch(epoch);
   }, /*until=*/120.0);
 
   // Congestion epochs every 15 units; coordinates track them online.
   sim.SchedulePeriodic(15.0, [&] {
-    sbon->TickNetwork();
-    sbon->UpdateCoordinatesOnline(8);
+    sbon::engine::EpochOptions epoch;
+    epoch.dt = 0.0;
+    epoch.tick_network = true;
+    epoch.vivaldi_samples = 8;
+    epoch.refresh_index = false;
+    engine->AdvanceEpoch(epoch);
   }, 120.0);
 
   // Cost sampling every 5 units.
   sim.SchedulePeriodic(5.0, [&] {
-    for (auto& [id, spec] : deployed) {
-      const overlay::Circuit* c = sbon->FindCircuit(id);
-      if (c == nullptr) continue;
-      auto cost = core::EstimateCost(*c, *sbon, config.lambda);
+    for (sbon::engine::QueryHandle handle : deployed) {
+      auto cost = engine->CurrentEstimatedCost(handle);
       if (cost.ok()) {
         result.mean_cost += *cost;
         ++samples;
@@ -92,25 +100,20 @@ RunResult Simulate(bool adaptive, uint64_t seed) {
   }, 120.0);
 
   if (adaptive) {
-    placement::RelaxationPlacer placer;
     // Local re-optimization every 10 units; full re-plan every 40.
     sim.SchedulePeriodic(10.0, [&] {
-      for (auto& [id, spec] : deployed) {
-        if (sbon->FindCircuit(id) == nullptr) continue;
-        auto rep = core::LocalReoptimize(sbon.get(), id, placer,
-                                         core::ReoptConfig{});
-        if (rep.ok()) result.migrations += rep->migrations;
+      for (sbon::engine::QueryHandle handle : deployed) {
+        sbon::engine::ReoptPolicy policy;  // defaults to Mode::kLocal
+        auto outcome = engine->Reoptimize(handle, policy);
+        if (outcome.ok()) result.migrations += outcome->local.migrations;
       }
     }, 120.0);
     sim.SchedulePeriodic(40.0, [&] {
-      for (auto& [id, spec] : deployed) {
-        if (sbon->FindCircuit(id) == nullptr) continue;
-        auto rep = core::FullReoptimize(sbon.get(), id, spec, catalog,
-                                        &optimizer, core::ReoptConfig{});
-        if (rep.ok() && rep->redeployed) {
-          ++result.replans;
-          id = rep->new_circuit;  // track the replacement circuit
-        }
+      for (sbon::engine::QueryHandle handle : deployed) {
+        sbon::engine::ReoptPolicy policy;
+        policy.mode = sbon::engine::ReoptPolicy::Mode::kFull;
+        auto outcome = engine->Reoptimize(handle, policy);
+        if (outcome.ok() && outcome->full.redeployed) ++result.replans;
       }
     }, 120.0);
   }

@@ -3,19 +3,21 @@
 // merges identical services across tenants, but only searches for reuse
 // inside a cost-space sphere of radius r around each new service.
 //
-// The example deploys 30 dashboard queries twice — once with reuse disabled
-// and once with radius pruning — and compares deployed services, total
-// network usage, and optimizer work.
+// The example deploys 30 dashboard queries three times — reuse disabled,
+// radius pruning, unbounded reuse — by submitting the same workload to a
+// StreamEngine whose "multi-query" strategy gets a different reuse radius
+// per run, and compares deployed services, network usage, and optimizer
+// work (all read off engine Snapshot / per-query stats).
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <utility>
+#include <vector>
 
-#include "core/multi_query.h"
+#include "engine/stream_engine.h"
 #include "net/generators.h"
-#include "overlay/sbon.h"
 #include "query/workload.h"
-
-using namespace sbon;
 
 namespace {
 
@@ -28,18 +30,29 @@ struct DeployStats {
 };
 
 DeployStats DeployAll(double radius, uint64_t seed) {
-  Rng rng(seed);
-  net::TransitStubParams tp;
+  sbon::Rng rng(seed);
+  sbon::net::TransitStubParams tp;
   tp.transit_domains = 2;
   tp.nodes_per_stub_domain = 8;
-  auto topo = net::GenerateTransitStub(tp, &rng);
-  overlay::Sbon::Options options;
-  options.seed = seed;
-  auto sbon = std::move(
-      overlay::Sbon::Create(std::move(topo.value()), options).value());
+  auto topo = sbon::net::GenerateTransitStub(tp, &rng);
+
+  sbon::engine::EngineOptions options;
+  options.topology = std::move(topo.value());
+  options.sbon.seed = seed;
+  options.optimizer = "multi-query";
+  options.config.enumeration.top_k = 4;
+  options.multi_query.reuse_radius = radius;
+  options.refresh_index_on_install = true;
+  auto created = sbon::engine::StreamEngine::Create(std::move(options));
+  if (!created.ok()) {
+    std::fprintf(stderr, "engine: %s\n", created.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::unique_ptr<sbon::engine::StreamEngine> engine =
+      std::move(created.value());
 
   // A small pool of popular feeds shared by all tenants.
-  query::WorkloadParams wp;
+  sbon::query::WorkloadParams wp;
   wp.num_streams = 10;
   wp.min_streams_per_query = 2;
   wp.max_streams_per_query = 3;
@@ -47,33 +60,26 @@ DeployStats DeployAll(double radius, uint64_t seed) {
   wp.join_sel_log10_max = -3.0;  // fixed predicate grid => shareable ops
   wp.filter_prob = 0.0;
   wp.aggregate_prob = 0.0;
-  query::Catalog catalog =
-      query::RandomCatalog(wp, sbon->overlay_nodes(), &sbon->rng());
+  engine->SetCatalog(sbon::query::RandomCatalog(
+      wp, engine->sbon().overlay_nodes(), &engine->sbon().rng()));
 
-  core::OptimizerConfig config;
-  config.enumeration.top_k = 4;
-  core::MultiQueryOptimizer::Params params;
-  params.reuse_radius = radius;
-  core::MultiQueryOptimizer optimizer(
-      config, std::make_shared<placement::RelaxationPlacer>(), params);
+  std::vector<sbon::query::QuerySpec> tenants;
+  for (int tenant = 0; tenant < 30; ++tenant) {
+    tenants.push_back(sbon::query::RandomQuery(
+        wp, engine->catalog(), engine->sbon().overlay_nodes(),
+        &engine->sbon().rng()));
+  }
+  (void)engine->SubmitAll(tenants);  // failed tenants simply stay undeployed
 
   DeployStats stats;
-  for (int tenant = 0; tenant < 30; ++tenant) {
-    query::QuerySpec q = query::RandomQuery(wp, catalog,
-                                            sbon->overlay_nodes(),
-                                            &sbon->rng());
-    auto r = optimizer.Optimize(q, catalog, sbon.get());
-    if (!r.ok()) continue;
-    stats.reused += r->services_reused;
-    stats.reuse_candidates += r->reuse_candidates_considered;
-    auto id = sbon->InstallCircuit(std::move(r->circuit));
-    if (id.ok()) {
-      ++stats.circuits;
-      sbon->RefreshIndex();
-    }
+  const sbon::engine::EngineSnapshot snap = engine->Snapshot();
+  stats.circuits = snap.num_queries;
+  stats.services = snap.num_services;
+  stats.usage = snap.total_network_usage / 1000.0;
+  for (const sbon::engine::QueryStats& q : snap.queries) {
+    stats.reused += q.services_reused;
+    stats.reuse_candidates += q.reuse_candidates_considered;
   }
-  stats.services = sbon->NumServices();
-  stats.usage = sbon->TotalNetworkUsage() / 1000.0;
   return stats;
 }
 

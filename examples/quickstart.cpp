@@ -1,94 +1,70 @@
-// Quickstart: build an overlay, register streams, optimize one continuous
-// query with the integrated cost-space optimizer, deploy it, and inspect
-// the resulting circuit.
+// Quickstart: bring up a StreamEngine over a simulated transit-stub
+// network, register streams, submit one continuous query, and inspect the
+// deployed circuit. The engine owns the whole pipeline — coordinates, cost
+// space, plan enumeration, placement, DHT mapping, installation — behind
+// Submit().
 //
 //   $ ./examples/quickstart
 
 #include <cstdio>
 #include <memory>
+#include <utility>
 
-#include "core/integrated.h"
+#include "engine/stream_engine.h"
 #include "net/generators.h"
-#include "overlay/metrics.h"
-#include "overlay/sbon.h"
-#include "query/enumerate.h"
-
-using namespace sbon;  // examples favour brevity over namespace hygiene
 
 int main() {
-  // 1. A simulated transit-stub network (the paper's evaluation substrate).
-  Rng rng(7);
-  net::TransitStubParams topo_params;  // defaults: ~600 nodes
-  auto topo = net::GenerateTransitStub(topo_params, &rng);
-  if (!topo.ok()) {
-    std::fprintf(stderr, "topology: %s\n", topo.status().ToString().c_str());
+  // A simulated transit-stub network (the paper's evaluation substrate),
+  // and an engine whose optimization strategy is chosen by registry name
+  // ("two-step" / "integrated" / "multi-query").
+  sbon::Rng rng(7);
+  auto topo = sbon::net::GenerateTransitStub({}, &rng);  // ~600 nodes
+  if (!topo.ok()) return 1;
+  sbon::engine::EngineOptions options;
+  options.topology = std::move(topo.value());
+  options.sbon.seed = 7;
+  options.optimizer = "integrated";
+  options.config.enumeration.top_k = 8;
+  auto created = sbon::engine::StreamEngine::Create(std::move(options));
+  if (!created.ok()) return 1;
+  std::unique_ptr<sbon::engine::StreamEngine> engine =
+      std::move(created.value());
+  std::printf("topology: %s\n", engine->sbon().topology().Summary().c_str());
+
+  // Streams are pinned at their producers; a query joins three of them.
+  // Submit() optimizes and deploys as one atomic step.
+  const auto& nodes = engine->sbon().overlay_nodes();
+  const sbon::StreamId temps =
+      engine->AddStream("temperatures", /*tuple_rate=*/50, /*bytes=*/64,
+                        nodes[10]);
+  const sbon::StreamId quakes = engine->AddStream("seismic", 200, 128,
+                                                  nodes[200]);
+  const sbon::StreamId alerts = engine->AddStream("alert_config", 1, 256,
+                                                  nodes[400]);
+  auto handle = engine->Submit(sbon::query::QuerySpec::SimpleJoin(
+      {temps, quakes, alerts}, /*consumer=*/nodes[500], /*sel=*/0.002));
+  if (!handle.ok()) {
+    std::fprintf(stderr, "submit: %s\n", handle.status().ToString().c_str());
     return 1;
   }
-  std::printf("topology: %s\n", topo->Summary().c_str());
 
-  // 2. The SBON runtime: latency matrix, Vivaldi coordinates, a
-  //    latency+load cost space, and the Hilbert/Chord coordinate index.
-  overlay::Sbon::Options options;
-  options.seed = 7;
-  auto sbon_or = overlay::Sbon::Create(std::move(topo.value()), options);
-  if (!sbon_or.ok()) {
-    std::fprintf(stderr, "sbon: %s\n", sbon_or.status().ToString().c_str());
-    return 1;
-  }
-  std::unique_ptr<overlay::Sbon> sbon = std::move(sbon_or.value());
-
-  // 3. Streams are pinned at their producers; a query joins three of them.
-  const auto& nodes = sbon->overlay_nodes();
-  query::Catalog catalog;
-  const StreamId temps =
-      catalog.AddStream("temperatures", /*tuples_per_s=*/50,
-                        /*bytes_per_tuple=*/64, nodes[10]);
-  const StreamId quakes =
-      catalog.AddStream("seismic", 200, 128, nodes[200]);
-  const StreamId alerts =
-      catalog.AddStream("alert_config", 1, 256, nodes[400]);
-  query::QuerySpec query = query::QuerySpec::SimpleJoin(
-      {temps, quakes, alerts}, /*consumer=*/nodes[500],
-      /*selectivity=*/0.002);
-
-  // 4. Integrated optimization: every candidate plan is virtually placed
-  //    and physically mapped in the cost space; cheapest circuit wins.
-  core::OptimizerConfig config;
-  config.enumeration.top_k = 8;
-  core::IntegratedOptimizer optimizer(
-      config, std::make_shared<placement::RelaxationPlacer>());
-  auto result = optimizer.Optimize(query, catalog, sbon.get());
-  if (!result.ok()) {
-    std::fprintf(stderr, "optimize: %s\n",
-                 result.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("chosen plan: %s\n", result->circuit.plan().Canonical().c_str());
+  // Inspect the deployment.
+  auto stats = engine->StatsOf(*handle);
+  const auto* circuit = engine->sbon().FindCircuit(stats->circuit);
+  std::printf("chosen plan: %s\n", circuit->plan().Canonical().c_str());
   std::printf("candidates considered: %zu plans, %zu placements\n",
-              result->plans_considered, result->placements_evaluated);
-
-  // 5. Deploy and measure against true network latencies.
-  auto cost = overlay::ComputeCircuitCost(result->circuit, sbon->latency(),
-                                          &sbon->cost_space());
-  auto id = sbon->InstallCircuit(std::move(result->circuit));
-  if (!id.ok() || !cost.ok()) {
-    std::fprintf(stderr, "install failed\n");
-    return 1;
-  }
+              stats->plans_considered, stats->placements_evaluated);
   std::printf("deployed circuit %llu:\n",
-              static_cast<unsigned long long>(*id));
-  std::printf("  network usage        : %.1f KB*ms/s\n",
-              cost->network_usage / 1000.0);
-  std::printf("  consumer latency     : %.1f ms\n",
-              cost->critical_path_latency_ms);
-  std::printf("  services deployed    : %zu\n", sbon->NumServices());
-  for (const auto& [cid, circuit] : sbon->circuits()) {
-    for (int v : circuit.UnpinnedVertices()) {
-      std::printf("  service %-9s at node %u (load %.2f)\n",
-                  query::OpKindName(circuit.plan().op(v).kind),
-                  circuit.vertex(v).host,
-                  sbon->TotalLoad(circuit.vertex(v).host));
-    }
+              static_cast<unsigned long long>(stats->circuit));
+  std::printf("  network usage    : %.1f KB*ms/s\n",
+              stats->true_cost.network_usage / 1000.0);
+  std::printf("  consumer latency : %.1f ms\n",
+              stats->true_cost.critical_path_latency_ms);
+  for (int v : circuit->UnpinnedVertices()) {
+    std::printf("  service %-9s at node %u (load %.2f)\n",
+                sbon::query::OpKindName(circuit->plan().op(v).kind),
+                circuit->vertex(v).host,
+                engine->sbon().TotalLoad(circuit->vertex(v).host));
   }
   return 0;
 }

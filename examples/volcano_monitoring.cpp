@@ -5,127 +5,128 @@
 // A stub domain at the edge of the overlay hosts seismic, infrasound and
 // GPS-deformation sensor streams. Observatories on the other side of the
 // network run continuous fusion queries (join + aggregate). The example
-// shows how the integrated optimizer pushes fusion services toward the
-// volcano when sensor rates dominate, and how the two-step baseline pays
-// for planning blind.
+// compares the engine's "integrated" and "two-step" strategies per query —
+// selected by registry name, never by constructing optimizers — showing how
+// integrated optimization pushes fusion services toward the volcano when
+// sensor rates dominate, and how the two-step baseline pays for planning
+// blind.
 
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <utility>
+#include <vector>
 
-#include "core/integrated.h"
-#include "core/two_step.h"
+#include "engine/stream_engine.h"
 #include "net/generators.h"
 #include "overlay/metrics.h"
-#include "overlay/sbon.h"
-
-using namespace sbon;
 
 int main() {
-  Rng rng(13);
-  auto topo = net::GenerateTransitStub(net::TransitStubParams{}, &rng);
+  sbon::Rng rng(13);
+  auto topo = sbon::net::GenerateTransitStub({}, &rng);
   if (!topo.ok()) return 1;
 
-  overlay::Sbon::Options options;
-  options.seed = 13;
-  auto sbon_or = overlay::Sbon::Create(std::move(topo.value()), options);
-  if (!sbon_or.ok()) return 1;
-  auto sbon = std::move(sbon_or.value());
+  sbon::engine::EngineOptions options;
+  options.topology = std::move(topo.value());
+  options.sbon.seed = 13;
+  options.optimizer = "integrated";
+  options.config.enumeration.top_k = 8;
+  options.refresh_index_on_install = true;
+  auto created = sbon::engine::StreamEngine::Create(std::move(options));
+  if (!created.ok()) return 1;
+  std::unique_ptr<sbon::engine::StreamEngine> engine =
+      std::move(created.value());
+  sbon::overlay::Sbon& sbon = engine->sbon();
 
   // The "volcano" is one stub domain: pick the domain of the first overlay
   // node and pin all sensors inside it.
-  const auto& nodes = sbon->overlay_nodes();
-  const int volcano_domain = sbon->topology().domain(nodes[0]);
-  std::vector<NodeId> volcano_nodes;
-  for (NodeId n : nodes) {
-    if (sbon->topology().domain(n) == volcano_domain) {
+  const auto& nodes = sbon.overlay_nodes();
+  const int volcano_domain = sbon.topology().domain(nodes[0]);
+  std::vector<sbon::NodeId> volcano_nodes;
+  for (sbon::NodeId n : nodes) {
+    if (sbon.topology().domain(n) == volcano_domain) {
       volcano_nodes.push_back(n);
     }
   }
   // Observatories: nodes maximally far (in latency) from the volcano.
-  std::vector<NodeId> observatories = nodes;
+  std::vector<sbon::NodeId> observatories = nodes;
   std::sort(observatories.begin(), observatories.end(),
-            [&](NodeId a, NodeId b) {
-              return sbon->latency().Latency(volcano_nodes[0], a) >
-                     sbon->latency().Latency(volcano_nodes[0], b);
+            [&](sbon::NodeId a, sbon::NodeId b) {
+              return sbon.latency().Latency(volcano_nodes[0], a) >
+                     sbon.latency().Latency(volcano_nodes[0], b);
             });
   observatories.resize(4);
 
   std::printf("volcano domain %d: %zu sensor hosts; farthest observatory "
               "%.0f ms away\n",
               volcano_domain, volcano_nodes.size(),
-              sbon->latency().Latency(volcano_nodes[0], observatories[0]));
+              sbon.latency().Latency(volcano_nodes[0], observatories[0]));
 
-  query::Catalog catalog;
-  const StreamId seismic = catalog.AddStream(
-      "seismic_waveform", /*tuples_per_s=*/400, /*bytes=*/256,
+  const sbon::StreamId seismic = engine->AddStream(
+      "seismic_waveform", /*tuple_rate=*/400, /*bytes=*/256,
       volcano_nodes[0 % volcano_nodes.size()]);
-  const StreamId infrasound = catalog.AddStream(
+  const sbon::StreamId infrasound = engine->AddStream(
       "infrasound", 150, 128, volcano_nodes[1 % volcano_nodes.size()]);
-  const StreamId gps = catalog.AddStream(
+  const sbon::StreamId gps = engine->AddStream(
       "gps_deformation", 10, 64, volcano_nodes[2 % volcano_nodes.size()]);
 
   // Fusion query per observatory: correlate the three streams inside a
   // short window, filter to anomalous readings, aggregate to event scores.
-  auto make_query = [&](NodeId observatory) {
-    query::QuerySpec q =
-        query::QuerySpec::SimpleJoin({seismic, infrasound, gps}, observatory,
-                                     /*selectivity=*/5e-4,
-                                     /*window_s=*/0.5);
+  auto make_query = [&](sbon::NodeId observatory) {
+    sbon::query::QuerySpec q = sbon::query::QuerySpec::SimpleJoin(
+        {seismic, infrasound, gps}, observatory,
+        /*sel=*/5e-4, /*window_s=*/0.5);
     q.filter_sel = {0.2, 0.3, 1.0};  // onsite anomaly filters
     q.aggregate_factor = 0.05;       // event scoring shrinks the output
     return q;
   };
 
-  core::OptimizerConfig config;
-  config.enumeration.top_k = 8;
-  auto placer = std::make_shared<placement::RelaxationPlacer>();
-  core::IntegratedOptimizer integrated(config, placer);
-  core::TwoStepOptimizer two_step(config, placer);
-
   std::printf("\n%-12s %-14s %-14s %-10s %s\n", "observatory",
               "2step KB*ms/s", "integr KB*ms/s", "ratio",
               "fusion services near volcano?");
-  for (NodeId obs : observatories) {
-    const query::QuerySpec q = make_query(obs);
-    auto rt = two_step.Optimize(q, catalog, sbon.get());
-    auto ri = integrated.Optimize(q, catalog, sbon.get());
-    if (!rt.ok() || !ri.ok()) continue;
-    auto ct = overlay::ComputeCircuitCost(rt->circuit, sbon->latency(),
-                                          nullptr);
-    auto ci = overlay::ComputeCircuitCost(ri->circuit, sbon->latency(),
-                                          nullptr);
-    if (!ct.ok() || !ci.ok()) continue;
+  for (sbon::NodeId obs : observatories) {
+    const sbon::query::QuerySpec q = make_query(obs);
+    // Compare the baseline without deploying, then submit the integrated
+    // circuit (Submit = optimize + install, atomically).
+    sbon::engine::StrategySpec two_step;
+    two_step.optimizer = "two-step";
+    auto rt = engine->Optimize(q, two_step);
+    if (!rt.ok()) continue;
+    auto ct = sbon::overlay::ComputeCircuitCost(rt->circuit, sbon.latency(),
+                                                nullptr);
+    if (!ct.ok()) continue;  // only deploy queries the table will show
+    auto handle = engine->Submit(q);
+    if (!handle.ok()) continue;
+    auto stats = engine->StatsOf(*handle);
+    const sbon::overlay::Circuit* ri = sbon.FindCircuit(stats->circuit);
 
     // How close to the volcano did the fusion land? (mean latency of the
     // join services to the nearest sensor host)
     double near = 0.0;
     size_t joins = 0;
-    for (int v : ri->circuit.UnpinnedVertices()) {
-      if (ri->circuit.plan().op(v).kind != query::OpKind::kJoin) continue;
+    for (int v : ri->UnpinnedVertices()) {
+      if (ri->plan().op(v).kind != sbon::query::OpKind::kJoin) continue;
       double best = 1e300;
-      for (NodeId vn : volcano_nodes) {
-        best = std::min(best,
-                        sbon->latency().Latency(ri->circuit.vertex(v).host,
-                                                vn));
+      for (sbon::NodeId vn : volcano_nodes) {
+        best = std::min(best, sbon.latency().Latency(ri->vertex(v).host, vn));
       }
       near += best;
       ++joins;
     }
     std::printf("node %-7u %-14.1f %-14.1f %-10.2f joins avg %.0f ms from "
                 "sensors\n",
-                obs, ct->network_usage / 1000.0, ci->network_usage / 1000.0,
-                ct->network_usage / std::max(1.0, ci->network_usage),
+                obs, ct->network_usage / 1000.0,
+                stats->true_cost.network_usage / 1000.0,
+                ct->network_usage /
+                    std::max(1.0, stats->true_cost.network_usage),
                 joins ? near / joins : 0.0);
-
-    auto id = sbon->InstallCircuit(std::move(ri->circuit));
-    if (id.ok()) sbon->RefreshIndex();
   }
 
+  const sbon::engine::EngineSnapshot snap = engine->Snapshot();
   std::printf("\ndeployed %zu observatory circuits over %zu service "
               "instances; total usage %.1f KB*ms/s\n",
-              sbon->circuits().size(), sbon->NumServices(),
-              sbon->TotalNetworkUsage() / 1000.0);
+              snap.num_queries, snap.num_services,
+              snap.total_network_usage / 1000.0);
   std::printf("(heavy sensor rates + selective fusion pull the join tree "
               "into the volcano's stub domain,\n so only the thin event "
               "stream crosses the wide-area links)\n");

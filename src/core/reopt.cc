@@ -85,11 +85,14 @@ StatusOr<FullReoptReport> FullReoptimize(overlay::Sbon* sbon,
   auto candidate = optimizer->Optimize(spec, catalog, sbon);
   if (!candidate.ok()) return candidate.status();
   report.estimated_cost_candidate = candidate->estimated_cost;
+  overlay::Circuit circuit = std::move(candidate->circuit);
+  report.candidate = std::move(*candidate);
+  report.candidate.circuit = overlay::Circuit();
 
-  if (candidate->estimated_cost <
+  if (report.estimated_cost_candidate <
       *before * (1.0 - config.replan_threshold)) {
     // Deploy the parallel circuit first, then cancel the original.
-    auto new_id = sbon->InstallCircuit(std::move(candidate->circuit));
+    auto new_id = sbon->InstallCircuit(std::move(circuit));
     if (!new_id.ok()) return new_id.status();
     Status rm = sbon->RemoveCircuit(circuit_id);
     if (!rm.ok()) return rm;

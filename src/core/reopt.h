@@ -45,6 +45,11 @@ struct FullReoptReport {
   CircuitId new_circuit = kInvalidCircuit;
   double estimated_cost_before = 0.0;
   double estimated_cost_candidate = 0.0;
+  /// Accounting of the candidate optimization run (plans/placements/reuse/
+  /// mapping work). Its `circuit` member is left empty: on redeploy the
+  /// installed circuit is the authoritative copy, otherwise the candidate
+  /// was discarded.
+  OptimizeResult candidate;
 };
 
 /// Runs `optimizer` afresh for the circuit's original spec; if the candidate

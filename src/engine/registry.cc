@@ -1,0 +1,83 @@
+#include "engine/registry.h"
+
+namespace sbon::engine {
+namespace {
+
+std::string UnknownNameMessage(const char* what, const std::string& name,
+                               const std::vector<std::string>& known) {
+  std::string msg = "unknown ";
+  msg += what;
+  msg += " '" + name + "'; registered: ";
+  for (size_t i = 0; i < known.size(); ++i) {
+    if (i > 0) msg += ", ";
+    msg += known[i];
+  }
+  return msg;
+}
+
+}  // namespace
+
+OptimizerRegistry& OptimizerRegistry::Global() {
+  internal::EnsureBuiltinStrategiesLinked();
+  static OptimizerRegistry* registry = new OptimizerRegistry();
+  return *registry;
+}
+
+bool OptimizerRegistry::Register(const std::string& name, Factory factory) {
+  return factories_.emplace(name, std::move(factory)).second;
+}
+
+StatusOr<std::unique_ptr<core::Optimizer>> OptimizerRegistry::Create(
+    const std::string& name, const OptimizerSpec& spec) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound(UnknownNameMessage("optimizer", name, Names()));
+  }
+  if (spec.placer == nullptr) {
+    return Status::InvalidArgument("optimizer spec has no placer");
+  }
+  return it->second(spec);
+}
+
+bool OptimizerRegistry::Has(const std::string& name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> OptimizerRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+PlacerRegistry& PlacerRegistry::Global() {
+  internal::EnsureBuiltinStrategiesLinked();
+  static PlacerRegistry* registry = new PlacerRegistry();
+  return *registry;
+}
+
+bool PlacerRegistry::Register(const std::string& name, Factory factory) {
+  return factories_.emplace(name, std::move(factory)).second;
+}
+
+StatusOr<std::shared_ptr<const placement::VirtualPlacer>>
+PlacerRegistry::Create(const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound(UnknownNameMessage("placer", name, Names()));
+  }
+  return it->second();
+}
+
+bool PlacerRegistry::Has(const std::string& name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> PlacerRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace sbon::engine

@@ -1,0 +1,45 @@
+// Self-registration of the built-in optimization and placement strategies.
+// This is the only translation unit in the engine layer that includes the
+// concrete strategy headers; everything else selects them by name through
+// the registries.
+
+#include <memory>
+
+#include "core/integrated.h"
+#include "core/multi_query.h"
+#include "core/two_step.h"
+#include "engine/registry.h"
+#include "placement/relaxation.h"
+
+namespace sbon::engine {
+
+SBON_REGISTER_OPTIMIZER("two-step", [](const OptimizerSpec& spec) {
+  return std::make_unique<core::TwoStepOptimizer>(spec.config, spec.placer);
+});
+
+SBON_REGISTER_OPTIMIZER("integrated", [](const OptimizerSpec& spec) {
+  return std::make_unique<core::IntegratedOptimizer>(spec.config, spec.placer);
+});
+
+SBON_REGISTER_OPTIMIZER("multi-query", [](const OptimizerSpec& spec) {
+  return std::make_unique<core::MultiQueryOptimizer>(spec.config, spec.placer,
+                                                     spec.multi_query);
+});
+
+SBON_REGISTER_PLACER("relaxation", [] {
+  return std::make_shared<const placement::RelaxationPlacer>();
+});
+
+SBON_REGISTER_PLACER("centroid", [] {
+  return std::make_shared<const placement::CentroidPlacer>();
+});
+
+SBON_REGISTER_PLACER("gradient", [] {
+  return std::make_shared<const placement::GradientPlacer>();
+});
+
+namespace internal {
+void EnsureBuiltinStrategiesLinked() {}
+}  // namespace internal
+
+}  // namespace sbon::engine

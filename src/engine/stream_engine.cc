@@ -1,0 +1,243 @@
+#include "engine/stream_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sbon::engine {
+
+StreamEngine::StreamEngine(EngineOptions options)
+    : default_optimizer_(std::move(options.optimizer)),
+      default_placer_(std::move(options.placer)),
+      default_config_(options.config),
+      default_multi_query_(options.multi_query),
+      refresh_index_on_install_(options.refresh_index_on_install) {}
+
+StatusOr<std::unique_ptr<StreamEngine>> StreamEngine::Create(
+    EngineOptions options) {
+  // Validate the default strategy names by resolving them once, so a typo
+  // fails engine creation instead of the first Submit.
+  auto placer = PlacerRegistry::Global().Create(options.placer);
+  if (!placer.ok()) return placer.status();
+  OptimizerSpec spec;
+  spec.config = options.config;
+  spec.multi_query = options.multi_query;
+  spec.placer = std::move(placer.value());
+  auto optimizer = OptimizerRegistry::Global().Create(options.optimizer, spec);
+  if (!optimizer.ok()) return optimizer.status();
+
+  auto sbon = overlay::Sbon::Create(std::move(options.topology), options.sbon);
+  if (!sbon.ok()) return sbon.status();
+  std::unique_ptr<StreamEngine> engine(new StreamEngine(std::move(options)));
+  engine->sbon_ = std::move(sbon.value());
+  return engine;
+}
+
+StreamId StreamEngine::AddStream(std::string name, double tuple_rate_per_s,
+                                 double tuple_size_bytes, NodeId producer) {
+  return catalog_.AddStream(std::move(name), tuple_rate_per_s,
+                            tuple_size_bytes, producer);
+}
+
+StatusOr<std::unique_ptr<core::Optimizer>> StreamEngine::MakeOptimizer(
+    const StrategySpec& strategy, std::string* optimizer_name,
+    std::string* placer_name, OptimizerSpec* resolved) const {
+  const std::string& opt_name =
+      strategy.optimizer.empty() ? default_optimizer_ : strategy.optimizer;
+  const std::string& pl_name =
+      strategy.placer.empty() ? default_placer_ : strategy.placer;
+  auto placer = PlacerRegistry::Global().Create(pl_name);
+  if (!placer.ok()) return placer.status();
+  OptimizerSpec spec;
+  spec.config = strategy.config.value_or(default_config_);
+  spec.multi_query = strategy.multi_query.value_or(default_multi_query_);
+  spec.placer = std::move(placer.value());
+  auto optimizer = OptimizerRegistry::Global().Create(opt_name, spec);
+  if (!optimizer.ok()) return optimizer.status();
+  if (optimizer_name != nullptr) *optimizer_name = opt_name;
+  if (placer_name != nullptr) *placer_name = pl_name;
+  if (resolved != nullptr) *resolved = std::move(spec);
+  return optimizer;
+}
+
+StatusOr<core::OptimizeResult> StreamEngine::Optimize(
+    const query::QuerySpec& spec, const StrategySpec& strategy) {
+  auto optimizer = MakeOptimizer(strategy, nullptr, nullptr);
+  if (!optimizer.ok()) return optimizer.status();
+  return (*optimizer)->Optimize(spec, catalog_, sbon_.get());
+}
+
+StatusOr<QueryHandle> StreamEngine::Submit(const query::QuerySpec& spec,
+                                           const StrategySpec& strategy) {
+  QueryRecord record;
+  record.spec = spec;
+  OptimizerSpec resolved;
+  auto optimizer =
+      MakeOptimizer(strategy, &record.optimizer, &record.placer, &resolved);
+  if (!optimizer.ok()) return optimizer.status();
+  record.config = resolved.config;
+  record.multi_query = resolved.multi_query;
+
+  auto result = (*optimizer)->Optimize(spec, catalog_, sbon_.get());
+  if (!result.ok()) return result.status();
+  overlay::Circuit circuit = std::move(result->circuit);
+  record.result = std::move(*result);
+  // The record keeps only the run's accounting; the installed circuit is
+  // the authoritative copy (the one here would go stale on reopt anyway).
+  record.result.circuit = overlay::Circuit();
+
+  // InstallCircuit is failure-atomic, so a failure here leaves the overlay
+  // exactly as it was before Submit.
+  auto circuit_id = sbon_->InstallCircuit(std::move(circuit));
+  if (!circuit_id.ok()) return circuit_id.status();
+  record.circuit = *circuit_id;
+
+  const QueryHandle handle{next_handle_++};
+  by_circuit_.emplace(record.circuit, handle);
+  queries_.emplace(handle, std::move(record));
+  if (refresh_index_on_install_) sbon_->RefreshIndex();
+  return handle;
+}
+
+std::vector<StatusOr<QueryHandle>> StreamEngine::SubmitAll(
+    const std::vector<query::QuerySpec>& specs, const StrategySpec& strategy) {
+  std::vector<StatusOr<QueryHandle>> handles;
+  handles.reserve(specs.size());
+  for (const query::QuerySpec& spec : specs) {
+    handles.push_back(Submit(spec, strategy));
+  }
+  return handles;
+}
+
+Status StreamEngine::Remove(QueryHandle handle) {
+  auto it = queries_.find(handle);
+  if (it == queries_.end()) return Status::NotFound("no such query");
+  Status st = sbon_->RemoveCircuit(it->second.circuit);
+  // A circuit torn down out-of-band (directly on the Sbon) counts as
+  // already removed; the query record must still be releasable.
+  if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+  by_circuit_.erase(it->second.circuit);
+  queries_.erase(it);
+  if (refresh_index_on_install_) sbon_->RefreshIndex();
+  return Status::OK();
+}
+
+StatusOr<ReoptOutcome> StreamEngine::Reoptimize(QueryHandle handle,
+                                                const ReoptPolicy& policy) {
+  auto it = queries_.find(handle);
+  if (it == queries_.end()) return Status::NotFound("no such query");
+  QueryRecord& record = it->second;
+
+  ReoptOutcome outcome;
+  outcome.mode = policy.mode;
+  if (policy.mode == ReoptPolicy::Mode::kLocal) {
+    auto placer = PlacerRegistry::Global().Create(record.placer);
+    if (!placer.ok()) return placer.status();
+    auto report = core::LocalReoptimize(sbon_.get(), record.circuit,
+                                        **placer, policy.config);
+    if (!report.ok()) return report.status();
+    outcome.local = *report;
+    return outcome;
+  }
+
+  StrategySpec strategy;
+  strategy.optimizer =
+      policy.optimizer.empty() ? record.optimizer : policy.optimizer;
+  strategy.placer = record.placer;
+  strategy.config = record.config;
+  strategy.multi_query = record.multi_query;
+  std::string optimizer_name;
+  auto optimizer = MakeOptimizer(strategy, &optimizer_name, nullptr);
+  if (!optimizer.ok()) return optimizer.status();
+  auto report =
+      core::FullReoptimize(sbon_.get(), record.circuit, record.spec, catalog_,
+                           optimizer->get(), policy.config);
+  if (!report.ok()) return report.status();
+  outcome.full = *report;
+  if (report->redeployed) {
+    // The handle now refers to the replacement circuit; the record's
+    // accounting must describe the run that produced it, not the cancelled
+    // original's.
+    by_circuit_.erase(record.circuit);
+    record.circuit = report->new_circuit;
+    by_circuit_.emplace(record.circuit, handle);
+    record.optimizer = optimizer_name;
+    record.result = report->candidate;
+    if (refresh_index_on_install_) sbon_->RefreshIndex();
+  }
+  return outcome;
+}
+
+void StreamEngine::AdvanceEpoch(const EpochOptions& epoch) {
+  if (epoch.tick_network) sbon_->TickNetwork();
+  if (epoch.dt > 0.0) sbon_->Tick(epoch.dt);
+  if (epoch.vivaldi_samples > 0) {
+    sbon_->UpdateCoordinatesOnline(epoch.vivaldi_samples);
+  }
+  if (epoch.refresh_index) sbon_->RefreshIndex();
+}
+
+void StreamEngine::FillCurrentCost(QueryStats* stats) const {
+  auto cost = sbon_->CircuitCostOf(stats->circuit);
+  if (cost.ok()) stats->true_cost = *cost;
+}
+
+StatusOr<QueryStats> StreamEngine::StatsOf(QueryHandle handle) const {
+  auto it = queries_.find(handle);
+  if (it == queries_.end()) return Status::NotFound("no such query");
+  const QueryRecord& record = it->second;
+  QueryStats stats;
+  stats.handle = handle;
+  stats.circuit = record.circuit;
+  stats.optimizer = record.optimizer;
+  stats.estimated_cost = record.result.estimated_cost;
+  stats.plans_considered = record.result.plans_considered;
+  stats.placements_evaluated = record.result.placements_evaluated;
+  stats.reuse_candidates_considered =
+      record.result.reuse_candidates_considered;
+  stats.services_reused = record.result.services_reused;
+  stats.mapping = record.result.mapping;
+  FillCurrentCost(&stats);
+  return stats;
+}
+
+EngineSnapshot StreamEngine::Snapshot() const {
+  EngineSnapshot snapshot;
+  snapshot.num_queries = queries_.size();
+  snapshot.num_services = sbon_->NumServices();
+  for (const auto& [id, inst] : sbon_->services()) {
+    if (inst.Shared()) ++snapshot.shared_services;
+  }
+  snapshot.total_network_usage = sbon_->TotalNetworkUsage();
+  snapshot.max_load = sbon_->MaxLoad();
+  snapshot.queries.reserve(queries_.size());
+  for (const auto& [handle, record] : queries_) {
+    auto stats = StatsOf(handle);
+    if (stats.ok()) snapshot.queries.push_back(std::move(stats.value()));
+  }
+  return snapshot;
+}
+
+CircuitId StreamEngine::CircuitOf(QueryHandle handle) const {
+  auto it = queries_.find(handle);
+  return it == queries_.end() ? kInvalidCircuit : it->second.circuit;
+}
+
+QueryHandle StreamEngine::HandleOf(CircuitId circuit) const {
+  auto it = by_circuit_.find(circuit);
+  return it == by_circuit_.end() ? QueryHandle{} : it->second;
+}
+
+const query::QuerySpec* StreamEngine::SpecOf(QueryHandle handle) const {
+  auto it = queries_.find(handle);
+  return it == queries_.end() ? nullptr : &it->second.spec;
+}
+
+StatusOr<double> StreamEngine::CurrentEstimatedCost(QueryHandle handle) const {
+  auto it = queries_.find(handle);
+  if (it == queries_.end()) return Status::NotFound("no such query");
+  const overlay::Circuit* circuit = sbon_->FindCircuit(it->second.circuit);
+  if (circuit == nullptr) return Status::NotFound("circuit not deployed");
+  return core::EstimateCost(*circuit, *sbon_, it->second.config.lambda);
+}
+
+}  // namespace sbon::engine

@@ -1,0 +1,239 @@
+#ifndef SBON_ENGINE_STREAM_ENGINE_H_
+#define SBON_ENGINE_STREAM_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/multi_query.h"
+#include "core/optimizer.h"
+#include "core/reopt.h"
+#include "engine/registry.h"
+#include "net/topology.h"
+#include "overlay/metrics.h"
+#include "overlay/sbon.h"
+#include "query/catalog.h"
+#include "query/query_spec.h"
+
+namespace sbon::engine {
+
+/// Opaque reference to a query submitted to a StreamEngine. Handles stay
+/// valid across re-optimization: a full re-plan swaps the underlying
+/// circuit, not the handle.
+struct QueryHandle {
+  uint64_t id = 0;
+
+  explicit operator bool() const { return id != 0; }
+  friend bool operator==(QueryHandle a, QueryHandle b) { return a.id == b.id; }
+  friend bool operator!=(QueryHandle a, QueryHandle b) { return a.id != b.id; }
+  friend bool operator<(QueryHandle a, QueryHandle b) { return a.id < b.id; }
+};
+
+/// Per-call strategy override. Empty/absent fields fall back to the
+/// engine-wide defaults from EngineOptions, so the common case is
+/// `Submit(spec)` and an ablation is `Submit(spec, {.optimizer = "two-step"})`.
+struct StrategySpec {
+  std::string optimizer;  ///< registry name; empty = engine default
+  std::string placer;     ///< registry name; empty = engine default
+  std::optional<core::OptimizerConfig> config;
+  std::optional<core::MultiQueryOptimizer::Params> multi_query;
+};
+
+/// Everything needed to bring up a StreamEngine: the physical topology, the
+/// overlay substrate options, and the default optimization strategy.
+struct EngineOptions {
+  net::Topology topology;
+  overlay::Sbon::Options sbon;
+  /// Default strategies, resolved through the global registries.
+  std::string optimizer = "integrated";
+  std::string placer = "relaxation";
+  core::OptimizerConfig config;
+  core::MultiQueryOptimizer::Params multi_query;
+  /// Republish every node's coordinate (with fresh load scalars) into the
+  /// index after each successful Submit/Remove. Costs one index refresh per
+  /// deployment; without it, mapping queries see load as of the last
+  /// AdvanceEpoch.
+  bool refresh_index_on_install = false;
+};
+
+/// One engine epoch: what AdvanceEpoch should advance. Replaces the manual
+/// `TickNetwork` / `Tick` / `UpdateCoordinatesOnline` / `RefreshIndex`
+/// sequence every client used to hand-wire.
+struct EpochOptions {
+  /// Ambient-load time step (0 = leave node load untouched).
+  double dt = 1.0;
+  /// Start a new latency epoch (resamples pairwise jitter when the overlay
+  /// was built with `latency_jitter_sigma > 0`).
+  bool tick_network = true;
+  /// Online Vivaldi measurements per node against the new latencies.
+  size_t vivaldi_samples = 0;
+  /// Republished coordinates + index restabilization at the end.
+  bool refresh_index = true;
+};
+
+/// How Reoptimize should treat a query.
+struct ReoptPolicy {
+  enum class Mode {
+    kLocal,  ///< migrate services of the existing circuit (cheap)
+    kFull,   ///< re-run the optimizer; redeploy if the gain clears the bar
+  };
+  Mode mode = Mode::kLocal;
+  core::ReoptConfig config;
+  /// Full-reopt optimizer override (registry name). Empty = the optimizer
+  /// the query was submitted with.
+  std::string optimizer;
+};
+
+/// What one Reoptimize call did. `local` is meaningful in kLocal mode,
+/// `full` in kFull mode.
+struct ReoptOutcome {
+  ReoptPolicy::Mode mode = ReoptPolicy::Mode::kLocal;
+  core::LocalReoptReport local;
+  core::FullReoptReport full;
+};
+
+/// Per-query statistics, combining submit-time optimizer accounting with
+/// the current deployed state.
+struct QueryStats {
+  QueryHandle handle;
+  CircuitId circuit = kInvalidCircuit;
+  std::string optimizer;  ///< registry name the query was optimized with
+  double estimated_cost = 0.0;  ///< optimizer estimate at (re)deployment
+  size_t plans_considered = 0;
+  size_t placements_evaluated = 0;
+  size_t reuse_candidates_considered = 0;
+  size_t services_reused = 0;
+  placement::MappingReport mapping;
+  /// Current cost against true latencies (filled by Snapshot/StatsOf).
+  overlay::CircuitCost true_cost;
+};
+
+/// Engine-wide view of the deployment.
+struct EngineSnapshot {
+  size_t num_queries = 0;
+  size_t num_services = 0;
+  size_t shared_services = 0;  ///< instances serving more than one circuit
+  double total_network_usage = 0.0;
+  double max_load = 0.0;
+  std::vector<QueryStats> queries;  ///< in submission (handle) order
+};
+
+/// The SBON as a service (paper Sec. 4): clients submit continuous queries
+/// and the engine optimizes, deploys, measures, and re-optimizes them —
+/// no client ever touches placers, optimizers, or the DHT index directly.
+///
+/// Owns the overlay runtime (`overlay::Sbon`) and the stream catalog, and
+/// resolves optimization strategies by name through the global registries.
+///
+/// `Submit` is atomic: optimization plus installation either fully succeed
+/// (returning a live QueryHandle) or leave the overlay untouched.
+class StreamEngine {
+ public:
+  static StatusOr<std::unique_ptr<StreamEngine>> Create(EngineOptions options);
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  // --- stream catalog ---
+  const query::Catalog& catalog() const { return catalog_; }
+  /// Replaces the catalog wholesale (e.g. a pre-built workload). Running
+  /// queries keep their circuits; re-optimization uses the new catalog.
+  void SetCatalog(query::Catalog catalog) { catalog_ = std::move(catalog); }
+  /// Registers a stream pinned at `producer` and returns its id.
+  StreamId AddStream(std::string name, double tuple_rate_per_s,
+                     double tuple_size_bytes, NodeId producer);
+
+  // --- query lifecycle ---
+  /// Optimizes `spec` and deploys the winning circuit as one atomic step:
+  /// if installation fails, no service instance or load delta survives.
+  StatusOr<QueryHandle> Submit(const query::QuerySpec& spec,
+                               const StrategySpec& strategy = {});
+  /// Submits a batch; element i of the result corresponds to specs[i].
+  /// Queries are deployed in order, so later ones can reuse the services of
+  /// earlier ones (under a reuse-capable optimizer).
+  std::vector<StatusOr<QueryHandle>> SubmitAll(
+      const std::vector<query::QuerySpec>& specs,
+      const StrategySpec& strategy = {});
+  /// Tears the query down, releasing service instances (and their load)
+  /// that no other circuit uses.
+  Status Remove(QueryHandle handle);
+  /// Local (service-migration) or full (re-plan + parallel redeploy)
+  /// re-optimization. The handle remains valid either way.
+  StatusOr<ReoptOutcome> Reoptimize(QueryHandle handle,
+                                    const ReoptPolicy& policy);
+  /// Advances simulated time one epoch: latency jitter, ambient load,
+  /// online coordinate maintenance, index refresh — in that order.
+  void AdvanceEpoch(const EpochOptions& epoch = EpochOptions());
+
+  /// Optimizes without deploying (compare-only flows, ablations).
+  StatusOr<core::OptimizeResult> Optimize(const query::QuerySpec& spec,
+                                          const StrategySpec& strategy = {});
+
+  // --- introspection ---
+  EngineSnapshot Snapshot() const;
+  StatusOr<QueryStats> StatsOf(QueryHandle handle) const;
+  /// Circuit currently serving the query (kInvalidCircuit if unknown).
+  CircuitId CircuitOf(QueryHandle handle) const;
+  /// Handle of the query a circuit serves ({} if unknown).
+  QueryHandle HandleOf(CircuitId circuit) const;
+  /// Spec the query was submitted with (nullptr if unknown).
+  const query::QuerySpec* SpecOf(QueryHandle handle) const;
+  /// The optimizer's cost metric for the query's circuit against the
+  /// *current* cost space (drifts as the network churns).
+  StatusOr<double> CurrentEstimatedCost(QueryHandle handle) const;
+  size_t NumQueries() const { return queries_.size(); }
+
+  /// The overlay runtime. Mutating its load/coordinate state directly
+  /// (e.g. SetBaseLoad in tests) is fine, but circuits deployed through the
+  /// engine are tracked by id — prefer Remove()/Reoptimize() over direct
+  /// RemoveCircuit calls. Remove() tolerates a circuit that already
+  /// disappeared out-of-band (it just releases the query record).
+  overlay::Sbon& sbon() { return *sbon_; }
+  const overlay::Sbon& sbon() const { return *sbon_; }
+
+ private:
+  /// Everything the engine remembers about a submitted query.
+  struct QueryRecord {
+    query::QuerySpec spec;
+    CircuitId circuit = kInvalidCircuit;
+    std::string optimizer;  ///< resolved registry name
+    std::string placer;     ///< resolved registry name
+    core::OptimizerConfig config;
+    core::MultiQueryOptimizer::Params multi_query;
+    core::OptimizeResult result;  ///< accounting of the winning run
+  };
+
+  explicit StreamEngine(EngineOptions options);
+
+  /// Resolves a StrategySpec against the engine defaults into concrete
+  /// (optimizer name, placer name, spec) and instantiates the optimizer.
+  /// All out-params are optional; `resolved` receives the exact spec the
+  /// optimizer was built with (single point of defaults resolution).
+  StatusOr<std::unique_ptr<core::Optimizer>> MakeOptimizer(
+      const StrategySpec& strategy, std::string* optimizer_name,
+      std::string* placer_name, OptimizerSpec* resolved = nullptr) const;
+
+  void FillCurrentCost(QueryStats* stats) const;
+
+  std::string default_optimizer_;
+  std::string default_placer_;
+  core::OptimizerConfig default_config_;
+  core::MultiQueryOptimizer::Params default_multi_query_;
+  bool refresh_index_on_install_ = false;
+
+  std::unique_ptr<overlay::Sbon> sbon_;
+  query::Catalog catalog_;
+  std::map<QueryHandle, QueryRecord> queries_;
+  /// Inverse of QueryRecord::circuit, kept in sync by Submit / Remove /
+  /// Reoptimize so HandleOf stays cheap at many-query scale.
+  std::map<CircuitId, QueryHandle> by_circuit_;
+  uint64_t next_handle_ = 1;
+};
+
+}  // namespace sbon::engine
+
+#endif  // SBON_ENGINE_STREAM_ENGINE_H_

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
 #include <cmath>
+#include <set>
+#include <utility>
 
 namespace sbon::overlay {
 
@@ -129,7 +130,9 @@ StatusOr<CircuitId> Sbon::InstallCircuit(Circuit circuit) {
   if (!circuit.FullyPlaced()) {
     return Status::FailedPrecondition("cannot install unplaced circuit");
   }
-  const CircuitId id = next_circuit_id_++;
+  // Reserve the id but commit the counter only on success, so a failed
+  // install leaves no gap in the id sequence (deterministic replays).
+  const CircuitId id = next_circuit_id_;
   circuit.set_id(id);
 
   // Per-vertex physical input rates (physical edges into the vertex).
@@ -138,19 +141,38 @@ StatusOr<CircuitId> Sbon::InstallCircuit(Circuit circuit) {
     if (e.physical) input_rate[e.to] += e.rate_bytes_per_s;
   }
 
+  // Rollback on mid-install failure: instances created here carry only this
+  // circuit id, and pre-existing instances gained at most a reference to it,
+  // so detaching the id releases exactly the partial state. Service loads of
+  // touched hosts are restored from snapshots rather than by re-subtracting
+  // deltas, because (x + d) - d is not exact in floating point and the
+  // overlay must be left bit-identical to its pre-call state.
+  const ServiceInstanceId first_new_service = next_service_id_;
+  std::vector<std::pair<NodeId, double>> prior_loads;
+  auto fail = [&](Status st) -> StatusOr<CircuitId> {
+    DetachCircuitFromServices(id);
+    for (auto it = prior_loads.rbegin(); it != prior_loads.rend(); ++it) {
+      service_load_[it->first] = it->second;
+    }
+    next_service_id_ = first_new_service;
+    UpdateScalarMetrics();
+    return st;
+  };
+
   for (int i = 0; i < static_cast<int>(circuit.NumVertices()); ++i) {
     CircuitVertex& v = circuit.mutable_vertex(i);
     if (v.pinned) continue;
     if (v.reused) {
       if (v.service != kInvalidService) {
         if (services_.find(v.service) == services_.end()) {
-          return Status::NotFound("reused service instance does not exist");
+          return fail(
+              Status::NotFound("reused service instance does not exist"));
         }
         // Attach this circuit to the instance *and* to every instance in
         // its feeding subtree, so tearing down the source circuit cannot
         // orphan the data path this circuit now depends on.
         Status st = AttachDependencyChain(id, v.service);
-        if (!st.ok()) return st;
+        if (!st.ok()) return fail(st);
       }
       continue;  // nothing deployed for reused subtrees
     }
@@ -163,11 +185,13 @@ StatusOr<CircuitId> Sbon::InstallCircuit(Circuit circuit) {
     inst.output_bytes_per_s = circuit.plan().op(i).out_bytes_per_s;
     inst.circuits.push_back(id);
     v.service = inst.id;
+    prior_loads.emplace_back(v.host, service_load_[v.host]);
     ApplyServiceLoadDelta(v.host, inst.input_bytes_per_s, +1.0);
     services_by_signature_.emplace(inst.signature, inst.id);
     services_.emplace(inst.id, std::move(inst));
   }
   UpdateScalarMetrics();
+  next_circuit_id_ = id + 1;
   circuits_.emplace(id, std::move(circuit));
   return id;
 }
@@ -214,15 +238,11 @@ Status Sbon::AttachDependencyChain(CircuitId circuit_id,
   return Status::OK();
 }
 
-Status Sbon::RemoveCircuit(CircuitId id) {
-  auto it = circuits_.find(id);
-  if (it == circuits_.end()) return Status::NotFound("no such circuit");
-  // Detach this circuit from every instance referencing it (vertex bindings
-  // plus reuse dependency chains), releasing instances left without users.
+void Sbon::DetachCircuitFromServices(CircuitId circuit_id) {
   for (auto sit = services_.begin(); sit != services_.end();) {
     ServiceInstance& inst = sit->second;
     inst.circuits.erase(
-        std::remove(inst.circuits.begin(), inst.circuits.end(), id),
+        std::remove(inst.circuits.begin(), inst.circuits.end(), circuit_id),
         inst.circuits.end());
     if (inst.circuits.empty()) {
       ApplyServiceLoadDelta(inst.host, inst.input_bytes_per_s, -1.0);
@@ -238,6 +258,14 @@ Status Sbon::RemoveCircuit(CircuitId id) {
       ++sit;
     }
   }
+}
+
+Status Sbon::RemoveCircuit(CircuitId id) {
+  auto it = circuits_.find(id);
+  if (it == circuits_.end()) return Status::NotFound("no such circuit");
+  // Detach this circuit from every instance referencing it (vertex bindings
+  // plus reuse dependency chains), releasing instances left without users.
+  DetachCircuitFromServices(id);
   circuits_.erase(it);
   UpdateScalarMetrics();
   return Status::OK();

@@ -78,6 +78,10 @@ class Sbon {
   // --- circuits & services ---
   /// Deploys a fully placed circuit: creates (or attaches to) service
   /// instances, adds load, and registers the circuit. Returns its id.
+  /// Failure-atomic: if any mid-install step fails (missing reused
+  /// instance, broken dependency chain), every service instance and load
+  /// delta created so far is released and the overlay is left exactly as
+  /// it was before the call.
   StatusOr<CircuitId> InstallCircuit(Circuit circuit);
   /// Tears a circuit down, releasing service instances with no users left.
   Status RemoveCircuit(CircuitId id);
@@ -85,6 +89,9 @@ class Sbon {
   const Circuit* FindCircuit(CircuitId id) const;
   const std::map<CircuitId, Circuit>& circuits() const { return circuits_; }
   const ServiceInstance* FindService(ServiceInstanceId id) const;
+  const std::map<ServiceInstanceId, ServiceInstance>& services() const {
+    return services_;
+  }
   /// Deployed instances whose reuse signature matches.
   std::vector<const ServiceInstance*> ServicesWithSignature(
       uint64_t signature) const;
@@ -130,6 +137,10 @@ class Sbon {
 
   Status Initialize();
   Status AttachDependencyChain(CircuitId circuit_id, ServiceInstanceId root);
+  /// Removes `circuit_id` from every instance's user list, releasing
+  /// instances left without users (their load deltas included). Shared by
+  /// RemoveCircuit and the InstallCircuit failure rollback.
+  void DetachCircuitFromServices(CircuitId circuit_id);
   void ApplyServiceLoadDelta(NodeId host, double input_bytes_per_s,
                              double sign);
   void UpdateScalarMetrics();

@@ -1,0 +1,402 @@
+// Tests of the sbon::engine layer: strategy registries, the StreamEngine
+// query lifecycle (Submit / SubmitAll / Remove / Reoptimize / AdvanceEpoch /
+// Snapshot), shared-instance accounting across queries, and the
+// failure-atomicity of installation (engine Submit and Sbon::InstallCircuit).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/registry.h"
+#include "engine/stream_engine.h"
+#include "harness/fixtures.h"
+#include "harness/golden.h"
+#include "query/plan.h"
+
+namespace sbon::test {
+namespace {
+
+engine::EngineOptions SmallEngineOptions(uint64_t seed) {
+  engine::EngineOptions eo;
+  eo.topology = MakeTransitStubTopology(TopologySize::kSmall, seed);
+  eo.sbon.seed = seed;
+  eo.sbon.load_params.sigma = 0.0;  // deterministic ambient load
+  eo.sbon.load_params.mean = 0.2;
+  eo.config = TestOptimizerConfig();
+  return eo;
+}
+
+std::unique_ptr<engine::StreamEngine> MakeEngine(engine::EngineOptions eo) {
+  auto created = engine::StreamEngine::Create(std::move(eo));
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  return std::move(created.value());
+}
+
+std::vector<double> ServiceLoads(const overlay::Sbon& sbon) {
+  std::vector<double> loads;
+  for (NodeId n = 0; n < sbon.topology().NumNodes(); ++n) {
+    loads.push_back(sbon.ServiceLoad(n));
+  }
+  return loads;
+}
+
+// ----------------------------- registries -----------------------------
+
+TEST(Registry, BuiltinStrategiesSelfRegister) {
+  auto& optimizers = engine::OptimizerRegistry::Global();
+  for (const char* name : {"two-step", "integrated", "multi-query"}) {
+    EXPECT_TRUE(optimizers.Has(name)) << name;
+  }
+  auto& placers = engine::PlacerRegistry::Global();
+  for (const char* name : {"relaxation", "centroid", "gradient"}) {
+    EXPECT_TRUE(placers.Has(name)) << name;
+  }
+}
+
+TEST(Registry, UnknownNamesAreNotFound) {
+  engine::OptimizerSpec spec;
+  spec.placer = DefaultPlacer();
+  auto opt = engine::OptimizerRegistry::Global().Create("nope", spec);
+  EXPECT_FALSE(opt.ok());
+  EXPECT_EQ(opt.status().code(), StatusCode::kNotFound);
+  auto placer = engine::PlacerRegistry::Global().Create("nope");
+  EXPECT_FALSE(placer.ok());
+  EXPECT_EQ(placer.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Registry, CreatedOptimizersReportTheirNames) {
+  engine::OptimizerSpec spec;
+  spec.placer = DefaultPlacer();
+  for (const char* name : {"two-step", "integrated", "multi-query"}) {
+    auto opt = engine::OptimizerRegistry::Global().Create(name, spec);
+    ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+    EXPECT_EQ((*opt)->Name(), name);
+  }
+  for (const char* name : {"relaxation", "centroid", "gradient"}) {
+    auto placer = engine::PlacerRegistry::Global().Create(name);
+    ASSERT_TRUE(placer.ok()) << placer.status().ToString();
+    EXPECT_EQ((*placer)->Name(), name);
+  }
+}
+
+TEST(Registry, EngineCreationRejectsUnknownStrategies) {
+  engine::EngineOptions eo = SmallEngineOptions(11);
+  eo.optimizer = "definitely-not-registered";
+  auto created = engine::StreamEngine::Create(std::move(eo));
+  EXPECT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kNotFound);
+}
+
+// --------------------------- query lifecycle ---------------------------
+
+TEST(StreamEngine, SubmitDeploysAndRemoveReleasesEverything) {
+  auto engine = MakeEngine(SmallEngineOptions(21));
+  engine->SetCatalog(TwoStreamCatalog(engine->sbon()));
+  const auto& nodes = engine->sbon().overlay_nodes();
+
+  auto handle = engine->Submit(
+      query::QuerySpec::SimpleJoin({0, 1}, nodes[4], 0.01));
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_TRUE(*handle);
+  EXPECT_EQ(engine->NumQueries(), 1u);
+  EXPECT_GT(engine->sbon().NumServices(), 0u);
+
+  auto stats = engine->StatsOf(*handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->optimizer, "integrated");
+  EXPECT_GT(stats->estimated_cost, 0.0);
+  EXPECT_GT(stats->true_cost.network_usage, 0.0);
+  EXPECT_NE(engine->sbon().FindCircuit(stats->circuit), nullptr);
+  ASSERT_NE(engine->SpecOf(*handle), nullptr);
+  EXPECT_EQ(engine->SpecOf(*handle)->consumer, nodes[4]);
+  EXPECT_EQ(engine->HandleOf(stats->circuit), *handle);
+
+  auto estimate = engine->CurrentEstimatedCost(*handle);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_TRUE(std::isfinite(*estimate));
+
+  ASSERT_TRUE(engine->Remove(*handle).ok());
+  EXPECT_EQ(engine->NumQueries(), 0u);
+  EXPECT_EQ(engine->sbon().NumServices(), 0u);
+  for (double load : ServiceLoads(engine->sbon())) EXPECT_EQ(load, 0.0);
+  EXPECT_FALSE(engine->Remove(*handle).ok()) << "double remove must fail";
+}
+
+TEST(StreamEngine, SharedInstanceSurvivesPartialRemoval) {
+  // Two queries sharing a service instance: removing one must keep the
+  // instance alive (with its load) for the other; removing both must
+  // release the instance and every load delta.
+  engine::EngineOptions eo = SmallEngineOptions(23);
+  eo.optimizer = "multi-query";
+  eo.multi_query.reuse_radius = -1.0;  // unbounded reuse
+  auto engine = MakeEngine(std::move(eo));
+  engine->SetCatalog(TwoStreamCatalog(engine->sbon()));
+  const auto& nodes = engine->sbon().overlay_nodes();
+
+  query::QuerySpec q1 = query::QuerySpec::SimpleJoin({0, 1}, nodes[4], 0.01);
+  query::QuerySpec q2 = q1;
+  q2.consumer = nodes[nodes.size() - 1];
+
+  auto h1 = engine->Submit(q1);
+  ASSERT_TRUE(h1.ok()) << h1.status().ToString();
+  const size_t services_single = engine->sbon().NumServices();
+  ASSERT_GT(services_single, 0u);
+
+  auto h2 = engine->Submit(q2);
+  ASSERT_TRUE(h2.ok()) << h2.status().ToString();
+  auto stats2 = engine->StatsOf(*h2);
+  ASSERT_TRUE(stats2.ok());
+  ASSERT_GE(stats2->services_reused, 1u) << "q2 should reuse q1's service";
+  EXPECT_EQ(engine->sbon().NumServices(), services_single)
+      << "full reuse deploys no new instances";
+
+  // The shared instance is referenced by both circuits and charged once.
+  ServiceInstanceId shared = kInvalidService;
+  NodeId shared_host = kInvalidNode;
+  for (const auto& [id, inst] : engine->sbon().services()) {
+    if (inst.Shared()) {
+      shared = id;
+      shared_host = inst.host;
+    }
+  }
+  ASSERT_NE(shared, kInvalidService);
+  const double shared_load = engine->sbon().ServiceLoad(shared_host);
+  EXPECT_GT(shared_load, 0.0);
+
+  ASSERT_TRUE(engine->Remove(*h1).ok());
+  const overlay::ServiceInstance* inst = engine->sbon().FindService(shared);
+  ASSERT_NE(inst, nullptr) << "shared instance must survive partial removal";
+  EXPECT_EQ(inst->circuits.size(), 1u);
+  EXPECT_EQ(engine->sbon().ServiceLoad(shared_host), shared_load)
+      << "shared load is charged once, so removal of one user changes "
+         "nothing";
+  EXPECT_EQ(engine->sbon().NumServices(), services_single);
+
+  ASSERT_TRUE(engine->Remove(*h2).ok());
+  EXPECT_EQ(engine->sbon().NumServices(), 0u);
+  for (double load : ServiceLoads(engine->sbon())) EXPECT_EQ(load, 0.0);
+}
+
+TEST(StreamEngine, SubmitAllReportsPerQueryOutcomes) {
+  auto engine = MakeEngine(SmallEngineOptions(29));
+  engine->SetCatalog(TwoStreamCatalog(engine->sbon()));
+  const auto& nodes = engine->sbon().overlay_nodes();
+
+  query::QuerySpec good = query::QuerySpec::SimpleJoin({0, 1}, nodes[2], 0.01);
+  query::QuerySpec bad = good;
+  bad.streams = {0, 99};  // unknown stream id: optimization must fail
+
+  auto handles = engine->SubmitAll({good, bad, good});
+  ASSERT_EQ(handles.size(), 3u);
+  EXPECT_TRUE(handles[0].ok());
+  EXPECT_FALSE(handles[1].ok());
+  EXPECT_TRUE(handles[2].ok());
+  EXPECT_EQ(engine->NumQueries(), 2u);
+  EXPECT_NE(handles[0].value(), handles[2].value());
+}
+
+TEST(StreamEngine, SnapshotAggregatesPerQueryAndEngineState) {
+  auto engine = MakeEngine(SmallEngineOptions(31));
+  engine->SetCatalog(TwoStreamCatalog(engine->sbon()));
+  const auto& nodes = engine->sbon().overlay_nodes();
+  auto h1 = engine->Submit(
+      query::QuerySpec::SimpleJoin({0, 1}, nodes[3], 0.01));
+  auto h2 = engine->Submit(
+      query::QuerySpec::SimpleJoin({0, 1}, nodes[7], 0.02));
+  ASSERT_TRUE(h1.ok() && h2.ok());
+
+  const engine::EngineSnapshot snap = engine->Snapshot();
+  EXPECT_EQ(snap.num_queries, 2u);
+  EXPECT_EQ(snap.num_services, engine->sbon().NumServices());
+  EXPECT_GT(snap.total_network_usage, 0.0);
+  EXPECT_GT(snap.max_load, 0.0);
+  ASSERT_EQ(snap.queries.size(), 2u);
+  EXPECT_EQ(snap.queries[0].handle, *h1);  // submission order
+  EXPECT_EQ(snap.queries[1].handle, *h2);
+  for (const engine::QueryStats& q : snap.queries) {
+    EXPECT_GT(q.estimated_cost, 0.0);
+    EXPECT_GT(q.true_cost.network_usage, 0.0);
+  }
+}
+
+TEST(StreamEngine, AdvanceEpochAndReoptimizeKeepHandlesValid) {
+  engine::EngineOptions eo = SmallEngineOptions(37);
+  eo.sbon.latency_jitter_sigma = 0.5;
+  eo.sbon.load_params.sigma = 0.3;
+  auto engine = MakeEngine(std::move(eo));
+  engine->SetCatalog(MakeCatalog(engine->sbon(), TestWorkloadParams(), 19));
+  const auto queries = MakeQueries(engine->sbon(), engine->catalog(),
+                                   TestWorkloadParams(), 1, 23);
+  auto handle = engine->Submit(queries[0]);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  engine::EpochOptions churn;
+  churn.dt = 2.0;
+  churn.vivaldi_samples = 4;
+
+  // Local re-optimization (service migration) never raises the estimate.
+  engine->AdvanceEpoch(churn);
+  engine::ReoptPolicy local;  // defaults to Mode::kLocal
+  auto lo = engine->Reoptimize(*handle, local);
+  ASSERT_TRUE(lo.ok()) << lo.status().ToString();
+  EXPECT_LE(lo->local.estimated_cost_after,
+            lo->local.estimated_cost_before + 1e-9);
+
+  engine::ReoptPolicy full;
+  full.mode = engine::ReoptPolicy::Mode::kFull;
+  full.config.replan_threshold = 0.0;  // redeploy on any improvement
+
+  bool redeployed = false;
+  for (int epoch = 0; epoch < 8 && !redeployed; ++epoch) {
+    engine->AdvanceEpoch(churn);
+    const CircuitId before = engine->CircuitOf(*handle);
+    auto fo = engine->Reoptimize(*handle, full);
+    ASSERT_TRUE(fo.ok()) << fo.status().ToString();
+    if (fo->full.redeployed) {
+      redeployed = true;
+      EXPECT_EQ(engine->CircuitOf(*handle), fo->full.new_circuit)
+          << "handle must track the replacement circuit";
+      EXPECT_EQ(engine->sbon().FindCircuit(before), nullptr)
+          << "original circuit must be cancelled after redeployment";
+    } else {
+      EXPECT_EQ(engine->CircuitOf(*handle), before);
+    }
+    EXPECT_EQ(engine->sbon().circuits().size(), 1u);
+  }
+  // Under this much churn a zero-threshold replan fires essentially always.
+  EXPECT_TRUE(redeployed);
+  ASSERT_TRUE(engine->Remove(*handle).ok());
+  EXPECT_EQ(engine->sbon().NumServices(), 0u);
+}
+
+TEST(StreamEngine, DeterministicAcrossIdenticalEngines) {
+  auto run = [] {
+    auto engine = MakeEngine(SmallEngineOptions(41));
+    engine->SetCatalog(MakeCatalog(engine->sbon(), TestWorkloadParams(), 5));
+    const auto queries = MakeQueries(engine->sbon(), engine->catalog(),
+                                     TestWorkloadParams(), 3, 9);
+    for (const auto& q : queries) EXPECT_TRUE(engine->Submit(q).ok());
+    return OverlayFingerprint(engine->sbon());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ------------------------- failure atomicity -------------------------
+
+TEST(StreamEngine, FailedSubmitLeavesOverlayUntouched) {
+  auto engine = MakeEngine(SmallEngineOptions(43));
+  engine->SetCatalog(TwoStreamCatalog(engine->sbon()));
+  const auto& nodes = engine->sbon().overlay_nodes();
+  ASSERT_TRUE(
+      engine->Submit(query::QuerySpec::SimpleJoin({0, 1}, nodes[2], 0.01))
+          .ok());
+  const size_t services = engine->sbon().NumServices();
+  const std::vector<double> loads = ServiceLoads(engine->sbon());
+
+  query::QuerySpec bad;
+  bad.consumer = nodes[3];
+  bad.streams = {0, 99};  // unknown stream id
+  auto handle = engine->Submit(bad);
+  EXPECT_FALSE(handle.ok());
+  EXPECT_EQ(engine->NumQueries(), 1u);
+  EXPECT_EQ(engine->sbon().NumServices(), services);
+  EXPECT_EQ(ServiceLoads(engine->sbon()), loads);
+}
+
+// Forces the mid-install failure path of Sbon::InstallCircuit: a bushy
+// 4-way join whose second sub-join claims to reuse a nonexistent service
+// instance. Installation creates the first sub-join's instance (with its
+// load delta), then hits the missing instance — and must roll everything
+// back, leaving NumServices() and TotalLoad unchanged.
+TEST(InstallAtomicity, MidInstallFailureRollsBackPartialState) {
+  auto sbon = MakeTransitStubSbon(TopologySize::kSmall, 47);
+  const auto& nodes = sbon->overlay_nodes();
+  query::Catalog catalog;
+  for (int i = 0; i < 4; ++i) {
+    catalog.AddStream("s" + std::to_string(i), 100.0, 64.0, nodes[i]);
+  }
+
+  query::LogicalPlan plan;
+  const int p0 = plan.AddProducer(0), p1 = plan.AddProducer(1);
+  const int p2 = plan.AddProducer(2), p3 = plan.AddProducer(3);
+  const int join_a = plan.AddJoin(p0, p1, 0.01);   // installed first
+  const int join_b = plan.AddJoin(p2, p3, 0.01);   // fails (bogus reuse)
+  const int root = plan.AddJoin(join_a, join_b, 0.01);
+  plan.SetConsumer(root, nodes[8]);
+  ASSERT_TRUE(plan.AnnotateRates(catalog).ok());
+
+  auto circuit = overlay::Circuit::FromPlan(plan, catalog);
+  ASSERT_TRUE(circuit.ok()) << circuit.status().ToString();
+  circuit->mutable_vertex(join_a).host = nodes[5];
+  circuit->mutable_vertex(root).host = nodes[6];
+  const ServiceInstanceId bogus = 9999;
+  circuit->BindReusedSubtree(join_b, bogus, nodes[7],
+                             /*upstream_latency_ms=*/0.0);
+  ASSERT_TRUE(circuit->FullyPlaced());
+  ASSERT_LT(join_a, join_b) << "creation must precede the failure point";
+
+  const size_t services_before = sbon->NumServices();
+  std::vector<double> total_before;
+  for (NodeId n = 0; n < sbon->topology().NumNodes(); ++n) {
+    total_before.push_back(sbon->TotalLoad(n));
+  }
+  const size_t circuits_before = sbon->circuits().size();
+
+  auto failed = sbon->InstallCircuit(*circuit);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kNotFound);
+
+  EXPECT_EQ(sbon->NumServices(), services_before);
+  EXPECT_EQ(sbon->circuits().size(), circuits_before);
+  for (NodeId n = 0; n < sbon->topology().NumNodes(); ++n) {
+    EXPECT_EQ(sbon->TotalLoad(n), total_before[n]) << "node " << n;
+  }
+  for (double load : ServiceLoads(*sbon)) EXPECT_EQ(load, 0.0);
+
+  // The overlay must still accept a clean install of the same plan, with
+  // ids unaffected by the rolled-back attempt.
+  auto clean = overlay::Circuit::FromPlan(plan, catalog);
+  ASSERT_TRUE(clean.ok());
+  clean->mutable_vertex(join_a).host = nodes[5];
+  clean->mutable_vertex(join_b).host = nodes[7];
+  clean->mutable_vertex(root).host = nodes[6];
+  auto id = sbon->InstallCircuit(std::move(clean.value()));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(*id, 1u) << "failed install must not burn circuit ids";
+  EXPECT_EQ(sbon->NumServices(), 3u);
+  const overlay::Circuit* installed = sbon->FindCircuit(*id);
+  ASSERT_NE(installed, nullptr);
+  EXPECT_EQ(installed->vertex(join_a).service, 1u)
+      << "failed install must not burn service ids";
+
+  // A second failing attempt now hits hosts that already carry service
+  // load (the clean circuit's join_a also sits on nodes[5]); rollback must
+  // restore those loads bit-exactly, not just approximately — a rollback
+  // that re-subtracts deltas would leave 1-ulp drift here.
+  const std::vector<double> loads_with_circuit = ServiceLoads(*sbon);
+  auto failed_again = sbon->InstallCircuit(*circuit);
+  ASSERT_FALSE(failed_again.ok());
+  EXPECT_EQ(ServiceLoads(*sbon), loads_with_circuit);
+  EXPECT_EQ(sbon->NumServices(), 3u);
+}
+
+TEST(StreamEngine, RemoveToleratesOutOfBandCircuitTeardown) {
+  auto engine = MakeEngine(SmallEngineOptions(53));
+  engine->SetCatalog(TwoStreamCatalog(engine->sbon()));
+  const auto& nodes = engine->sbon().overlay_nodes();
+  auto handle = engine->Submit(
+      query::QuerySpec::SimpleJoin({0, 1}, nodes[4], 0.01));
+  ASSERT_TRUE(handle.ok());
+
+  // Tear the circuit down directly on the overlay (bypassing the engine):
+  // the query record must still be releasable, not wedged forever.
+  ASSERT_TRUE(engine->sbon().RemoveCircuit(engine->CircuitOf(*handle)).ok());
+  EXPECT_TRUE(engine->Remove(*handle).ok());
+  EXPECT_EQ(engine->NumQueries(), 0u);
+}
+
+}  // namespace
+}  // namespace sbon::test

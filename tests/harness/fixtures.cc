@@ -43,13 +43,17 @@ net::TransitStubParams TransitStubParamsFor(TopologySize size) {
   return p;
 }
 
-std::unique_ptr<overlay::Sbon> MakeTransitStubSbon(
-    TopologySize size, uint64_t seed, overlay::Sbon::Options opts) {
+net::Topology MakeTransitStubTopology(TopologySize size, uint64_t seed) {
   Rng rng(seed);
   auto topo = net::GenerateTransitStub(TransitStubParamsFor(size), &rng);
   CheckOk(topo.status(), "GenerateTransitStub");
+  return std::move(topo.value());
+}
+
+std::unique_ptr<overlay::Sbon> MakeTransitStubSbon(
+    TopologySize size, uint64_t seed, overlay::Sbon::Options opts) {
   opts.seed = seed;
-  auto s = overlay::Sbon::Create(std::move(topo.value()), opts);
+  auto s = overlay::Sbon::Create(MakeTransitStubTopology(size, seed), opts);
   CheckOk(s.status(), "Sbon::Create");
   return std::move(s.value());
 }

@@ -27,6 +27,11 @@ enum class TopologySize {
 /// Transit-stub parameters for a preset (deterministic, no RNG involved).
 net::TransitStubParams TransitStubParamsFor(TopologySize size);
 
+/// Generates the seeded transit-stub topology a preset describes — the same
+/// wiring MakeTransitStubSbon embeds, for callers (e.g. engine::EngineOptions)
+/// that need the raw topology.
+net::Topology MakeTransitStubTopology(TopologySize size, uint64_t seed);
+
 /// Builds a seeded transit-stub SBON. Everything downstream of `seed` —
 /// topology wiring, link latencies, ambient load, Vivaldi embedding — is
 /// deterministic, so two calls with equal arguments yield bit-identical

@@ -7,6 +7,30 @@
 #include <utility>
 
 namespace sbon::test {
+namespace {
+
+engine::EngineOptions EngineOptionsFor(const ScenarioOptions& options) {
+  engine::EngineOptions eo;
+  eo.topology = MakeTransitStubTopology(options.size, options.seed);
+  eo.sbon = options.sbon;
+  eo.sbon.seed = options.seed;
+  eo.config = options.config;
+  eo.multi_query = options.multi_query;
+  return eo;
+}
+
+std::unique_ptr<engine::StreamEngine> MakeEngineOrDie(
+    const ScenarioOptions& options) {
+  auto engine = engine::StreamEngine::Create(EngineOptionsFor(options));
+  if (!engine.ok()) {
+    ADD_FAILURE() << "engine creation failed: "
+                  << engine.status().ToString();
+    std::abort();
+  }
+  return std::move(engine.value());
+}
+
+}  // namespace
 
 const char* OptimizerKindName(OptimizerKind kind) {
   switch (kind) {
@@ -21,34 +45,17 @@ const char* OptimizerKindName(OptimizerKind kind) {
 }
 
 ScenarioRunner::ScenarioRunner(ScenarioOptions options)
-    : options_(std::move(options)),
-      sbon_(MakeTransitStubSbon(options_.size, options_.seed, options_.sbon)) {}
+    : options_(std::move(options)), engine_(MakeEngineOrDie(options_)) {}
 
 const query::Catalog& ScenarioRunner::UseRandomCatalog(
     const query::WorkloadParams& params, uint64_t seed) {
-  catalog_ = MakeCatalog(*sbon_, params, seed);
-  return catalog_;
+  engine_->SetCatalog(MakeCatalog(engine_->sbon(), params, seed));
+  return engine_->catalog();
 }
 
 const query::Catalog& ScenarioRunner::UseCatalog(query::Catalog catalog) {
-  catalog_ = std::move(catalog);
-  return catalog_;
-}
-
-std::unique_ptr<core::Optimizer> ScenarioRunner::MakeOptimizer(
-    OptimizerKind kind) const {
-  auto placer = DefaultPlacer();
-  switch (kind) {
-    case OptimizerKind::kTwoStep:
-      return std::make_unique<core::TwoStepOptimizer>(options_.config, placer);
-    case OptimizerKind::kIntegrated:
-      return std::make_unique<core::IntegratedOptimizer>(options_.config,
-                                                         placer);
-    case OptimizerKind::kMultiQuery:
-      return std::make_unique<core::MultiQueryOptimizer>(
-          options_.config, placer, options_.multi_query);
-  }
-  return nullptr;
+  engine_->SetCatalog(std::move(catalog));
+  return engine_->catalog();
 }
 
 void ScenarioRunner::VerifyPlacedCircuit(const overlay::Circuit& circuit,
@@ -78,8 +85,9 @@ void ScenarioRunner::VerifyPlacedCircuit(const overlay::Circuit& circuit,
 
 StatusOr<core::OptimizeResult> ScenarioRunner::OptimizeOnly(
     OptimizerKind kind, const query::QuerySpec& spec) {
-  auto opt = MakeOptimizer(kind);
-  return opt->Optimize(spec, catalog_, sbon_.get());
+  engine::StrategySpec strategy;
+  strategy.optimizer = OptimizerKindName(kind);
+  return engine_->Optimize(spec, strategy);
 }
 
 PlacementRecord ScenarioRunner::PlaceAndInstall(OptimizerKind kind,
@@ -87,41 +95,43 @@ PlacementRecord ScenarioRunner::PlaceAndInstall(OptimizerKind kind,
   PlacementRecord rec;
   rec.kind = kind;
 
-  auto opt = MakeOptimizer(kind);
-  auto result = opt->Optimize(spec, catalog_, sbon_.get());
-  EXPECT_TRUE(result.ok()) << OptimizerKindName(kind)
-                           << " optimize failed: " << result.status().ToString();
-  if (!result.ok()) return rec;
+  engine::StrategySpec strategy;
+  strategy.optimizer = OptimizerKindName(kind);
+  auto handle = engine_->Submit(spec, strategy);
+  EXPECT_TRUE(handle.ok()) << OptimizerKindName(kind)
+                           << " submit failed: " << handle.status().ToString();
+  if (!handle.ok()) return rec;
 
-  rec.estimated_cost = result->estimated_cost;
-  rec.plans_considered = result->plans_considered;
-  rec.placements_evaluated = result->placements_evaluated;
-  rec.services_reused = result->services_reused;
+  auto stats = engine_->StatsOf(*handle);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  if (!stats.ok()) return rec;
+
+  rec.estimated_cost = stats->estimated_cost;
+  rec.plans_considered = stats->plans_considered;
+  rec.placements_evaluated = stats->placements_evaluated;
+  rec.services_reused = stats->services_reused;
 
   EXPECT_TRUE(std::isfinite(rec.estimated_cost));
   EXPECT_GT(rec.estimated_cost, 0.0);
-  VerifyPlacedCircuit(result->circuit, *sbon_);
 
-  auto id = sbon_->InstallCircuit(std::move(result->circuit));
-  EXPECT_TRUE(id.ok()) << "install failed: " << id.status().ToString();
-  if (!id.ok()) return rec;
+  rec.circuit_id = stats->circuit;
+  const overlay::Circuit* circuit = sbon().FindCircuit(rec.circuit_id);
+  EXPECT_NE(circuit, nullptr);
+  if (circuit == nullptr) return rec;
+  VerifyPlacedCircuit(*circuit, sbon());
 
-  rec.circuit_id = id.value();
-  specs_.emplace(rec.circuit_id, spec);
-
-  auto cost = sbon_->CircuitCostOf(rec.circuit_id);
-  EXPECT_TRUE(cost.ok()) << cost.status().ToString();
-  if (cost.ok()) {
-    rec.true_cost = cost.value();
-    VerifyInstalledCircuit(rec.circuit_id);
-  }
+  // StatsOf already measured the true cost; VerifyInstalledCircuit fails
+  // loudly if the cost was not computable.
+  rec.true_cost = stats->true_cost;
+  VerifyInstalledCircuit(rec.circuit_id);
   return rec;
 }
 
 void ScenarioRunner::VerifyInstalledCircuit(CircuitId id) const {
-  const overlay::Circuit* circuit = sbon_->FindCircuit(id);
+  const overlay::Sbon& sbon = engine_->sbon();
+  const overlay::Circuit* circuit = sbon.FindCircuit(id);
   ASSERT_NE(circuit, nullptr);
-  auto cost = sbon_->CircuitCostOf(id);
+  auto cost = sbon.CircuitCostOf(id);
   ASSERT_TRUE(cost.ok()) << cost.status().ToString();
   EXPECT_GE(cost->network_usage, 0.0);
   EXPECT_GE(cost->node_penalty, 0.0);
@@ -150,7 +160,7 @@ void ScenarioRunner::VerifyInstalledCircuit(CircuitId id) const {
         const auto& v = circuit->vertex(static_cast<int>(i));
         if (v.pinned && plan.op(v.plan_op).kind == query::OpKind::kProducer) {
           direct_bound = std::max(direct_bound,
-                                  sbon_->latency().Latency(v.host, consumer));
+                                  sbon.latency().Latency(v.host, consumer));
         }
       }
       EXPECT_GE(cost->critical_path_latency_ms + 1e-9, direct_bound)
@@ -160,48 +170,51 @@ void ScenarioRunner::VerifyInstalledCircuit(CircuitId id) const {
 }
 
 void ScenarioRunner::VerifyAllInstalled() const {
-  for (const auto& [id, circuit] : sbon_->circuits()) {
+  for (const auto& [id, circuit] : engine_->sbon().circuits()) {
     (void)circuit;
     VerifyInstalledCircuit(id);
   }
-  EXPECT_GE(sbon_->TotalNetworkUsage(), 0.0);
+  EXPECT_GE(engine_->sbon().TotalNetworkUsage(), 0.0);
 }
 
 const query::QuerySpec& ScenarioRunner::SpecOf(CircuitId id) const {
-  auto it = specs_.find(id);
-  if (it == specs_.end()) {
+  const query::QuerySpec* spec = engine_->SpecOf(engine_->HandleOf(id));
+  if (spec == nullptr) {
     ADD_FAILURE() << "no spec recorded for circuit " << id;
     static const query::QuerySpec kEmpty;
     return kEmpty;
   }
-  return it->second;
+  return *spec;
 }
 
 void ScenarioRunner::Churn(double dt, size_t vivaldi_samples) {
-  sbon_->TickNetwork();
-  sbon_->Tick(dt);
-  if (vivaldi_samples > 0) sbon_->UpdateCoordinatesOnline(vivaldi_samples);
-  sbon_->RefreshIndex();
+  engine::EpochOptions epoch;
+  epoch.dt = dt;
+  epoch.tick_network = true;
+  epoch.vivaldi_samples = vivaldi_samples;
+  epoch.refresh_index = true;
+  engine_->AdvanceEpoch(epoch);
 }
 
 StatusOr<core::LocalReoptReport> ScenarioRunner::LocalReopt(
     CircuitId id, const core::ReoptConfig& config) {
-  return core::LocalReoptimize(sbon_.get(), id, *DefaultPlacer(), config);
+  engine::ReoptPolicy policy;
+  policy.mode = engine::ReoptPolicy::Mode::kLocal;
+  policy.config = config;
+  auto outcome = engine_->Reoptimize(engine_->HandleOf(id), policy);
+  if (!outcome.ok()) return outcome.status();
+  return outcome->local;
 }
 
 StatusOr<core::FullReoptReport> ScenarioRunner::FullReopt(
     CircuitId id, OptimizerKind kind, const core::ReoptConfig& config) {
-  auto opt = MakeOptimizer(kind);
-  const query::QuerySpec spec = SpecOf(id);
-  auto report = core::FullReoptimize(sbon_.get(), id, spec, catalog_,
-                                     opt.get(), config);
-  // A redeploy replaces the circuit under a new id; carry the spec over so
-  // the new circuit can be re-optimized in later epochs.
-  if (report.ok() && report->redeployed) {
-    specs_.erase(id);
-    specs_.emplace(report->new_circuit, spec);
-  }
-  return report;
+  engine::ReoptPolicy policy;
+  policy.mode = engine::ReoptPolicy::Mode::kFull;
+  policy.config = config;
+  policy.optimizer = OptimizerKindName(kind);
+  auto outcome = engine_->Reoptimize(engine_->HandleOf(id), policy);
+  if (!outcome.ok()) return outcome.status();
+  return outcome->full;
 }
 
 }  // namespace sbon::test

@@ -1,21 +1,20 @@
 #ifndef SBON_TESTS_HARNESS_SCENARIO_H_
 #define SBON_TESTS_HARNESS_SCENARIO_H_
 
-#include <map>
 #include <memory>
 #include <vector>
 
-#include "core/integrated.h"
 #include "core/multi_query.h"
 #include "core/reopt.h"
-#include "core/two_step.h"
+#include "engine/stream_engine.h"
 #include "harness/fixtures.h"
 #include "overlay/metrics.h"
 #include "overlay/sbon.h"
 
 namespace sbon::test {
 
-/// Which optimizer a scenario step runs.
+/// Which optimizer a scenario step runs (mapped onto the engine's
+/// OptimizerRegistry names by OptimizerKindName).
 enum class OptimizerKind { kTwoStep, kIntegrated, kMultiQuery };
 
 const char* OptimizerKindName(OptimizerKind kind);
@@ -42,10 +41,11 @@ struct PlacementRecord {
   overlay::CircuitCost true_cost;
 };
 
-/// Drives `overlay::Sbon` end-to-end — build topology, embed coordinates,
-/// place queries, install circuits — while asserting structural and cost
-/// invariants at every step (via gtest non-fatal failures, so a broken
-/// invariant pinpoints the step that violated it).
+/// Thin invariant-checking wrapper around `engine::StreamEngine`: the
+/// engine drives the full pipeline — build topology, embed coordinates,
+/// place queries, install circuits — while the runner asserts structural
+/// and cost invariants at every step (via gtest non-fatal failures, so a
+/// broken invariant pinpoints the step that violated it).
 ///
 /// Invariants checked on every placed circuit:
 ///  - the circuit is fully placed and every host is a valid topology node;
@@ -60,7 +60,8 @@ class ScenarioRunner {
  public:
   explicit ScenarioRunner(ScenarioOptions options);
 
-  overlay::Sbon& sbon() { return *sbon_; }
+  engine::StreamEngine& engine() { return *engine_; }
+  overlay::Sbon& sbon() { return engine_->sbon(); }
   const ScenarioOptions& options() const { return options_; }
 
   /// Installs a seeded random catalog (see MakeCatalog) and returns it.
@@ -68,13 +69,12 @@ class ScenarioRunner {
                                          uint64_t seed);
   /// Installs a caller-built catalog.
   const query::Catalog& UseCatalog(query::Catalog catalog);
-  const query::Catalog& catalog() const { return catalog_; }
+  const query::Catalog& catalog() const { return engine_->catalog(); }
 
-  /// Runs `kind` on `spec`, verifies placement invariants, installs the
-  /// circuit, measures its true cost, and records the spec for later
-  /// re-optimization. Returns the record (structured failure via gtest on
-  /// invariant violations; optimizer/install errors surface as ASSERT-style
-  /// failures with the record left at defaults).
+  /// Submits `spec` under `kind` through the engine, verifies placement
+  /// invariants, measures the true cost, and returns the record (structured
+  /// failure via gtest on invariant violations; optimizer/install errors
+  /// surface as ASSERT-style failures with the record left at defaults).
   PlacementRecord PlaceAndInstall(OptimizerKind kind,
                                   const query::QuerySpec& spec);
 
@@ -102,18 +102,15 @@ class ScenarioRunner {
   /// Spec recorded for an installed circuit (dies if unknown).
   const query::QuerySpec& SpecOf(CircuitId id) const;
 
-  /// Invariant check on a placed, not-yet-installed circuit.
+  /// Invariant check on a placed circuit.
   static void VerifyPlacedCircuit(const overlay::Circuit& circuit,
                                   const overlay::Sbon& sbon);
 
  private:
-  std::unique_ptr<core::Optimizer> MakeOptimizer(OptimizerKind kind) const;
   void VerifyInstalledCircuit(CircuitId id) const;
 
   ScenarioOptions options_;
-  std::unique_ptr<overlay::Sbon> sbon_;
-  query::Catalog catalog_;
-  std::map<CircuitId, query::QuerySpec> specs_;
+  std::unique_ptr<engine::StreamEngine> engine_;
 };
 
 }  // namespace sbon::test
