@@ -36,7 +36,7 @@ void Run() {
     std::vector<StreamId> ids;
     for (int i = 0; i < 3; ++i) {
       ids.push_back(cat.AddStream(
-          "s" + std::to_string(i), rng.Uniform(20.0, 300.0), 128.0,
+          query::IndexedStreamName(i), rng.Uniform(20.0, 300.0), 128.0,
           sbon->overlay_nodes()[rng.UniformInt(
               sbon->overlay_nodes().size())]));
     }

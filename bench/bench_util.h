@@ -39,6 +39,14 @@ inline std::string& PlacerFlag() {
   return name;
 }
 
+/// Path for machine-readable results (`--json=PATH`); empty = no JSON
+/// output. Harnesses that record baselines (perf_epoch) write their
+/// measurements here in addition to the human-readable tables.
+inline std::string& JsonFlag() {
+  static std::string path;
+  return path;
+}
+
 /// Call first in main(): enables smoke mode on `--smoke` or
 /// `SBON_BENCH_SMOKE=1` (ctest smoke-runs every figure harness this way so
 /// benchmarks cannot silently bit-rot), and parses `--optimizer=NAME` /
@@ -52,6 +60,8 @@ inline void ParseBenchArgs(int argc, char** argv) {
       OptimizerFlag() = std::string(arg.substr(std::strlen("--optimizer=")));
     } else if (arg.rfind("--placer=", 0) == 0) {
       PlacerFlag() = std::string(arg.substr(std::strlen("--placer=")));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      JsonFlag() = std::string(arg.substr(std::strlen("--json=")));
     }
   }
   const char* env = std::getenv("SBON_BENCH_SMOKE");
@@ -75,6 +85,31 @@ inline void ParseBenchArgs(int argc, char** argv) {
   if (SmokeMode()) {
     std::printf("[smoke mode: reduced sweeps; figures NOT representative]\n");
   }
+}
+
+/// Value of a `--name=<integer>` flag, or `fallback` when absent.
+inline size_t FlagOr(int argc, char** argv, const char* name,
+                     size_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return static_cast<size_t>(
+          std::strtoull(argv[i] + prefix.size(), nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+/// Value of a `--name=<double>` flag, or `fallback` when absent.
+inline double DoubleFlagOr(int argc, char** argv, const char* name,
+                           double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtod(argv[i] + prefix.size(), nullptr);
+    }
+  }
+  return fallback;
 }
 
 /// Sweep breadth: `full` seeds/trials in figure runs, `smoke` under --smoke.

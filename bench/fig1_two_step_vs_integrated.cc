@@ -105,7 +105,7 @@ CellResult RunUniformCell(size_t nodes, size_t producers, size_t seeds,
     for (size_t i = 0; i < producers; ++i) {
       const NodeId producer = sbon.overlay_nodes()[sbon.rng().UniformInt(
           sbon.overlay_nodes().size())];
-      ids.push_back(engine->AddStream("s" + std::to_string(i), 50.0, 128.0,
+      ids.push_back(engine->AddStream(query::IndexedStreamName(i), 50.0, 128.0,
                                       producer));
     }
     const NodeId consumer = sbon.overlay_nodes()[sbon.rng().UniformInt(

@@ -178,7 +178,7 @@ void OracleGap() {
       std::vector<StreamId> ids;
       for (int i = 0; i < 3; ++i) {
         ids.push_back(cat.AddStream(
-            "s" + std::to_string(i), sbon->rng().Uniform(20.0, 200.0), 128.0,
+            query::IndexedStreamName(i), sbon->rng().Uniform(20.0, 200.0), 128.0,
             sbon->overlay_nodes()[sbon->rng().UniformInt(
                 sbon->overlay_nodes().size())]));
       }

@@ -17,7 +17,7 @@ namespace {
 query::Catalog UniformCatalog(size_t n, Rng* rng) {
   query::Catalog cat;
   for (size_t i = 0; i < n; ++i) {
-    cat.AddStream("s" + std::to_string(i), rng->Uniform(10, 500), 128.0,
+    cat.AddStream(query::IndexedStreamName(i), rng->Uniform(10, 500), 128.0,
                   static_cast<NodeId>(i));
   }
   return cat;
@@ -55,7 +55,7 @@ void BM_RelaxationPlace(benchmark::State& state) {
   std::vector<StreamId> ids;
   for (size_t i = 0; i < producers; ++i) {
     ids.push_back(cat.AddStream(
-        "s" + std::to_string(i), rng.Uniform(10, 500), 128.0,
+        query::IndexedStreamName(i), rng.Uniform(10, 500), 128.0,
         sbon->overlay_nodes()[rng.UniformInt(sbon->overlay_nodes().size())]));
   }
   const query::QuerySpec spec = query::QuerySpec::SimpleJoin(
@@ -79,7 +79,7 @@ void BM_MapCircuit(benchmark::State& state) {
   std::vector<StreamId> ids;
   for (size_t i = 0; i < 4; ++i) {
     ids.push_back(cat.AddStream(
-        "s" + std::to_string(i), rng.Uniform(10, 500), 128.0,
+        query::IndexedStreamName(i), rng.Uniform(10, 500), 128.0,
         sbon->overlay_nodes()[rng.UniformInt(sbon->overlay_nodes().size())]));
   }
   const query::QuerySpec spec = query::QuerySpec::SimpleJoin(

@@ -1,0 +1,267 @@
+// End-to-end throughput benchmark of the epoch/submit hot path: one engine,
+// N nodes, Q continuous queries, E epochs of AdvanceEpoch (latency jitter,
+// ambient load, online Vivaldi, dirty-driven index refresh) interleaved with
+// steady-state Submit/Remove churn and local re-optimization — the loop the
+// paper claims stays cheap enough to run continuously.
+//
+// Emits machine-readable JSON via --json=PATH (schema documented in the
+// README "Performance" section); BENCH_epoch.json at the repo root is the
+// recorded baseline from a full run at N=512 / Q=64. The harness also
+// verifies, via a global allocation counter, that the Vivaldi update and
+// KNearest inner loops are heap-free per call in steady state.
+//
+// Flags: --smoke (tiny sweep), --json=PATH, --nodes=N, --queries=Q,
+// --epochs=E, --epsilon=X (refresh displacement threshold, cost-space
+// units).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "coords/vivaldi.h"
+#include "engine/stream_engine.h"
+#include "net/shortest_path.h"
+#include "query/workload.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every operator new bumps it, so a delta across
+// a code region counts that region's heap allocations exactly.
+namespace {
+size_t g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sbon {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double NsSince(Clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+struct EpochLoopResult {
+  double ns_per_epoch = 0.0;
+  double ns_per_submit = 0.0;  // initial submission, per query
+  double allocs_per_epoch = 0.0;
+  size_t queries_running = 0;
+  overlay::IndexRefreshStats refresh;  // cumulative over the loop
+};
+
+// Builds an engine, submits Q queries, then runs E churn epochs. One
+// function so the epsilon sweep measures identical work per configuration.
+EpochLoopResult RunEpochLoop(size_t nodes, size_t queries, size_t epochs,
+                             double epsilon, uint64_t seed) {
+  engine::EngineOptions opts;
+  opts.sbon.latency_jitter_sigma = 0.1;
+  auto eng = bench::MakeTransitStubEngine(nodes, seed, std::move(opts));
+  overlay::Sbon& sbon = eng->sbon();
+
+  query::WorkloadParams wp;
+  wp.num_streams = 48;
+  eng->SetCatalog(query::RandomCatalog(wp, sbon.overlay_nodes(), &sbon.rng()));
+  std::vector<query::QuerySpec> specs;
+  specs.reserve(queries);
+  for (size_t q = 0; q < queries; ++q) {
+    specs.push_back(query::RandomQuery(wp, eng->catalog(),
+                                       sbon.overlay_nodes(), &sbon.rng()));
+  }
+
+  EpochLoopResult out;
+  std::vector<engine::QueryHandle> handles;
+  const Clock::time_point submit_start = Clock::now();
+  for (const query::QuerySpec& spec : specs) {
+    auto h = eng->Submit(spec);
+    if (h.ok()) handles.push_back(*h);
+  }
+  out.ns_per_submit =
+      NsSince(submit_start) / static_cast<double>(std::max<size_t>(
+                                  1, handles.size()));
+  out.queries_running = handles.size();
+  if (handles.empty()) return out;
+
+  engine::EpochOptions epoch;
+  epoch.dt = 1.0;
+  epoch.tick_network = true;
+  epoch.vivaldi_samples = 1;
+  epoch.refresh_index = true;
+  epoch.refresh_epsilon = epsilon;
+  engine::ReoptPolicy local_reopt;  // defaults: kLocal
+
+  const overlay::IndexRefreshStats before = sbon.index_refresh_stats();
+  const size_t allocs_before = g_alloc_count;
+  const Clock::time_point loop_start = Clock::now();
+  for (size_t e = 0; e < epochs; ++e) {
+    eng->AdvanceEpoch(epoch);
+    // Steady-state churn: re-optimize one running query locally and replace
+    // another (Remove + Submit), rotating through the set.
+    (void)eng->Reoptimize(handles[e % handles.size()], local_reopt);
+    const size_t victim = (e * 7 + 3) % handles.size();
+    if (eng->Remove(handles[victim]).ok()) {
+      auto h = eng->Submit(specs[victim % specs.size()]);
+      if (h.ok()) handles[victim] = *h;
+    }
+  }
+  out.ns_per_epoch = NsSince(loop_start) / static_cast<double>(epochs);
+  out.allocs_per_epoch =
+      static_cast<double>(g_alloc_count - allocs_before) /
+      static_cast<double>(epochs);
+  const overlay::IndexRefreshStats after = sbon.index_refresh_stats();
+  out.refresh.refreshes = after.refreshes - before.refreshes;
+  out.refresh.republished = after.republished - before.republished;
+  out.refresh.skipped = after.skipped - before.skipped;
+  out.refresh.quiet_refreshes =
+      after.quiet_refreshes - before.quiet_refreshes;
+  return out;
+}
+
+// Allocations per VivaldiSystem::Update in steady state (must be 0).
+double MeasureVivaldiAllocs() {
+  Rng rng(7);
+  coords::VivaldiSystem::Params params;
+  params.dims = 2;
+  coords::VivaldiSystem sys(64, params, &rng);
+  auto update = [&](size_t rounds) {
+    for (size_t i = 0; i < rounds; ++i) {
+      const NodeId self = static_cast<NodeId>(i % 64);
+      const NodeId peer = static_cast<NodeId>((i * 13 + 1) % 64);
+      if (self == peer) continue;
+      sys.Update(self, peer, 10.0 + static_cast<double>(i % 17));
+    }
+  };
+  update(256);  // warm-up
+  const size_t before = g_alloc_count;
+  constexpr size_t kRounds = 20000;
+  update(kRounds);
+  return static_cast<double>(g_alloc_count - before) /
+         static_cast<double>(kRounds);
+}
+
+// Allocations per CoordinateIndex::KNearestInto with a reused output buffer
+// in steady state (must be 0).
+double MeasureKNearestAllocs(const overlay::Sbon& sbon) {
+  const dht::CoordinateIndex& index = sbon.index();
+  std::vector<dht::IndexMatch> matches;
+  dht::IndexQueryCost cost;
+  auto query = [&](size_t rounds) {
+    for (size_t i = 0; i < rounds; ++i) {
+      const NodeId n =
+          sbon.overlay_nodes()[i % sbon.overlay_nodes().size()];
+      const Vec target = sbon.cost_space().FullCoord(n);
+      (void)index.KNearestInto(target, 8, 16, &cost, {}, &matches);
+    }
+  };
+  query(64);  // warm-up
+  const size_t before = g_alloc_count;
+  constexpr size_t kRounds = 2000;
+  query(kRounds);
+  return static_cast<double>(g_alloc_count - before) /
+         static_cast<double>(kRounds);
+}
+
+}  // namespace
+}  // namespace sbon
+
+int main(int argc, char** argv) {
+  sbon::bench::ParseBenchArgs(argc, argv);
+  const bool smoke = sbon::bench::SmokeMode();
+  const size_t nodes =
+      sbon::bench::FlagOr(argc, argv, "nodes", sbon::bench::Nodes(512));
+  const size_t queries = std::max<size_t>(
+      1, sbon::bench::FlagOr(argc, argv, "queries", smoke ? 8 : 64));
+  const size_t epochs = std::max<size_t>(
+      1, sbon::bench::FlagOr(argc, argv, "epochs", smoke ? 4 : 32));
+  const double epsilon = sbon::bench::DoubleFlagOr(argc, argv, "epsilon", 1.0);
+
+  std::printf("perf_epoch: N=%zu nodes, Q=%zu queries, E=%zu epochs\n",
+              nodes, queries, epochs);
+
+  sbon::bench::Section("Epoch+Submit throughput (dirty refresh, epsilon)");
+  const auto primary =
+      sbon::RunEpochLoop(nodes, queries, epochs, epsilon, /*seed=*/42);
+  std::printf(
+      "epsilon=%-4g  %10.0f ns/epoch  %10.0f ns/submit  %zu queries\n"
+      "              republished=%zu skipped=%zu quiet_refreshes=%zu/%zu\n",
+      epsilon, primary.ns_per_epoch, primary.ns_per_submit,
+      primary.queries_running, primary.refresh.republished,
+      primary.refresh.skipped, primary.refresh.quiet_refreshes,
+      primary.refresh.refreshes);
+
+  sbon::bench::Section("Epoch+Submit throughput (epsilon=0: every change)");
+  const auto eps0 = sbon::RunEpochLoop(nodes, queries, epochs, 0.0,
+                                       /*seed=*/42);
+  std::printf("epsilon=0     %10.0f ns/epoch  %10.0f ns/submit\n",
+              eps0.ns_per_epoch, eps0.ns_per_submit);
+
+  sbon::bench::Section("Hot-loop allocation audit");
+  const double vivaldi_allocs = sbon::MeasureVivaldiAllocs();
+  // A small dedicated overlay keeps the audit cheap under --smoke.
+  auto audit_sbon = sbon::bench::MakeTransitStubSbon(
+      sbon::bench::Nodes(200), /*seed=*/7);
+  const double knearest_allocs = sbon::MeasureKNearestAllocs(*audit_sbon);
+  std::printf("allocs/VivaldiSystem::Update = %g (want 0)\n", vivaldi_allocs);
+  std::printf("allocs/KNearestInto          = %g (want 0)\n",
+              knearest_allocs);
+  if (vivaldi_allocs != 0.0 || knearest_allocs != 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: hot loops allocate (vivaldi=%g knearest=%g)\n",
+                 vivaldi_allocs, knearest_allocs);
+    return 1;
+  }
+
+  if (!sbon::bench::JsonFlag().empty()) {
+    std::FILE* f = std::fopen(sbon::bench::JsonFlag().c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   sbon::bench::JsonFlag().c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"perf_epoch\",\n"
+        "  \"smoke\": %s,\n"
+        "  \"nodes\": %zu,\n"
+        "  \"queries\": %zu,\n"
+        "  \"epochs\": %zu,\n"
+        "  \"refresh_epsilon\": %g,\n"
+        "  \"ns_per_epoch\": %.1f,\n"
+        "  \"ns_per_submit\": %.1f,\n"
+        "  \"ns_per_epoch_eps0\": %.1f,\n"
+        "  \"allocs_per_epoch\": %.1f,\n"
+        "  \"republished\": %zu,\n"
+        "  \"republish_skipped\": %zu,\n"
+        "  \"quiet_refreshes\": %zu,\n"
+        "  \"refreshes\": %zu,\n"
+        "  \"allocs_per_vivaldi_update\": %g,\n"
+        "  \"allocs_per_knearest\": %g\n"
+        "}\n",
+        smoke ? "true" : "false", nodes, queries, epochs, epsilon,
+        primary.ns_per_epoch, primary.ns_per_submit, eps0.ns_per_epoch,
+        primary.allocs_per_epoch, primary.refresh.republished,
+        primary.refresh.skipped, primary.refresh.quiet_refreshes,
+        primary.refresh.refreshes, vivaldi_allocs, knearest_allocs);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", sbon::bench::JsonFlag().c_str());
+  }
+  return 0;
+}

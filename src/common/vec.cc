@@ -1,57 +1,17 @@
 #include "common/vec.h"
 
-#include <cassert>
-#include <cmath>
+#include <algorithm>
 #include <cstdio>
 
 namespace sbon {
 
-Vec& Vec::operator+=(const Vec& o) {
-  assert(dims() == o.dims());
-  for (size_t i = 0; i < v_.size(); ++i) v_[i] += o.v_[i];
-  return *this;
-}
-
-Vec& Vec::operator-=(const Vec& o) {
-  assert(dims() == o.dims());
-  for (size_t i = 0; i < v_.size(); ++i) v_[i] -= o.v_[i];
-  return *this;
-}
-
-Vec& Vec::operator*=(double s) {
-  for (double& x : v_) x *= s;
-  return *this;
-}
-
-Vec& Vec::operator/=(double s) {
-  assert(s != 0.0);
-  for (double& x : v_) x /= s;
-  return *this;
-}
-
-double Vec::Norm() const { return std::sqrt(NormSquared()); }
-
-double Vec::NormSquared() const {
-  double s = 0.0;
-  for (double x : v_) s += x * x;
-  return s;
-}
-
-double Vec::Dot(const Vec& o) const {
-  assert(dims() == o.dims());
-  double s = 0.0;
-  for (size_t i = 0; i < v_.size(); ++i) s += v_[i] * o.v_[i];
-  return s;
-}
-
-double Vec::DistanceTo(const Vec& o) const {
-  assert(dims() == o.dims());
-  double s = 0.0;
-  for (size_t i = 0; i < v_.size(); ++i) {
-    const double d = v_[i] - o.v_[i];
-    s += d * d;
-  }
-  return std::sqrt(s);
+void Vec::Grow(size_t min_capacity) {
+  const size_t cap = std::max(min_capacity, Capacity() * 2);
+  auto grown = std::make_unique<double[]>(cap);
+  const double* src = data();
+  for (size_t i = 0; i < size_; ++i) grown[i] = src[i];
+  heap_ = std::move(grown);
+  heap_cap_ = cap;
 }
 
 Vec Vec::Unit(uint64_t tiebreak) const {
@@ -83,8 +43,9 @@ Vec Vec::Unit(uint64_t tiebreak) const {
 std::string Vec::ToString() const {
   std::string s = "(";
   char buf[32];
-  for (size_t i = 0; i < v_.size(); ++i) {
-    std::snprintf(buf, sizeof(buf), "%.4g", v_[i]);
+  const double* a = data();
+  for (size_t i = 0; i < size_; ++i) {
+    std::snprintf(buf, sizeof(buf), "%.4g", a[i]);
     if (i) s += ", ";
     s += buf;
   }

@@ -1,35 +1,104 @@
 #ifndef SBON_COMMON_VEC_H_
 #define SBON_COMMON_VEC_H_
 
+#include <cassert>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
 #include <string>
-#include <vector>
+#include <utility>
 
 namespace sbon {
 
 /// A small dense vector of doubles used for cost-space coordinates.
 ///
-/// Coordinates in this library are low-dimensional (2-6 dims), so a
-/// std::vector-backed value type with out-of-line arithmetic is plenty fast
-/// and keeps call sites readable.
+/// Coordinates in this library are low-dimensional (2-8 dims: a handful of
+/// vector dims plus a few weighted scalars), and Vec arithmetic sits in the
+/// innermost loops of Vivaldi spring updates, relaxation sweeps, and index
+/// queries. Storage is therefore inline up to `kInlineDims` components —
+/// construction, copies, and every arithmetic operator are heap-free for
+/// all coordinates this library produces. Larger vectors (exotic cost-space
+/// configurations) transparently spill to a heap buffer.
+///
+/// Arithmetic preserves the exact per-component operation order of the
+/// original out-of-line implementation, so fixed-seed results are
+/// bit-identical across the refactor.
 class Vec {
  public:
+  /// Components stored inline; covers every cost space the library builds.
+  static constexpr size_t kInlineDims = 8;
+
   Vec() = default;
-  explicit Vec(size_t dims, double fill = 0.0) : v_(dims, fill) {}
-  Vec(std::initializer_list<double> init) : v_(init) {}
+  explicit Vec(size_t dims, double fill = 0.0) {
+    Resize(dims);
+    double* p = data();
+    for (size_t i = 0; i < dims; ++i) p[i] = fill;
+  }
+  Vec(std::initializer_list<double> init) {
+    Resize(init.size());
+    double* p = data();
+    size_t i = 0;
+    for (double x : init) p[i++] = x;
+  }
 
-  size_t dims() const { return v_.size(); }
-  bool empty() const { return v_.empty(); }
+  Vec(const Vec& o) { CopyFrom(o); }
+  Vec& operator=(const Vec& o) {
+    if (this != &o) CopyFrom(o);
+    return *this;
+  }
+  Vec(Vec&& o) noexcept { MoveFrom(std::move(o)); }
+  Vec& operator=(Vec&& o) noexcept {
+    if (this != &o) MoveFrom(std::move(o));
+    return *this;
+  }
 
-  double& operator[](size_t i) { return v_[i]; }
-  double operator[](size_t i) const { return v_[i]; }
+  size_t dims() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
-  const std::vector<double>& data() const { return v_; }
+  double& operator[](size_t i) { return data()[i]; }
+  double operator[](size_t i) const { return data()[i]; }
 
-  Vec& operator+=(const Vec& o);
-  Vec& operator-=(const Vec& o);
-  Vec& operator*=(double s);
-  Vec& operator/=(double s);
+  double* data() { return heap_ ? heap_.get() : inline_; }
+  const double* data() const { return heap_ ? heap_.get() : inline_; }
+
+  Vec& operator+=(const Vec& o) {
+    assert(dims() == o.dims());
+    double* a = data();
+    const double* b = o.data();
+    for (size_t i = 0; i < size_; ++i) a[i] += b[i];
+    return *this;
+  }
+  Vec& operator-=(const Vec& o) {
+    assert(dims() == o.dims());
+    double* a = data();
+    const double* b = o.data();
+    for (size_t i = 0; i < size_; ++i) a[i] -= b[i];
+    return *this;
+  }
+  Vec& operator*=(double s) {
+    double* a = data();
+    for (size_t i = 0; i < size_; ++i) a[i] *= s;
+    return *this;
+  }
+  Vec& operator/=(double s) {
+    assert(s != 0.0);
+    double* a = data();
+    for (size_t i = 0; i < size_; ++i) a[i] /= s;
+    return *this;
+  }
+
+  /// Fused `*this += o * s` without materializing the scaled temporary.
+  /// Each product is rounded before the add, matching `v += o * s` built
+  /// from the binary operators.
+  Vec& AddScaled(const Vec& o, double s) {
+    assert(dims() == o.dims());
+    double* a = data();
+    const double* b = o.data();
+    for (size_t i = 0; i < size_; ++i) a[i] += b[i] * s;
+    return *this;
+  }
 
   friend Vec operator+(Vec a, const Vec& b) { return a += b; }
   friend Vec operator-(Vec a, const Vec& b) { return a -= b; }
@@ -37,16 +106,52 @@ class Vec {
   friend Vec operator*(double s, Vec a) { return a *= s; }
   friend Vec operator/(Vec a, double s) { return a /= s; }
 
-  friend bool operator==(const Vec& a, const Vec& b) { return a.v_ == b.v_; }
+  friend bool operator==(const Vec& a, const Vec& b) {
+    if (a.size_ != b.size_) return false;
+    const double* pa = a.data();
+    const double* pb = b.data();
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (pa[i] != pb[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const Vec& a, const Vec& b) { return !(a == b); }
 
   /// Euclidean norm.
-  double Norm() const;
+  double Norm() const { return std::sqrt(NormSquared()); }
   /// Squared Euclidean norm.
-  double NormSquared() const;
+  double NormSquared() const {
+    const double* a = data();
+    double s = 0.0;
+    for (size_t i = 0; i < size_; ++i) s += a[i] * a[i];
+    return s;
+  }
   /// Dot product; both vectors must have equal dims.
-  double Dot(const Vec& o) const;
+  double Dot(const Vec& o) const {
+    assert(dims() == o.dims());
+    const double* a = data();
+    const double* b = o.data();
+    double s = 0.0;
+    for (size_t i = 0; i < size_; ++i) s += a[i] * b[i];
+    return s;
+  }
+  /// Squared Euclidean distance to `o` — the comparison form; skips the
+  /// sqrt that DistanceTo pays.
+  double DistanceSquaredTo(const Vec& o) const {
+    assert(dims() == o.dims());
+    const double* a = data();
+    const double* b = o.data();
+    double s = 0.0;
+    for (size_t i = 0; i < size_; ++i) {
+      const double d = a[i] - b[i];
+      s += d * d;
+    }
+    return s;
+  }
   /// Euclidean distance to `o`.
-  double DistanceTo(const Vec& o) const;
+  double DistanceTo(const Vec& o) const {
+    return std::sqrt(DistanceSquaredTo(o));
+  }
 
   /// Returns this vector scaled to unit length; the zero vector maps to a
   /// deterministic pseudo-random unit direction derived from `tiebreak` so
@@ -54,13 +159,44 @@ class Vec {
   Vec Unit(uint64_t tiebreak = 0) const;
 
   /// Appends a component.
-  void Append(double x) { v_.push_back(x); }
+  void Append(double x) {
+    if (size_ == Capacity()) Grow(size_ + 1);
+    data()[size_++] = x;
+  }
 
   /// "(x, y, z)" rendering with 4 significant digits.
   std::string ToString() const;
 
  private:
-  std::vector<double> v_;
+  size_t Capacity() const { return heap_ ? heap_cap_ : kInlineDims; }
+  void Resize(size_t dims) {
+    if (dims > Capacity()) Grow(dims);
+    size_ = dims;
+  }
+  void CopyFrom(const Vec& o) {
+    Resize(o.size_);
+    double* d = data();
+    const double* s = o.data();
+    for (size_t i = 0; i < size_; ++i) d[i] = s[i];
+  }
+  void MoveFrom(Vec&& o) {
+    if (o.heap_) {
+      heap_ = std::move(o.heap_);
+      heap_cap_ = o.heap_cap_;
+      size_ = o.size_;
+      o.heap_cap_ = 0;
+      o.size_ = 0;
+    } else {
+      CopyFrom(o);
+    }
+  }
+  // Cold path: reallocates onto the heap preserving current contents.
+  void Grow(size_t min_capacity);
+
+  size_t size_ = 0;
+  size_t heap_cap_ = 0;  // meaningful only when heap_ is set
+  double inline_[kInlineDims];
+  std::unique_ptr<double[]> heap_;
 };
 
 }  // namespace sbon

@@ -72,12 +72,7 @@ double CostSpace::VectorDistanceTo(NodeId a, const Vec& vector_point) const {
 double CostSpace::FullDistanceToIdeal(NodeId n,
                                       const Vec& vector_point) const {
   assert(vector_point.dims() == spec_.vector_dims());
-  double s = 0.0;
-  const Vec& vc = vector_coords_[n];
-  for (size_t i = 0; i < vc.dims(); ++i) {
-    const double d = vc[i] - vector_point[i];
-    s += d * d;
-  }
+  double s = vector_coords_[n].DistanceSquaredTo(vector_point);
   for (size_t i = 0; i < spec_.num_scalar_dims(); ++i) {
     const double w = WeightedScalar(n, i);  // target scalar coordinate is 0
     s += w * w;

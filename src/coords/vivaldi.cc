@@ -18,7 +18,8 @@ VivaldiSystem::VivaldiSystem(size_t num_nodes, const Params& params, Rng* rng)
 
 void VivaldiSystem::Update(NodeId self, NodeId peer, double measured_rtt_ms) {
   const double rtt = std::max(measured_rtt_ms, params_.min_rtt_ms);
-  const Vec diff = coords_[self] - coords_[peer];
+  Vec diff = coords_[self];
+  diff -= coords_[peer];
   const double dist = diff.Norm();
   // Sample weight balances local vs remote confidence.
   const double w_self = error_[self];
@@ -33,7 +34,7 @@ void VivaldiSystem::Update(NodeId self, NodeId peer, double measured_rtt_ms) {
   // Move along the spring force direction.
   const double delta = params_.cc * w;
   const Vec dir = diff.Unit(static_cast<uint64_t>(self) * 1000003u + peer);
-  coords_[self] += dir * (delta * (rtt - dist));
+  coords_[self].AddScaled(dir, delta * (rtt - dist));
 }
 
 VivaldiSystem RunVivaldi(const net::LatencyMatrix& lat,

@@ -17,15 +17,19 @@ bool InIntervalOpenClosed(const U128& x, const U128& a, const U128& b) {
 
 void ChordRing::Join(U128 key, NodeId node) {
   // Perturb exact duplicates so every member has a unique ring key.
-  U128 k = key;
-  auto exists = [&](const U128& candidate) {
-    return std::any_of(members_.begin(), members_.end(),
-                       [&](const Member& m) { return m.key == candidate; });
+  // `members_` stays sorted by key, so existence is a binary search and the
+  // new member is spliced in at its lower bound instead of re-sorting the
+  // whole ring on every join.
+  const auto key_less = [](const Member& m, const U128& k) {
+    return m.key < k;
   };
-  while (exists(k)) k = k + U128::FromU64((static_cast<uint64_t>(node) << 1) | 1);
-  members_.push_back(Member{k, node});
-  std::sort(members_.begin(), members_.end(),
-            [](const Member& a, const Member& b) { return a.key < b.key; });
+  U128 k = key;
+  auto pos = std::lower_bound(members_.begin(), members_.end(), k, key_less);
+  while (pos != members_.end() && pos->key == k) {
+    k = k + U128::FromU64((static_cast<uint64_t>(node) << 1) | 1);
+    pos = std::lower_bound(members_.begin(), members_.end(), k, key_less);
+  }
+  members_.insert(pos, Member{k, node});
   stale_ = true;
 }
 
@@ -50,12 +54,12 @@ size_t ChordRing::SuccessorIndex(U128 key) const {
 
 void ChordRing::Stabilize() {
   const size_t n = members_.size();
-  fingers_.assign(n, {});
-  for (size_t m = 0; m < n; ++m) {
-    fingers_[m].reserve(128);
-    for (unsigned i = 0; i < 128; ++i) {
+  fingers_.resize(n * kFingerBits);
+  uint32_t* row = fingers_.data();
+  for (size_t m = 0; m < n; ++m, row += kFingerBits) {
+    for (unsigned i = 0; i < kFingerBits; ++i) {
       const U128 target = members_[m].key + PowerOfTwo(i);
-      fingers_[m].push_back(static_cast<uint32_t>(SuccessorIndex(target)));
+      row[i] = static_cast<uint32_t>(SuccessorIndex(target));
     }
   }
   stale_ = false;
@@ -85,8 +89,9 @@ StatusOr<ChordRing::LookupResult> ChordRing::Lookup(U128 key,
     // Closest preceding finger: the largest finger strictly between
     // cur_key and key.
     size_t next = succ;
-    for (unsigned i = 128; i-- > 0;) {
-      const size_t f = fingers_[cur][i];
+    const uint32_t* cur_fingers = fingers_.data() + cur * kFingerBits;
+    for (unsigned i = kFingerBits; i-- > 0;) {
+      const size_t f = cur_fingers[i];
       const U128& fkey = members_[f].key;
       if (f != cur && InIntervalOpenClosed(fkey, cur_key, key) &&
           fkey != key) {

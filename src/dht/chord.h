@@ -57,11 +57,16 @@ class ChordRing {
   const Member& PredecessorAt(size_t member_index, size_t i) const;
 
  private:
+  /// Finger-table entries per member (one per key bit).
+  static constexpr unsigned kFingerBits = 128;
+
   // Sorted by key.
   std::vector<Member> members_;
-  // fingers_[m][i] = index of successor(members_[m].key + 2^i), for the
-  // subset of i in kFingerBits.
-  std::vector<std::vector<uint32_t>> fingers_;
+  // Flat row-major finger table: fingers_[m * kFingerBits + i] = index of
+  // successor(members_[m].key + 2^i). Kept flat so Stabilize rewrites it in
+  // place without per-member allocations and lookups walk one cache-friendly
+  // row.
+  std::vector<uint32_t> fingers_;
   bool stale_ = false;
 
   size_t SuccessorIndex(U128 key) const;

@@ -2,9 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
 
 namespace sbon::dht {
+namespace {
+
+// Total order: by distance, node id breaking ties, so every query path
+// (probed, exact, nth_element-selected) ranks candidates identically.
+bool MatchLess(const IndexMatch& a, const IndexMatch& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.node < b.node;
+}
+
+}  // namespace
 
 CoordinateIndex::CoordinateIndex(HilbertQuantizer quantizer)
     : quantizer_(std::move(quantizer)) {}
@@ -34,9 +43,21 @@ double CoordinateIndex::DistanceTo(NodeId n, const Vec& target) const {
   return coords_[n].DistanceTo(target);
 }
 
-StatusOr<std::vector<IndexMatch>> CoordinateIndex::KNearest(
-    const Vec& target, size_t k, size_t probe_width, IndexQueryCost* cost,
-    const std::vector<NodeId>& exclude) const {
+void CoordinateIndex::BeginSeenEpoch() const {
+  if (seen_stamp_.size() < coords_.size()) {
+    seen_stamp_.resize(coords_.size(), 0);
+  }
+  if (++query_epoch_ == 0) {  // stamp wrap-around: invalidate all marks
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+    query_epoch_ = 1;
+  }
+}
+
+Status CoordinateIndex::KNearestInto(const Vec& target, size_t k,
+                                     size_t probe_width, IndexQueryCost* cost,
+                                     const std::vector<NodeId>& exclude,
+                                     std::vector<IndexMatch>* out) const {
+  out->clear();
   if (ring_.NumMembers() == 0) {
     return Status::FailedPrecondition("coordinate index is empty");
   }
@@ -48,39 +69,55 @@ StatusOr<std::vector<IndexMatch>> CoordinateIndex::KNearest(
     cost->routing_hops += lookup->hops;
   }
 
-  const std::set<NodeId> excluded(exclude.begin(), exclude.end());
-  std::vector<IndexMatch> candidates;
-  std::set<NodeId> seen;
+  exclude_scratch_.assign(exclude.begin(), exclude.end());
+  std::sort(exclude_scratch_.begin(), exclude_scratch_.end());
+
   const size_t n = ring_.NumMembers();
   const size_t width = std::min(probe_width, n);
+  // The interleaved walk 0, +1, -1, +2, -2, ... visits pairwise-distinct
+  // ring members as long as at most n are taken (positions +i and -j first
+  // coincide at i + j = n), so capping the walk at `total` members needs no
+  // per-query seen-set. Each distinct member costs exactly one ring probe,
+  // excluded or not — a member is never billed twice.
+  const size_t total = std::min(2 * width + 1, n);
+  size_t considered = 0;
   auto consider = [&](const ChordRing::Member& m) {
+    ++considered;
     if (cost != nullptr) cost->ring_probes += 1;
-    if (seen.count(m.node) != 0 || excluded.count(m.node) != 0) return;
-    seen.insert(m.node);
-    candidates.push_back(
+    if (std::binary_search(exclude_scratch_.begin(), exclude_scratch_.end(),
+                           m.node)) {
+      return;
+    }
+    out->push_back(
         IndexMatch{m.node, DistanceTo(m.node, target), coords_[m.node]});
   };
   consider(ring_.SuccessorAt(lookup->member_index, 0));
-  for (size_t i = 1; i <= width; ++i) {
+  for (size_t i = 1; considered < total; ++i) {
     consider(ring_.SuccessorAt(lookup->member_index, i));
+    if (considered >= total) break;
     consider(ring_.PredecessorAt(lookup->member_index, i));
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const IndexMatch& a, const IndexMatch& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.node < b.node;
-            });
-  if (candidates.size() > k) candidates.resize(k);
-  return candidates;
+  std::sort(out->begin(), out->end(), MatchLess);
+  if (out->size() > k) out->resize(k);
+  return Status::OK();
+}
+
+StatusOr<std::vector<IndexMatch>> CoordinateIndex::KNearest(
+    const Vec& target, size_t k, size_t probe_width, IndexQueryCost* cost,
+    const std::vector<NodeId>& exclude) const {
+  std::vector<IndexMatch> out;
+  Status st = KNearestInto(target, k, probe_width, cost, exclude, &out);
+  if (!st.ok()) return st;
+  return out;
 }
 
 StatusOr<IndexMatch> CoordinateIndex::Nearest(const Vec& target,
                                               size_t probe_width,
                                               IndexQueryCost* cost) const {
-  auto matches = KNearest(target, 1, probe_width, cost);
-  if (!matches.ok()) return matches.status();
-  if (matches->empty()) return Status::NotFound("no nodes in index");
-  return (*matches)[0];
+  Status st = KNearestInto(target, 1, probe_width, cost, {}, &nearest_scratch_);
+  if (!st.ok()) return st;
+  if (nearest_scratch_.empty()) return Status::NotFound("no nodes in index");
+  return nearest_scratch_[0];
 }
 
 StatusOr<std::vector<IndexMatch>> CoordinateIndex::WithinRadius(
@@ -97,12 +134,12 @@ StatusOr<std::vector<IndexMatch>> CoordinateIndex::WithinRadius(
   }
 
   std::vector<IndexMatch> out;
-  std::set<NodeId> seen;
+  BeginSeenEpoch();
   const size_t n = ring_.NumMembers();
   auto consider = [&](const ChordRing::Member& m) {
+    if (seen_stamp_[m.node] == query_epoch_) return false;
+    seen_stamp_[m.node] = query_epoch_;
     if (cost != nullptr) cost->ring_probes += 1;
-    if (seen.count(m.node) != 0) return false;
-    seen.insert(m.node);
     const double d = DistanceTo(m.node, target);
     if (d <= radius) {
       out.push_back(IndexMatch{m.node, d, coords_[m.node]});
@@ -133,28 +170,32 @@ StatusOr<std::vector<IndexMatch>> CoordinateIndex::WithinRadius(
       }
     }
   }
-  std::sort(out.begin(), out.end(),
-            [](const IndexMatch& a, const IndexMatch& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.node < b.node;
-            });
+  std::sort(out.begin(), out.end(), MatchLess);
   return out;
+}
+
+void CoordinateIndex::KNearestExactInto(const Vec& target, size_t k,
+                                        std::vector<IndexMatch>* out) const {
+  out->clear();
+  for (NodeId n = 0; n < published_.size(); ++n) {
+    if (!published_[n]) continue;
+    out->push_back(IndexMatch{n, DistanceTo(n, target), coords_[n]});
+  }
+  if (out->size() > k) {
+    // MatchLess is a total order, so selecting k then sorting the prefix
+    // yields exactly the full-sort prefix, in O(N + k log k) instead of
+    // O(N log N).
+    std::nth_element(out->begin(), out->begin() + k, out->end(), MatchLess);
+    out->resize(k);
+  }
+  std::sort(out->begin(), out->end(), MatchLess);
 }
 
 std::vector<IndexMatch> CoordinateIndex::KNearestExact(const Vec& target,
                                                        size_t k) const {
-  std::vector<IndexMatch> all;
-  for (NodeId n = 0; n < published_.size(); ++n) {
-    if (!published_[n]) continue;
-    all.push_back(IndexMatch{n, DistanceTo(n, target), coords_[n]});
-  }
-  std::sort(all.begin(), all.end(),
-            [](const IndexMatch& a, const IndexMatch& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.node < b.node;
-            });
-  if (all.size() > k) all.resize(k);
-  return all;
+  std::vector<IndexMatch> out;
+  KNearestExactInto(target, k, &out);
+  return out;
 }
 
 }  // namespace sbon::dht

@@ -1,6 +1,7 @@
 #ifndef SBON_DHT_COORD_INDEX_H_
 #define SBON_DHT_COORD_INDEX_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/ids.h"
@@ -16,7 +17,9 @@ namespace sbon::dht {
 struct IndexQueryCost {
   size_t lookups = 0;     ///< Chord lookups issued.
   size_t routing_hops = 0;///< total Chord routing hops.
-  size_t ring_probes = 0; ///< neighborhood members examined on the ring.
+  size_t ring_probes = 0; ///< distinct neighborhood members examined on the
+                          ///< ring (each member is billed at most once per
+                          ///< query, excluded or not).
 };
 
 /// A node returned by a coordinate query, with its distance to the target.
@@ -35,6 +38,10 @@ struct IndexMatch {
 /// walk examines `probe_width` members on each side and re-ranks them by
 /// true coordinate distance; widening the walk trades DHT traffic for
 /// mapping accuracy (measured by `bench/fig3_placement_mapping`).
+///
+/// Queries reuse per-index scratch buffers instead of allocating per call
+/// (they sit on the Submit hot path), so concurrent queries against the
+/// same index are not safe; the library is single-threaded throughout.
 class CoordinateIndex {
  public:
   /// `quantizer` fixes the indexed box/dimensionality.
@@ -61,6 +68,14 @@ class CoordinateIndex {
       IndexQueryCost* cost = nullptr,
       const std::vector<NodeId>& exclude = {}) const;
 
+  /// KNearest into a caller-owned buffer (`out` is cleared first). Reusing
+  /// `out` across queries makes the whole call heap-free in steady state —
+  /// the form the mapping loop uses.
+  Status KNearestInto(const Vec& target, size_t k, size_t probe_width,
+                      IndexQueryCost* cost,
+                      const std::vector<NodeId>& exclude,
+                      std::vector<IndexMatch>* out) const;
+
   /// Single nearest node (convenience wrapper over KNearest).
   StatusOr<IndexMatch> Nearest(const Vec& target, size_t probe_width = 16,
                                IndexQueryCost* cost = nullptr) const;
@@ -76,6 +91,11 @@ class CoordinateIndex {
   /// used by tests and by accuracy measurements.
   std::vector<IndexMatch> KNearestExact(const Vec& target, size_t k) const;
 
+  /// KNearestExact into a caller-owned buffer (`out` is cleared first);
+  /// selects the top k with nth_element instead of sorting all N members.
+  void KNearestExactInto(const Vec& target, size_t k,
+                         std::vector<IndexMatch>* out) const;
+
  private:
   HilbertQuantizer quantizer_;
   ChordRing ring_;
@@ -83,7 +103,17 @@ class CoordinateIndex {
   std::vector<Vec> coords_;
   std::vector<bool> published_;
 
+  // Reusable query scratch (see class comment). `seen_stamp_[node] ==
+  // query_epoch_` marks a node examined by the current WithinRadius walk —
+  // bumping the epoch clears all marks without touching memory.
+  mutable std::vector<NodeId> exclude_scratch_;
+  mutable std::vector<IndexMatch> nearest_scratch_;
+  mutable std::vector<uint32_t> seen_stamp_;
+  mutable uint32_t query_epoch_ = 0;
+
   double DistanceTo(NodeId n, const Vec& target) const;
+  /// Starts a WithinRadius walk: bumps the epoch and sizes the stamps.
+  void BeginSeenEpoch() const;
 };
 
 }  // namespace sbon::dht

@@ -9,9 +9,7 @@ namespace {
 
 // Skilling's in-place conversion from axes to the "transpose" form, in which
 // the Hilbert index bits are distributed across the words of X.
-void AxesToTranspose(std::vector<uint32_t>* x_ptr, unsigned bits) {
-  std::vector<uint32_t>& x = *x_ptr;
-  const unsigned n = static_cast<unsigned>(x.size());
+void AxesToTranspose(uint32_t* x, unsigned n, unsigned bits) {
   uint32_t m = 1u << (bits - 1);
   // Inverse undo.
   for (uint32_t q = m; q > 1; q >>= 1) {
@@ -61,11 +59,9 @@ void TransposeToAxes(std::vector<uint32_t>* x_ptr, unsigned bits) {
 
 }  // namespace
 
-U128 HilbertEncode(const std::vector<uint32_t>& axes, unsigned bits) {
-  const unsigned n = static_cast<unsigned>(axes.size());
+U128 HilbertEncodeInPlace(uint32_t* x, unsigned n, unsigned bits) {
   assert(n >= 1 && bits >= 1 && n * bits <= 128);
-  std::vector<uint32_t> x = axes;
-  AxesToTranspose(&x, bits);
+  AxesToTranspose(x, n, bits);
   // Interleave transpose words MSB-first: index bit (bits*n - 1) comes from
   // x[0]'s bit (bits-1), then x[1]'s bit (bits-1), ...
   U128 out;
@@ -77,6 +73,20 @@ U128 HilbertEncode(const std::vector<uint32_t>& axes, unsigned bits) {
     }
   }
   return out;
+}
+
+U128 HilbertEncode(const std::vector<uint32_t>& axes, unsigned bits) {
+  const unsigned n = static_cast<unsigned>(axes.size());
+  assert(n >= 1 && n <= 128);
+  if (n > 128) {
+    // Out of contract (dims * bits <= 128 bounds n at 128); stay
+    // memory-safe under NDEBUG instead of overrunning the stack buffer.
+    std::vector<uint32_t> x = axes;
+    return HilbertEncodeInPlace(x.data(), n, bits);
+  }
+  uint32_t x[128];
+  std::copy(axes.begin(), axes.end(), x);
+  return HilbertEncodeInPlace(x, n, bits);
 }
 
 std::vector<uint32_t> HilbertDecode(U128 index, unsigned dims,
@@ -123,16 +133,20 @@ HilbertQuantizer HilbertQuantizer::FitTo(const std::vector<Vec>& points,
   return HilbertQuantizer(std::move(lo), std::move(hi), bits);
 }
 
-std::vector<uint32_t> HilbertQuantizer::Quantize(const Vec& p) const {
+void HilbertQuantizer::QuantizeTo(const Vec& p, uint32_t* out) const {
   assert(p.dims() == lo_.size());
   const double cells = static_cast<double>(1u << bits_);
-  std::vector<uint32_t> out(lo_.size());
   for (size_t d = 0; d < lo_.size(); ++d) {
     const double t = (p[d] - lo_[d]) / (hi_[d] - lo_[d]);
     const double cell = std::floor(t * cells);
     out[d] = static_cast<uint32_t>(
         std::clamp(cell, 0.0, cells - 1.0));
   }
+}
+
+std::vector<uint32_t> HilbertQuantizer::Quantize(const Vec& p) const {
+  std::vector<uint32_t> out(lo_.size());
+  QuantizeTo(p, out.data());
   return out;
 }
 
@@ -148,7 +162,13 @@ Vec HilbertQuantizer::Dequantize(const std::vector<uint32_t>& cell) const {
 }
 
 U128 HilbertQuantizer::Key(const Vec& p) const {
-  return HilbertEncode(Quantize(p), bits_);
+  // dims * bits <= 128 and bits >= 1 bound dims at 128 for any quantizer
+  // the constructor accepts; the guard keeps an out-of-contract quantizer
+  // memory-safe under NDEBUG (heap form instead of a stack overrun).
+  if (dims() > 128) return HilbertEncode(Quantize(p), bits_);
+  uint32_t cell[128];
+  QuantizeTo(p, cell);
+  return HilbertEncodeInPlace(cell, dims(), bits_);
 }
 
 }  // namespace sbon::dht

@@ -21,6 +21,11 @@ namespace sbon::dht {
 /// Maps grid coordinates (each < 2^bits) to the Hilbert index.
 U128 HilbertEncode(const std::vector<uint32_t>& axes, unsigned bits);
 
+/// Allocation-free form of HilbertEncode: reads the `n` axes from `axes`
+/// and clobbers them in place as working storage (key derivation sits on
+/// the per-query hot path, where a heap round-trip per key would dominate).
+U128 HilbertEncodeInPlace(uint32_t* axes, unsigned n, unsigned bits);
+
 /// Maps a Hilbert index back to grid coordinates.
 std::vector<uint32_t> HilbertDecode(U128 index, unsigned dims, unsigned bits);
 
@@ -45,10 +50,12 @@ class HilbertQuantizer {
 
   /// Continuous point -> grid cell per dimension (clamped).
   std::vector<uint32_t> Quantize(const Vec& p) const;
+  /// Quantize into caller storage of at least dims() entries (heap-free).
+  void QuantizeTo(const Vec& p, uint32_t* out) const;
   /// Grid cell -> cell-center continuous point.
   Vec Dequantize(const std::vector<uint32_t>& cell) const;
 
-  /// Continuous point -> Hilbert key.
+  /// Continuous point -> Hilbert key. Heap-free.
   U128 Key(const Vec& p) const;
 
  private:

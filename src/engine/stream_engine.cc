@@ -173,7 +173,7 @@ void StreamEngine::AdvanceEpoch(const EpochOptions& epoch) {
   if (epoch.vivaldi_samples > 0) {
     sbon_->UpdateCoordinatesOnline(epoch.vivaldi_samples);
   }
-  if (epoch.refresh_index) sbon_->RefreshIndex();
+  if (epoch.refresh_index) sbon_->RefreshIndex(epoch.refresh_epsilon);
 }
 
 void StreamEngine::FillCurrentCost(QueryStats* stats) const {

@@ -73,6 +73,12 @@ struct EpochOptions {
   size_t vivaldi_samples = 0;
   /// Republished coordinates + index restabilization at the end.
   bool refresh_index = true;
+  /// Displacement threshold (cost-space units) for the refresh: only nodes
+  /// whose full coordinate moved more than this since their last publish
+  /// are re-published. 0 republishes anything that changed at all; a quiet
+  /// epoch (nothing beyond epsilon) performs zero ring re-publishes and
+  /// skips restabilization entirely.
+  double refresh_epsilon = 0.0;
 };
 
 /// How Reoptimize should treat a query.

@@ -30,6 +30,37 @@ void LoadModel::SetLoad(NodeId n, double load) {
   load_[n] = std::clamp(load, 0.0, 1.0);
 }
 
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// e^s for the jitter exponent range (|s| <= ~1.8 at the sigmas the library
+// uses): degree-6 Taylor core on s/4, squared twice. Relative error < 1e-5
+// over that range — far below the statistical noise of the jitter itself —
+// at a handful of multiplies instead of a libm call. Exponents outside the
+// envelope (exotic sigma configurations) fall back to libm so the factor
+// distribution stays accurate instead of silently drifting in the tails.
+double FastExp(double s) {
+  if (s < -2.0 || s > 2.0) return std::exp(s);
+  const double r = s * 0.25;
+  double p =
+      1.0 +
+      r * (1.0 +
+           r * (1.0 / 2 +
+                r * (1.0 / 6 +
+                     r * (1.0 / 24 + r * (1.0 / 120 + r * (1.0 / 720))))));
+  p *= p;
+  p *= p;
+  return p;
+}
+
+}  // namespace
+
 LatencyJitter::LatencyJitter(size_t n, double sigma, Rng* rng)
     : n_(n), sigma_(sigma) {
   factors_.resize(n * (n + 1) / 2, 1.0);
@@ -37,11 +68,28 @@ LatencyJitter::LatencyJitter(size_t n, double sigma, Rng* rng)
 }
 
 void LatencyJitter::Resample(Rng* rng) {
+  // One caller draw per epoch: keeps epochs independent and the caller's
+  // stream cheap to reason about; the O(n^2) factors expand from it below.
+  const uint64_t epoch_seed = rng->Next();
   if (sigma_ <= 0.0) {
     std::fill(factors_.begin(), factors_.end(), 1.0);
     return;
   }
-  for (double& f : factors_) f = std::exp(rng->Normal(0.0, sigma_));
+  uint64_t s = epoch_seed;
+  for (double& f : factors_) {
+    // CLT normal from the four 16-bit lanes of one SplitMix64 output:
+    // mean 2, variance 1/3 before standardization; support bounded at
+    // +/- 2*sqrt(3) sigma, which keeps factors within the multiplicative
+    // bounds downstream consumers assume.
+    const uint64_t z = SplitMix64(&s);
+    const double sum = static_cast<double>(z & 0xffff) +
+                       static_cast<double>((z >> 16) & 0xffff) +
+                       static_cast<double>((z >> 32) & 0xffff) +
+                       static_cast<double>(z >> 48);
+    const double zn =
+        (sum * (1.0 / 65536.0) - 2.0) * 1.7320508075688772;  // * sqrt(3)
+    f = FastExp(sigma_ * zn);
+  }
 }
 
 size_t LatencyJitter::Index(NodeId a, NodeId b) const {
@@ -57,6 +105,24 @@ double LatencyJitter::Factor(NodeId a, NodeId b) const {
 
 double LatencyJitter::Apply(NodeId a, NodeId b, double base_latency) const {
   return base_latency * Factor(a, b);
+}
+
+void LatencyJitter::ApplyAll(const LatencyMatrix& base,
+                             LatencyMatrix* live) const {
+  assert(base.NumNodes() == n_ && live->NumNodes() == n_);
+  const double* in = base.data();
+  double* out = live->MutableData();
+  for (NodeId a = 0; a < n_; ++a) {
+    // factors_[Index(a, a) + (b - a)] == Factor(a, b) for b >= a: walk the
+    // upper-triangle row contiguously instead of re-deriving the index.
+    const double* row_f = factors_.data() + Index(a, a);
+    out[a * n_ + a] = in[a * n_ + a];
+    for (NodeId b = a + 1; b < n_; ++b) {
+      const double v = in[a * n_ + b] * row_f[b - a];
+      out[a * n_ + b] = v;
+      out[b * n_ + a] = v;
+    }
+  }
 }
 
 }  // namespace sbon::net

@@ -5,6 +5,7 @@
 
 #include "common/ids.h"
 #include "common/rng.h"
+#include "net/shortest_path.h"
 
 namespace sbon::net {
 
@@ -44,18 +45,34 @@ class LoadModel {
 };
 
 /// Multiplicative latency jitter: every pairwise latency is scaled by a
-/// per-epoch factor drawn from LogNormal(0, sigma). Models transient
-/// congestion without rebuilding the topology.
+/// per-epoch factor approximately distributed LogNormal(0, sigma). Models
+/// transient congestion without rebuilding the topology.
+///
+/// Factors are generated counter-style: each Resample draws a single epoch
+/// seed from the caller's Rng and expands it through a SplitMix64 stream
+/// into a CLT-approximated normal and a polynomial exp. An epoch resample
+/// touches every node pair (O(n^2)), so the per-factor cost — not the
+/// matrix write — dominates TickNetwork; this scheme is several times
+/// cheaper than exact Box-Muller + libm exp while staying deterministic
+/// per seed, symmetric, and mean-preserving (E[factor] = e^{sigma^2/2}).
 class LatencyJitter {
  public:
   LatencyJitter(size_t n, double sigma, Rng* rng);
 
-  /// Resamples all factors (a new congestion epoch).
+  /// Resamples all factors (a new congestion epoch). Consumes exactly one
+  /// draw from `rng` regardless of n.
   void Resample(Rng* rng);
 
   /// Jittered latency for base latency between a and b. The factor is
   /// symmetric: Factor(a,b) == Factor(b,a).
   double Apply(NodeId a, NodeId b, double base_latency) const;
+
+  /// Rewrites every pairwise latency of `live` as `base * factor` in one
+  /// pass over the flat row-major buffers (the whole-matrix equivalent of
+  /// per-pair Apply+Set, without the per-pair triangle indexing). Diagonal
+  /// entries are copied through unjittered. `base` and `live` must both
+  /// span the jitter's node count.
+  void ApplyAll(const LatencyMatrix& base, LatencyMatrix* live) const;
 
   double Factor(NodeId a, NodeId b) const;
 

@@ -38,6 +38,12 @@ class LatencyMatrix {
     m_[b * n_ + a] = latency_ms;
   }
 
+  /// Raw row-major n*n buffer, for bulk rewrites (epoch jitter application
+  /// touches every pair; going through Set would pay two indexed stores per
+  /// pair plus call overhead). Row `a` starts at `data() + a * NumNodes()`.
+  const double* data() const { return m_.data(); }
+  double* MutableData() { return m_.data(); }
+
   /// Mean of all off-diagonal pairwise latencies (used for normalization).
   double MeanLatency() const;
   /// Maximum finite pairwise latency (network diameter in ms).

@@ -91,8 +91,10 @@ Status Sbon::Initialize() {
   }
   index_ = std::make_unique<dht::CoordinateIndex>(
       dht::HilbertQuantizer::FitTo(box_points, options_.hilbert_bits));
+  last_published_.assign(n, Vec());
   for (size_t k = 0; k < overlay_nodes_.size(); ++k) {
     index_->Publish(overlay_nodes_[k], full_coords[k]);
+    last_published_[overlay_nodes_[k]] = std::move(full_coords[k]);
   }
   index_->Stabilize();
   return Status::OK();
@@ -322,12 +324,7 @@ void Sbon::Tick(double dt) {
 void Sbon::TickNetwork() {
   if (jitter_ == nullptr) return;
   jitter_->Resample(&rng_);
-  const size_t n = topo_.NumNodes();
-  for (NodeId a = 0; a < n; ++a) {
-    for (NodeId b = a + 1; b < n; ++b) {
-      lat_->Set(a, b, jitter_->Apply(a, b, base_lat_->Latency(a, b)));
-    }
-  }
+  jitter_->ApplyAll(*base_lat_, lat_.get());
 }
 
 void Sbon::UpdateCoordinatesOnline(size_t samples_per_node) {
@@ -352,11 +349,28 @@ void Sbon::UpdateCoordinatesOnline(size_t samples_per_node) {
   }
 }
 
-void Sbon::RefreshIndex() {
+void Sbon::RefreshIndex(double epsilon) {
+  refresh_stats_.refreshes += 1;
+  const double eps2 = epsilon * epsilon;
+  size_t republished = 0;
   for (NodeId n : overlay_nodes_) {
-    index_->Publish(n, space_->FullCoord(n));
+    Vec full = space_->FullCoord(n);
+    // Strictly-greater: epsilon 0 republishes any changed coordinate and
+    // skips bit-identical ones (the ring state is the same either way).
+    if (full.DistanceSquaredTo(last_published_[n]) > eps2) {
+      index_->Publish(n, full);
+      last_published_[n] = std::move(full);
+      ++republished;
+    } else {
+      refresh_stats_.skipped += 1;
+    }
   }
-  index_->Stabilize();
+  refresh_stats_.republished += republished;
+  if (republished > 0) {
+    index_->Stabilize();
+  } else {
+    refresh_stats_.quiet_refreshes += 1;
+  }
 }
 
 StatusOr<CircuitCost> Sbon::CircuitCostOf(CircuitId id) const {

@@ -21,6 +21,16 @@
 
 namespace sbon::overlay {
 
+/// Cumulative counters of the dirty-driven index refresh (ring traffic a
+/// real deployment would pay to keep the coordinate catalog fresh).
+struct IndexRefreshStats {
+  size_t refreshes = 0;        ///< RefreshIndex calls
+  size_t republished = 0;      ///< ring re-publishes actually issued
+  size_t skipped = 0;          ///< node refreshes elided (moved <= epsilon)
+  size_t quiet_refreshes = 0;  ///< refreshes with zero re-publishes (no
+                               ///< ring Leave/Join and no restabilization)
+};
+
 /// The stream-based overlay network: the runtime that optimizers operate
 /// against. Owns the physical topology and its latency oracle, the cost
 /// space (network coordinates + load metrics), the decentralized coordinate
@@ -44,8 +54,9 @@ class Sbon {
     net::LoadModel::Params load_params;
     /// Load a service adds to its host per (byte/s) of input it processes.
     double load_per_byte_per_s = 2e-6;
-    /// Sigma of the multiplicative LogNormal latency jitter applied per
-    /// pair on every `TickNetwork` epoch (0 = static latencies).
+    /// Sigma of the multiplicative (approximately LogNormal; see
+    /// net::LatencyJitter) latency jitter applied per pair on every
+    /// `TickNetwork` epoch (0 = static latencies).
     double latency_jitter_sigma = 0.0;
     uint64_t seed = 1;
   };
@@ -117,10 +128,19 @@ class Sbon {
   /// The pristine latency matrix (before jitter), for measuring how far
   /// the current epoch has drifted.
   const net::LatencyMatrix& base_latency() const { return *base_lat_; }
-  /// Republished every node's (possibly changed) full coordinate into the
-  /// index and restabilizes. Call after load changes when index queries
-  /// should see fresh scalars.
-  void RefreshIndex();
+  /// Dirty-driven index refresh: republishes the full coordinate of every
+  /// overlay node that moved more than `epsilon` (cost-space units) since
+  /// its last publish, then restabilizes the ring — unless nothing moved,
+  /// in which case the ring is left entirely untouched (no Leave/Join, no
+  /// Stabilize). `epsilon = 0` republishes any node whose coordinate
+  /// changed at all, which is query-for-query identical to republishing
+  /// everything. Call after load changes when index queries should see
+  /// fresh scalars.
+  void RefreshIndex(double epsilon = 0.0);
+  /// Ring traffic the refreshes performed/avoided so far.
+  const IndexRefreshStats& index_refresh_stats() const {
+    return refresh_stats_;
+  }
 
   // --- metrics ---
   /// Cost of one deployed circuit against true latencies (marginal: only
@@ -158,6 +178,10 @@ class Sbon {
   std::vector<NodeId> overlay_nodes_;
   std::vector<double> service_load_;
   dht::IndexQueryCost index_cost_;
+  /// Full coordinate each node last published into the index (by node id);
+  /// RefreshIndex republishes only nodes displaced beyond its epsilon.
+  std::vector<Vec> last_published_;
+  IndexRefreshStats refresh_stats_;
 
   std::map<CircuitId, Circuit> circuits_;
   std::map<ServiceInstanceId, ServiceInstance> services_;

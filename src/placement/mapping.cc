@@ -25,8 +25,7 @@ double VectorPartDistance(const Vec& full_coord, const Vec& vector_point) {
 
 Status MapOneVertex(overlay::Circuit* circuit, int v,
                     const std::vector<dht::IndexMatch>& candidates,
-                    const overlay::Sbon& sbon, const MappingOptions& options,
-                    MappingReport* report) {
+                    const MappingOptions& options, MappingReport* report) {
   if (candidates.empty()) {
     return Status::NotFound("no mapping candidates for service");
   }
@@ -53,7 +52,6 @@ Status MapOneVertex(overlay::Circuit* circuit, int v,
       report->load_overrides += 1;
     }
   }
-  (void)sbon;
   return Status::OK();
 }
 
@@ -62,19 +60,23 @@ Status MapOneVertex(overlay::Circuit* circuit, int v,
 Status MapCircuit(overlay::Circuit* circuit, const overlay::Sbon& sbon,
                   const MappingOptions& options, MappingReport* report) {
   const size_t scalar_dims = sbon.cost_space().spec().num_scalar_dims();
+  // One candidate buffer for the whole circuit: the index query reuses its
+  // capacity across vertices, keeping the per-vertex loop heap-free.
+  std::vector<dht::IndexMatch> matches;
   for (int v : circuit->PlaceableVertices()) {
     const Vec target =
         IdealFullTarget(circuit->vertex(v).virtual_coord, scalar_dims);
     dht::IndexQueryCost qcost;
-    auto matches = sbon.index().KNearest(target, options.k_candidates,
-                                         options.probe_width, &qcost);
-    if (!matches.ok()) return matches.status();
+    Status st = sbon.index().KNearestInto(target, options.k_candidates,
+                                          options.probe_width, &qcost, {},
+                                          &matches);
+    if (!st.ok()) return st;
     if (report != nullptr) {
       report->dht_cost.lookups += qcost.lookups;
       report->dht_cost.routing_hops += qcost.routing_hops;
       report->dht_cost.ring_probes += qcost.ring_probes;
     }
-    Status st = MapOneVertex(circuit, v, *matches, sbon, options, report);
+    st = MapOneVertex(circuit, v, matches, options, report);
     if (!st.ok()) return st;
   }
   return Status::OK();
@@ -83,12 +85,12 @@ Status MapCircuit(overlay::Circuit* circuit, const overlay::Sbon& sbon,
 Status MapCircuitExact(overlay::Circuit* circuit, const overlay::Sbon& sbon,
                        const MappingOptions& options, MappingReport* report) {
   const size_t scalar_dims = sbon.cost_space().spec().num_scalar_dims();
+  std::vector<dht::IndexMatch> matches;
   for (int v : circuit->PlaceableVertices()) {
     const Vec target =
         IdealFullTarget(circuit->vertex(v).virtual_coord, scalar_dims);
-    const std::vector<dht::IndexMatch> matches =
-        sbon.index().KNearestExact(target, options.k_candidates);
-    Status st = MapOneVertex(circuit, v, matches, sbon, options, report);
+    sbon.index().KNearestExactInto(target, options.k_candidates, &matches);
+    Status st = MapOneVertex(circuit, v, matches, options, report);
     if (!st.ok()) return st;
   }
   return Status::OK();

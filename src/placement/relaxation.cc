@@ -22,7 +22,7 @@ Status RelaxationPlacer::Place(overlay::Circuit* circuit,
       for (const auto& [edge_idx, other] : circuit->IncidentEdges(v)) {
         const double rate = circuit->edges()[edge_idx].rate_bytes_per_s;
         if (rate <= 0.0) continue;
-        num += AnchorCoord(*circuit, other, space) * rate;
+        num.AddScaled(AnchorCoord(*circuit, other, space), rate);
         den += rate;
       }
       if (den <= 0.0) continue;
@@ -67,7 +67,7 @@ Status GradientPlacer::Place(overlay::Circuit* circuit,
         if (rate <= 0.0) continue;
         const Vec a = AnchorCoord(*circuit, other, space);
         const double d = std::max(cur.DistanceTo(a), params_.epsilon);
-        num += a * (rate / d);
+        num.AddScaled(a, rate / d);
         den += rate / d;
       }
       if (den <= 0.0) continue;

@@ -18,7 +18,7 @@ Vec SeedAtPinnedCentroid(overlay::Circuit* circuit,
     for (int end : {e.from, e.to}) {
       const overlay::CircuitVertex& v = circuit->vertex(end);
       if (v.pinned || v.reused) {
-        centroid += space.VectorCoord(v.host) * e.rate_bytes_per_s;
+        centroid.AddScaled(space.VectorCoord(v.host), e.rate_bytes_per_s);
         weight += e.rate_bytes_per_s;
       }
     }

@@ -22,6 +22,17 @@ struct StreamDef {
   double BytesPerSecond() const { return tuple_rate_per_s * tuple_size_bytes; }
 };
 
+/// "s<i>" — the canonical name for generated streams (synthetic workloads,
+/// benches, tests). Built by append rather than `const char* +
+/// std::string&&`, which gcc 12 misdiagnoses at -O3 under -Werror=restrict
+/// (GCC bug 105329); keep every generated-name call site on this helper so
+/// the workaround lives in one place.
+inline std::string IndexedStreamName(size_t i) {
+  std::string name("s");
+  name += std::to_string(i);
+  return name;
+}
+
 /// Registry of the streams that queries may reference.
 class Catalog {
  public:

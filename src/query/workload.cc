@@ -18,7 +18,7 @@ Catalog RandomCatalog(const WorkloadParams& params,
         rng->Uniform(params.tuple_size_min, params.tuple_size_max);
     const NodeId producer =
         producer_sites[rng->UniformInt(producer_sites.size())];
-    catalog.AddStream("s" + std::to_string(i), rate, size, producer);
+    catalog.AddStream(IndexedStreamName(i), rate, size, producer);
   }
   return catalog;
 }

@@ -225,8 +225,8 @@ TEST(VecTest, UnitOfZeroIsDeterministicUnit) {
   Vec z(3);
   Vec u1 = z.Unit(5), u2 = z.Unit(5), u3 = z.Unit(6);
   EXPECT_NEAR(u1.Norm(), 1.0, 1e-9);
-  EXPECT_EQ(u1.data(), u2.data());
-  EXPECT_NE(u1.data(), u3.data());
+  EXPECT_EQ(u1, u2);
+  EXPECT_NE(u1, u3);
 }
 
 TEST(VecTest, DistanceTriangleInequality) {

@@ -477,6 +477,166 @@ TEST(CoordinateIndexTest, QueryCostAccounted) {
   EXPECT_GT(cost.ring_probes, 0u);
 }
 
+// Straightforward reference for KNearest, kept deliberately naive: rebuild
+// the sorted ring from the published coordinates, walk the curve
+// neighborhood with an explicit seen-set (the pre-optimization algorithm),
+// re-rank by true distance, truncate to k. The production fast path must
+// return bit-identical results.
+std::vector<IndexMatch> ReferenceKNearest(const CoordinateIndex& idx,
+                                          const std::vector<Vec>& coords,
+                                          const Vec& target, size_t k,
+                                          size_t probe_width,
+                                          const std::set<NodeId>& exclude) {
+  struct RingEntry {
+    U128 key;
+    NodeId node;
+  };
+  std::vector<RingEntry> ring;
+  for (NodeId n = 0; n < coords.size(); ++n) {
+    ring.push_back(RingEntry{idx.quantizer().Key(coords[n]), n});
+  }
+  std::sort(ring.begin(), ring.end(),
+            [](const RingEntry& a, const RingEntry& b) {
+              return a.key < b.key;
+            });
+  const size_t n = ring.size();
+  const U128 key = idx.quantizer().Key(target);
+  size_t start = 0;
+  while (start < n && ring[start].key < key) ++start;
+  start %= n;  // successor(key), wrapping
+
+  std::set<NodeId> seen;
+  std::vector<IndexMatch> cand;
+  auto consider = [&](size_t mi) {
+    const NodeId node = ring[mi].node;
+    if (!seen.insert(node).second) return;
+    if (exclude.count(node) != 0) return;
+    cand.push_back(
+        IndexMatch{node, coords[node].DistanceTo(target), coords[node]});
+  };
+  const size_t width = std::min(probe_width, n);
+  consider(start);
+  for (size_t i = 1; i <= width; ++i) {
+    consider((start + i) % n);
+    consider((start + n - (i % n)) % n);
+  }
+  std::sort(cand.begin(), cand.end(),
+            [](const IndexMatch& a, const IndexMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.node < b.node;
+            });
+  if (cand.size() > k) cand.resize(k);
+  return cand;
+}
+
+// Generates a point set whose Hilbert keys are pairwise distinct, so the
+// reference ring above (which does not model duplicate-key perturbation)
+// agrees with the production ring.
+std::vector<Vec> DistinctKeyCoords(size_t n, Rng* rng, unsigned bits) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::vector<Vec> coords;
+    for (size_t i = 0; i < n; ++i) {
+      coords.push_back(Vec{rng->Uniform(0, 100), rng->Uniform(0, 100)});
+    }
+    HilbertQuantizer q = HilbertQuantizer::FitTo(coords, bits);
+    std::set<U128> keys;
+    for (const Vec& c : coords) keys.insert(q.Key(c));
+    if (keys.size() == n) return coords;
+  }
+  ADD_FAILURE() << "could not generate distinct-key coords";
+  return {};
+}
+
+class IndexEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexEquivalenceTest, KNearestMatchesReferenceBitIdentically) {
+  Rng rng(GetParam());
+  const size_t n = 90;
+  const auto coords = DistinctKeyCoords(n, &rng, 10);
+  ASSERT_EQ(coords.size(), n);
+  auto idx = MakeIndex(coords, 10);
+  for (int rep = 0; rep < 40; ++rep) {
+    const Vec target{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const size_t k = 1 + rng.UniformInt(8);
+    const size_t width = 1 + rng.UniformInt(2 * n);  // includes wrap cases
+    std::vector<NodeId> exclude;
+    const size_t num_excl = rng.UniformInt(4);
+    for (size_t e = 0; e < num_excl; ++e) {
+      exclude.push_back(static_cast<NodeId>(rng.UniformInt(n)));
+    }
+    auto got = idx.KNearest(target, k, width, nullptr, exclude);
+    ASSERT_TRUE(got.ok());
+    const auto want = ReferenceKNearest(
+        idx, coords, target, k, width,
+        std::set<NodeId>(exclude.begin(), exclude.end()));
+    ASSERT_EQ(got->size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ((*got)[i].node, want[i].node);
+      EXPECT_EQ((*got)[i].distance, want[i].distance);  // bit-identical
+      EXPECT_EQ((*got)[i].coord, want[i].coord);
+    }
+  }
+}
+
+TEST_P(IndexEquivalenceTest, KNearestExactMatchesFullSortReference) {
+  Rng rng(GetParam() + 1000);
+  const size_t n = 150;
+  std::vector<Vec> coords;
+  for (size_t i = 0; i < n; ++i) {
+    coords.push_back(Vec{rng.Uniform(0, 50), rng.Uniform(0, 50)});
+  }
+  auto idx = MakeIndex(coords, 9);
+  for (int rep = 0; rep < 40; ++rep) {
+    const Vec target{rng.Uniform(0, 50), rng.Uniform(0, 50)};
+    const size_t k = 1 + rng.UniformInt(n + 10);  // includes k > population
+    // Reference: sort everything, take the prefix.
+    std::vector<IndexMatch> want;
+    for (NodeId node = 0; node < n; ++node) {
+      want.push_back(
+          IndexMatch{node, coords[node].DistanceTo(target), coords[node]});
+    }
+    std::sort(want.begin(), want.end(),
+              [](const IndexMatch& a, const IndexMatch& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.node < b.node;
+              });
+    if (want.size() > k) want.resize(k);
+    const auto got = idx.KNearestExact(target, k);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].node, want[i].node);
+      EXPECT_EQ(got[i].distance, want[i].distance);  // bit-identical
+      EXPECT_EQ(got[i].coord, want[i].coord);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexEquivalenceTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(CoordinateIndexTest, RingProbesBilledOncePerDistinctMember) {
+  Rng rng(9);
+  const size_t n = 12;
+  const auto coords = DistinctKeyCoords(n, &rng, 10);
+  ASSERT_EQ(coords.size(), n);
+  auto idx = MakeIndex(coords, 10);
+  const Vec target{50, 50};
+  for (size_t width : {size_t{1}, size_t{3}, size_t{5}, size_t{16}}) {
+    IndexQueryCost cost;
+    auto ms = idx.KNearest(target, 4, width, &cost);
+    ASSERT_TRUE(ms.ok());
+    // One probe per distinct ring member in the walk window — wrapping past
+    // the far side of the ring must not bill the same member twice.
+    EXPECT_EQ(cost.ring_probes, std::min(2 * width + 1, n)) << width;
+    EXPECT_EQ(cost.lookups, 1u);
+  }
+  // Excluded members are examined (and billed) exactly once as well.
+  IndexQueryCost cost;
+  auto ms = idx.KNearest(target, 4, 3, &cost, {0, 1, 2});
+  ASSERT_TRUE(ms.ok());
+  EXPECT_EQ(cost.ring_probes, 7u);
+}
+
 TEST(CoordinateIndexTest, HigherDimensionalIndexWorks) {
   Rng rng(7);
   std::vector<Vec> coords;

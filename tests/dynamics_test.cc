@@ -153,7 +153,7 @@ TEST(DynamicsTest, OnlineUpdateNoOpForMds) {
   ASSERT_TRUE(s.ok());
   const Vec before = (*s)->cost_space().VectorCoord(3);
   (*s)->UpdateCoordinatesOnline(4);  // must not crash or move coords
-  EXPECT_EQ((*s)->cost_space().VectorCoord(3).data(), before.data());
+  EXPECT_EQ((*s)->cost_space().VectorCoord(3), before);
 }
 
 TEST(DynamicsTest, CircuitCostTracksLatencyEpoch) {

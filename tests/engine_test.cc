@@ -222,6 +222,36 @@ TEST(StreamEngine, SnapshotAggregatesPerQueryAndEngineState) {
   }
 }
 
+TEST(StreamEngine, AdvanceEpochEpsilonGatesRingRepublishes) {
+  auto engine = MakeEngine(SmallEngineOptions(41));
+  const overlay::IndexRefreshStats& stats =
+      engine->sbon().index_refresh_stats();
+
+  // Static ambient load (sigma 0, load at its mean) and no jitter: the
+  // epoch moves nothing, so the refresh must be quiet — zero ring
+  // re-publishes, no restabilization.
+  engine::EpochOptions epoch;
+  epoch.dt = 1.0;
+  engine->AdvanceEpoch(epoch);
+  EXPECT_EQ(stats.refreshes, 1u);
+  EXPECT_EQ(stats.republished, 0u);
+  EXPECT_EQ(stats.quiet_refreshes, 1u);
+
+  // A real coordinate movement gated by a huge epsilon stays quiet...
+  const NodeId moved = engine->sbon().overlay_nodes().front();
+  engine->sbon().SetBaseLoad(moved, 0.95);
+  engine::EpochOptions gated = epoch;
+  gated.refresh_epsilon = 1e9;
+  engine->AdvanceEpoch(gated);
+  EXPECT_EQ(stats.republished, 0u);
+  EXPECT_EQ(stats.quiet_refreshes, 2u);
+
+  // ...and the default epsilon (0) republishes exactly the moved node.
+  engine->AdvanceEpoch(epoch);
+  EXPECT_EQ(stats.republished, 1u);
+  EXPECT_EQ(stats.quiet_refreshes, 2u);
+}
+
 TEST(StreamEngine, AdvanceEpochAndReoptimizeKeepHandlesValid) {
   engine::EngineOptions eo = SmallEngineOptions(37);
   eo.sbon.latency_jitter_sigma = 0.5;
@@ -316,7 +346,7 @@ TEST(InstallAtomicity, MidInstallFailureRollsBackPartialState) {
   const auto& nodes = sbon->overlay_nodes();
   query::Catalog catalog;
   for (int i = 0; i < 4; ++i) {
-    catalog.AddStream("s" + std::to_string(i), 100.0, 64.0, nodes[i]);
+    catalog.AddStream(query::IndexedStreamName(i), 100.0, 64.0, nodes[i]);
   }
 
   query::LogicalPlan plan;

@@ -262,6 +262,33 @@ TEST(SbonTest, CreateBuildsSubstrate) {
   EXPECT_DOUBLE_EQ(s->latency().Latency(0, 5), 50.0);
 }
 
+TEST(SbonTest, QuietRefreshPerformsZeroRepublishes) {
+  auto s = MakeSbon(11);
+  // Nothing moved since Initialize published every coordinate: the refresh
+  // must issue zero ring re-publishes and skip restabilization entirely.
+  s->RefreshIndex();
+  EXPECT_EQ(s->index_refresh_stats().refreshes, 1u);
+  EXPECT_EQ(s->index_refresh_stats().republished, 0u);
+  EXPECT_EQ(s->index_refresh_stats().skipped, 6u);
+  EXPECT_EQ(s->index_refresh_stats().quiet_refreshes, 1u);
+
+  // One node's load changes -> exactly that node republishes.
+  s->SetBaseLoad(2, 0.9);
+  s->RefreshIndex();
+  EXPECT_EQ(s->index_refresh_stats().republished, 1u);
+  EXPECT_EQ(s->index_refresh_stats().quiet_refreshes, 1u);
+
+  // The same movement under a huge epsilon is below threshold: quiet again.
+  s->SetBaseLoad(2, 0.1);
+  s->RefreshIndex(/*epsilon=*/1e9);
+  EXPECT_EQ(s->index_refresh_stats().republished, 1u);
+  EXPECT_EQ(s->index_refresh_stats().quiet_refreshes, 2u);
+
+  // Queries still see the refreshed state identically after a quiet epoch.
+  auto m = s->index().Nearest(s->cost_space().FullCoord(0));
+  EXPECT_TRUE(m.ok());
+}
+
 TEST(SbonTest, InstallCircuitCreatesServices) {
   auto s = MakeSbon();
   query::Catalog c = TwoStreamCatalog();
@@ -440,8 +467,8 @@ TEST(SbonTest, DeterministicAcrossIdenticalSeeds) {
   auto a = MakeSbon(42);
   auto b = MakeSbon(42);
   for (NodeId n = 0; n < 6; ++n) {
-    EXPECT_EQ(a->cost_space().VectorCoord(n).data(),
-              b->cost_space().VectorCoord(n).data());
+    EXPECT_EQ(a->cost_space().VectorCoord(n),
+              b->cost_space().VectorCoord(n));
     EXPECT_DOUBLE_EQ(a->BaseLoad(n), b->BaseLoad(n));
   }
 }
