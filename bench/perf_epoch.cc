@@ -12,7 +12,9 @@
 //
 // Flags: --smoke (tiny sweep), --json=PATH, --nodes=N, --queries=Q,
 // --epochs=E, --epsilon=X (refresh displacement threshold, cost-space
-// units).
+// units), --churn-rate=R (expected node crashes per epoch in the churn
+// section; crashed hosts evict their services and the engine re-places
+// orphaned queries under their original handles).
 
 #include <algorithm>
 #include <chrono>
@@ -25,6 +27,7 @@
 #include "common/rng.h"
 #include "coords/vivaldi.h"
 #include "engine/stream_engine.h"
+#include "net/churn.h"
 #include "net/shortest_path.h"
 #include "query/workload.h"
 
@@ -65,12 +68,17 @@ struct EpochLoopResult {
   double allocs_per_epoch = 0.0;
   size_t queries_running = 0;
   overlay::IndexRefreshStats refresh;  // cumulative over the loop
+  engine::RepairStats repair;          // cumulative (churn_rate > 0 only)
 };
 
 // Builds an engine, submits Q queries, then runs E churn epochs. One
-// function so the epsilon sweep measures identical work per configuration.
+// function so the epsilon/churn sweeps measure identical work per
+// configuration. `churn_rate > 0` attaches a seeded ChurnModel: every
+// epoch additionally pays for node crashes/rejoins and the engine's
+// handle-stable repair of orphaned queries.
 EpochLoopResult RunEpochLoop(size_t nodes, size_t queries, size_t epochs,
-                             double epsilon, uint64_t seed) {
+                             double epsilon, uint64_t seed,
+                             double churn_rate = 0.0) {
   engine::EngineOptions opts;
   opts.sbon.latency_jitter_sigma = 0.1;
   auto eng = bench::MakeTransitStubEngine(nodes, seed, std::move(opts));
@@ -105,6 +113,15 @@ EpochLoopResult RunEpochLoop(size_t nodes, size_t queries, size_t epochs,
   epoch.vivaldi_samples = 1;
   epoch.refresh_index = true;
   epoch.refresh_epsilon = epsilon;
+  // Stack-constructed (a heap ChurnModel here trips gcc's
+  // -Wmismatched-new-delete against this file's counting operator new);
+  // only attached when the churn section is measured.
+  net::ChurnModel::Params cp;
+  cp.crash_rate = churn_rate;
+  cp.mean_downtime_epochs = 4.0;
+  cp.seed = seed * 9176 + 1;
+  net::ChurnModel churn_model(sbon.overlay_nodes(), cp);
+  if (churn_rate > 0.0) epoch.churn = &churn_model;
   engine::ReoptPolicy local_reopt;  // defaults: kLocal
 
   const overlay::IndexRefreshStats before = sbon.index_refresh_stats();
@@ -116,7 +133,12 @@ EpochLoopResult RunEpochLoop(size_t nodes, size_t queries, size_t epochs,
     // another (Remove + Submit), rotating through the set.
     (void)eng->Reoptimize(handles[e % handles.size()], local_reopt);
     const size_t victim = (e * 7 + 3) % handles.size();
-    if (eng->Remove(handles[victim]).ok()) {
+    // NotFound = the query was dropped by churn repair; either way the
+    // slot is free and the steady-state replacement resubmits it (which
+    // can itself fail while the spec's producer is down — retried the
+    // next time the slot comes around).
+    const Status removed = eng->Remove(handles[victim]);
+    if (removed.ok() || removed.code() == StatusCode::kNotFound) {
       auto h = eng->Submit(specs[victim % specs.size()]);
       if (h.ok()) handles[victim] = *h;
     }
@@ -131,6 +153,7 @@ EpochLoopResult RunEpochLoop(size_t nodes, size_t queries, size_t epochs,
   out.refresh.skipped = after.skipped - before.skipped;
   out.refresh.quiet_refreshes =
       after.quiet_refreshes - before.quiet_refreshes;
+  out.repair = eng->repair_stats();
   return out;
 }
 
@@ -212,6 +235,23 @@ int main(int argc, char** argv) {
   std::printf("epsilon=0     %10.0f ns/epoch  %10.0f ns/submit\n",
               eps0.ns_per_epoch, eps0.ns_per_submit);
 
+  sbon::bench::Section("Epoch throughput under churn (crashes + repair)");
+  const double churn_rate =
+      sbon::bench::DoubleFlagOr(argc, argv, "churn-rate", 0.5);
+  const auto churned = sbon::RunEpochLoop(nodes, queries, epochs, epsilon,
+                                          /*seed=*/42, churn_rate);
+  std::printf(
+      "churn=%-5g  %10.0f ns/epoch  (%+0.0f%% vs churn-free)\n"
+      "              crashes=%zu rejoins=%zu evicted=%zu orphaned=%zu "
+      "repaired=%zu dropped=%zu\n",
+      churn_rate, churned.ns_per_epoch,
+      primary.ns_per_epoch > 0.0
+          ? 100.0 * (churned.ns_per_epoch / primary.ns_per_epoch - 1.0)
+          : 0.0,
+      churned.repair.crashes, churned.repair.rejoins,
+      churned.repair.services_evicted, churned.repair.circuits_orphaned,
+      churned.repair.queries_repaired, churned.repair.queries_dropped);
+
   sbon::bench::Section("Hot-loop allocation audit");
   const double vivaldi_allocs = sbon::MeasureVivaldiAllocs();
   // A small dedicated overlay keeps the audit cheap under --smoke.
@@ -253,13 +293,27 @@ int main(int argc, char** argv) {
         "  \"quiet_refreshes\": %zu,\n"
         "  \"refreshes\": %zu,\n"
         "  \"allocs_per_vivaldi_update\": %g,\n"
-        "  \"allocs_per_knearest\": %g\n"
+        "  \"allocs_per_knearest\": %g,\n"
+        "  \"churn\": {\n"
+        "    \"crash_rate\": %g,\n"
+        "    \"ns_per_epoch\": %.1f,\n"
+        "    \"crashes\": %zu,\n"
+        "    \"rejoins\": %zu,\n"
+        "    \"services_evicted\": %zu,\n"
+        "    \"circuits_orphaned\": %zu,\n"
+        "    \"queries_repaired\": %zu,\n"
+        "    \"queries_dropped\": %zu\n"
+        "  }\n"
         "}\n",
         smoke ? "true" : "false", nodes, queries, epochs, epsilon,
         primary.ns_per_epoch, primary.ns_per_submit, eps0.ns_per_epoch,
         primary.allocs_per_epoch, primary.refresh.republished,
         primary.refresh.skipped, primary.refresh.quiet_refreshes,
-        primary.refresh.refreshes, vivaldi_allocs, knearest_allocs);
+        primary.refresh.refreshes, vivaldi_allocs, knearest_allocs,
+        churn_rate, churned.ns_per_epoch, churned.repair.crashes,
+        churned.repair.rejoins, churned.repair.services_evicted,
+        churned.repair.circuits_orphaned, churned.repair.queries_repaired,
+        churned.repair.queries_dropped);
     std::fclose(f);
     std::printf("\nwrote %s\n", sbon::bench::JsonFlag().c_str());
   }

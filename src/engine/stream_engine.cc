@@ -66,30 +66,48 @@ StatusOr<core::OptimizeResult> StreamEngine::Optimize(
   return (*optimizer)->Optimize(spec, catalog_, sbon_.get());
 }
 
+Status StreamEngine::OptimizeAndInstall(const StrategySpec& strategy,
+                                        QueryRecord* record) {
+  std::string optimizer_name, placer_name;
+  OptimizerSpec resolved;
+  auto optimizer =
+      MakeOptimizer(strategy, &optimizer_name, &placer_name, &resolved);
+  if (!optimizer.ok()) return optimizer.status();
+  auto result = (*optimizer)->Optimize(record->spec, catalog_, sbon_.get());
+  if (!result.ok()) return result.status();
+  overlay::Circuit circuit = std::move(result->circuit);
+  // InstallCircuit is failure-atomic, so a failure here leaves the overlay
+  // exactly as it was before the call.
+  auto circuit_id = sbon_->InstallCircuit(std::move(circuit));
+  if (!circuit_id.ok()) return circuit_id.status();
+  record->optimizer = std::move(optimizer_name);
+  record->placer = std::move(placer_name);
+  record->config = resolved.config;
+  record->multi_query = resolved.multi_query;
+  record->result = std::move(*result);
+  // The record keeps only the run's accounting; the installed circuit is
+  // the authoritative copy (the one here would go stale on reopt anyway).
+  record->result.circuit = overlay::Circuit();
+  record->circuit = *circuit_id;
+  return Status::OK();
+}
+
+StrategySpec StreamEngine::StrategyFromRecord(const QueryRecord& record,
+                                              const std::string& optimizer) {
+  StrategySpec strategy;
+  strategy.optimizer = optimizer.empty() ? record.optimizer : optimizer;
+  strategy.placer = record.placer;
+  strategy.config = record.config;
+  strategy.multi_query = record.multi_query;
+  return strategy;
+}
+
 StatusOr<QueryHandle> StreamEngine::Submit(const query::QuerySpec& spec,
                                            const StrategySpec& strategy) {
   QueryRecord record;
   record.spec = spec;
-  OptimizerSpec resolved;
-  auto optimizer =
-      MakeOptimizer(strategy, &record.optimizer, &record.placer, &resolved);
-  if (!optimizer.ok()) return optimizer.status();
-  record.config = resolved.config;
-  record.multi_query = resolved.multi_query;
-
-  auto result = (*optimizer)->Optimize(spec, catalog_, sbon_.get());
-  if (!result.ok()) return result.status();
-  overlay::Circuit circuit = std::move(result->circuit);
-  record.result = std::move(*result);
-  // The record keeps only the run's accounting; the installed circuit is
-  // the authoritative copy (the one here would go stale on reopt anyway).
-  record.result.circuit = overlay::Circuit();
-
-  // InstallCircuit is failure-atomic, so a failure here leaves the overlay
-  // exactly as it was before Submit.
-  auto circuit_id = sbon_->InstallCircuit(std::move(circuit));
-  if (!circuit_id.ok()) return circuit_id.status();
-  record.circuit = *circuit_id;
+  Status st = OptimizeAndInstall(strategy, &record);
+  if (!st.ok()) return st;
 
   const QueryHandle handle{next_handle_++};
   by_circuit_.emplace(record.circuit, handle);
@@ -129,6 +147,19 @@ StatusOr<ReoptOutcome> StreamEngine::Reoptimize(QueryHandle handle,
 
   ReoptOutcome outcome;
   outcome.mode = policy.mode;
+  if (policy.trigger == ReoptPolicy::Trigger::kHostDied) {
+    // Nothing valid is running: the thresholds (and kLocal migration, which
+    // needs an intact circuit) do not apply. Repair redeploys under the
+    // same handle unconditionally.
+    Status st = Repair(handle, policy.optimizer);
+    if (!st.ok()) return st;
+    outcome.mode = ReoptPolicy::Mode::kFull;
+    outcome.full.redeployed = true;
+    outcome.full.new_circuit = record.circuit;
+    outcome.full.estimated_cost_candidate = record.result.estimated_cost;
+    outcome.full.candidate = record.result;
+    return outcome;
+  }
   if (policy.mode == ReoptPolicy::Mode::kLocal) {
     auto placer = PlacerRegistry::Global().Create(record.placer);
     if (!placer.ok()) return placer.status();
@@ -139,12 +170,7 @@ StatusOr<ReoptOutcome> StreamEngine::Reoptimize(QueryHandle handle,
     return outcome;
   }
 
-  StrategySpec strategy;
-  strategy.optimizer =
-      policy.optimizer.empty() ? record.optimizer : policy.optimizer;
-  strategy.placer = record.placer;
-  strategy.config = record.config;
-  strategy.multi_query = record.multi_query;
+  const StrategySpec strategy = StrategyFromRecord(record, policy.optimizer);
   std::string optimizer_name;
   auto optimizer = MakeOptimizer(strategy, &optimizer_name, nullptr);
   if (!optimizer.ok()) return optimizer.status();
@@ -167,12 +193,119 @@ StatusOr<ReoptOutcome> StreamEngine::Reoptimize(QueryHandle handle,
   return outcome;
 }
 
+Status StreamEngine::DetachForRepair(QueryHandle handle) {
+  auto it = queries_.find(handle);
+  if (it == queries_.end()) return Status::NotFound("no such query");
+  QueryRecord& record = it->second;
+
+  // A dead pinned endpoint (producer or consumer) is unrepairable by
+  // re-placement: the spec demands that exact node.
+  const overlay::Circuit* old_circuit = sbon_->FindCircuit(record.circuit);
+  if (old_circuit != nullptr) {
+    for (const overlay::CircuitVertex& v : old_circuit->vertices()) {
+      if (v.pinned && !sbon_->IsAlive(v.host)) {
+        return Status::FailedPrecondition("pinned endpoint is down");
+      }
+    }
+    // Tear down the remnant: its surviving instances (and any shared ones)
+    // are released via the usual detach bookkeeping, and the re-plan gets
+    // a clean view of load and reuse candidates.
+    Status st = sbon_->RemoveCircuit(record.circuit);
+    if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+  }
+  by_circuit_.erase(record.circuit);
+  record.circuit = kInvalidCircuit;
+  return Status::OK();
+}
+
+Status StreamEngine::ReplanQuery(QueryHandle handle,
+                                 const std::string& optimizer) {
+  auto it = queries_.find(handle);
+  if (it == queries_.end()) return Status::NotFound("no such query");
+  QueryRecord& record = it->second;
+  const Status st =
+      OptimizeAndInstall(StrategyFromRecord(record, optimizer), &record);
+  if (!st.ok()) return st;
+  by_circuit_.emplace(record.circuit, handle);
+  if (refresh_index_on_install_) sbon_->RefreshIndex();
+  return Status::OK();
+}
+
+Status StreamEngine::Repair(QueryHandle handle, const std::string& optimizer) {
+  Status st = DetachForRepair(handle);
+  if (!st.ok()) return st;
+  return ReplanQuery(handle, optimizer);
+}
+
+void StreamEngine::ApplyChurn(const std::vector<net::ChurnEvent>& events) {
+  for (const net::ChurnEvent& ev : events) {
+    switch (ev.type) {
+      case net::ChurnEventType::kCrash: {
+        auto report = sbon_->FailNode(ev.node);
+        // The overlay may refuse (e.g. last alive node): no repair needed.
+        if (!report.ok()) break;
+        ++repair_stats_.crashes;
+        repair_stats_.services_evicted += report->services_evicted;
+        repair_stats_.circuits_orphaned += report->orphaned.size();
+        // Phase 1: tear down every orphaned remnant (dropping unrepairable
+        // queries) before re-planning anything. Every circuit that depends
+        // on a broken reuse chain is in the orphan set (AttachDependencyChain
+        // guarantees it), so after this loop no instance missing its feeder
+        // is left in the signature index for a re-plan to pick up.
+        std::vector<QueryHandle> replan;
+        for (CircuitId cid : report->orphaned) {
+          const QueryHandle handle = HandleOf(cid);
+          if (!handle) {
+            // Not engine-managed (installed directly on the Sbon): release
+            // the broken remnant so no orphaned instances linger.
+            (void)sbon_->RemoveCircuit(cid);
+            continue;
+          }
+          if (DetachForRepair(handle).ok()) {
+            replan.push_back(handle);
+          } else {
+            // Unrepairable (a pinned endpoint died with the node): drop the
+            // query; its handle is released.
+            (void)Remove(handle);
+            ++repair_stats_.queries_dropped;
+          }
+        }
+        // Phase 2: re-plan the survivors in orphan (circuit-id) order.
+        for (QueryHandle handle : replan) {
+          if (ReplanQuery(handle, /*optimizer=*/{}).ok()) {
+            ++repair_stats_.queries_repaired;
+          } else {
+            (void)Remove(handle);
+            ++repair_stats_.queries_dropped;
+          }
+        }
+        break;
+      }
+      case net::ChurnEventType::kRejoin:
+        if (sbon_->RejoinNode(ev.node).ok()) ++repair_stats_.rejoins;
+        break;
+      case net::ChurnEventType::kPartitionStart:
+        if (sbon_->BeginPartition(ev.group, ev.severity).ok()) {
+          ++repair_stats_.partitions;
+        }
+        break;
+      case net::ChurnEventType::kPartitionHeal:
+        if (sbon_->EndPartition().ok()) ++repair_stats_.heals;
+        break;
+    }
+  }
+}
+
 void StreamEngine::AdvanceEpoch(const EpochOptions& epoch) {
   if (epoch.tick_network) sbon_->TickNetwork();
   if (epoch.dt > 0.0) sbon_->Tick(epoch.dt);
   if (epoch.vivaldi_samples > 0) {
     sbon_->UpdateCoordinatesOnline(epoch.vivaldi_samples);
   }
+  // Churn lands after the network/load/coordinate updates (repairs place
+  // against this epoch's state) and before the refresh (so the refresh
+  // publishes post-repair load for every surviving node).
+  if (epoch.churn != nullptr) ApplyChurn(epoch.churn->Step());
   if (epoch.refresh_index) sbon_->RefreshIndex(epoch.refresh_epsilon);
 }
 
@@ -209,6 +342,7 @@ EngineSnapshot StreamEngine::Snapshot() const {
   }
   snapshot.total_network_usage = sbon_->TotalNetworkUsage();
   snapshot.max_load = sbon_->MaxLoad();
+  snapshot.repair = repair_stats_;
   snapshot.queries.reserve(queries_.size());
   for (const auto& [handle, record] : queries_) {
     auto stats = StatsOf(handle);

@@ -13,6 +13,7 @@
 #include "core/optimizer.h"
 #include "core/reopt.h"
 #include "engine/registry.h"
+#include "net/churn.h"
 #include "net/topology.h"
 #include "overlay/metrics.h"
 #include "overlay/sbon.h"
@@ -79,6 +80,13 @@ struct EpochOptions {
   /// epoch (nothing beyond epsilon) performs zero ring re-publishes and
   /// skips restabilization entirely.
   double refresh_epsilon = 0.0;
+  /// Membership churn driver: each AdvanceEpoch consumes one
+  /// `churn->Step()` worth of events — crashes evict services and trigger
+  /// the handle-stable repair plan, rejoins re-publish the node, partition
+  /// events inflate cross-cut latency — after network/load/coordinate
+  /// updates and before the index refresh. nullptr (the default) runs
+  /// a bit-identical epoch to the pre-churn engine. Not owned.
+  net::ChurnModel* churn = nullptr;
 };
 
 /// How Reoptimize should treat a query.
@@ -87,7 +95,16 @@ struct ReoptPolicy {
     kLocal,  ///< migrate services of the existing circuit (cheap)
     kFull,   ///< re-run the optimizer; redeploy if the gain clears the bar
   };
+  /// Why re-optimization is running — decides whether the improvement bars
+  /// apply at all.
+  enum class Trigger {
+    kDrift,     ///< periodic / cost-drift pass: hysteresis thresholds apply
+    kHostDied,  ///< the circuit lost a host to churn: nothing valid is
+                ///< running, so a full re-plan deploys unconditionally
+                ///< (Mode is ignored; the handle stays valid)
+  };
   Mode mode = Mode::kLocal;
+  Trigger trigger = Trigger::kDrift;
   core::ReoptConfig config;
   /// Full-reopt optimizer override (registry name). Empty = the optimizer
   /// the query was submitted with.
@@ -118,6 +135,20 @@ struct QueryStats {
   overlay::CircuitCost true_cost;
 };
 
+/// Cumulative failure/repair accounting since engine creation (surfaced in
+/// EngineSnapshot; what a deployment's churn dashboard would plot).
+struct RepairStats {
+  size_t crashes = 0;            ///< nodes failed via churn events
+  size_t rejoins = 0;            ///< nodes brought back
+  size_t partitions = 0;         ///< partition starts applied
+  size_t heals = 0;              ///< partitions healed
+  size_t services_evicted = 0;   ///< instances lost to dead hosts
+  size_t circuits_orphaned = 0;  ///< circuits broken by failures
+  size_t queries_repaired = 0;   ///< re-placed under their original handle
+  size_t queries_dropped = 0;    ///< unrepairable (pinned endpoint down or
+                                 ///< re-placement failed); handle released
+};
+
 /// Engine-wide view of the deployment.
 struct EngineSnapshot {
   size_t num_queries = 0;
@@ -125,6 +156,7 @@ struct EngineSnapshot {
   size_t shared_services = 0;  ///< instances serving more than one circuit
   double total_network_usage = 0.0;
   double max_load = 0.0;
+  RepairStats repair;               ///< cumulative churn/repair accounting
   std::vector<QueryStats> queries;  ///< in submission (handle) order
 };
 
@@ -171,8 +203,24 @@ class StreamEngine {
   /// re-optimization. The handle remains valid either way.
   StatusOr<ReoptOutcome> Reoptimize(QueryHandle handle,
                                     const ReoptPolicy& policy);
+  /// Handle-stable repair for a query whose circuit lost a host: tears down
+  /// whatever remnant is still installed (shared instances survive if other
+  /// circuits use them) and re-optimizes the original spec with the query's
+  /// recorded strategy — no improvement bar, because nothing valid is
+  /// running. On failure the query record survives unchanged (minus the
+  /// already-removed remnant), so the caller may retry or Remove it.
+  /// `optimizer` optionally overrides the recorded optimizer by registry
+  /// name. Also reachable via Reoptimize with Trigger::kHostDied.
+  ///
+  /// When one failure orphans *several* queries, repair them through the
+  /// churn pipeline (AdvanceEpoch) rather than one Repair call at a time:
+  /// the pipeline tears every orphaned remnant down before re-planning any
+  /// of them, so a re-plan can never reuse a surviving mid-chain instance
+  /// whose feeder was just evicted.
+  Status Repair(QueryHandle handle, const std::string& optimizer = {});
   /// Advances simulated time one epoch: latency jitter, ambient load,
-  /// online coordinate maintenance, index refresh — in that order.
+  /// online coordinate maintenance, churn events (with repair), index
+  /// refresh — in that order.
   void AdvanceEpoch(const EpochOptions& epoch = EpochOptions());
 
   /// Optimizes without deploying (compare-only flows, ablations).
@@ -192,6 +240,8 @@ class StreamEngine {
   /// *current* cost space (drifts as the network churns).
   StatusOr<double> CurrentEstimatedCost(QueryHandle handle) const;
   size_t NumQueries() const { return queries_.size(); }
+  /// Cumulative churn/repair accounting (also embedded in Snapshot()).
+  const RepairStats& repair_stats() const { return repair_stats_; }
 
   /// The overlay runtime. Mutating its load/coordinate state directly
   /// (e.g. SetBaseLoad in tests) is fine, but circuits deployed through the
@@ -223,7 +273,38 @@ class StreamEngine {
       const StrategySpec& strategy, std::string* optimizer_name,
       std::string* placer_name, OptimizerSpec* resolved = nullptr) const;
 
+  /// The deploy protocol shared by Submit and Repair: resolves `strategy`,
+  /// optimizes `record->spec`, installs the winning circuit, and rewrites
+  /// the record's accounting (strategy names, config, result with its
+  /// circuit cleared — the installed copy is authoritative — and the new
+  /// circuit id). On failure the overlay is untouched and the record keeps
+  /// whatever it held before.
+  Status OptimizeAndInstall(const StrategySpec& strategy,
+                            QueryRecord* record);
+
+  /// The strategy a query was last deployed with, with an optional
+  /// optimizer override by registry name.
+  static StrategySpec StrategyFromRecord(const QueryRecord& record,
+                                         const std::string& optimizer);
+
   void FillCurrentCost(QueryStats* stats) const;
+
+  /// Applies one epoch's churn events: crashes run FailNode plus the repair
+  /// plan over every orphaned circuit, rejoins run RejoinNode, partition
+  /// events start/heal the latency cut. Events the overlay rejects (e.g. a
+  /// crash that would take down the last alive node) are skipped.
+  ///
+  /// Repair is two-phase per crash: every orphaned remnant is torn down
+  /// (unrepairable queries dropped) before any re-plan runs, so instances
+  /// of a broken reuse chain are fully released — never left in the
+  /// signature index for a re-plan to reuse without their feeders.
+  void ApplyChurn(const std::vector<net::ChurnEvent>& events);
+  /// Repair phase 1: validates the query is repairable (no dead pinned
+  /// endpoint) and tears down its circuit remnant, leaving the record with
+  /// kInvalidCircuit. Fails without side effects on a dead endpoint.
+  Status DetachForRepair(QueryHandle handle);
+  /// Repair phase 2: re-optimizes and redeploys under the same handle.
+  Status ReplanQuery(QueryHandle handle, const std::string& optimizer);
 
   std::string default_optimizer_;
   std::string default_placer_;
@@ -238,6 +319,7 @@ class StreamEngine {
   /// Reoptimize so HandleOf stays cheap at many-query scale.
   std::map<CircuitId, QueryHandle> by_circuit_;
   uint64_t next_handle_ = 1;
+  RepairStats repair_stats_;
 };
 
 }  // namespace sbon::engine

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <iterator>
 #include <set>
 #include <utility>
 
@@ -32,6 +33,7 @@ Status Sbon::Initialize() {
   if (overlay_nodes_.empty()) {
     return Status::InvalidArgument("no overlay-eligible nodes");
   }
+  alive_.assign(n, true);
   base_lat_ = std::make_unique<net::LatencyMatrix>(topo_);
   lat_ = std::make_unique<net::LatencyMatrix>(*base_lat_);
   if (options_.latency_jitter_sigma > 0.0) {
@@ -131,6 +133,11 @@ void Sbon::ApplyServiceLoadDelta(NodeId host, double input_bytes_per_s,
 StatusOr<CircuitId> Sbon::InstallCircuit(Circuit circuit) {
   if (!circuit.FullyPlaced()) {
     return Status::FailedPrecondition("cannot install unplaced circuit");
+  }
+  for (const CircuitVertex& v : circuit.vertices()) {
+    if (!alive_[v.host]) {
+      return Status::FailedPrecondition("circuit references a dead host");
+    }
   }
   // Reserve the id but commit the counter only on success, so a failed
   // install leaves no gap in the id sequence (deterministic replays).
@@ -240,25 +247,27 @@ Status Sbon::AttachDependencyChain(CircuitId circuit_id,
   return Status::OK();
 }
 
+std::map<ServiceInstanceId, ServiceInstance>::iterator Sbon::EraseService(
+    std::map<ServiceInstanceId, ServiceInstance>::iterator it) {
+  const ServiceInstance& inst = it->second;
+  ApplyServiceLoadDelta(inst.host, inst.input_bytes_per_s, -1.0);
+  auto range = services_by_signature_.equal_range(inst.signature);
+  for (auto r = range.first; r != range.second; ++r) {
+    if (r->second == inst.id) {
+      services_by_signature_.erase(r);
+      break;
+    }
+  }
+  return services_.erase(it);
+}
+
 void Sbon::DetachCircuitFromServices(CircuitId circuit_id) {
   for (auto sit = services_.begin(); sit != services_.end();) {
     ServiceInstance& inst = sit->second;
     inst.circuits.erase(
         std::remove(inst.circuits.begin(), inst.circuits.end(), circuit_id),
         inst.circuits.end());
-    if (inst.circuits.empty()) {
-      ApplyServiceLoadDelta(inst.host, inst.input_bytes_per_s, -1.0);
-      auto range = services_by_signature_.equal_range(inst.signature);
-      for (auto r = range.first; r != range.second; ++r) {
-        if (r->second == inst.id) {
-          services_by_signature_.erase(r);
-          break;
-        }
-      }
-      sit = services_.erase(sit);
-    } else {
-      ++sit;
-    }
+    sit = inst.circuits.empty() ? EraseService(sit) : std::next(sit);
   }
 }
 
@@ -299,6 +308,9 @@ Status Sbon::MigrateService(ServiceInstanceId id, NodeId new_host) {
   if (new_host >= topo_.NumNodes()) {
     return Status::OutOfRange("migration target out of range");
   }
+  if (!alive_[new_host]) {
+    return Status::FailedPrecondition("migration target is down");
+  }
   ServiceInstance& inst = it->second;
   if (inst.host == new_host) return Status::OK();
   ApplyServiceLoadDelta(inst.host, inst.input_bytes_per_s, -1.0);
@@ -316,6 +328,133 @@ Status Sbon::MigrateService(ServiceInstanceId id, NodeId new_host) {
   return Status::OK();
 }
 
+StatusOr<FailureReport> Sbon::FailNode(NodeId n) {
+  if (n >= topo_.NumNodes()) {
+    return Status::OutOfRange("failed node out of range");
+  }
+  if (!topo_.overlay_eligible(n)) {
+    return Status::InvalidArgument("only overlay nodes participate in churn");
+  }
+  if (!alive_[n]) return Status::FailedPrecondition("node already down");
+  if (overlay_nodes_.size() <= 1) {
+    return Status::FailedPrecondition("cannot fail the last alive node");
+  }
+  alive_[n] = false;
+  overlay_nodes_.erase(
+      std::find(overlay_nodes_.begin(), overlay_nodes_.end(), n));
+
+  FailureReport report;
+  std::set<CircuitId> orphans;
+  // Evict every instance the dead node hosted, reversing the load delta it
+  // added (the same ApplyServiceLoadDelta bookkeeping installation used).
+  // Every circuit attached to an evicted instance — vertex bindings and
+  // reuse dependency chains alike — is orphaned.
+  for (auto it = services_.begin(); it != services_.end();) {
+    ServiceInstance& inst = it->second;
+    if (inst.host != n) {
+      ++it;
+      continue;
+    }
+    orphans.insert(inst.circuits.begin(), inst.circuits.end());
+    ++report.services_evicted;
+    it = EraseService(it);
+  }
+  // A node with no services left carries no service load; zeroing (instead
+  // of trusting delta reversal) keeps the books exact for the rejoin.
+  service_load_[n] = 0.0;
+  // Circuits whose pinned endpoints (producer/consumer) sat on the dead
+  // node are orphaned too, even though nothing was deployed there.
+  for (const auto& [cid, circuit] : circuits_) {
+    for (const CircuitVertex& v : circuit.vertices()) {
+      if (v.host == n) {
+        orphans.insert(cid);
+        break;
+      }
+    }
+  }
+  report.orphaned.assign(orphans.begin(), orphans.end());
+
+  // Ring Leave: the index must stop returning the dead node immediately so
+  // repair placement cannot land replacements on it.
+  index_->Withdraw(n);
+  index_->Stabilize();
+  last_published_[n] = Vec();
+  UpdateScalarMetrics();
+  return report;
+}
+
+Status Sbon::RejoinNode(NodeId n) {
+  if (n >= topo_.NumNodes()) {
+    return Status::OutOfRange("rejoining node out of range");
+  }
+  if (!topo_.overlay_eligible(n)) {
+    return Status::InvalidArgument("only overlay nodes participate in churn");
+  }
+  if (alive_[n]) return Status::FailedPrecondition("node already alive");
+  alive_[n] = true;
+  overlay_nodes_.insert(
+      std::upper_bound(overlay_nodes_.begin(), overlay_nodes_.end(), n), n);
+  service_load_[n] = 0.0;
+  UpdateScalarMetrics();
+  // Ring Join: republish the full coordinate (stale vector part + fresh
+  // load scalar) so placement sees the node again.
+  Vec full = space_->FullCoord(n);
+  index_->Publish(n, full);
+  last_published_[n] = std::move(full);
+  index_->Stabilize();
+  return Status::OK();
+}
+
+Status Sbon::BeginPartition(const std::vector<NodeId>& group, double factor) {
+  if (partition_active_) {
+    return Status::FailedPrecondition("a partition is already active");
+  }
+  if (group.empty()) return Status::InvalidArgument("empty partition group");
+  if (factor < 1.0) {
+    return Status::InvalidArgument("partition factor must be >= 1");
+  }
+  partitioned_.assign(topo_.NumNodes(), false);
+  for (NodeId n : group) {
+    if (n >= topo_.NumNodes()) {
+      return Status::OutOfRange("partition member out of range");
+    }
+    partitioned_[n] = true;
+  }
+  partition_active_ = true;
+  partition_factor_ = factor;
+  ApplyPartitionToLive();
+  return Status::OK();
+}
+
+Status Sbon::EndPartition() {
+  if (!partition_active_) {
+    return Status::FailedPrecondition("no active partition");
+  }
+  partition_active_ = false;
+  // Restore the live matrix: current jitter factors over the pristine base
+  // (EndPartition is not a new congestion epoch, so no resample), or the
+  // base itself on a jitter-free overlay.
+  if (jitter_ != nullptr) {
+    jitter_->ApplyAll(*base_lat_, lat_.get());
+  } else {
+    *lat_ = *base_lat_;
+  }
+  return Status::OK();
+}
+
+void Sbon::ApplyPartitionToLive() {
+  const size_t n = topo_.NumNodes();
+  double* m = lat_->MutableData();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (partitioned_[a] != partitioned_[b]) {
+        m[a * n + b] *= partition_factor_;
+        m[b * n + a] *= partition_factor_;
+      }
+    }
+  }
+}
+
 void Sbon::Tick(double dt) {
   load_model_->Step(dt, &rng_);
   UpdateScalarMetrics();
@@ -325,18 +464,31 @@ void Sbon::TickNetwork() {
   if (jitter_ == nullptr) return;
   jitter_->Resample(&rng_);
   jitter_->ApplyAll(*base_lat_, lat_.get());
+  // ApplyAll rebuilt the live matrix from the pristine base, so an active
+  // partition's penalty must be re-applied on top of the fresh jitter.
+  if (partition_active_) ApplyPartitionToLive();
 }
 
 void Sbon::UpdateCoordinatesOnline(size_t samples_per_node) {
   if (vivaldi_ == nullptr) return;
   const size_t n = topo_.NumNodes();
   if (n < 2) return;
+  // Fewer than two alive nodes means no measurable pair (and the peer
+  // rejection loop below would never terminate).
+  if (static_cast<size_t>(std::count(alive_.begin(), alive_.end(), true)) <
+      2) {
+    return;
+  }
   for (NodeId self = 0; self < n; ++self) {
+    // Crashed nodes neither measure nor answer probes. With every node
+    // alive the rejection loop below draws exactly as before, so the
+    // churn-free RNG stream (and every golden) is untouched.
+    if (!alive_[self]) continue;
     for (size_t s = 0; s < samples_per_node; ++s) {
       NodeId peer;
       do {
         peer = static_cast<NodeId>(rng_.UniformInt(n));
-      } while (peer == self);
+      } while (peer == self || !alive_[peer]);
       double rtt = lat_->Latency(self, peer);
       if (options_.vivaldi_run.rtt_noise_sigma > 0.0) {
         rtt *= std::exp(rng_.Normal(0.0, options_.vivaldi_run.rtt_noise_sigma));

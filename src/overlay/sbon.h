@@ -21,6 +21,17 @@
 
 namespace sbon::overlay {
 
+/// What one node failure changed: the circuits left broken (they lost a
+/// hosted service instance or a pinned endpoint) and the instances evicted.
+struct FailureReport {
+  /// Circuits needing repair, ascending id, deduplicated. A circuit appears
+  /// here if the dead node hosted one of its service instances (including
+  /// instances it reused from another circuit) or one of its pinned
+  /// endpoints (producer/consumer).
+  std::vector<CircuitId> orphaned;
+  size_t services_evicted = 0;
+};
+
 /// Cumulative counters of the dirty-driven index refresh (ring traffic a
 /// real deployment would pay to keep the coordinate catalog fresh).
 struct IndexRefreshStats {
@@ -75,8 +86,34 @@ class Sbon {
   const dht::CoordinateIndex& index() const { return *index_; }
   dht::IndexQueryCost& index_cost() { return index_cost_; }
   Rng& rng() { return rng_; }
+  /// Overlay-eligible nodes currently *alive* (failed nodes drop out until
+  /// they rejoin). Sorted ascending.
   const std::vector<NodeId>& overlay_nodes() const { return overlay_nodes_; }
   const Options& options() const { return options_; }
+
+  // --- membership churn (crash / rejoin / partition) ---
+  /// False while the node is crashed. Non-overlay nodes are always alive.
+  bool IsAlive(NodeId n) const { return alive_[n]; }
+  /// Crashes an overlay node: evicts every service instance it hosts
+  /// (reversing their load deltas), withdraws it from the coordinate index
+  /// (ring Leave + restabilization), and reports the circuits the failure
+  /// orphaned. The circuits themselves stay registered — callers (the
+  /// engine's repair plan) decide whether to re-place or drop them.
+  /// Refuses to crash the last alive overlay node.
+  StatusOr<FailureReport> FailNode(NodeId n);
+  /// Brings a crashed node back: re-publishes its full coordinate into the
+  /// index (ring Join + restabilization) with zero service load. The node
+  /// keeps its last known vector coordinate until online Vivaldi samples
+  /// refresh it — exactly how a real rejoin would start from stale state.
+  Status RejoinNode(NodeId n);
+  /// Soft link partition: multiplies the live latency of every pair that
+  /// crosses the cut (`group` vs. the rest) by `factor` until EndPartition.
+  /// One partition may be active at a time; the penalty re-applies on every
+  /// TickNetwork on top of fresh jitter.
+  Status BeginPartition(const std::vector<NodeId>& group, double factor);
+  /// Heals the active partition, restoring jittered (or base) latencies.
+  Status EndPartition();
+  bool partition_active() const { return partition_active_; }
 
   // --- load state ---
   double BaseLoad(NodeId n) const { return load_model_->load(n); }
@@ -161,9 +198,16 @@ class Sbon {
   /// instances left without users (their load deltas included). Shared by
   /// RemoveCircuit and the InstallCircuit failure rollback.
   void DetachCircuitFromServices(CircuitId circuit_id);
+  /// Releases one instance: reverses its load delta, drops its signature
+  /// entry, erases it. Returns the iterator past the erased instance. The
+  /// single release path shared by detach and crash eviction.
+  std::map<ServiceInstanceId, ServiceInstance>::iterator EraseService(
+      std::map<ServiceInstanceId, ServiceInstance>::iterator it);
   void ApplyServiceLoadDelta(NodeId host, double input_bytes_per_s,
                              double sign);
   void UpdateScalarMetrics();
+  /// Multiplies cross-cut pairs of the live matrix by the partition factor.
+  void ApplyPartitionToLive();
 
   net::Topology topo_;
   Options options_;
@@ -176,6 +220,12 @@ class Sbon {
   std::unique_ptr<dht::CoordinateIndex> index_;
   std::unique_ptr<net::LoadModel> load_model_;
   std::vector<NodeId> overlay_nodes_;
+  /// Per-node liveness (by node id); failed overlay nodes also leave
+  /// overlay_nodes_ until they rejoin.
+  std::vector<bool> alive_;
+  bool partition_active_ = false;
+  double partition_factor_ = 1.0;
+  std::vector<bool> partitioned_;  ///< by node id; one side of the cut
   std::vector<double> service_load_;
   dht::IndexQueryCost index_cost_;
   /// Full coordinate each node last published into the index (by node id);

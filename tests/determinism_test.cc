@@ -121,6 +121,38 @@ TEST(DeterminismTest, WorkloadGenerationIsReproducible) {
   }
 }
 
+// The churn subsystem must be provably zero-cost when disabled: an engine
+// run with no churn attached and one with a zero-rate ChurnModel attached
+// must stay bit-identical to each other across epochs — the model draws
+// from its own Rng (and not at all when every rate is zero), so the
+// pre-churn goldens and every fixed-seed regression remain valid.
+TEST(DeterminismTest, ChurnFreeAdvanceEpochIsBitIdenticalWithModelAttached) {
+  std::vector<std::string> fingerprints;
+  for (int variant = 0; variant < 2; ++variant) {
+    ScenarioOptions o;
+    o.size = TopologySize::kTiny;
+    o.seed = kSeed;
+    o.sbon.latency_jitter_sigma = 0.1;
+    ScenarioRunner run(o);
+    run.UseRandomCatalog(TestWorkloadParams(), 3);
+    const auto queries =
+        MakeQueries(run.sbon(), run.catalog(), TestWorkloadParams(), 3, 11);
+    for (const auto& q : queries) {
+      run.PlaceAndInstall(OptimizerKind::kIntegrated, q);
+    }
+    net::ChurnModel churn(run.sbon().overlay_nodes(),
+                          net::ChurnModel::Params{});  // all rates zero
+    engine::EpochOptions epoch;
+    epoch.dt = 1.0;
+    epoch.vivaldi_samples = 2;
+    epoch.churn = variant == 1 ? &churn : nullptr;
+    for (int e = 0; e < 4; ++e) run.engine().AdvanceEpoch(epoch);
+    EXPECT_EQ(run.engine().repair_stats().crashes, 0u);
+    fingerprints.push_back(OverlayFingerprint(run.sbon()));
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+}
+
 // Same seed => the full end-to-end pipeline (embedding + enumeration +
 // placement + mapping + installation) lands every service on the same host
 // and produces an identical overlay fingerprint.

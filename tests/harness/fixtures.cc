@@ -36,6 +36,14 @@ net::TransitStubParams TransitStubParamsFor(TopologySize size) {
       p.stub_domains_per_transit_node = 3;
       p.nodes_per_stub_domain = 8;
       break;
+    case TopologySize::kMedium:
+      // 4 transit + 4*3*21 = exactly 256 nodes (252 overlay hosts): the
+      // N=256 churn/stress sweep size.
+      p.transit_domains = 2;
+      p.transit_nodes_per_domain = 2;
+      p.stub_domains_per_transit_node = 3;
+      p.nodes_per_stub_domain = 21;
+      break;
     case TopologySize::kPaper:
       // Defaults already model the paper's ~600-node Figure 2 network.
       break;

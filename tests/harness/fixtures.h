@@ -19,9 +19,10 @@ namespace sbon::test {
 /// kTiny/kSmall; kPaper approximates the paper's ~600-node transit-stub
 /// network and is reserved for slower end-to-end suites.
 enum class TopologySize {
-  kTiny,   ///< 2x2 transit, ~50 nodes — fast unit-style fixtures
-  kSmall,  ///< 2x2 transit, ~100 nodes — e2e regression default
-  kPaper,  ///< 4x4 transit, ~600 nodes — paper-scale scenarios
+  kTiny,    ///< 2x2 transit, ~50 nodes — fast unit-style fixtures
+  kSmall,   ///< 2x2 transit, ~100 nodes — e2e regression default
+  kMedium,  ///< 2x2 transit, 256 nodes — stress/churn scenario sweeps
+  kPaper,   ///< 4x4 transit, ~600 nodes — paper-scale scenarios
 };
 
 /// Transit-stub parameters for a preset (deterministic, no RNG involved).

@@ -1,0 +1,252 @@
+#include "harness/scenario_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "harness/golden.h"
+
+namespace sbon::test {
+namespace {
+
+/// Rendered repair stats, appended to the overlay fingerprint so replay
+/// comparison pins the failure/repair path, not just the end state.
+std::string RepairFingerprint(const engine::RepairStats& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "repair crashes=%zu rejoins=%zu partitions=%zu heals=%zu "
+                "evicted=%zu orphaned=%zu repaired=%zu dropped=%zu\n",
+                r.crashes, r.rejoins, r.partitions, r.heals,
+                r.services_evicted, r.circuits_orphaned, r.queries_repaired,
+                r.queries_dropped);
+  return buf;
+}
+
+}  // namespace
+
+std::string CellName(const MatrixCell& cell) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "churn=%g jitter=%g hotspot=%g opt=%s seed=%llu",
+                cell.churn_rate, cell.jitter_sigma, cell.hotspot_frac,
+                OptimizerKindName(cell.optimizer),
+                static_cast<unsigned long long>(cell.seed));
+  return buf;
+}
+
+ScenarioMatrix::ScenarioMatrix(MatrixOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<MatrixCell> ScenarioMatrix::CrossProduct(
+    const std::vector<double>& churn_rates,
+    const std::vector<double>& jitter_sigmas,
+    const std::vector<double>& hotspot_fracs,
+    const std::vector<OptimizerKind>& optimizers,
+    const std::vector<uint64_t>& seeds) {
+  std::vector<MatrixCell> cells;
+  for (uint64_t seed : seeds) {
+    for (double rate : churn_rates) {
+      for (double jitter : jitter_sigmas) {
+        for (double hotspot : hotspot_fracs) {
+          for (OptimizerKind opt : optimizers) {
+            cells.push_back({rate, jitter, hotspot, opt, seed});
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<MatrixCell> ScenarioMatrix::Rotation(
+    const std::vector<double>& churn_rates,
+    const std::vector<double>& jitter_sigmas,
+    const std::vector<double>& hotspot_fracs,
+    const std::vector<OptimizerKind>& optimizers,
+    const std::vector<uint64_t>& seeds) {
+  std::vector<MatrixCell> cells;
+  cells.reserve(seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    cells.push_back({churn_rates[i % churn_rates.size()],
+                     jitter_sigmas[i % jitter_sigmas.size()],
+                     hotspot_fracs[i % hotspot_fracs.size()],
+                     optimizers[i % optimizers.size()], seeds[i]});
+  }
+  return cells;
+}
+
+void ScenarioMatrix::CheckLiveInvariants(const engine::StreamEngine& engine) {
+  const overlay::Sbon& sbon = engine.sbon();
+  const size_t num_nodes = sbon.topology().NumNodes();
+
+  // No orphaned service instances: every instance sits on an alive overlay
+  // node, serves at least one circuit, and every circuit it names exists.
+  for (const auto& [id, inst] : sbon.services()) {
+    EXPECT_TRUE(sbon.IsAlive(inst.host))
+        << "instance " << id << " hosted on dead node " << inst.host;
+    EXPECT_FALSE(inst.circuits.empty())
+        << "instance " << id << " serves no circuit";
+    for (CircuitId cid : inst.circuits) {
+      EXPECT_NE(sbon.FindCircuit(cid), nullptr)
+          << "instance " << id << " references missing circuit " << cid;
+    }
+  }
+
+  // Every registered circuit is fully placed on alive nodes, and its
+  // deployed (non-pinned, non-reused) vertices bind to live instances.
+  for (const auto& [cid, circuit] : sbon.circuits()) {
+    EXPECT_TRUE(circuit.FullyPlaced()) << "circuit " << cid << " unplaced";
+    for (const overlay::CircuitVertex& v : circuit.vertices()) {
+      ASSERT_NE(v.host, kInvalidNode);
+      ASSERT_LT(v.host, num_nodes);
+      EXPECT_TRUE(sbon.IsAlive(v.host))
+          << "circuit " << cid << " has a vertex on dead node " << v.host;
+      // Deployed vertices must bind a live instance; reused roots bind the
+      // shared instance they subscribe to, which must be live too (a
+      // repair must never leave a circuit subscribed to an instance whose
+      // chain was evicted).
+      if (!v.pinned && v.service != kInvalidService) {
+        EXPECT_NE(sbon.FindService(v.service), nullptr)
+            << "circuit " << cid << " binds missing instance " << v.service;
+      }
+    }
+  }
+
+  // Balanced load books: per-node service load equals the sum of hosted
+  // instance deltas (the same quantity ApplyServiceLoadDelta accumulates).
+  std::vector<double> expected(num_nodes, 0.0);
+  for (const auto& [id, inst] : sbon.services()) {
+    expected[inst.host] +=
+        inst.input_bytes_per_s * sbon.options().load_per_byte_per_s;
+  }
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    EXPECT_NEAR(sbon.ServiceLoad(n), expected[n], 1e-9)
+        << "load book of node " << n << " out of balance";
+  }
+
+  // Engine bookkeeping: every query's circuit exists and maps back to the
+  // same handle.
+  const engine::EngineSnapshot snapshot = engine.Snapshot();
+  EXPECT_EQ(snapshot.num_queries, engine.NumQueries());
+  for (const engine::QueryStats& qs : snapshot.queries) {
+    EXPECT_NE(sbon.FindCircuit(qs.circuit), nullptr)
+        << "query handle " << qs.handle.id << " maps to missing circuit";
+    EXPECT_EQ(engine.HandleOf(qs.circuit), qs.handle);
+  }
+}
+
+CellOutcome ScenarioMatrix::RunCellOnce(const MatrixCell& cell) {
+  CellOutcome outcome;
+  outcome.cell = cell;
+
+  engine::EngineOptions eo;
+  eo.topology = MakeTransitStubTopology(options_.size, cell.seed);
+  eo.sbon.seed = cell.seed;
+  eo.sbon.latency_jitter_sigma = cell.jitter_sigma;
+  eo.sbon.load_params.hotspot_frac = cell.hotspot_frac;
+  eo.optimizer = OptimizerKindName(cell.optimizer);
+  eo.config = TestOptimizerConfig();
+  auto created = engine::StreamEngine::Create(std::move(eo));
+  if (!created.ok()) {
+    ADD_FAILURE() << "engine creation failed: "
+                  << created.status().ToString();
+    return outcome;
+  }
+  engine::StreamEngine& eng = **created;
+
+  const query::WorkloadParams wp = TestWorkloadParams();
+  eng.SetCatalog(MakeCatalog(eng.sbon(), wp, cell.seed * 31 + 7));
+  const auto specs = MakeQueries(eng.sbon(), eng.catalog(), wp,
+                                 options_.queries, cell.seed * 131 + 13);
+
+  std::vector<engine::QueryHandle> handles;
+  std::set<engine::QueryHandle> submitted;
+  for (const query::QuerySpec& spec : specs) {
+    auto handle = eng.Submit(spec);
+    EXPECT_TRUE(handle.ok()) << "pre-churn submit failed: "
+                             << handle.status().ToString();
+    if (!handle.ok()) continue;
+    handles.push_back(*handle);
+    submitted.insert(*handle);
+  }
+  outcome.queries_submitted = handles.size();
+  EXPECT_FALSE(handles.empty());
+
+  net::ChurnModel::Params cp = options_.churn;
+  cp.crash_rate = cell.churn_rate;
+  cp.seed = cell.seed * 1000003 + 17;
+  net::ChurnModel churn(eng.sbon().overlay_nodes(), cp);
+
+  engine::EpochOptions epoch;
+  epoch.dt = options_.dt;
+  epoch.tick_network = true;
+  epoch.vivaldi_samples = options_.vivaldi_samples;
+  epoch.refresh_index = true;
+  epoch.refresh_epsilon = options_.refresh_epsilon;
+  epoch.churn = &churn;
+
+  for (size_t e = 0; e < options_.epochs; ++e) {
+    eng.AdvanceEpoch(epoch);
+    if (options_.check_every_epoch) {
+      SCOPED_TRACE("epoch " + std::to_string(e));
+      CheckLiveInvariants(eng);
+    }
+  }
+  if (!options_.check_every_epoch) CheckLiveInvariants(eng);
+
+  // Handle stability: every surviving query still answers to a handle from
+  // the original submission — repairs swap circuits, never handles — and
+  // the submitted population is fully accounted for as alive + dropped.
+  const engine::EngineSnapshot snapshot = eng.Snapshot();
+  outcome.repair = snapshot.repair;
+  outcome.queries_alive = snapshot.num_queries;
+  for (const engine::QueryStats& qs : snapshot.queries) {
+    EXPECT_TRUE(submitted.count(qs.handle) == 1)
+        << "unknown handle " << qs.handle.id << " appeared";
+  }
+  EXPECT_EQ(handles.size(),
+            outcome.queries_alive + snapshot.repair.queries_dropped);
+  outcome.fingerprint =
+      OverlayFingerprint(eng.sbon()) + RepairFingerprint(snapshot.repair);
+
+  // Full teardown: removing every surviving query must leave zero service
+  // instances, zero circuits, and every node's load book at its base value.
+  for (engine::QueryHandle h : handles) {
+    (void)eng.Remove(h);  // dropped handles return NotFound; that's fine
+  }
+  EXPECT_EQ(eng.NumQueries(), 0u);
+  EXPECT_EQ(eng.sbon().NumServices(), 0u);
+  EXPECT_TRUE(eng.sbon().circuits().empty());
+  for (NodeId n = 0; n < eng.sbon().topology().NumNodes(); ++n) {
+    EXPECT_NEAR(eng.sbon().ServiceLoad(n), 0.0, 1e-9)
+        << "node " << n << " retains service load after full removal";
+  }
+  return outcome;
+}
+
+CellOutcome ScenarioMatrix::RunCell(const MatrixCell& cell) {
+  SCOPED_TRACE(CellName(cell));
+  CellOutcome outcome = RunCellOnce(cell);
+  if (options_.check_replay) {
+    SCOPED_TRACE("replay");
+    const CellOutcome replay = RunCellOnce(cell);
+    EXPECT_EQ(outcome.fingerprint, replay.fingerprint)
+        << "replay of an identical cell diverged";
+    EXPECT_EQ(outcome.queries_alive, replay.queries_alive);
+  }
+  return outcome;
+}
+
+std::vector<CellOutcome> ScenarioMatrix::Run(
+    const std::vector<MatrixCell>& cells) {
+  std::vector<CellOutcome> outcomes;
+  outcomes.reserve(cells.size());
+  for (const MatrixCell& cell : cells) {
+    outcomes.push_back(RunCell(cell));
+  }
+  return outcomes;
+}
+
+}  // namespace sbon::test
