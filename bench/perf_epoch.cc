@@ -14,13 +14,24 @@
 // --epochs=E, --epsilon=X (refresh displacement threshold, cost-space
 // units), --churn-rate=R (expected node crashes per epoch in the churn
 // section; crashed hosts evict their services and the engine re-places
-// orphaned queries under their original handles).
+// orphaned queries under their original handles), --threads=T (worker
+// threads for the epoch pipeline's parallel stages; results are
+// bit-identical at any T).
+//
+// The `parallel` section measures the pure AdvanceEpoch pipeline (no
+// submit/remove churn in the loop) at threads=1 vs threads=4 and verifies
+// the two runs end bit-identical. `hw_threads` records the hardware
+// concurrency the numbers were taken on — on a single-core box the
+// speedup is necessarily ~1x; the CI release-perf lane regenerates the
+// JSON on multi-core runners.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <new>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -78,7 +89,7 @@ struct EpochLoopResult {
 // handle-stable repair of orphaned queries.
 EpochLoopResult RunEpochLoop(size_t nodes, size_t queries, size_t epochs,
                              double epsilon, uint64_t seed,
-                             double churn_rate = 0.0) {
+                             double churn_rate = 0.0, size_t threads = 1) {
   engine::EngineOptions opts;
   opts.sbon.latency_jitter_sigma = 0.1;
   auto eng = bench::MakeTransitStubEngine(nodes, seed, std::move(opts));
@@ -113,6 +124,7 @@ EpochLoopResult RunEpochLoop(size_t nodes, size_t queries, size_t epochs,
   epoch.vivaldi_samples = 1;
   epoch.refresh_index = true;
   epoch.refresh_epsilon = epsilon;
+  epoch.threads = threads;
   // Stack-constructed (a heap ChurnModel here trips gcc's
   // -Wmismatched-new-delete against this file's counting operator new);
   // only attached when the churn section is measured.
@@ -154,6 +166,76 @@ EpochLoopResult RunEpochLoop(size_t nodes, size_t queries, size_t epochs,
   out.refresh.quiet_refreshes =
       after.quiet_refreshes - before.quiet_refreshes;
   out.repair = eng->repair_stats();
+  return out;
+}
+
+struct PipelineRunResult {
+  double ns_per_epoch = 0.0;
+  uint64_t fingerprint = 0;  ///< bit-pattern hash of coords + live latency
+};
+
+// FNV-1a over the bit patterns of the parallel stages' outputs: every
+// vector coordinate, every scalar penalty, and the live latency matrix.
+// Two runs that are bit-identical hash identically; a single differing ulp
+// anywhere does not.
+uint64_t StateFingerprint(const overlay::Sbon& sbon) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto& space = sbon.cost_space();
+  for (NodeId n = 0; n < space.NumNodes(); ++n) {
+    const Vec& v = space.VectorCoord(n);
+    for (size_t d = 0; d < v.dims(); ++d) mix(v[d]);
+    mix(space.ScalarPenalty(n));
+  }
+  const size_t nn = sbon.topology().NumNodes();
+  const double* lat = sbon.latency().data();
+  for (size_t i = 0; i < nn * nn; ++i) mix(lat[i]);
+  return h;
+}
+
+// The pure epoch pipeline (AdvanceEpoch only, no submit/remove churn in
+// the loop) under a realistic maintenance epoch: jitter resample, ambient
+// load, 4 online Vivaldi samples per node, dirty refresh. This is the
+// workload the `parallel` JSON section compares across thread counts —
+// identical seeds must end in bit-identical state at any thread count.
+PipelineRunResult RunPipelineOnly(size_t nodes, size_t queries,
+                                  size_t epochs, size_t threads,
+                                  uint64_t seed) {
+  engine::EngineOptions opts;
+  opts.sbon.latency_jitter_sigma = 0.1;
+  auto eng = bench::MakeTransitStubEngine(nodes, seed, std::move(opts));
+  overlay::Sbon& sbon = eng->sbon();
+
+  query::WorkloadParams wp;
+  wp.num_streams = 48;
+  eng->SetCatalog(query::RandomCatalog(wp, sbon.overlay_nodes(), &sbon.rng()));
+  for (size_t q = 0; q < queries; ++q) {
+    (void)eng->Submit(query::RandomQuery(wp, eng->catalog(),
+                                         sbon.overlay_nodes(), &sbon.rng()));
+  }
+
+  engine::EpochOptions epoch;
+  epoch.dt = 1.0;
+  epoch.tick_network = true;
+  epoch.vivaldi_samples = 4;
+  epoch.refresh_index = true;
+  epoch.refresh_epsilon = 1.0;
+  epoch.threads = threads;
+  eng->AdvanceEpoch(epoch);  // warm-up (pool spawn, cold caches)
+
+  PipelineRunResult out;
+  const Clock::time_point start = Clock::now();
+  for (size_t e = 0; e < epochs; ++e) eng->AdvanceEpoch(epoch);
+  out.ns_per_epoch = NsSince(start) / static_cast<double>(epochs);
+  out.fingerprint = StateFingerprint(sbon);
   return out;
 }
 
@@ -214,13 +296,17 @@ int main(int argc, char** argv) {
   const size_t epochs = std::max<size_t>(
       1, sbon::bench::FlagOr(argc, argv, "epochs", smoke ? 4 : 32));
   const double epsilon = sbon::bench::DoubleFlagOr(argc, argv, "epsilon", 1.0);
+  const size_t threads =
+      std::max<size_t>(1, sbon::bench::FlagOr(argc, argv, "threads", 1));
 
-  std::printf("perf_epoch: N=%zu nodes, Q=%zu queries, E=%zu epochs\n",
-              nodes, queries, epochs);
+  std::printf("perf_epoch: N=%zu nodes, Q=%zu queries, E=%zu epochs, "
+              "T=%zu threads\n",
+              nodes, queries, epochs, threads);
 
   sbon::bench::Section("Epoch+Submit throughput (dirty refresh, epsilon)");
-  const auto primary =
-      sbon::RunEpochLoop(nodes, queries, epochs, epsilon, /*seed=*/42);
+  const auto primary = sbon::RunEpochLoop(nodes, queries, epochs, epsilon,
+                                          /*seed=*/42, /*churn_rate=*/0.0,
+                                          threads);
   std::printf(
       "epsilon=%-4g  %10.0f ns/epoch  %10.0f ns/submit  %zu queries\n"
       "              republished=%zu skipped=%zu quiet_refreshes=%zu/%zu\n",
@@ -231,7 +317,8 @@ int main(int argc, char** argv) {
 
   sbon::bench::Section("Epoch+Submit throughput (epsilon=0: every change)");
   const auto eps0 = sbon::RunEpochLoop(nodes, queries, epochs, 0.0,
-                                       /*seed=*/42);
+                                       /*seed=*/42, /*churn_rate=*/0.0,
+                                       threads);
   std::printf("epsilon=0     %10.0f ns/epoch  %10.0f ns/submit\n",
               eps0.ns_per_epoch, eps0.ns_per_submit);
 
@@ -239,7 +326,7 @@ int main(int argc, char** argv) {
   const double churn_rate =
       sbon::bench::DoubleFlagOr(argc, argv, "churn-rate", 0.5);
   const auto churned = sbon::RunEpochLoop(nodes, queries, epochs, epsilon,
-                                          /*seed=*/42, churn_rate);
+                                          /*seed=*/42, churn_rate, threads);
   std::printf(
       "churn=%-5g  %10.0f ns/epoch  (%+0.0f%% vs churn-free)\n"
       "              crashes=%zu rejoins=%zu evicted=%zu orphaned=%zu "
@@ -251,6 +338,32 @@ int main(int argc, char** argv) {
       churned.repair.crashes, churned.repair.rejoins,
       churned.repair.services_evicted, churned.repair.circuits_orphaned,
       churned.repair.queries_repaired, churned.repair.queries_dropped);
+
+  sbon::bench::Section("Parallel epoch pipeline (AdvanceEpoch only)");
+  const size_t hw_threads = std::max(1u, std::thread::hardware_concurrency());
+  const size_t par_threads = std::max<size_t>(4, threads);
+  const auto pipe1 =
+      sbon::RunPipelineOnly(nodes, queries, epochs, /*threads=*/1, 42);
+  const auto pipeN =
+      sbon::RunPipelineOnly(nodes, queries, epochs, par_threads, 42);
+  const bool bit_identical = pipe1.fingerprint == pipeN.fingerprint;
+  const double speedup =
+      pipeN.ns_per_epoch > 0.0 ? pipe1.ns_per_epoch / pipeN.ns_per_epoch
+                               : 0.0;
+  std::printf(
+      "threads=1     %10.0f ns/epoch\n"
+      "threads=%-4zu  %10.0f ns/epoch   speedup %.2fx  (hw threads: %zu)\n"
+      "state fingerprints %s\n",
+      pipe1.ns_per_epoch, par_threads, pipeN.ns_per_epoch, speedup,
+      hw_threads, bit_identical ? "bit-identical across thread counts"
+                                : "DIVERGED ACROSS THREAD COUNTS");
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: thread count changed results (t1=%016llx tN=%016llx)\n",
+                 static_cast<unsigned long long>(pipe1.fingerprint),
+                 static_cast<unsigned long long>(pipeN.fingerprint));
+    return 1;
+  }
 
   sbon::bench::Section("Hot-loop allocation audit");
   const double vivaldi_allocs = sbon::MeasureVivaldiAllocs();
@@ -294,6 +407,15 @@ int main(int argc, char** argv) {
         "  \"refreshes\": %zu,\n"
         "  \"allocs_per_vivaldi_update\": %g,\n"
         "  \"allocs_per_knearest\": %g,\n"
+        "  \"parallel\": {\n"
+        "    \"hw_threads\": %zu,\n"
+        "    \"threads\": %zu,\n"
+        "    \"vivaldi_samples\": 4,\n"
+        "    \"ns_per_epoch_threads1\": %.1f,\n"
+        "    \"ns_per_epoch_threadsN\": %.1f,\n"
+        "    \"speedup\": %.2f,\n"
+        "    \"bit_identical\": %s\n"
+        "  },\n"
         "  \"churn\": {\n"
         "    \"crash_rate\": %g,\n"
         "    \"ns_per_epoch\": %.1f,\n"
@@ -310,6 +432,8 @@ int main(int argc, char** argv) {
         primary.allocs_per_epoch, primary.refresh.republished,
         primary.refresh.skipped, primary.refresh.quiet_refreshes,
         primary.refresh.refreshes, vivaldi_allocs, knearest_allocs,
+        hw_threads, par_threads, pipe1.ns_per_epoch, pipeN.ns_per_epoch,
+        speedup, bit_identical ? "true" : "false",
         churn_rate, churned.ns_per_epoch, churned.repair.crashes,
         churned.repair.rejoins, churned.repair.services_evicted,
         churned.repair.circuits_orphaned, churned.repair.queries_repaired,

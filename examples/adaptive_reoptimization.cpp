@@ -1,14 +1,16 @@
 // Adaptive re-optimization under network dynamics (paper Sec. 2 & 3.3):
 // long-running circuits outlive the conditions they were optimized for.
-// This example drives a discrete-event simulation where node loads evolve
-// as stochastic processes, and compares a static deployment against one
-// that periodically runs local re-optimization (service migration) with an
-// occasional full re-plan.
+// This example drives the engine's epoch pipeline over 120 simulated time
+// units, where node loads evolve as stochastic processes and congestion
+// epochs periodically reshuffle latencies, and compares a static deployment
+// against one that periodically runs local re-optimization (service
+// migration) with an occasional full re-plan.
 //
-// Everything goes through the StreamEngine lifecycle: AdvanceEpoch replaces
-// the Tick/TickNetwork/UpdateCoordinatesOnline/RefreshIndex dance, and
-// Reoptimize keeps query handles valid across full re-plans (no manual
-// circuit-id juggling when a re-plan swaps the circuit).
+// Everything goes through the StreamEngine lifecycle: each simulated time
+// unit is one AdvanceEpoch (the explicit jitter -> load -> coords ->
+// churn -> refresh pipeline), and Reoptimize keeps query handles valid
+// across full re-plans — no manual circuit-id juggling when a re-plan
+// swaps the circuit.
 
 #include <algorithm>
 #include <cstdio>
@@ -18,7 +20,6 @@
 
 #include "engine/stream_engine.h"
 #include "net/generators.h"
-#include "overlay/event_sim.h"
 #include "query/workload.h"
 
 namespace {
@@ -66,59 +67,52 @@ RunResult Simulate(bool adaptive, uint64_t seed) {
     if (handle.ok()) deployed.push_back(*handle);
   }
 
-  sbon::overlay::EventSim sim;
   RunResult result;
   size_t samples = 0;
 
-  // Load dynamics every 1 time unit; index refresh follows.
-  sim.SchedulePeriodic(1.0, [&] {
+  constexpr int kHorizon = 120;
+  for (int t = 1; t <= kHorizon; ++t) {
+    // Load dynamics every time unit; the index refresh publishes the fresh
+    // scalars. A congestion epoch every 15 units resamples latency jitter
+    // and lets coordinates track the new latencies online.
     sbon::engine::EpochOptions epoch;
     epoch.dt = 1.0;
-    epoch.tick_network = false;
+    const bool congestion = t % 15 == 0;
+    epoch.tick_network = congestion;
+    epoch.vivaldi_samples = congestion ? 8 : 0;
     engine->AdvanceEpoch(epoch);
-  }, /*until=*/120.0);
 
-  // Congestion epochs every 15 units; coordinates track them online.
-  sim.SchedulePeriodic(15.0, [&] {
-    sbon::engine::EpochOptions epoch;
-    epoch.dt = 0.0;
-    epoch.tick_network = true;
-    epoch.vivaldi_samples = 8;
-    epoch.refresh_index = false;
-    engine->AdvanceEpoch(epoch);
-  }, 120.0);
-
-  // Cost sampling every 5 units.
-  sim.SchedulePeriodic(5.0, [&] {
-    for (sbon::engine::QueryHandle handle : deployed) {
-      auto cost = engine->CurrentEstimatedCost(handle);
-      if (cost.ok()) {
-        result.mean_cost += *cost;
-        ++samples;
+    // Cost sampling every 5 units.
+    if (t % 5 == 0) {
+      for (sbon::engine::QueryHandle handle : deployed) {
+        auto cost = engine->CurrentEstimatedCost(handle);
+        if (cost.ok()) {
+          result.mean_cost += *cost;
+          ++samples;
+        }
       }
     }
-  }, 120.0);
 
-  if (adaptive) {
-    // Local re-optimization every 10 units; full re-plan every 40.
-    sim.SchedulePeriodic(10.0, [&] {
-      for (sbon::engine::QueryHandle handle : deployed) {
-        sbon::engine::ReoptPolicy policy;  // defaults to Mode::kLocal
-        auto outcome = engine->Reoptimize(handle, policy);
-        if (outcome.ok()) result.migrations += outcome->local.migrations;
+    if (adaptive) {
+      // Local re-optimization every 10 units; full re-plan every 40.
+      if (t % 10 == 0) {
+        for (sbon::engine::QueryHandle handle : deployed) {
+          sbon::engine::ReoptPolicy policy;  // defaults to Mode::kLocal
+          auto outcome = engine->Reoptimize(handle, policy);
+          if (outcome.ok()) result.migrations += outcome->local.migrations;
+        }
       }
-    }, 120.0);
-    sim.SchedulePeriodic(40.0, [&] {
-      for (sbon::engine::QueryHandle handle : deployed) {
-        sbon::engine::ReoptPolicy policy;
-        policy.mode = sbon::engine::ReoptPolicy::Mode::kFull;
-        auto outcome = engine->Reoptimize(handle, policy);
-        if (outcome.ok() && outcome->full.redeployed) ++result.replans;
+      if (t % 40 == 0) {
+        for (sbon::engine::QueryHandle handle : deployed) {
+          sbon::engine::ReoptPolicy policy;
+          policy.mode = sbon::engine::ReoptPolicy::Mode::kFull;
+          auto outcome = engine->Reoptimize(handle, policy);
+          if (outcome.ok() && outcome->full.redeployed) ++result.replans;
+        }
       }
-    }, 120.0);
+    }
   }
 
-  sim.RunUntil(120.0);
   if (samples > 0) result.mean_cost /= static_cast<double>(samples);
   return result;
 }

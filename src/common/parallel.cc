@@ -1,0 +1,87 @@
+#include "common/parallel.h"
+
+namespace sbon {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::DrainShards() {
+  // Shards are claimed under the lock; the (caller-supplied) work runs
+  // outside it. Claim order is first-come, but shard *results* may not
+  // depend on claim order (ThreadPool contract), so this dynamic schedule
+  // stays deterministic in outcome while balancing uneven shard costs.
+  std::size_t done = 0;
+  for (;;) {
+    std::size_t shard;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_shard_ >= job_shards_) return done;
+      shard = next_shard_++;
+    }
+    (*job_)(shard);
+    ++done;
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation &&
+                         next_shard_ < job_shards_);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    const std::size_t done = DrainShards();
+    if (done > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      remaining_ -= done;
+      if (remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::Run(std::size_t shards,
+                     const std::function<void(std::size_t)>& fn) {
+  if (shards == 0) return;
+  if (workers_.empty() || shards == 1) {
+    for (std::size_t s = 0; s < shards; ++s) fn(s);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_shards_ = shards;
+    next_shard_ = 0;
+    remaining_ = shards;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  const std::size_t done = DrainShards();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    remaining_ -= done;
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+    job_shards_ = 0;
+  }
+}
+
+}  // namespace sbon

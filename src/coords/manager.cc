@@ -1,0 +1,259 @@
+#include "coords/manager.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace sbon::coords {
+
+StatusOr<std::unique_ptr<CoordinateManager>> CoordinateManager::Build(
+    Params params, const net::LatencyMatrix& lat, Rng* rng) {
+  const size_t n = lat.NumNodes();
+  std::unique_ptr<CoordinateManager> mgr(new CoordinateManager());
+  mgr->params_ = params;
+
+  std::vector<Vec> coords;
+  switch (params.mode) {
+    case CoordMode::kVivaldi: {
+      VivaldiSystem::Params vp = params.vivaldi;
+      vp.dims = params.spec.vector_dims();
+      mgr->vivaldi_ = std::make_unique<VivaldiSystem>(
+          RunVivaldi(lat, vp, params.vivaldi_run, rng));
+      coords.reserve(n);
+      for (NodeId i = 0; i < n; ++i) coords.push_back(mgr->vivaldi_->Coord(i));
+      break;
+    }
+    case CoordMode::kMds:
+    case CoordMode::kTrue: {
+      coords = ClassicalMds(lat, params.spec.vector_dims(), rng);
+      break;
+    }
+  }
+
+  mgr->space_ = std::make_unique<CostSpace>(params.spec, n);
+  for (NodeId i = 0; i < n; ++i) {
+    Status st = mgr->space_->SetVectorCoord(i, coords[i]);
+    if (!st.ok()) return st;
+  }
+  mgr->last_published_.assign(n, Vec());
+  return mgr;
+}
+
+void CoordinateManager::SetScalarMetrics(const std::vector<double>& raw) {
+  const size_t scalar_dims = params_.spec.num_scalar_dims();
+  if (scalar_dims == 0) return;
+  for (NodeId n = 0; n < space_->NumNodes(); ++n) {
+    // Dimension 0 is CPU load by convention of LatencyAndLoad; additional
+    // scalar dims (if any) default to the same metric.
+    for (size_t i = 0; i < scalar_dims; ++i) {
+      space_->SetScalarMetric(n, i, raw[n]);
+    }
+  }
+}
+
+void CoordinateManager::BuildIndex(const std::vector<NodeId>& overlay_nodes) {
+  std::vector<Vec> full_coords;
+  full_coords.reserve(overlay_nodes.size());
+  for (NodeId i : overlay_nodes) full_coords.push_back(space_->FullCoord(i));
+  // The quantizer box spans the vector part of all nodes plus the maximum
+  // scalar penalty range observed at full load, so republished coordinates
+  // under any load stay inside the box.
+  std::vector<Vec> box_points = full_coords;
+  {
+    // Add synthetic corner points with worst-case scalar penalty.
+    Vec worst = full_coords[0];
+    for (size_t d = params_.spec.vector_dims(); d < worst.dims(); ++d) {
+      const size_t scalar_i = d - params_.spec.vector_dims();
+      worst[d] = params_.spec.scalar_dim(scalar_i).weighting->Apply(1.0);
+    }
+    box_points.push_back(worst);
+  }
+  index_ = std::make_unique<dht::CoordinateIndex>(
+      dht::HilbertQuantizer::FitTo(box_points, params_.hilbert_bits));
+  for (size_t k = 0; k < overlay_nodes.size(); ++k) {
+    index_->Publish(overlay_nodes[k], full_coords[k]);
+    last_published_[overlay_nodes[k]] = std::move(full_coords[k]);
+  }
+  index_->Stabilize();
+}
+
+void CoordinateManager::UpdateCoordinatesOnline(
+    const net::LatencyMatrix& live, size_t samples_per_node,
+    const std::vector<bool>& alive, double rtt_noise_sigma, Rng* rng,
+    ThreadPool* pool) {
+  if (vivaldi_ == nullptr) return;
+  const size_t n = space_->NumNodes();
+  if (n < 2) return;
+  // Fewer than two alive nodes means no measurable pair (and the peer
+  // rejection loop below would never terminate).
+  if (static_cast<size_t>(std::count(alive.begin(), alive.end(), true)) < 2) {
+    return;
+  }
+
+  // Phase 1 — serial sample pre-draw, in exactly the order the legacy
+  // in-place sweep consumed the shared Rng (crashed nodes neither measure
+  // nor answer probes), so the overlay-wide RNG stream never shifts.
+  samples_.clear();
+  sample_end_.assign(n, 0);
+  for (NodeId self = 0; self < n; ++self) {
+    if (alive[self]) {
+      for (size_t s = 0; s < samples_per_node; ++s) {
+        NodeId peer;
+        do {
+          peer = static_cast<NodeId>(rng->UniformInt(n));
+        } while (peer == self || !alive[peer]);
+        double rtt = live.Latency(self, peer);
+        if (rtt_noise_sigma > 0.0) {
+          rtt *= std::exp(rng->Normal(0.0, rtt_noise_sigma));
+        }
+        samples_.push_back(Sample{peer, rtt});
+      }
+    }
+    sample_end_[self] = samples_.size();
+  }
+
+  // Phase 2 — spring updates. Serial semantics (the contract both paths
+  // implement): nodes update in index order, so a sample against a lower
+  // peer sees that peer's fully-updated epoch state and a sample against a
+  // higher peer sees its epoch-start state.
+  if (pool == nullptr || pool->threads() <= 1) {
+    for (NodeId self = 0; self < n; ++self) {
+      const size_t begin = self == 0 ? 0 : sample_end_[self - 1];
+      for (size_t k = begin; k < sample_end_[self]; ++k) {
+        vivaldi_->Update(self, samples_[k].peer, samples_[k].rtt);
+      }
+    }
+  } else {
+    // Wavefront execution. A node's updates may run as soon as every lower
+    // peer it samples has finished (flow dependency); reads of higher peers
+    // go to the epoch-start snapshot, which removes the anti-dependency
+    // serial order would otherwise impose. Generation numbers depend only
+    // on the pre-drawn samples, and nodes within a generation write
+    // disjoint state, so any thread count produces the serial result.
+    snap_coords_.resize(n);
+    snap_error_.resize(n);
+    for (NodeId i = 0; i < n; ++i) {
+      snap_coords_[i] = vivaldi_->Coord(i);
+      snap_error_[i] = vivaldi_->LocalError(i);
+    }
+    generation_.assign(n, 0);
+    size_t max_gen = 0;
+    for (NodeId self = 0; self < n; ++self) {
+      const size_t begin = self == 0 ? 0 : sample_end_[self - 1];
+      size_t g = 0;
+      for (size_t k = begin; k < sample_end_[self]; ++k) {
+        const NodeId peer = samples_[k].peer;
+        if (peer < self) g = std::max(g, generation_[peer] + 1);
+      }
+      generation_[self] = g;
+      max_gen = std::max(max_gen, g);
+    }
+    // Bucket nodes by generation, ascending node id within each bucket
+    // (counting sort; order inside a bucket is irrelevant for correctness
+    // but kept deterministic anyway).
+    wave_begin_.assign(max_gen + 2, 0);
+    for (NodeId self = 0; self < n; ++self) {
+      const size_t begin = self == 0 ? 0 : sample_end_[self - 1];
+      if (begin < sample_end_[self]) ++wave_begin_[generation_[self] + 1];
+    }
+    for (size_t g = 1; g < wave_begin_.size(); ++g) {
+      wave_begin_[g] += wave_begin_[g - 1];
+    }
+    wave_order_.resize(wave_begin_.back());
+    {
+      std::vector<size_t> cursor(wave_begin_.begin(),
+                                 wave_begin_.end() - 1);
+      for (NodeId self = 0; self < n; ++self) {
+        const size_t begin = self == 0 ? 0 : sample_end_[self - 1];
+        if (begin < sample_end_[self]) {
+          wave_order_[cursor[generation_[self]]++] = self;
+        }
+      }
+    }
+    for (size_t g = 0; g <= max_gen; ++g) {
+      const size_t bucket_begin = wave_begin_[g];
+      const size_t bucket_size = wave_begin_[g + 1] - bucket_begin;
+      ParallelSlices(pool, bucket_size, [&](size_t lo, size_t hi) {
+        for (size_t w = lo; w < hi; ++w) {
+          const NodeId self = wave_order_[bucket_begin + w];
+          const size_t begin = self == 0 ? 0 : sample_end_[self - 1];
+          for (size_t k = begin; k < sample_end_[self]; ++k) {
+            const NodeId peer = samples_[k].peer;
+            if (peer < self) {
+              // Lower peer: finished in an earlier generation; live state.
+              vivaldi_->UpdateAgainst(self, peer, vivaldi_->Coord(peer),
+                                      vivaldi_->LocalError(peer),
+                                      samples_[k].rtt);
+            } else {
+              vivaldi_->UpdateAgainst(self, peer, snap_coords_[peer],
+                                      snap_error_[peer], samples_[k].rtt);
+            }
+          }
+        }
+      });
+    }
+  }
+
+  for (NodeId i = 0; i < n; ++i) {
+    space_->SetVectorCoord(i, vivaldi_->Coord(i));
+  }
+}
+
+void CoordinateManager::RefreshIndex(const std::vector<NodeId>& overlay_nodes,
+                                     double epsilon, ThreadPool* pool) {
+  refresh_stats_.refreshes += 1;
+  const double eps2 = epsilon * epsilon;
+  const size_t m = overlay_nodes.size();
+  // Phase 1 — displacement scan (sharded): recompute every overlay node's
+  // full coordinate and flag the ones displaced beyond epsilon. Each slot
+  // is written by exactly one shard; dirty_ is byte-wide because
+  // vector<bool> packs bits and adjacent writes would race.
+  dirty_.assign(m, 0);
+  if (full_scratch_.size() < m) full_scratch_.resize(m);
+  ParallelSlices(pool, m, [&](size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; ++k) {
+      const NodeId n = overlay_nodes[k];
+      full_scratch_[k] = space_->FullCoord(n);
+      // Strictly-greater: epsilon 0 republishes any changed coordinate and
+      // skips bit-identical ones (the ring state is the same either way).
+      dirty_[k] =
+          full_scratch_[k].DistanceSquaredTo(last_published_[n]) > eps2;
+    }
+  });
+  // Phase 2 — serial re-publish in node order (ring mutation), identical to
+  // the order the legacy single-pass refresh issued.
+  size_t republished = 0;
+  for (size_t k = 0; k < m; ++k) {
+    if (dirty_[k]) {
+      const NodeId n = overlay_nodes[k];
+      index_->Publish(n, full_scratch_[k]);
+      last_published_[n] = std::move(full_scratch_[k]);
+      ++republished;
+    } else {
+      refresh_stats_.skipped += 1;
+    }
+  }
+  refresh_stats_.republished += republished;
+  if (republished > 0) {
+    index_->Stabilize();
+  } else {
+    refresh_stats_.quiet_refreshes += 1;
+  }
+}
+
+void CoordinateManager::Withdraw(NodeId n) {
+  // Ring Leave: the index must stop returning the dead node immediately so
+  // repair placement cannot land replacements on it.
+  index_->Withdraw(n);
+  index_->Stabilize();
+  last_published_[n] = Vec();
+}
+
+void CoordinateManager::Publish(NodeId n) {
+  Vec full = space_->FullCoord(n);
+  index_->Publish(n, full);
+  last_published_[n] = std::move(full);
+  index_->Stabilize();
+}
+
+}  // namespace sbon::coords

@@ -1,0 +1,149 @@
+#ifndef SBON_COORDS_MANAGER_H_
+#define SBON_COORDS_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/vec.h"
+#include "coords/cost_space.h"
+#include "coords/mds.h"
+#include "coords/vivaldi.h"
+#include "dht/coord_index.h"
+#include "net/shortest_path.h"
+
+namespace sbon::coords {
+
+/// How vector coordinates are obtained.
+enum class CoordMode {
+  kVivaldi,  ///< decentralized Vivaldi embedding (deployable; default)
+  kMds,      ///< centralized classical-MDS oracle (ablation)
+  kTrue,     ///< no embedding: mapping/cost-space queries use MDS coords,
+             ///< but this mode is reserved for ablation harnesses
+};
+
+/// Cumulative counters of the dirty-driven index refresh (ring traffic a
+/// real deployment would pay to keep the coordinate catalog fresh).
+struct IndexRefreshStats {
+  size_t refreshes = 0;        ///< RefreshIndex calls
+  size_t republished = 0;      ///< ring re-publishes actually issued
+  size_t skipped = 0;          ///< node refreshes elided (moved <= epsilon)
+  size_t quiet_refreshes = 0;  ///< refreshes with zero re-publishes (no
+                               ///< ring Leave/Join and no restabilization)
+};
+
+/// The coordinate substrate of the overlay: the Vivaldi (or MDS) embedding,
+/// the cost space it feeds, the decentralized coordinate index over the
+/// overlay nodes' full coordinates, and the dirty-coordinate tracking that
+/// gates index re-publishes on displacement.
+///
+/// One of the three substrates `overlay::Sbon` composes (alongside
+/// net::NetworkFabric and overlay::ServiceLedger).
+///
+/// Two stages shard across an optional ThreadPool: the online Vivaldi epoch
+/// (dependency-wavefront execution of pre-drawn samples) and the refresh's
+/// dirty scan. Both replicate the serial index-order sweep exactly, so
+/// fixed-seed results are bit-identical at any thread count.
+class CoordinateManager {
+ public:
+  struct Params {
+    CostSpaceSpec spec = CostSpaceSpec::LatencyAndLoad();
+    CoordMode mode = CoordMode::kVivaldi;
+    VivaldiSystem::Params vivaldi;
+    VivaldiRunOptions vivaldi_run;
+    unsigned hilbert_bits = 10;
+  };
+
+  /// Embeds coordinates against `lat` — a full Vivaldi gossip run or a
+  /// classical-MDS solve, drawing from `rng` in exactly the order the
+  /// monolithic Sbon::Initialize always did — and fills the cost space's
+  /// vector part. Scalar metrics start at zero; call SetScalarMetrics then
+  /// BuildIndex to finish bring-up.
+  static StatusOr<std::unique_ptr<CoordinateManager>> Build(
+      Params params, const net::LatencyMatrix& lat, Rng* rng);
+
+  CoordinateManager(const CoordinateManager&) = delete;
+  CoordinateManager& operator=(const CoordinateManager&) = delete;
+
+  const CostSpace& space() const { return *space_; }
+  const dht::CoordinateIndex& index() const { return *index_; }
+  dht::IndexQueryCost& index_cost() { return index_cost_; }
+  const IndexRefreshStats& refresh_stats() const { return refresh_stats_; }
+  /// False for MDS/true-coordinate ablations (online epochs are a no-op).
+  bool online_updates_supported() const { return vivaldi_ != nullptr; }
+
+  /// Writes each node's raw scalar metric (by convention: total CPU load)
+  /// into every scalar dimension of the cost space. `raw` is indexed by
+  /// node id and must cover all nodes.
+  void SetScalarMetrics(const std::vector<double>& raw);
+
+  /// Builds the coordinate index over the overlay nodes' full coordinates:
+  /// fits the Hilbert quantizer box (vector span plus worst-case scalar
+  /// penalty corner), publishes every node, and stabilizes the ring.
+  void BuildIndex(const std::vector<NodeId>& overlay_nodes);
+
+  /// Online coordinate maintenance: every alive node takes
+  /// `samples_per_node` RTT measurements against `live` latencies and runs
+  /// Vivaldi updates, then the cost space's vector part is refreshed.
+  /// Sample draws come from `rng` in the legacy serial order; the updates
+  /// execute either in index order (serial) or as a dependency wavefront
+  /// over `pool` — bit-identical either way. No-op without Vivaldi.
+  void UpdateCoordinatesOnline(const net::LatencyMatrix& live,
+                               size_t samples_per_node,
+                               const std::vector<bool>& alive,
+                               double rtt_noise_sigma, Rng* rng,
+                               ThreadPool* pool = nullptr);
+
+  /// Dirty-driven index refresh: republishes the full coordinate of every
+  /// overlay node displaced more than `epsilon` (cost-space units) since
+  /// its last publish, then restabilizes the ring — unless nothing moved,
+  /// in which case the ring is left entirely untouched. The displacement
+  /// scan shards over `pool`; publishes stay serial in node order.
+  void RefreshIndex(const std::vector<NodeId>& overlay_nodes, double epsilon,
+                    ThreadPool* pool = nullptr);
+
+  /// Ring Leave on a crash: the index stops returning the node immediately
+  /// and its publish record is cleared.
+  void Withdraw(NodeId n);
+  /// Ring Join on a rejoin: republishes the node's current full coordinate
+  /// (stale vector part + fresh scalars) and restabilizes.
+  void Publish(NodeId n);
+
+ private:
+  CoordinateManager() = default;
+
+  /// One pre-drawn RTT measurement of the node it is bucketed under.
+  struct Sample {
+    NodeId peer;
+    double rtt;
+  };
+
+  Params params_;
+  std::unique_ptr<VivaldiSystem> vivaldi_;  // null for MDS/true modes
+  std::unique_ptr<CostSpace> space_;
+  std::unique_ptr<dht::CoordinateIndex> index_;
+  dht::IndexQueryCost index_cost_;
+  /// Full coordinate each node last published into the index (by node id);
+  /// RefreshIndex republishes only nodes displaced beyond its epsilon.
+  std::vector<Vec> last_published_;
+  IndexRefreshStats refresh_stats_;
+
+  // Reused scratch for the online-update and refresh stages (allocation-free
+  // in steady state).
+  std::vector<Sample> samples_;
+  std::vector<size_t> sample_end_;   ///< per node: end offset into samples_
+  std::vector<size_t> generation_;   ///< wavefront generation per node
+  std::vector<NodeId> wave_order_;   ///< nodes bucketed by generation
+  std::vector<size_t> wave_begin_;   ///< bucket boundaries into wave_order_
+  std::vector<Vec> snap_coords_;     ///< epoch-start coordinate snapshot
+  std::vector<double> snap_error_;   ///< epoch-start error snapshot
+  std::vector<Vec> full_scratch_;    ///< recomputed full coords (refresh)
+  std::vector<uint8_t> dirty_;       ///< per overlay node: moved > epsilon
+};
+
+}  // namespace sbon::coords
+
+#endif  // SBON_COORDS_MANAGER_H_

@@ -17,13 +17,19 @@ VivaldiSystem::VivaldiSystem(size_t num_nodes, const Params& params, Rng* rng)
 }
 
 void VivaldiSystem::Update(NodeId self, NodeId peer, double measured_rtt_ms) {
+  UpdateAgainst(self, peer, coords_[peer], error_[peer], measured_rtt_ms);
+}
+
+void VivaldiSystem::UpdateAgainst(NodeId self, NodeId peer,
+                                  const Vec& peer_coord, double peer_error,
+                                  double measured_rtt_ms) {
   const double rtt = std::max(measured_rtt_ms, params_.min_rtt_ms);
   Vec diff = coords_[self];
-  diff -= coords_[peer];
+  diff -= peer_coord;
   const double dist = diff.Norm();
   // Sample weight balances local vs remote confidence.
   const double w_self = error_[self];
-  const double w_peer = error_[peer];
+  const double w_peer = peer_error;
   const double w = (w_self + w_peer) > 0.0 ? w_self / (w_self + w_peer) : 0.5;
   // Relative error of this sample.
   const double es = std::abs(dist - rtt) / rtt;

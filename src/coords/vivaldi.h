@@ -36,6 +36,15 @@ class VivaldiSystem {
   /// (each node runs the update for its own measurements, as in Vivaldi).
   void Update(NodeId self, NodeId peer, double measured_rtt_ms);
 
+  /// Update reading the peer's state from explicit values instead of the
+  /// live arrays — the building block of the deterministic parallel online
+  /// update (coords::CoordinateManager feeds peers above `self` their
+  /// epoch-start snapshot and peers below their fully-updated state,
+  /// replicating the serial index-order sweep bit for bit). `peer` is still
+  /// needed for the deterministic tiebreak direction.
+  void UpdateAgainst(NodeId self, NodeId peer, const Vec& peer_coord,
+                     double peer_error, double measured_rtt_ms);
+
   /// Predicted latency between two nodes: coordinate distance.
   double Predict(NodeId a, NodeId b) const {
     return coords_[a].DistanceTo(coords_[b]);

@@ -1,0 +1,27 @@
+#include "engine/epoch_pipeline.h"
+
+#include <chrono>
+
+namespace sbon::engine {
+
+void EpochPipeline::Run(const char* name, bool enabled, bool parallelizable,
+                        const std::function<void(ThreadPool*)>& fn) {
+  EpochStageTrace entry;
+  entry.name = name;
+  if (enabled) {
+    ThreadPool* stage_pool =
+        parallelizable && pool_ != nullptr && pool_->threads() > 1 ? pool_
+                                                                   : nullptr;
+    const auto start = std::chrono::steady_clock::now();
+    fn(stage_pool);
+    entry.ran = true;
+    entry.sharded = stage_pool != nullptr;
+    entry.ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  trace_.push_back(entry);
+}
+
+}  // namespace sbon::engine

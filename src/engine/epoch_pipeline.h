@@ -1,0 +1,52 @@
+#ifndef SBON_ENGINE_EPOCH_PIPELINE_H_
+#define SBON_ENGINE_EPOCH_PIPELINE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace sbon::engine {
+
+/// One stage of an AdvanceEpoch run, as executed.
+struct EpochStageTrace {
+  const char* name = "";  ///< stage name (stable across epochs)
+  bool ran = false;       ///< stage was enabled this epoch
+  bool sharded = false;   ///< executed across the thread pool
+  double ns = 0.0;        ///< wall time spent in the stage
+};
+
+/// The explicit staged runner behind StreamEngine::AdvanceEpoch. An epoch
+/// is a fixed sequence of named stages over the overlay substrates
+/// (jitter -> load -> coords -> churn+repair -> refresh); the pipeline runs
+/// each enabled stage in order, hands the thread pool only to stages whose
+/// work is deterministically shardable, and records a per-stage trace
+/// (what ran, whether it sharded, how long it took) for introspection.
+///
+/// Stage *order* is the determinism backbone: every stage observes exactly
+/// the state the previous stages produced, and the shardable stages
+/// guarantee bit-identical results at any thread count (see the substrate
+/// contracts), so a fixed seed yields one answer no matter how the epoch
+/// was scheduled.
+class EpochPipeline {
+ public:
+  /// `pool` may be null (fully serial epoch). Not owned.
+  explicit EpochPipeline(ThreadPool* pool) : pool_(pool) {}
+
+  /// Runs `fn` as the next stage when `enabled`; always records the trace
+  /// entry (disabled stages record ran=false with zero time). `fn` receives
+  /// the pool when `parallelizable` and a multi-thread pool is attached,
+  /// null otherwise — serial-only stages never see the pool at all.
+  void Run(const char* name, bool enabled, bool parallelizable,
+           const std::function<void(ThreadPool*)>& fn);
+
+  const std::vector<EpochStageTrace>& trace() const { return trace_; }
+
+ private:
+  ThreadPool* pool_;
+  std::vector<EpochStageTrace> trace_;
+};
+
+}  // namespace sbon::engine
+
+#endif  // SBON_ENGINE_EPOCH_PIPELINE_H_

@@ -1,9 +1,29 @@
 #include "engine/stream_engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 namespace sbon::engine {
+
+namespace {
+
+/// Thread count an EpochOptions::threads of 0 resolves to: the
+/// SBON_EPOCH_THREADS environment variable when set to a positive integer
+/// (read once — how CI lanes run every suite multi-threaded), else 1.
+size_t DefaultEpochThreads() {
+  static const size_t threads = [] {
+    const char* env = std::getenv("SBON_EPOCH_THREADS");
+    if (env != nullptr) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) return static_cast<size_t>(parsed);
+    }
+    return size_t{1};
+  }();
+  return threads;
+}
+
+}  // namespace
 
 StreamEngine::StreamEngine(EngineOptions options)
     : default_optimizer_(std::move(options.optimizer)),
@@ -296,17 +316,43 @@ void StreamEngine::ApplyChurn(const std::vector<net::ChurnEvent>& events) {
   }
 }
 
-void StreamEngine::AdvanceEpoch(const EpochOptions& epoch) {
-  if (epoch.tick_network) sbon_->TickNetwork();
-  if (epoch.dt > 0.0) sbon_->Tick(epoch.dt);
-  if (epoch.vivaldi_samples > 0) {
-    sbon_->UpdateCoordinatesOnline(epoch.vivaldi_samples);
+ThreadPool* StreamEngine::PoolFor(size_t threads) {
+  if (threads <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->threads() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
   }
+  return pool_.get();
+}
+
+void StreamEngine::AdvanceEpoch(const EpochOptions& epoch) {
+  const size_t threads =
+      epoch.threads > 0 ? epoch.threads : DefaultEpochThreads();
+  EpochPipeline pipeline(PoolFor(threads));
+
+  // Stage order is the epoch's semantics: each stage sees exactly what the
+  // previous stages produced.
+  pipeline.Run("jitter", epoch.tick_network, /*parallelizable=*/true,
+               [&](ThreadPool* pool) { sbon_->TickNetwork(pool); });
+  // Ambient load is one serial O(n) sweep over the shared Rng stream.
+  pipeline.Run("load", epoch.dt > 0.0, /*parallelizable=*/false,
+               [&](ThreadPool*) { sbon_->Tick(epoch.dt); });
+  pipeline.Run("coords", epoch.vivaldi_samples > 0, /*parallelizable=*/true,
+               [&](ThreadPool* pool) {
+                 sbon_->UpdateCoordinatesOnline(epoch.vivaldi_samples, pool);
+               });
   // Churn lands after the network/load/coordinate updates (repairs place
   // against this epoch's state) and before the refresh (so the refresh
-  // publishes post-repair load for every surviving node).
-  if (epoch.churn != nullptr) ApplyChurn(epoch.churn->Step());
-  if (epoch.refresh_index) sbon_->RefreshIndex(epoch.refresh_epsilon);
+  // publishes post-repair load for every surviving node). Repairs stay
+  // ordered: each re-plan may legitimately reuse instances the previous
+  // repair just deployed, so the stage is sequential by design.
+  pipeline.Run("churn+repair", epoch.churn != nullptr,
+               /*parallelizable=*/false,
+               [&](ThreadPool*) { ApplyChurn(epoch.churn->Step()); });
+  pipeline.Run("refresh", epoch.refresh_index, /*parallelizable=*/true,
+               [&](ThreadPool* pool) {
+                 sbon_->RefreshIndex(epoch.refresh_epsilon, pool);
+               });
+  last_epoch_trace_ = pipeline.trace();
 }
 
 void StreamEngine::FillCurrentCost(QueryStats* stats) const {

@@ -8,10 +8,12 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/parallel.h"
 #include "common/status.h"
 #include "core/multi_query.h"
 #include "core/optimizer.h"
 #include "core/reopt.h"
+#include "engine/epoch_pipeline.h"
 #include "engine/registry.h"
 #include "net/churn.h"
 #include "net/topology.h"
@@ -87,6 +89,14 @@ struct EpochOptions {
   /// updates and before the index refresh. nullptr (the default) runs
   /// a bit-identical epoch to the pre-churn engine. Not owned.
   net::ChurnModel* churn = nullptr;
+  /// Worker threads for the parallelizable pipeline stages (jitter rows,
+  /// per-node Vivaldi updates, the refresh dirty scan). 1 = fully serial.
+  /// 0 (the default) resolves from the SBON_EPOCH_THREADS environment
+  /// variable when set (how the CI ThreadSanitizer lane runs the whole
+  /// suite multi-threaded without touching each test), else 1. Fixed-seed
+  /// results are bit-identical at any thread count — the pool changes only
+  /// how epochs are scheduled, never what they compute.
+  size_t threads = 0;
 };
 
 /// How Reoptimize should treat a query.
@@ -218,10 +228,17 @@ class StreamEngine {
   /// of them, so a re-plan can never reuse a surviving mid-chain instance
   /// whose feeder was just evicted.
   Status Repair(QueryHandle handle, const std::string& optimizer = {});
-  /// Advances simulated time one epoch: latency jitter, ambient load,
-  /// online coordinate maintenance, churn events (with repair), index
-  /// refresh — in that order.
+  /// Advances simulated time one epoch through the explicit staged
+  /// pipeline: jitter -> load -> coords -> churn+repair -> refresh (see
+  /// EpochPipeline). Stages whose work is deterministically shardable run
+  /// across `EpochOptions::threads` workers; results are bit-identical at
+  /// any thread count.
   void AdvanceEpoch(const EpochOptions& epoch = EpochOptions());
+  /// Per-stage trace of the most recent AdvanceEpoch (empty before the
+  /// first call): which stages ran, which sharded, and their wall time.
+  const std::vector<EpochStageTrace>& last_epoch_trace() const {
+    return last_epoch_trace_;
+  }
 
   /// Optimizes without deploying (compare-only flows, ablations).
   StatusOr<core::OptimizeResult> Optimize(const query::QuerySpec& spec,
@@ -306,6 +323,12 @@ class StreamEngine {
   /// Repair phase 2: re-optimizes and redeploys under the same handle.
   Status ReplanQuery(QueryHandle handle, const std::string& optimizer);
 
+  /// The epoch pipeline's worker pool, created lazily at the first
+  /// multi-threaded AdvanceEpoch and resized when the requested thread
+  /// count changes. Returns nullptr for threads <= 1 (serial epochs pay
+  /// zero threading overhead).
+  ThreadPool* PoolFor(size_t threads);
+
   std::string default_optimizer_;
   std::string default_placer_;
   core::OptimizerConfig default_config_;
@@ -320,6 +343,8 @@ class StreamEngine {
   std::map<CircuitId, QueryHandle> by_circuit_;
   uint64_t next_handle_ = 1;
   RepairStats repair_stats_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<EpochStageTrace> last_epoch_trace_;
 };
 
 }  // namespace sbon::engine

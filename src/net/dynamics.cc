@@ -32,8 +32,13 @@ void LoadModel::SetLoad(NodeId n, double load) {
 
 namespace {
 
-uint64_t SplitMix64(uint64_t* x) {
-  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+// The i-th output of a SplitMix64 stream seeded with `seed` (0-based). The
+// stream's state is affine in the call index (state_i = seed + (i+1)*gamma),
+// so any slice of an epoch's factors can be generated independently — the
+// hook the parallel Resample shards on — while matching the sequential walk
+// bit for bit.
+uint64_t SplitMix64At(uint64_t seed, size_t i) {
+  uint64_t z = seed + (static_cast<uint64_t>(i) + 1) * 0x9e3779b97f4a7c15ULL;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
@@ -67,28 +72,34 @@ LatencyJitter::LatencyJitter(size_t n, double sigma, Rng* rng)
   Resample(rng);
 }
 
-void LatencyJitter::Resample(Rng* rng) {
+void LatencyJitter::Resample(Rng* rng, ThreadPool* pool) {
   // One caller draw per epoch: keeps epochs independent and the caller's
   // stream cheap to reason about; the O(n^2) factors expand from it below.
-  const uint64_t epoch_seed = rng->Next();
+  epoch_seed_ = rng->Next();
   if (sigma_ <= 0.0) {
     std::fill(factors_.begin(), factors_.end(), 1.0);
     return;
   }
-  uint64_t s = epoch_seed;
-  for (double& f : factors_) {
+  ParallelSlices(pool, factors_.size(),
+                 [this](size_t begin, size_t end) {
+                   GenerateFactors(begin, end);
+                 });
+}
+
+void LatencyJitter::GenerateFactors(size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) {
     // CLT normal from the four 16-bit lanes of one SplitMix64 output:
     // mean 2, variance 1/3 before standardization; support bounded at
     // +/- 2*sqrt(3) sigma, which keeps factors within the multiplicative
     // bounds downstream consumers assume.
-    const uint64_t z = SplitMix64(&s);
+    const uint64_t z = SplitMix64At(epoch_seed_, i);
     const double sum = static_cast<double>(z & 0xffff) +
                        static_cast<double>((z >> 16) & 0xffff) +
                        static_cast<double>((z >> 32) & 0xffff) +
                        static_cast<double>(z >> 48);
     const double zn =
         (sum * (1.0 / 65536.0) - 2.0) * 1.7320508075688772;  // * sqrt(3)
-    f = FastExp(sigma_ * zn);
+    factors_[i] = FastExp(sigma_ * zn);
   }
 }
 
@@ -107,22 +118,45 @@ double LatencyJitter::Apply(NodeId a, NodeId b, double base_latency) const {
   return base_latency * Factor(a, b);
 }
 
-void LatencyJitter::ApplyAll(const LatencyMatrix& base,
-                             LatencyMatrix* live) const {
+void LatencyJitter::ApplyAll(const LatencyMatrix& base, LatencyMatrix* live,
+                             ThreadPool* pool) const {
   assert(base.NumNodes() == n_ && live->NumNodes() == n_);
   const double* in = base.data();
   double* out = live->MutableData();
-  for (NodeId a = 0; a < n_; ++a) {
-    // factors_[Index(a, a) + (b - a)] == Factor(a, b) for b >= a: walk the
-    // upper-triangle row contiguously instead of re-deriving the index.
-    const double* row_f = factors_.data() + Index(a, a);
-    out[a * n_ + a] = in[a * n_ + a];
-    for (NodeId b = a + 1; b < n_; ++b) {
-      const double v = in[a * n_ + b] * row_f[b - a];
-      out[a * n_ + b] = v;
-      out[b * n_ + a] = v;
+  if (pool == nullptr || pool->threads() <= 1) {
+    for (NodeId a = 0; a < n_; ++a) {
+      // factors_[Index(a, a) + (b - a)] == Factor(a, b) for b >= a: walk the
+      // upper-triangle row contiguously instead of re-deriving the index.
+      const double* row_f = factors_.data() + Index(a, a);
+      out[a * n_ + a] = in[a * n_ + a];
+      for (NodeId b = a + 1; b < n_; ++b) {
+        const double v = in[a * n_ + b] * row_f[b - a];
+        out[a * n_ + b] = v;
+        out[b * n_ + a] = v;
+      }
     }
+    return;
   }
+  // Parallel form: each slice owns whole output rows, so writes never cross
+  // threads. Every entry — mirror side included — is the product of the
+  // *upper-triangle* base entry and the symmetric factor, exactly what the
+  // serial triangle walk stores on both sides, so the result is bitwise
+  // identical (and bitwise symmetric) regardless of slicing.
+  ParallelSlices(pool, n_, [&](size_t row_begin, size_t row_end) {
+    for (size_t a = row_begin; a < row_end; ++a) {
+      double* row_out = out + a * n_;
+      for (size_t b = 0; b < n_; ++b) {
+        if (b == a) {
+          row_out[b] = in[a * n_ + a];
+        } else {
+          const size_t lo = a < b ? a : b;
+          const size_t hi = a < b ? b : a;
+          row_out[b] = in[lo * n_ + hi] * factors_[Index(
+                           static_cast<NodeId>(lo), static_cast<NodeId>(hi))];
+        }
+      }
+    }
+  });
 }
 
 }  // namespace sbon::net

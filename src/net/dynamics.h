@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "net/shortest_path.h"
 
@@ -55,13 +56,20 @@ class LoadModel {
 /// matrix write — dominates TickNetwork; this scheme is several times
 /// cheaper than exact Box-Muller + libm exp while staying deterministic
 /// per seed, symmetric, and mean-preserving (E[factor] = e^{sigma^2/2}).
+///
+/// Because the SplitMix64 state is affine in the call index, factor i is
+/// addressable directly from (epoch seed, i) — which is what lets Resample
+/// and ApplyAll shard across a ThreadPool with bit-identical results at any
+/// thread count (each slice computes exactly the values the serial walk
+/// would).
 class LatencyJitter {
  public:
   LatencyJitter(size_t n, double sigma, Rng* rng);
 
   /// Resamples all factors (a new congestion epoch). Consumes exactly one
-  /// draw from `rng` regardless of n.
-  void Resample(Rng* rng);
+  /// draw from `rng` regardless of n. `pool` (optional) shards the O(n^2)
+  /// factor generation.
+  void Resample(Rng* rng, ThreadPool* pool = nullptr);
 
   /// Jittered latency for base latency between a and b. The factor is
   /// symmetric: Factor(a,b) == Factor(b,a).
@@ -71,18 +79,24 @@ class LatencyJitter {
   /// pass over the flat row-major buffers (the whole-matrix equivalent of
   /// per-pair Apply+Set, without the per-pair triangle indexing). Diagonal
   /// entries are copied through unjittered. `base` and `live` must both
-  /// span the jitter's node count.
-  void ApplyAll(const LatencyMatrix& base, LatencyMatrix* live) const;
+  /// span the jitter's node count. `pool` (optional) shards the write by
+  /// matrix row; every entry is the same product either way, so the live
+  /// matrix comes out bit-identical at any thread count.
+  void ApplyAll(const LatencyMatrix& base, LatencyMatrix* live,
+                ThreadPool* pool = nullptr) const;
 
   double Factor(NodeId a, NodeId b) const;
 
  private:
   size_t n_;
   double sigma_;
+  uint64_t epoch_seed_ = 0;  ///< seed of the current factor epoch
   // One factor per node pair (upper triangle), stored densely.
   std::vector<double> factors_;
 
   size_t Index(NodeId a, NodeId b) const;
+  /// Fills factors_[begin, end) from epoch_seed_ (slice of one epoch).
+  void GenerateFactors(size_t begin, size_t end);
 };
 
 }  // namespace sbon::net

@@ -1,0 +1,82 @@
+#include "net/fabric.h"
+
+#include <utility>
+
+namespace sbon::net {
+
+NetworkFabric::NetworkFabric(const Topology& topo, double jitter_sigma,
+                             Rng* rng)
+    : n_(topo.NumNodes()) {
+  base_ = std::make_unique<LatencyMatrix>(topo);
+  live_ = std::make_unique<LatencyMatrix>(*base_);
+  if (jitter_sigma > 0.0) {
+    jitter_ = std::make_unique<LatencyJitter>(n_, jitter_sigma, rng);
+  }
+}
+
+void NetworkFabric::TickNetwork(Rng* rng, ThreadPool* pool) {
+  if (jitter_ == nullptr) return;
+  jitter_->Resample(rng, pool);
+  jitter_->ApplyAll(*base_, live_.get(), pool);
+  // ApplyAll rebuilt the live matrix from the pristine base, so an active
+  // partition's penalty must be re-applied on top of the fresh jitter.
+  if (partition_active_) ApplyPartitionToLive(pool);
+}
+
+Status NetworkFabric::BeginPartition(const std::vector<NodeId>& group,
+                                     double factor) {
+  if (partition_active_) {
+    return Status::FailedPrecondition("a partition is already active");
+  }
+  if (group.empty()) return Status::InvalidArgument("empty partition group");
+  if (factor < 1.0) {
+    return Status::InvalidArgument("partition factor must be >= 1");
+  }
+  partitioned_.assign(n_, false);
+  for (NodeId n : group) {
+    if (n >= n_) {
+      return Status::OutOfRange("partition member out of range");
+    }
+    partitioned_[n] = true;
+  }
+  partition_active_ = true;
+  partition_factor_ = factor;
+  ApplyPartitionToLive(nullptr);
+  return Status::OK();
+}
+
+Status NetworkFabric::EndPartition(ThreadPool* pool) {
+  if (!partition_active_) {
+    return Status::FailedPrecondition("no active partition");
+  }
+  partition_active_ = false;
+  // Restore the live matrix: current jitter factors over the pristine base
+  // (EndPartition is not a new congestion epoch, so no resample), or the
+  // base itself on a jitter-free overlay.
+  if (jitter_ != nullptr) {
+    jitter_->ApplyAll(*base_, live_.get(), pool);
+  } else {
+    *live_ = *base_;
+  }
+  return Status::OK();
+}
+
+void NetworkFabric::ApplyPartitionToLive(ThreadPool* pool) {
+  double* m = live_->MutableData();
+  // Each cross-cut entry is multiplied by the factor exactly once whether
+  // the walk is the serial triangle (both mirror entries per pair) or the
+  // row-sharded full sweep, so the result is identical either way.
+  ParallelSlices(pool, n_, [&](size_t row_begin, size_t row_end) {
+    for (size_t a = row_begin; a < row_end; ++a) {
+      const bool side = partitioned_[a];
+      double* row = m + a * n_;
+      for (size_t b = 0; b < n_; ++b) {
+        if (side != static_cast<bool>(partitioned_[b])) {
+          row[b] *= partition_factor_;
+        }
+      }
+    }
+  });
+}
+
+}  // namespace sbon::net

@@ -1,0 +1,77 @@
+#ifndef SBON_NET_FABRIC_H_
+#define SBON_NET_FABRIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/dynamics.h"
+#include "net/shortest_path.h"
+#include "net/topology.h"
+
+namespace sbon::net {
+
+/// The physical-network substrate of the overlay: the pristine all-pairs
+/// latency matrix, the live (jittered) view every cost measurement reads,
+/// the per-epoch congestion jitter, and the soft-partition overlay that
+/// inflates cross-cut latency during connectivity faults.
+///
+/// One of the three substrates `overlay::Sbon` composes (alongside
+/// coords::CoordinateManager and overlay::ServiceLedger). It owns latency
+/// state only — node liveness, load, and coordinates live elsewhere.
+///
+/// The jitter path (TickNetwork) shards across an optional ThreadPool by
+/// matrix row; results are bit-identical at any thread count (see
+/// LatencyJitter).
+class NetworkFabric {
+ public:
+  /// Builds the base matrix from `topo` (all-pairs shortest paths) and the
+  /// live view as a copy. `jitter_sigma > 0` attaches a LatencyJitter whose
+  /// construction consumes exactly one draw from `rng` — the same draw
+  /// order the monolithic Sbon::Initialize always had.
+  NetworkFabric(const Topology& topo, double jitter_sigma, Rng* rng);
+
+  NetworkFabric(const NetworkFabric&) = delete;
+  NetworkFabric& operator=(const NetworkFabric&) = delete;
+
+  /// The live latency view: jitter times base, partition penalty on top.
+  const LatencyMatrix& live() const { return *live_; }
+  /// The pristine matrix (before jitter/partition), for drift measurement.
+  const LatencyMatrix& base() const { return *base_; }
+  bool has_jitter() const { return jitter_ != nullptr; }
+  size_t NumNodes() const { return n_; }
+
+  /// Starts a new latency epoch: resamples pairwise jitter factors (one
+  /// draw from `rng`), rewrites the live matrix, and re-applies the active
+  /// partition's penalty on top of the fresh jitter. No-op without jitter.
+  void TickNetwork(Rng* rng, ThreadPool* pool = nullptr);
+
+  /// Soft link partition: multiplies the live latency of every pair that
+  /// crosses the cut (`group` vs. the rest) by `factor` until EndPartition.
+  /// One partition may be active at a time.
+  Status BeginPartition(const std::vector<NodeId>& group, double factor);
+  /// Heals the active partition, restoring jittered (or base) latencies.
+  Status EndPartition(ThreadPool* pool = nullptr);
+  bool partition_active() const { return partition_active_; }
+
+ private:
+  /// Multiplies cross-cut pairs of the live matrix by the partition factor.
+  /// Row-sharded when `pool` is given; each entry sees one multiply either
+  /// way, so the result is bit-identical at any thread count.
+  void ApplyPartitionToLive(ThreadPool* pool);
+
+  size_t n_;
+  std::unique_ptr<LatencyMatrix> base_;  // pristine
+  std::unique_ptr<LatencyMatrix> live_;  // jittered + partitioned view
+  std::unique_ptr<LatencyJitter> jitter_;
+  bool partition_active_ = false;
+  double partition_factor_ = 1.0;
+  std::vector<bool> partitioned_;  ///< by node id; one side of the cut
+};
+
+}  // namespace sbon::net
+
+#endif  // SBON_NET_FABRIC_H_

@@ -1,10 +1,6 @@
 #include "overlay/sbon.h"
 
 #include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <iterator>
-#include <set>
 #include <utility>
 
 namespace sbon::overlay {
@@ -21,6 +17,15 @@ StatusOr<std::unique_ptr<Sbon>> Sbon::Create(net::Topology topo,
   if (!topo.IsConnected()) {
     return Status::InvalidArgument("topology must be connected");
   }
+  if (options.latency_jitter_sigma < 0.0) {
+    return Status::InvalidArgument("latency_jitter_sigma must be >= 0");
+  }
+  if (options.hilbert_bits < 1 || options.hilbert_bits > 16) {
+    return Status::InvalidArgument("hilbert_bits must be in [1, 16]");
+  }
+  if (options.load_per_byte_per_s <= 0.0) {
+    return Status::InvalidArgument("load_per_byte_per_s must be > 0");
+  }
   std::unique_ptr<Sbon> s(new Sbon(std::move(topo), std::move(options)));
   Status st = s->Initialize();
   if (!st.ok()) return st;
@@ -34,76 +39,38 @@ Status Sbon::Initialize() {
     return Status::InvalidArgument("no overlay-eligible nodes");
   }
   alive_.assign(n, true);
-  base_lat_ = std::make_unique<net::LatencyMatrix>(topo_);
-  lat_ = std::make_unique<net::LatencyMatrix>(*base_lat_);
-  if (options_.latency_jitter_sigma > 0.0) {
-    jitter_ = std::make_unique<net::LatencyJitter>(
-        n, options_.latency_jitter_sigma, &rng_);
-  }
 
-  // Vector coordinates.
-  std::vector<Vec> coords;
-  switch (options_.coord_mode) {
-    case CoordMode::kVivaldi: {
-      coords::VivaldiSystem::Params vp = options_.vivaldi_params;
-      vp.dims = options_.space_spec.vector_dims();
-      vivaldi_ = std::make_unique<coords::VivaldiSystem>(
-          coords::RunVivaldi(*lat_, vp, options_.vivaldi_run, &rng_));
-      coords.reserve(n);
-      for (NodeId i = 0; i < n; ++i) coords.push_back(vivaldi_->Coord(i));
-      break;
-    }
-    case CoordMode::kMds:
-    case CoordMode::kTrue: {
-      coords = coords::ClassicalMds(*lat_, options_.space_spec.vector_dims(),
-                                    &rng_);
-      break;
-    }
-  }
+  // Substrate bring-up order is load-bearing: each step consumes the shared
+  // Rng in the exact sequence the monolithic Initialize always did (jitter
+  // seed, Vivaldi gossip, ambient load), so fixed-seed overlays are
+  // bit-identical across the decomposition.
+  fabric_ = std::make_unique<net::NetworkFabric>(
+      topo_, options_.latency_jitter_sigma, &rng_);
 
-  space_ = std::make_unique<coords::CostSpace>(options_.space_spec, n);
-  for (NodeId i = 0; i < n; ++i) {
-    Status st = space_->SetVectorCoord(i, coords[i]);
-    if (!st.ok()) return st;
-  }
+  coords::CoordinateManager::Params cp;
+  cp.spec = options_.space_spec;
+  cp.mode = options_.coord_mode;
+  cp.vivaldi = options_.vivaldi_params;
+  cp.vivaldi_run = options_.vivaldi_run;
+  cp.hilbert_bits = options_.hilbert_bits;
+  auto coords = coords::CoordinateManager::Build(cp, fabric_->live(), &rng_);
+  if (!coords.ok()) return coords.status();
+  coords_ = std::move(coords.value());
 
   load_model_ = std::make_unique<net::LoadModel>(n, options_.load_params,
                                                  &rng_);
-  service_load_.assign(n, 0.0);
+  ledger_ = std::make_unique<ServiceLedger>(n, options_.load_per_byte_per_s);
+  total_load_scratch_.assign(n, 0.0);
   UpdateScalarMetrics();
 
   // Coordinate index over *overlay* nodes' full coordinates.
-  std::vector<Vec> full_coords;
-  full_coords.reserve(overlay_nodes_.size());
-  for (NodeId i : overlay_nodes_) full_coords.push_back(space_->FullCoord(i));
-  // The quantizer box spans the vector part of all nodes plus the maximum
-  // scalar penalty range observed at full load, so republished coordinates
-  // under any load stay inside the box.
-  std::vector<Vec> box_points = full_coords;
-  {
-    // Add synthetic corner points with worst-case scalar penalty.
-    Vec worst = full_coords[0];
-    for (size_t d = options_.space_spec.vector_dims(); d < worst.dims();
-         ++d) {
-      const size_t scalar_i = d - options_.space_spec.vector_dims();
-      worst[d] =
-          options_.space_spec.scalar_dim(scalar_i).weighting->Apply(1.0);
-    }
-    box_points.push_back(worst);
-  }
-  index_ = std::make_unique<dht::CoordinateIndex>(
-      dht::HilbertQuantizer::FitTo(box_points, options_.hilbert_bits));
-  last_published_.assign(n, Vec());
-  for (size_t k = 0; k < overlay_nodes_.size(); ++k) {
-    index_->Publish(overlay_nodes_[k], full_coords[k]);
-    last_published_[overlay_nodes_[k]] = std::move(full_coords[k]);
-  }
-  index_->Stabilize();
+  coords_->BuildIndex(overlay_nodes_);
   return Status::OK();
 }
 
 double Sbon::TotalLoad(NodeId n) const {
-  return std::clamp(load_model_->load(n) + service_load_[n], 0.0, 1.0);
+  return std::clamp(load_model_->load(n) + ledger_->service_load(n), 0.0,
+                    1.0);
 }
 
 void Sbon::SetBaseLoad(NodeId n, double load) {
@@ -112,218 +79,33 @@ void Sbon::SetBaseLoad(NodeId n, double load) {
 }
 
 void Sbon::UpdateScalarMetrics() {
-  const size_t scalar_dims = options_.space_spec.num_scalar_dims();
-  if (scalar_dims == 0) return;
+  // Vector-only cost spaces have nothing to bridge; skip the O(n) sweep.
+  if (options_.space_spec.num_scalar_dims() == 0) return;
   for (NodeId n = 0; n < topo_.NumNodes(); ++n) {
-    // Dimension 0 is CPU load by convention of LatencyAndLoad; additional
-    // scalar dims (if any) default to the same metric.
-    for (size_t i = 0; i < scalar_dims; ++i) {
-      space_->SetScalarMetric(n, i, TotalLoad(n));
-    }
+    total_load_scratch_[n] = TotalLoad(n);
   }
-}
-
-void Sbon::ApplyServiceLoadDelta(NodeId host, double input_bytes_per_s,
-                                 double sign) {
-  service_load_[host] = std::max(
-      0.0, service_load_[host] +
-               sign * input_bytes_per_s * options_.load_per_byte_per_s);
+  coords_->SetScalarMetrics(total_load_scratch_);
 }
 
 StatusOr<CircuitId> Sbon::InstallCircuit(Circuit circuit) {
-  if (!circuit.FullyPlaced()) {
-    return Status::FailedPrecondition("cannot install unplaced circuit");
-  }
-  for (const CircuitVertex& v : circuit.vertices()) {
-    if (!alive_[v.host]) {
-      return Status::FailedPrecondition("circuit references a dead host");
-    }
-  }
-  // Reserve the id but commit the counter only on success, so a failed
-  // install leaves no gap in the id sequence (deterministic replays).
-  const CircuitId id = next_circuit_id_;
-  circuit.set_id(id);
-
-  // Per-vertex physical input rates (physical edges into the vertex).
-  std::vector<double> input_rate(circuit.NumVertices(), 0.0);
-  for (const CircuitEdge& e : circuit.edges()) {
-    if (e.physical) input_rate[e.to] += e.rate_bytes_per_s;
-  }
-
-  // Rollback on mid-install failure: instances created here carry only this
-  // circuit id, and pre-existing instances gained at most a reference to it,
-  // so detaching the id releases exactly the partial state. Service loads of
-  // touched hosts are restored from snapshots rather than by re-subtracting
-  // deltas, because (x + d) - d is not exact in floating point and the
-  // overlay must be left bit-identical to its pre-call state.
-  const ServiceInstanceId first_new_service = next_service_id_;
-  std::vector<std::pair<NodeId, double>> prior_loads;
-  auto fail = [&](Status st) -> StatusOr<CircuitId> {
-    DetachCircuitFromServices(id);
-    for (auto it = prior_loads.rbegin(); it != prior_loads.rend(); ++it) {
-      service_load_[it->first] = it->second;
-    }
-    next_service_id_ = first_new_service;
-    UpdateScalarMetrics();
-    return st;
-  };
-
-  for (int i = 0; i < static_cast<int>(circuit.NumVertices()); ++i) {
-    CircuitVertex& v = circuit.mutable_vertex(i);
-    if (v.pinned) continue;
-    if (v.reused) {
-      if (v.service != kInvalidService) {
-        if (services_.find(v.service) == services_.end()) {
-          return fail(
-              Status::NotFound("reused service instance does not exist"));
-        }
-        // Attach this circuit to the instance *and* to every instance in
-        // its feeding subtree, so tearing down the source circuit cannot
-        // orphan the data path this circuit now depends on.
-        Status st = AttachDependencyChain(id, v.service);
-        if (!st.ok()) return fail(st);
-      }
-      continue;  // nothing deployed for reused subtrees
-    }
-    ServiceInstance inst;
-    inst.id = next_service_id_++;
-    inst.signature = circuit.plan().OpSignature(i);
-    inst.kind = circuit.plan().op(i).kind;
-    inst.host = v.host;
-    inst.input_bytes_per_s = input_rate[i];
-    inst.output_bytes_per_s = circuit.plan().op(i).out_bytes_per_s;
-    inst.circuits.push_back(id);
-    v.service = inst.id;
-    prior_loads.emplace_back(v.host, service_load_[v.host]);
-    ApplyServiceLoadDelta(v.host, inst.input_bytes_per_s, +1.0);
-    services_by_signature_.emplace(inst.signature, inst.id);
-    services_.emplace(inst.id, std::move(inst));
-  }
+  auto id = ledger_->InstallCircuit(std::move(circuit), alive_);
+  // The load book changed on success *and* on a rolled-back failure (the
+  // rollback restores snapshots); re-derive scalar metrics either way so
+  // the cost space never goes stale.
   UpdateScalarMetrics();
-  next_circuit_id_ = id + 1;
-  circuits_.emplace(id, std::move(circuit));
   return id;
 }
 
-Status Sbon::AttachDependencyChain(CircuitId circuit_id,
-                                   ServiceInstanceId root) {
-  std::vector<ServiceInstanceId> stack{root};
-  std::set<ServiceInstanceId> visited;
-  while (!stack.empty()) {
-    const ServiceInstanceId sid = stack.back();
-    stack.pop_back();
-    if (!visited.insert(sid).second) continue;
-    auto it = services_.find(sid);
-    if (it == services_.end()) {
-      return Status::NotFound("dependency instance missing");
-    }
-    ServiceInstance& inst = it->second;
-    if (std::find(inst.circuits.begin(), inst.circuits.end(), circuit_id) ==
-        inst.circuits.end()) {
-      inst.circuits.push_back(circuit_id);
-    }
-    // Find the instance's feeding services through any circuit that
-    // deploys it: the services bound to the descendants of its vertex.
-    for (CircuitId cid : inst.circuits) {
-      if (cid == circuit_id) continue;
-      auto cit = circuits_.find(cid);
-      if (cit == circuits_.end()) continue;
-      const Circuit& src = cit->second;
-      for (int vi = 0; vi < static_cast<int>(src.NumVertices()); ++vi) {
-        if (src.vertex(vi).service != sid) continue;
-        // Walk descendants of vi collecting bound services.
-        std::vector<int> vstack = src.plan().op(vi).children;
-        while (!vstack.empty()) {
-          const int d = vstack.back();
-          vstack.pop_back();
-          const CircuitVertex& dv = src.vertex(d);
-          if (dv.service != kInvalidService) stack.push_back(dv.service);
-          for (int ch : src.plan().op(d).children) vstack.push_back(ch);
-        }
-        break;
-      }
-    }
-  }
-  return Status::OK();
-}
-
-std::map<ServiceInstanceId, ServiceInstance>::iterator Sbon::EraseService(
-    std::map<ServiceInstanceId, ServiceInstance>::iterator it) {
-  const ServiceInstance& inst = it->second;
-  ApplyServiceLoadDelta(inst.host, inst.input_bytes_per_s, -1.0);
-  auto range = services_by_signature_.equal_range(inst.signature);
-  for (auto r = range.first; r != range.second; ++r) {
-    if (r->second == inst.id) {
-      services_by_signature_.erase(r);
-      break;
-    }
-  }
-  return services_.erase(it);
-}
-
-void Sbon::DetachCircuitFromServices(CircuitId circuit_id) {
-  for (auto sit = services_.begin(); sit != services_.end();) {
-    ServiceInstance& inst = sit->second;
-    inst.circuits.erase(
-        std::remove(inst.circuits.begin(), inst.circuits.end(), circuit_id),
-        inst.circuits.end());
-    sit = inst.circuits.empty() ? EraseService(sit) : std::next(sit);
-  }
-}
-
 Status Sbon::RemoveCircuit(CircuitId id) {
-  auto it = circuits_.find(id);
-  if (it == circuits_.end()) return Status::NotFound("no such circuit");
-  // Detach this circuit from every instance referencing it (vertex bindings
-  // plus reuse dependency chains), releasing instances left without users.
-  DetachCircuitFromServices(id);
-  circuits_.erase(it);
+  Status st = ledger_->RemoveCircuit(id);
+  if (!st.ok()) return st;
   UpdateScalarMetrics();
   return Status::OK();
 }
 
-const Circuit* Sbon::FindCircuit(CircuitId id) const {
-  auto it = circuits_.find(id);
-  return it == circuits_.end() ? nullptr : &it->second;
-}
-
-const ServiceInstance* Sbon::FindService(ServiceInstanceId id) const {
-  auto it = services_.find(id);
-  return it == services_.end() ? nullptr : &it->second;
-}
-
-std::vector<const ServiceInstance*> Sbon::ServicesWithSignature(
-    uint64_t signature) const {
-  std::vector<const ServiceInstance*> out;
-  auto range = services_by_signature_.equal_range(signature);
-  for (auto it = range.first; it != range.second; ++it) {
-    out.push_back(&services_.at(it->second));
-  }
-  return out;
-}
-
 Status Sbon::MigrateService(ServiceInstanceId id, NodeId new_host) {
-  auto it = services_.find(id);
-  if (it == services_.end()) return Status::NotFound("no such service");
-  if (new_host >= topo_.NumNodes()) {
-    return Status::OutOfRange("migration target out of range");
-  }
-  if (!alive_[new_host]) {
-    return Status::FailedPrecondition("migration target is down");
-  }
-  ServiceInstance& inst = it->second;
-  if (inst.host == new_host) return Status::OK();
-  ApplyServiceLoadDelta(inst.host, inst.input_bytes_per_s, -1.0);
-  ApplyServiceLoadDelta(new_host, inst.input_bytes_per_s, +1.0);
-  inst.host = new_host;
-  for (CircuitId cid : inst.circuits) {
-    auto cit = circuits_.find(cid);
-    if (cit == circuits_.end()) continue;
-    for (int i = 0; i < static_cast<int>(cit->second.NumVertices()); ++i) {
-      CircuitVertex& v = cit->second.mutable_vertex(i);
-      if (v.service == id && !v.pinned) v.host = new_host;
-    }
-  }
+  Status st = ledger_->MigrateService(id, new_host, alive_);
+  if (!st.ok()) return st;
   UpdateScalarMetrics();
   return Status::OK();
 }
@@ -343,42 +125,10 @@ StatusOr<FailureReport> Sbon::FailNode(NodeId n) {
   overlay_nodes_.erase(
       std::find(overlay_nodes_.begin(), overlay_nodes_.end(), n));
 
-  FailureReport report;
-  std::set<CircuitId> orphans;
-  // Evict every instance the dead node hosted, reversing the load delta it
-  // added (the same ApplyServiceLoadDelta bookkeeping installation used).
-  // Every circuit attached to an evicted instance — vertex bindings and
-  // reuse dependency chains alike — is orphaned.
-  for (auto it = services_.begin(); it != services_.end();) {
-    ServiceInstance& inst = it->second;
-    if (inst.host != n) {
-      ++it;
-      continue;
-    }
-    orphans.insert(inst.circuits.begin(), inst.circuits.end());
-    ++report.services_evicted;
-    it = EraseService(it);
-  }
-  // A node with no services left carries no service load; zeroing (instead
-  // of trusting delta reversal) keeps the books exact for the rejoin.
-  service_load_[n] = 0.0;
-  // Circuits whose pinned endpoints (producer/consumer) sat on the dead
-  // node are orphaned too, even though nothing was deployed there.
-  for (const auto& [cid, circuit] : circuits_) {
-    for (const CircuitVertex& v : circuit.vertices()) {
-      if (v.host == n) {
-        orphans.insert(cid);
-        break;
-      }
-    }
-  }
-  report.orphaned.assign(orphans.begin(), orphans.end());
-
+  FailureReport report = ledger_->EvictHost(n);
   // Ring Leave: the index must stop returning the dead node immediately so
   // repair placement cannot land replacements on it.
-  index_->Withdraw(n);
-  index_->Stabilize();
-  last_published_[n] = Vec();
+  coords_->Withdraw(n);
   UpdateScalarMetrics();
   return report;
 }
@@ -394,147 +144,46 @@ Status Sbon::RejoinNode(NodeId n) {
   alive_[n] = true;
   overlay_nodes_.insert(
       std::upper_bound(overlay_nodes_.begin(), overlay_nodes_.end(), n), n);
-  service_load_[n] = 0.0;
   UpdateScalarMetrics();
   // Ring Join: republish the full coordinate (stale vector part + fresh
   // load scalar) so placement sees the node again.
-  Vec full = space_->FullCoord(n);
-  index_->Publish(n, full);
-  last_published_[n] = std::move(full);
-  index_->Stabilize();
+  coords_->Publish(n);
   return Status::OK();
 }
 
 Status Sbon::BeginPartition(const std::vector<NodeId>& group, double factor) {
-  if (partition_active_) {
-    return Status::FailedPrecondition("a partition is already active");
-  }
-  if (group.empty()) return Status::InvalidArgument("empty partition group");
-  if (factor < 1.0) {
-    return Status::InvalidArgument("partition factor must be >= 1");
-  }
-  partitioned_.assign(topo_.NumNodes(), false);
-  for (NodeId n : group) {
-    if (n >= topo_.NumNodes()) {
-      return Status::OutOfRange("partition member out of range");
-    }
-    partitioned_[n] = true;
-  }
-  partition_active_ = true;
-  partition_factor_ = factor;
-  ApplyPartitionToLive();
-  return Status::OK();
+  return fabric_->BeginPartition(group, factor);
 }
 
-Status Sbon::EndPartition() {
-  if (!partition_active_) {
-    return Status::FailedPrecondition("no active partition");
-  }
-  partition_active_ = false;
-  // Restore the live matrix: current jitter factors over the pristine base
-  // (EndPartition is not a new congestion epoch, so no resample), or the
-  // base itself on a jitter-free overlay.
-  if (jitter_ != nullptr) {
-    jitter_->ApplyAll(*base_lat_, lat_.get());
-  } else {
-    *lat_ = *base_lat_;
-  }
-  return Status::OK();
-}
-
-void Sbon::ApplyPartitionToLive() {
-  const size_t n = topo_.NumNodes();
-  double* m = lat_->MutableData();
-  for (NodeId a = 0; a < n; ++a) {
-    for (NodeId b = a + 1; b < n; ++b) {
-      if (partitioned_[a] != partitioned_[b]) {
-        m[a * n + b] *= partition_factor_;
-        m[b * n + a] *= partition_factor_;
-      }
-    }
-  }
-}
+Status Sbon::EndPartition() { return fabric_->EndPartition(); }
 
 void Sbon::Tick(double dt) {
   load_model_->Step(dt, &rng_);
   UpdateScalarMetrics();
 }
 
-void Sbon::TickNetwork() {
-  if (jitter_ == nullptr) return;
-  jitter_->Resample(&rng_);
-  jitter_->ApplyAll(*base_lat_, lat_.get());
-  // ApplyAll rebuilt the live matrix from the pristine base, so an active
-  // partition's penalty must be re-applied on top of the fresh jitter.
-  if (partition_active_) ApplyPartitionToLive();
+void Sbon::TickNetwork(ThreadPool* pool) { fabric_->TickNetwork(&rng_, pool); }
+
+void Sbon::UpdateCoordinatesOnline(size_t samples_per_node, ThreadPool* pool) {
+  coords_->UpdateCoordinatesOnline(fabric_->live(), samples_per_node, alive_,
+                                   options_.vivaldi_run.rtt_noise_sigma,
+                                   &rng_, pool);
 }
 
-void Sbon::UpdateCoordinatesOnline(size_t samples_per_node) {
-  if (vivaldi_ == nullptr) return;
-  const size_t n = topo_.NumNodes();
-  if (n < 2) return;
-  // Fewer than two alive nodes means no measurable pair (and the peer
-  // rejection loop below would never terminate).
-  if (static_cast<size_t>(std::count(alive_.begin(), alive_.end(), true)) <
-      2) {
-    return;
-  }
-  for (NodeId self = 0; self < n; ++self) {
-    // Crashed nodes neither measure nor answer probes. With every node
-    // alive the rejection loop below draws exactly as before, so the
-    // churn-free RNG stream (and every golden) is untouched.
-    if (!alive_[self]) continue;
-    for (size_t s = 0; s < samples_per_node; ++s) {
-      NodeId peer;
-      do {
-        peer = static_cast<NodeId>(rng_.UniformInt(n));
-      } while (peer == self || !alive_[peer]);
-      double rtt = lat_->Latency(self, peer);
-      if (options_.vivaldi_run.rtt_noise_sigma > 0.0) {
-        rtt *= std::exp(rng_.Normal(0.0, options_.vivaldi_run.rtt_noise_sigma));
-      }
-      vivaldi_->Update(self, peer, rtt);
-    }
-  }
-  for (NodeId i = 0; i < n; ++i) {
-    space_->SetVectorCoord(i, vivaldi_->Coord(i));
-  }
-}
-
-void Sbon::RefreshIndex(double epsilon) {
-  refresh_stats_.refreshes += 1;
-  const double eps2 = epsilon * epsilon;
-  size_t republished = 0;
-  for (NodeId n : overlay_nodes_) {
-    Vec full = space_->FullCoord(n);
-    // Strictly-greater: epsilon 0 republishes any changed coordinate and
-    // skips bit-identical ones (the ring state is the same either way).
-    if (full.DistanceSquaredTo(last_published_[n]) > eps2) {
-      index_->Publish(n, full);
-      last_published_[n] = std::move(full);
-      ++republished;
-    } else {
-      refresh_stats_.skipped += 1;
-    }
-  }
-  refresh_stats_.republished += republished;
-  if (republished > 0) {
-    index_->Stabilize();
-  } else {
-    refresh_stats_.quiet_refreshes += 1;
-  }
+void Sbon::RefreshIndex(double epsilon, ThreadPool* pool) {
+  coords_->RefreshIndex(overlay_nodes_, epsilon, pool);
 }
 
 StatusOr<CircuitCost> Sbon::CircuitCostOf(CircuitId id) const {
   const Circuit* c = FindCircuit(id);
   if (c == nullptr) return Status::NotFound("no such circuit");
-  return ComputeCircuitCost(*c, *lat_, space_.get());
+  return ComputeCircuitCost(*c, fabric_->live(), &coords_->space());
 }
 
 double Sbon::TotalNetworkUsage() const {
   double total = 0.0;
-  for (const auto& [id, c] : circuits_) {
-    auto cost = ComputeCircuitCost(c, *lat_, nullptr);
+  for (const auto& [id, c] : ledger_->circuits()) {
+    auto cost = ComputeCircuitCost(c, fabric_->live(), nullptr);
     if (cost.ok()) total += cost->network_usage;
   }
   return total;

@@ -6,73 +6,75 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "coords/cost_space.h"
-#include "coords/mds.h"
-#include "coords/vivaldi.h"
+#include "coords/manager.h"
 #include "dht/coord_index.h"
 #include "net/dynamics.h"
+#include "net/fabric.h"
 #include "net/shortest_path.h"
 #include "net/topology.h"
 #include "overlay/circuit.h"
 #include "overlay/metrics.h"
 #include "overlay/service.h"
+#include "overlay/service_ledger.h"
 
 namespace sbon::overlay {
 
-/// What one node failure changed: the circuits left broken (they lost a
-/// hosted service instance or a pinned endpoint) and the instances evicted.
-struct FailureReport {
-  /// Circuits needing repair, ascending id, deduplicated. A circuit appears
-  /// here if the dead node hosted one of its service instances (including
-  /// instances it reused from another circuit) or one of its pinned
-  /// endpoints (producer/consumer).
-  std::vector<CircuitId> orphaned;
-  size_t services_evicted = 0;
-};
-
-/// Cumulative counters of the dirty-driven index refresh (ring traffic a
-/// real deployment would pay to keep the coordinate catalog fresh).
-struct IndexRefreshStats {
-  size_t refreshes = 0;        ///< RefreshIndex calls
-  size_t republished = 0;      ///< ring re-publishes actually issued
-  size_t skipped = 0;          ///< node refreshes elided (moved <= epsilon)
-  size_t quiet_refreshes = 0;  ///< refreshes with zero re-publishes (no
-                               ///< ring Leave/Join and no restabilization)
-};
+/// Cumulative counters of the dirty-driven index refresh (owned by
+/// coords::CoordinateManager; aliased here for the overlay-facing API).
+using IndexRefreshStats = coords::IndexRefreshStats;
 
 /// The stream-based overlay network: the runtime that optimizers operate
-/// against. Owns the physical topology and its latency oracle, the cost
-/// space (network coordinates + load metrics), the decentralized coordinate
-/// index, node load state, and all deployed circuits / service instances.
+/// against. A thin composition root wiring three independently ownable
+/// substrates behind one facade:
+///
+///  - net::NetworkFabric — pristine + live latency matrices, per-epoch
+///    congestion jitter, soft-partition overlay (the TickNetwork path);
+///  - coords::CoordinateManager — Vivaldi/MDS embedding, cost space,
+///    coordinate index, dirty-coordinate tracking, epsilon-gated refresh;
+///  - overlay::ServiceLedger — circuits, service instances, reuse catalog,
+///    and the per-node service load book (with the FailNode eviction path).
+///
+/// The Sbon itself keeps only what genuinely spans substrates: the
+/// topology, the shared Rng, node liveness, the ambient LoadModel, and the
+/// scalar-metric bridge (total load -> cost space) that must run after
+/// every load-changing operation.
+///
+/// Methods that take a ThreadPool shard their embarrassingly parallel work
+/// across it; fixed-seed results are bit-identical at any thread count
+/// (see each substrate's contract).
 class Sbon {
  public:
-  /// How vector coordinates are obtained.
-  enum class CoordMode {
-    kVivaldi,  ///< decentralized Vivaldi embedding (deployable; default)
-    kMds,      ///< centralized classical-MDS oracle (ablation)
-    kTrue,     ///< no embedding: mapping/cost-space queries use MDS coords,
-               ///< but this mode is reserved for ablation harnesses
-  };
+  /// How vector coordinates are obtained (owned by the coords substrate;
+  /// aliased for source compatibility with `Sbon::CoordMode::...`).
+  using CoordMode = coords::CoordMode;
 
   struct Options {
     coords::CostSpaceSpec space_spec = coords::CostSpaceSpec::LatencyAndLoad();
     CoordMode coord_mode = CoordMode::kVivaldi;
     coords::VivaldiSystem::Params vivaldi_params;
     coords::VivaldiRunOptions vivaldi_run;
+    /// Hilbert-curve resolution of the coordinate index, in [1, 16] bits
+    /// per dimension (validated at Create).
     unsigned hilbert_bits = 10;
     net::LoadModel::Params load_params;
     /// Load a service adds to its host per (byte/s) of input it processes.
+    /// Must be > 0 (validated at Create).
     double load_per_byte_per_s = 2e-6;
     /// Sigma of the multiplicative (approximately LogNormal; see
     /// net::LatencyJitter) latency jitter applied per pair on every
-    /// `TickNetwork` epoch (0 = static latencies).
+    /// `TickNetwork` epoch (0 = static latencies). Must be >= 0 (validated
+    /// at Create).
     double latency_jitter_sigma = 0.0;
     uint64_t seed = 1;
   };
 
   /// Builds the overlay: latency matrix, coordinates, cost space, index.
+  /// Rejects malformed topologies and out-of-range Options with
+  /// InvalidArgument instead of silently misbehaving.
   static StatusOr<std::unique_ptr<Sbon>> Create(net::Topology topo,
                                                 Options options);
 
@@ -81,10 +83,13 @@ class Sbon {
 
   // --- substrate accessors ---
   const net::Topology& topology() const { return topo_; }
-  const net::LatencyMatrix& latency() const { return *lat_; }
-  const coords::CostSpace& cost_space() const { return *space_; }
-  const dht::CoordinateIndex& index() const { return *index_; }
-  dht::IndexQueryCost& index_cost() { return index_cost_; }
+  const net::NetworkFabric& fabric() const { return *fabric_; }
+  const coords::CoordinateManager& coords() const { return *coords_; }
+  const ServiceLedger& ledger() const { return *ledger_; }
+  const net::LatencyMatrix& latency() const { return fabric_->live(); }
+  const coords::CostSpace& cost_space() const { return coords_->space(); }
+  const dht::CoordinateIndex& index() const { return coords_->index(); }
+  dht::IndexQueryCost& index_cost() { return coords_->index_cost(); }
   Rng& rng() { return rng_; }
   /// Overlay-eligible nodes currently *alive* (failed nodes drop out until
   /// they rejoin). Sorted ascending.
@@ -113,11 +118,11 @@ class Sbon {
   Status BeginPartition(const std::vector<NodeId>& group, double factor);
   /// Heals the active partition, restoring jittered (or base) latencies.
   Status EndPartition();
-  bool partition_active() const { return partition_active_; }
+  bool partition_active() const { return fabric_->partition_active(); }
 
   // --- load state ---
   double BaseLoad(NodeId n) const { return load_model_->load(n); }
-  double ServiceLoad(NodeId n) const { return service_load_[n]; }
+  double ServiceLoad(NodeId n) const { return ledger_->service_load(n); }
   /// Total CPU load in [0, 1]: ambient + service-induced.
   double TotalLoad(NodeId n) const;
   /// Scripted load override for tests/scenarios (sets the ambient part).
@@ -134,37 +139,48 @@ class Sbon {
   /// Tears a circuit down, releasing service instances with no users left.
   Status RemoveCircuit(CircuitId id);
 
-  const Circuit* FindCircuit(CircuitId id) const;
-  const std::map<CircuitId, Circuit>& circuits() const { return circuits_; }
-  const ServiceInstance* FindService(ServiceInstanceId id) const;
+  const Circuit* FindCircuit(CircuitId id) const {
+    return ledger_->FindCircuit(id);
+  }
+  const std::map<CircuitId, Circuit>& circuits() const {
+    return ledger_->circuits();
+  }
+  const ServiceInstance* FindService(ServiceInstanceId id) const {
+    return ledger_->FindService(id);
+  }
   const std::map<ServiceInstanceId, ServiceInstance>& services() const {
-    return services_;
+    return ledger_->services();
   }
   /// Deployed instances whose reuse signature matches.
   std::vector<const ServiceInstance*> ServicesWithSignature(
-      uint64_t signature) const;
-  size_t NumServices() const { return services_.size(); }
+      uint64_t signature) const {
+    return ledger_->ServicesWithSignature(signature);
+  }
+  size_t NumServices() const { return ledger_->NumServices(); }
 
   /// Moves a service instance to a new host, updating load accounting and
   /// the vertices of every circuit bound to it.
   Status MigrateService(ServiceInstanceId id, NodeId new_host);
 
-  // --- dynamics ---
+  // --- dynamics (the engine's epoch-pipeline stages) ---
   /// Advances ambient load by `dt` and refreshes cost-space scalar metrics.
   void Tick(double dt);
   /// Starts a new latency epoch: resamples pairwise jitter factors (when
   /// `latency_jitter_sigma > 0`) and rewrites the live latency matrix.
   /// Everything downstream — circuit costs, reopt, Vivaldi samples — sees
-  /// the new latencies immediately.
-  void TickNetwork();
+  /// the new latencies immediately. `pool` shards the O(n^2) factor
+  /// generation and matrix rewrite by row.
+  void TickNetwork(ThreadPool* pool = nullptr);
   /// Online coordinate maintenance: every node takes `samples_per_node`
   /// RTT measurements against the *current* (jittered) latencies and runs
   /// Vivaldi updates, then the cost space is refreshed. No-op when the
-  /// overlay was built with MDS coordinates.
-  void UpdateCoordinatesOnline(size_t samples_per_node);
+  /// overlay was built with MDS coordinates. `pool` runs the updates as a
+  /// deterministic dependency wavefront.
+  void UpdateCoordinatesOnline(size_t samples_per_node,
+                               ThreadPool* pool = nullptr);
   /// The pristine latency matrix (before jitter), for measuring how far
   /// the current epoch has drifted.
-  const net::LatencyMatrix& base_latency() const { return *base_lat_; }
+  const net::LatencyMatrix& base_latency() const { return fabric_->base(); }
   /// Dirty-driven index refresh: republishes the full coordinate of every
   /// overlay node that moved more than `epsilon` (cost-space units) since
   /// its last publish, then restabilizes the ring — unless nothing moved,
@@ -172,11 +188,11 @@ class Sbon {
   /// Stabilize). `epsilon = 0` republishes any node whose coordinate
   /// changed at all, which is query-for-query identical to republishing
   /// everything. Call after load changes when index queries should see
-  /// fresh scalars.
-  void RefreshIndex(double epsilon = 0.0);
+  /// fresh scalars. `pool` shards the displacement scan.
+  void RefreshIndex(double epsilon = 0.0, ThreadPool* pool = nullptr);
   /// Ring traffic the refreshes performed/avoided so far.
   const IndexRefreshStats& index_refresh_stats() const {
-    return refresh_stats_;
+    return coords_->refresh_stats();
   }
 
   // --- metrics ---
@@ -193,51 +209,23 @@ class Sbon {
   Sbon(net::Topology topo, Options options);
 
   Status Initialize();
-  Status AttachDependencyChain(CircuitId circuit_id, ServiceInstanceId root);
-  /// Removes `circuit_id` from every instance's user list, releasing
-  /// instances left without users (their load deltas included). Shared by
-  /// RemoveCircuit and the InstallCircuit failure rollback.
-  void DetachCircuitFromServices(CircuitId circuit_id);
-  /// Releases one instance: reverses its load delta, drops its signature
-  /// entry, erases it. Returns the iterator past the erased instance. The
-  /// single release path shared by detach and crash eviction.
-  std::map<ServiceInstanceId, ServiceInstance>::iterator EraseService(
-      std::map<ServiceInstanceId, ServiceInstance>::iterator it);
-  void ApplyServiceLoadDelta(NodeId host, double input_bytes_per_s,
-                             double sign);
+  /// Re-derives the cost space's scalar metrics from total (ambient +
+  /// service) load. Must run after anything that changes either part.
   void UpdateScalarMetrics();
-  /// Multiplies cross-cut pairs of the live matrix by the partition factor.
-  void ApplyPartitionToLive();
 
   net::Topology topo_;
   Options options_;
   Rng rng_;
-  std::unique_ptr<net::LatencyMatrix> lat_;       // live (jittered) view
-  std::unique_ptr<net::LatencyMatrix> base_lat_;  // pristine
-  std::unique_ptr<net::LatencyJitter> jitter_;
-  std::unique_ptr<coords::VivaldiSystem> vivaldi_;
-  std::unique_ptr<coords::CostSpace> space_;
-  std::unique_ptr<dht::CoordinateIndex> index_;
+  std::unique_ptr<net::NetworkFabric> fabric_;
+  std::unique_ptr<coords::CoordinateManager> coords_;
+  std::unique_ptr<ServiceLedger> ledger_;
   std::unique_ptr<net::LoadModel> load_model_;
   std::vector<NodeId> overlay_nodes_;
   /// Per-node liveness (by node id); failed overlay nodes also leave
   /// overlay_nodes_ until they rejoin.
   std::vector<bool> alive_;
-  bool partition_active_ = false;
-  double partition_factor_ = 1.0;
-  std::vector<bool> partitioned_;  ///< by node id; one side of the cut
-  std::vector<double> service_load_;
-  dht::IndexQueryCost index_cost_;
-  /// Full coordinate each node last published into the index (by node id);
-  /// RefreshIndex republishes only nodes displaced beyond its epsilon.
-  std::vector<Vec> last_published_;
-  IndexRefreshStats refresh_stats_;
-
-  std::map<CircuitId, Circuit> circuits_;
-  std::map<ServiceInstanceId, ServiceInstance> services_;
-  std::multimap<uint64_t, ServiceInstanceId> services_by_signature_;
-  CircuitId next_circuit_id_ = 1;
-  ServiceInstanceId next_service_id_ = 1;
+  /// Scratch for the scalar-metric bridge (per-node total load).
+  std::vector<double> total_load_scratch_;
 };
 
 }  // namespace sbon::overlay

@@ -153,6 +153,55 @@ TEST(DeterminismTest, ChurnFreeAdvanceEpochIsBitIdenticalWithModelAttached) {
   EXPECT_EQ(fingerprints[0], fingerprints[1]);
 }
 
+// The epoch pipeline must be thread-count invariant: the parallelizable
+// stages (jitter rows, wavefront Vivaldi updates, the refresh dirty scan)
+// shard deterministically, so a fixed seed yields bit-identical coordinates
+// and placements whether epochs run serially or across a pool. This is the
+// contract that lets the TSan CI lane run every suite with
+// SBON_EPOCH_THREADS=4 against unchanged expectations.
+TEST(DeterminismTest, EpochPipelineIsThreadCountInvariant) {
+  for (uint64_t seed : {3u, 7u, 23u, 101u, 9001u}) {
+    std::vector<std::string> fingerprints;
+    std::vector<std::vector<double>> coord_dumps;
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      ScenarioOptions o;
+      o.size = TopologySize::kTiny;
+      o.seed = seed;
+      o.sbon.latency_jitter_sigma = 0.15;
+      ScenarioRunner run(o);
+      run.UseRandomCatalog(TestWorkloadParams(), 3);
+      const auto queries =
+          MakeQueries(run.sbon(), run.catalog(), TestWorkloadParams(), 3, 11);
+      for (const auto& q : queries) {
+        run.PlaceAndInstall(OptimizerKind::kIntegrated, q);
+      }
+      engine::EpochOptions epoch;
+      epoch.dt = 1.0;
+      epoch.vivaldi_samples = 3;
+      epoch.refresh_epsilon = 0.5;
+      epoch.threads = threads;
+      for (int e = 0; e < 4; ++e) run.engine().AdvanceEpoch(epoch);
+      fingerprints.push_back(OverlayFingerprint(run.sbon()));
+      std::vector<double> coords;
+      const auto& space = run.sbon().cost_space();
+      for (NodeId n = 0; n < space.NumNodes(); ++n) {
+        const Vec& v = space.VectorCoord(n);
+        for (size_t d = 0; d < v.dims(); ++d) coords.push_back(v[d]);
+        coords.push_back(space.ScalarPenalty(n));
+      }
+      coord_dumps.push_back(std::move(coords));
+    }
+    EXPECT_EQ(fingerprints[0], fingerprints[1]) << "seed " << seed;
+    ASSERT_EQ(coord_dumps[0].size(), coord_dumps[1].size());
+    for (size_t i = 0; i < coord_dumps[0].size(); ++i) {
+      // Bit-identical, not approximately equal: the pool must change only
+      // scheduling, never a single floating-point operation.
+      ASSERT_EQ(coord_dumps[0][i], coord_dumps[1][i])
+          << "seed " << seed << " coord component " << i;
+    }
+  }
+}
+
 // Same seed => the full end-to-end pipeline (embedding + enumeration +
 // placement + mapping + installation) lands every service on the same host
 // and produces an identical overlay fingerprint.

@@ -252,6 +252,47 @@ TEST(StreamEngine, AdvanceEpochEpsilonGatesRingRepublishes) {
   EXPECT_EQ(stats.quiet_refreshes, 2u);
 }
 
+TEST(StreamEngine, AdvanceEpochRecordsTheStagedPipeline) {
+  engine::EngineOptions eo = SmallEngineOptions(43);
+  eo.sbon.latency_jitter_sigma = 0.2;
+  auto engine = MakeEngine(std::move(eo));
+  EXPECT_TRUE(engine->last_epoch_trace().empty());
+
+  // Serial epoch (threads pinned to 1 so the SBON_EPOCH_THREADS CI override
+  // cannot change what this test asserts): every stage appears in pipeline
+  // order; the disabled ones record ran=false and nothing shards.
+  engine::EpochOptions epoch;
+  epoch.dt = 1.0;
+  epoch.vivaldi_samples = 2;
+  epoch.threads = 1;
+  engine->AdvanceEpoch(epoch);
+  const auto& trace = engine->last_epoch_trace();
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_STREQ(trace[0].name, "jitter");
+  EXPECT_STREQ(trace[1].name, "load");
+  EXPECT_STREQ(trace[2].name, "coords");
+  EXPECT_STREQ(trace[3].name, "churn+repair");
+  EXPECT_STREQ(trace[4].name, "refresh");
+  EXPECT_TRUE(trace[0].ran);
+  EXPECT_TRUE(trace[1].ran);
+  EXPECT_TRUE(trace[2].ran);
+  EXPECT_FALSE(trace[3].ran);  // no churn model attached
+  EXPECT_TRUE(trace[4].ran);
+  for (const auto& stage : trace) EXPECT_FALSE(stage.sharded);
+
+  // Multi-threaded epoch: exactly the parallelizable stages shard; the
+  // serial-only stages (load, churn+repair) never see the pool.
+  epoch.threads = 4;
+  engine->AdvanceEpoch(epoch);
+  const auto& sharded = engine->last_epoch_trace();
+  ASSERT_EQ(sharded.size(), 5u);
+  EXPECT_TRUE(sharded[0].sharded);   // jitter
+  EXPECT_FALSE(sharded[1].sharded);  // load
+  EXPECT_TRUE(sharded[2].sharded);   // coords
+  EXPECT_FALSE(sharded[3].sharded);  // churn+repair (disabled anyway)
+  EXPECT_TRUE(sharded[4].sharded);   // refresh
+}
+
 TEST(StreamEngine, AdvanceEpochAndReoptimizeKeepHandlesValid) {
   engine::EngineOptions eo = SmallEngineOptions(37);
   eo.sbon.latency_jitter_sigma = 0.5;

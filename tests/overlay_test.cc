@@ -6,7 +6,6 @@
 #include "common/rng.h"
 #include "net/generators.h"
 #include "overlay/circuit.h"
-#include "overlay/event_sim.h"
 #include "overlay/metrics.h"
 #include "overlay/sbon.h"
 #include "query/catalog.h"
@@ -176,59 +175,6 @@ TEST(MetricsTest, ReusedVertexUsesUpstreamLatency) {
   EXPECT_DOUBLE_EQ(cost->critical_path_latency_ms, 53.0);
 }
 
-// --------------------------- EventSim ---------------------------
-
-TEST(EventSimTest, FiresInTimeOrder) {
-  EventSim sim;
-  std::vector<int> order;
-  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
-  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
-  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
-  sim.RunAll();
-  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
-}
-
-TEST(EventSimTest, TiesFireInInsertionOrder) {
-  EventSim sim;
-  std::vector<int> order;
-  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
-  sim.ScheduleAt(1.0, [&] { order.push_back(2); });
-  sim.RunAll();
-  EXPECT_EQ(order, (std::vector<int>{1, 2}));
-}
-
-TEST(EventSimTest, RunUntilStopsAtBoundary) {
-  EventSim sim;
-  int fired = 0;
-  sim.ScheduleAt(1.0, [&] { ++fired; });
-  sim.ScheduleAt(5.0, [&] { ++fired; });
-  sim.RunUntil(2.0);
-  EXPECT_EQ(fired, 1);
-  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
-  sim.RunUntil(10.0);
-  EXPECT_EQ(fired, 2);
-}
-
-TEST(EventSimTest, CallbacksCanSchedule) {
-  EventSim sim;
-  int fired = 0;
-  sim.ScheduleAt(1.0, [&] {
-    ++fired;
-    sim.ScheduleIn(1.0, [&] { ++fired; });
-  });
-  sim.RunUntil(3.0);
-  EXPECT_EQ(fired, 2);
-}
-
-TEST(EventSimTest, PeriodicUntilBound) {
-  EventSim sim;
-  int fired = 0;
-  sim.SchedulePeriodic(1.0, [&] { ++fired; }, /*until=*/5.0);
-  sim.RunUntil(20.0);
-  EXPECT_EQ(fired, 5);
-}
-
 // --------------------------- Sbon ---------------------------
 
 std::unique_ptr<Sbon> MakeSbon(uint64_t seed = 1, size_t line = 6) {
@@ -251,6 +197,38 @@ TEST(SbonTest, CreateRejectsBadTopologies) {
   disconnected.AddNode(net::NodeKind::kHost);
   disconnected.AddNode(net::NodeKind::kHost);
   EXPECT_FALSE(Sbon::Create(std::move(disconnected), Sbon::Options{}).ok());
+}
+
+TEST(SbonTest, CreateValidatesOptions) {
+  auto create = [](auto mutate) {
+    auto topo = net::GenerateLine(4, 10.0);
+    EXPECT_TRUE(topo.ok());
+    Sbon::Options opts;
+    mutate(&opts);
+    return Sbon::Create(std::move(topo.value()), opts).status();
+  };
+
+  // Out-of-range knobs fail fast with InvalidArgument instead of silently
+  // misbehaving deep inside jitter/index/load bookkeeping.
+  EXPECT_EQ(create([](Sbon::Options* o) { o->latency_jitter_sigma = -0.1; })
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(create([](Sbon::Options* o) { o->hilbert_bits = 0; }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(create([](Sbon::Options* o) { o->hilbert_bits = 17; }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(create([](Sbon::Options* o) { o->load_per_byte_per_s = 0.0; })
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(create([](Sbon::Options* o) { o->load_per_byte_per_s = -1e-6; })
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Boundary values are legal.
+  EXPECT_TRUE(create([](Sbon::Options* o) { o->hilbert_bits = 1; }).ok());
+  EXPECT_TRUE(create([](Sbon::Options* o) { o->hilbert_bits = 16; }).ok());
+  EXPECT_TRUE(
+      create([](Sbon::Options* o) { o->latency_jitter_sigma = 0.0; }).ok());
 }
 
 TEST(SbonTest, CreateBuildsSubstrate) {

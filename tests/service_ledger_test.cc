@@ -1,0 +1,204 @@
+// Unit tests of the deployment substrate (overlay::ServiceLedger) in
+// isolation: the load book must equal the sum of hosted-instance deltas at
+// every step of install / reuse / migrate / evict, return to exactly zero
+// after full teardown, and stay bitwise untouched by rolled-back installs.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "overlay/circuit.h"
+#include "overlay/service_ledger.h"
+#include "query/catalog.h"
+#include "query/plan.h"
+
+namespace sbon::overlay {
+namespace {
+
+constexpr size_t kNodes = 8;
+constexpr double kLoadPerByte = 1e-5;
+
+query::Catalog TwoStreamCatalog() {
+  query::Catalog c;
+  c.AddStream("a", 100.0, 64.0, /*producer=*/0);  // 6400 B/s
+  c.AddStream("b", 10.0, 128.0, /*producer=*/1);  // 1280 B/s
+  return c;
+}
+
+// (a JOIN b) -> consumer, join placed on `join_host`.
+Circuit PlacedJoinCircuit(const query::Catalog& c, NodeId consumer,
+                          NodeId join_host) {
+  query::LogicalPlan p;
+  const int a = p.AddProducer(0);
+  const int b = p.AddProducer(1);
+  const int j = p.AddJoin(a, b, 0.01);
+  p.SetConsumer(j, consumer);
+  EXPECT_TRUE(p.AnnotateRates(c).ok());
+  auto circuit = Circuit::FromPlan(p, c);
+  EXPECT_TRUE(circuit.ok());
+  circuit->mutable_vertex(2).host = join_host;
+  return std::move(circuit.value());
+}
+
+std::vector<bool> AllAlive() { return std::vector<bool>(kNodes, true); }
+
+// The book must always equal the sum of hosted-instance deltas.
+void ExpectBookMatchesInstances(const ServiceLedger& ledger) {
+  std::vector<double> want(kNodes, 0.0);
+  for (const auto& [id, inst] : ledger.services()) {
+    want[inst.host] += inst.input_bytes_per_s * kLoadPerByte;
+  }
+  for (NodeId n = 0; n < kNodes; ++n) {
+    EXPECT_NEAR(ledger.service_load(n), want[n], 1e-15)
+        << "load book of node " << n << " diverged from hosted instances";
+  }
+}
+
+TEST(ServiceLedgerTest, InstallBooksLoadAgainstHost) {
+  ServiceLedger ledger(kNodes, kLoadPerByte);
+  query::Catalog c = TwoStreamCatalog();
+  auto id = ledger.InstallCircuit(PlacedJoinCircuit(c, 5, 3), AllAlive());
+  ASSERT_TRUE(id.ok());
+  // Join input = 6400 + 1280 B/s on host 3; nothing anywhere else.
+  EXPECT_DOUBLE_EQ(ledger.service_load(3), 7680.0 * kLoadPerByte);
+  EXPECT_DOUBLE_EQ(ledger.TotalServiceLoad(), 7680.0 * kLoadPerByte);
+  ExpectBookMatchesInstances(ledger);
+}
+
+TEST(ServiceLedgerTest, RemoveReturnsBookToExactZero) {
+  ServiceLedger ledger(kNodes, kLoadPerByte);
+  query::Catalog c = TwoStreamCatalog();
+  auto id1 = ledger.InstallCircuit(PlacedJoinCircuit(c, 5, 3), AllAlive());
+  auto id2 = ledger.InstallCircuit(PlacedJoinCircuit(c, 4, 2), AllAlive());
+  ASSERT_TRUE(id1.ok() && id2.ok());
+  ASSERT_TRUE(ledger.RemoveCircuit(*id1).ok());
+  ExpectBookMatchesInstances(ledger);
+  ASSERT_TRUE(ledger.RemoveCircuit(*id2).ok());
+  EXPECT_EQ(ledger.NumServices(), 0u);
+  // Exactly zero, not approximately: teardown reverses every delta.
+  EXPECT_EQ(ledger.TotalServiceLoad(), 0.0);
+  for (NodeId n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(ledger.service_load(n), 0.0);
+  }
+}
+
+TEST(ServiceLedgerTest, MigrateMovesLoadWithoutChangingTheSum) {
+  ServiceLedger ledger(kNodes, kLoadPerByte);
+  query::Catalog c = TwoStreamCatalog();
+  auto id = ledger.InstallCircuit(PlacedJoinCircuit(c, 5, 3), AllAlive());
+  ASSERT_TRUE(id.ok());
+  const double sum_before = ledger.TotalServiceLoad();
+  const ServiceInstanceId sid =
+      ledger.FindCircuit(*id)->vertex(2).service;
+  ASSERT_TRUE(ledger.MigrateService(sid, 6, AllAlive()).ok());
+  EXPECT_EQ(ledger.service_load(3), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.service_load(6), sum_before);
+  EXPECT_DOUBLE_EQ(ledger.TotalServiceLoad(), sum_before);
+  EXPECT_EQ(ledger.FindCircuit(*id)->vertex(2).host, 6u);
+  ExpectBookMatchesInstances(ledger);
+  // Migrate-then-remove still sums to exactly zero.
+  ASSERT_TRUE(ledger.RemoveCircuit(*id).ok());
+  EXPECT_EQ(ledger.TotalServiceLoad(), 0.0);
+}
+
+TEST(ServiceLedgerTest, MigrateRejectsDeadOrOutOfRangeTargets) {
+  ServiceLedger ledger(kNodes, kLoadPerByte);
+  query::Catalog c = TwoStreamCatalog();
+  auto id = ledger.InstallCircuit(PlacedJoinCircuit(c, 5, 3), AllAlive());
+  ASSERT_TRUE(id.ok());
+  const ServiceInstanceId sid =
+      ledger.FindCircuit(*id)->vertex(2).service;
+  EXPECT_EQ(ledger.MigrateService(sid, kNodes + 1, AllAlive()).code(),
+            StatusCode::kOutOfRange);
+  std::vector<bool> alive = AllAlive();
+  alive[6] = false;
+  EXPECT_EQ(ledger.MigrateService(sid, 6, alive).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ledger.MigrateService(999, 2, AllAlive()).code(),
+            StatusCode::kNotFound);
+  ExpectBookMatchesInstances(ledger);
+}
+
+TEST(ServiceLedgerTest, EvictHostReversesLoadAndReportsOrphans) {
+  ServiceLedger ledger(kNodes, kLoadPerByte);
+  query::Catalog c = TwoStreamCatalog();
+  auto id1 = ledger.InstallCircuit(PlacedJoinCircuit(c, 5, 3), AllAlive());
+  auto id2 = ledger.InstallCircuit(PlacedJoinCircuit(c, 4, 2), AllAlive());
+  ASSERT_TRUE(id1.ok() && id2.ok());
+
+  FailureReport report = ledger.EvictHost(3);
+  EXPECT_EQ(report.services_evicted, 1u);
+  EXPECT_EQ(report.orphaned, (std::vector<CircuitId>{*id1}));
+  EXPECT_EQ(ledger.service_load(3), 0.0);
+  // The untouched circuit keeps its booked load.
+  EXPECT_DOUBLE_EQ(ledger.service_load(2), 7680.0 * kLoadPerByte);
+  ExpectBookMatchesInstances(ledger);
+
+  // Evicting a host with only pinned endpoints (producer 0) evicts no
+  // service but orphans every circuit whose endpoint sat there.
+  FailureReport endpoints = ledger.EvictHost(0);
+  EXPECT_EQ(endpoints.services_evicted, 0u);
+  EXPECT_EQ(endpoints.orphaned, (std::vector<CircuitId>{*id1, *id2}));
+
+  // install/evict/remove sum-to-zero: tear everything down.
+  ASSERT_TRUE(ledger.RemoveCircuit(*id1).ok());
+  ASSERT_TRUE(ledger.RemoveCircuit(*id2).ok());
+  EXPECT_EQ(ledger.TotalServiceLoad(), 0.0);
+  EXPECT_EQ(ledger.NumServices(), 0u);
+}
+
+TEST(ServiceLedgerTest, SharedInstanceSurvivesEvictionOfItsSourceCircuit) {
+  ServiceLedger ledger(kNodes, kLoadPerByte);
+  query::Catalog c = TwoStreamCatalog();
+  auto id1 = ledger.InstallCircuit(PlacedJoinCircuit(c, 5, 3), AllAlive());
+  ASSERT_TRUE(id1.ok());
+  const ServiceInstanceId sid =
+      ledger.FindCircuit(*id1)->vertex(2).service;
+
+  // A second circuit reuses the join instance on host 3.
+  Circuit reuse = PlacedJoinCircuit(c, 4, 3);
+  reuse.BindReusedSubtree(2, sid, 3, /*upstream_latency_ms=*/20.0);
+  auto id2 = ledger.InstallCircuit(std::move(reuse), AllAlive());
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE(ledger.FindService(sid)->Shared());
+
+  // Evicting the shared host orphans both users and releases the instance
+  // exactly once (the load book returns to zero despite two bindings).
+  FailureReport report = ledger.EvictHost(3);
+  EXPECT_EQ(report.services_evicted, 1u);
+  EXPECT_EQ(report.orphaned, (std::vector<CircuitId>{*id1, *id2}));
+  EXPECT_EQ(ledger.TotalServiceLoad(), 0.0);
+  EXPECT_EQ(ledger.NumServices(), 0u);
+}
+
+TEST(ServiceLedgerTest, FailedInstallLeavesBookBitIdentical) {
+  ServiceLedger ledger(kNodes, kLoadPerByte);
+  query::Catalog c = TwoStreamCatalog();
+  auto id = ledger.InstallCircuit(PlacedJoinCircuit(c, 5, 3), AllAlive());
+  ASSERT_TRUE(id.ok());
+  std::vector<double> book_before = ledger.service_loads();
+  const size_t services_before = ledger.NumServices();
+
+  // Reused instance id that does not exist: install must fail and roll
+  // back without perturbing a single bit of the book.
+  Circuit broken = PlacedJoinCircuit(c, 4, 2);
+  broken.BindReusedSubtree(2, /*instance=*/777, /*instance_host=*/2, 10.0);
+  EXPECT_FALSE(ledger.InstallCircuit(std::move(broken), AllAlive()).ok());
+  EXPECT_EQ(ledger.NumServices(), services_before);
+  ASSERT_EQ(ledger.service_loads().size(), book_before.size());
+  for (size_t n = 0; n < book_before.size(); ++n) {
+    EXPECT_EQ(ledger.service_loads()[n], book_before[n]);
+  }
+
+  // A dead-host install is rejected up front, same guarantee.
+  std::vector<bool> alive = AllAlive();
+  alive[2] = false;
+  EXPECT_EQ(
+      ledger.InstallCircuit(PlacedJoinCircuit(c, 4, 2), alive).status().code(),
+      StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ledger.NumServices(), services_before);
+}
+
+}  // namespace
+}  // namespace sbon::overlay
