@@ -47,6 +47,21 @@ inline std::string& JsonFlag() {
   return path;
 }
 
+/// Latency-substrate backend override (`--fabric=auto|dense|sparse`).
+/// "auto" keeps Sbon::Options defaults: dense up to the sparse auto
+/// threshold, the generative sparse backend above it.
+inline std::string& FabricFlag() {
+  static std::string name = "auto";
+  return name;
+}
+
+/// The Sbon fabric mode the --fabric= flag selects.
+inline overlay::Sbon::FabricMode FabricMode() {
+  if (FabricFlag() == "dense") return overlay::Sbon::FabricMode::kDense;
+  if (FabricFlag() == "sparse") return overlay::Sbon::FabricMode::kSparse;
+  return overlay::Sbon::FabricMode::kAuto;
+}
+
 /// Call first in main(): enables smoke mode on `--smoke` or
 /// `SBON_BENCH_SMOKE=1` (ctest smoke-runs every figure harness this way so
 /// benchmarks cannot silently bit-rot), and parses `--optimizer=NAME` /
@@ -62,6 +77,15 @@ inline void ParseBenchArgs(int argc, char** argv) {
       PlacerFlag() = std::string(arg.substr(std::strlen("--placer=")));
     } else if (arg.rfind("--json=", 0) == 0) {
       JsonFlag() = std::string(arg.substr(std::strlen("--json=")));
+    } else if (arg.rfind("--fabric=", 0) == 0) {
+      FabricFlag() = std::string(arg.substr(std::strlen("--fabric=")));
+      if (FabricFlag() != "auto" && FabricFlag() != "dense" &&
+          FabricFlag() != "sparse") {
+        std::fprintf(stderr,
+                     "unknown fabric '%s'; expected auto, dense or sparse\n",
+                     FabricFlag().c_str());
+        std::exit(2);
+      }
     }
   }
   const char* env = std::getenv("SBON_BENCH_SMOKE");
@@ -139,11 +163,19 @@ inline net::Topology MakeTransitStubTopology(size_t target_nodes,
                                              uint64_t seed) {
   net::TransitStubParams p;
   // Scale stub domains to approximate the target size:
-  // nodes = td*tn + td*tn*sd*ns with td*tn transit routers.
-  p.transit_domains = target_nodes >= 400 ? 4 : 2;
-  p.transit_nodes_per_domain = target_nodes >= 200 ? 4 : 2;
-  p.stub_domains_per_transit_node = 3;
-  const size_t transit = p.transit_domains * p.transit_nodes_per_domain;
+  // nodes = td*tn + td*tn*sd*ns with td*tn transit routers. Above ~10k the
+  // transit core widens (8x8) and stub-domain count grows with the target so
+  // domains stay O(10) nodes — keeping the graph sparse (links linear in
+  // nodes) instead of fattening each domain's quadratic chord pool.
+  p.transit_domains = target_nodes >= 10000 ? 8 : (target_nodes >= 400 ? 4 : 2);
+  p.transit_nodes_per_domain =
+      target_nodes >= 10000 ? 8 : (target_nodes >= 200 ? 4 : 2);
+  const size_t transit_est = p.transit_domains * p.transit_nodes_per_domain;
+  p.stub_domains_per_transit_node =
+      target_nodes >= 10000
+          ? std::max<size_t>(3, target_nodes / (transit_est * 24))
+          : 3;
+  const size_t transit = transit_est;
   p.nodes_per_stub_domain =
       std::max<size_t>(2, (target_nodes - transit) /
                               (transit * p.stub_domains_per_transit_node));
@@ -162,6 +194,9 @@ inline std::unique_ptr<overlay::Sbon> MakeTransitStubSbon(
     size_t target_nodes, uint64_t seed,
     overlay::Sbon::Options opts = overlay::Sbon::Options()) {
   opts.seed = seed;
+  // "auto" defers to the caller's (or Sbon's) default so harnesses that pin
+  // a mode programmatically are not clobbered by the flag's default value.
+  if (FabricFlag() != "auto") opts.fabric_mode = FabricMode();
   auto s = overlay::Sbon::Create(MakeTransitStubTopology(target_nodes, seed),
                                  opts);
   if (!s.ok()) {
@@ -181,6 +216,7 @@ inline std::unique_ptr<engine::StreamEngine> MakeTransitStubEngine(
     engine::EngineOptions opts = engine::EngineOptions()) {
   opts.topology = MakeTransitStubTopology(target_nodes, seed);
   opts.sbon.seed = seed;
+  if (FabricFlag() != "auto") opts.sbon.fabric_mode = FabricMode();
   opts.optimizer = OptimizerFlag();
   opts.placer = PlacerFlag();
   auto e = engine::StreamEngine::Create(std::move(opts));

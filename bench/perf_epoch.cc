@@ -15,22 +15,38 @@
 // units), --churn-rate=R (expected node crashes per epoch in the churn
 // section; crashed hosts evict their services and the engine re-places
 // orphaned queries under their original handles), --threads=T (worker
-// threads for the epoch pipeline's parallel stages; results are
-// bit-identical at any T).
+// threads for the epoch pipeline's parallel stages; T=0 defers to the
+// SBON_EPOCH_THREADS environment variable exactly like the engine API;
+// results are bit-identical at any T), --fabric=auto|dense|sparse (latency
+// substrate backend; see README "Architecture").
 //
 // The `parallel` section measures the pure AdvanceEpoch pipeline (no
 // submit/remove churn in the loop) at threads=1 vs threads=4 and verifies
 // the two runs end bit-identical. `hw_threads` records the hardware
-// concurrency the numbers were taken on — on a single-core box the
-// speedup is necessarily ~1x; the CI release-perf lane regenerates the
+// concurrency the numbers were taken on — on a box with fewer cores than
+// the parallel run's thread count a speedup is unmeasurable, so the JSON
+// reports it as null ("skipped-single-core") instead of recording the ~1x
+// a time-sliced run produces; the CI release-perf lane regenerates the
 // JSON on multi-core runners.
+//
+// The `sparse` section measures the generative sparse fabric backend at two
+// sizes (N/5 and N): overlay bring-up, a TickNetwork-only epoch (O(1) on
+// this backend), a full maintenance epoch (tick + load + 1 Vivaldi sample
+// per node + dirty refresh), and the largest single heap allocation, which
+// must stay far below an N x N matrix — that flat-memory guarantee is the
+// whole point of the backend. Above 4096 nodes the engine-loop sections are
+// skipped (they exist to track the dense-scale baseline) and the binary
+// runs the sparse scaling section only, which is what lets
+// `--fabric=sparse --nodes=100000 --smoke` complete in minutes.
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,17 +56,21 @@
 #include "engine/stream_engine.h"
 #include "net/churn.h"
 #include "net/shortest_path.h"
+#include "net/sparse_fabric.h"
 #include "query/workload.h"
 
 // ---------------------------------------------------------------------------
 // Global allocation counter: every operator new bumps it, so a delta across
-// a code region counts that region's heap allocations exactly.
+// a code region counts that region's heap allocations exactly. The max-size
+// watermark catches any O(n^2) buffer the sparse sections must never make.
 namespace {
 size_t g_alloc_count = 0;
+size_t g_max_alloc_size = 0;
 }  // namespace
 
 void* operator new(std::size_t size) {
   ++g_alloc_count;
+  if (size > g_max_alloc_size) g_max_alloc_size = size;
   void* p = std::malloc(size ? size : 1);
   if (p == nullptr) throw std::bad_alloc();
   return p;
@@ -86,7 +106,8 @@ struct EpochLoopResult {
 // function so the epsilon/churn sweeps measure identical work per
 // configuration. `churn_rate > 0` attaches a seeded ChurnModel: every
 // epoch additionally pays for node crashes/rejoins and the engine's
-// handle-stable repair of orphaned queries.
+// handle-stable repair of orphaned queries. `threads = 0` defers to
+// SBON_EPOCH_THREADS via the engine's own resolution.
 EpochLoopResult RunEpochLoop(size_t nodes, size_t queries, size_t epochs,
                              double epsilon, uint64_t seed,
                              double churn_rate = 0.0, size_t threads = 1) {
@@ -175,9 +196,12 @@ struct PipelineRunResult {
 };
 
 // FNV-1a over the bit patterns of the parallel stages' outputs: every
-// vector coordinate, every scalar penalty, and the live latency matrix.
-// Two runs that are bit-identical hash identically; a single differing ulp
-// anywhere does not.
+// vector coordinate, every scalar penalty, and a strided sample of the live
+// latency view (full coverage up to ~64k pairs; the same deterministic
+// stride either side of a comparison, so runs that are bit-identical hash
+// identically and a single differing ulp in a sampled pair does not).
+// Virtual per-pair reads instead of raw matrix access: works on any fabric
+// backend, dense or sparse.
 uint64_t StateFingerprint(const overlay::Sbon& sbon) {
   uint64_t h = 1469598103934665603ULL;
   auto mix = [&h](double v) {
@@ -196,8 +220,13 @@ uint64_t StateFingerprint(const overlay::Sbon& sbon) {
     mix(space.ScalarPenalty(n));
   }
   const size_t nn = sbon.topology().NumNodes();
-  const double* lat = sbon.latency().data();
-  for (size_t i = 0; i < nn * nn; ++i) mix(lat[i]);
+  const net::LatencyView& lat = sbon.latency();
+  const size_t pairs = nn * nn;
+  const size_t stride = std::max<size_t>(1, pairs / 65536);
+  for (size_t i = 0; i < pairs; i += stride) {
+    mix(lat.Latency(static_cast<NodeId>(i / nn),
+                    static_cast<NodeId>(i % nn)));
+  }
   return h;
 }
 
@@ -236,6 +265,78 @@ PipelineRunResult RunPipelineOnly(size_t nodes, size_t queries,
   for (size_t e = 0; e < epochs; ++e) eng->AdvanceEpoch(epoch);
   out.ns_per_epoch = NsSince(start) / static_cast<double>(epochs);
   out.fingerprint = StateFingerprint(sbon);
+  return out;
+}
+
+// One measured size of the sparse-backend scaling section: a query-free
+// overlay (the substrates are what scale; the engine loop is the dense-
+// scale benchmark above) driven through tick-only and full maintenance
+// epochs by direct substrate calls.
+struct SparseScalePoint {
+  size_t nodes = 0;           // actual node count of the built topology
+  double bringup_ms = 0.0;    // Sbon::Create (fabric + Vivaldi + index)
+  double tick_ns = 0.0;       // TickNetwork-only epoch (O(1) on sparse)
+  double maint_ns = 0.0;      // tick + load + 1 Vivaldi sample + refresh
+  size_t max_alloc = 0;       // largest single heap allocation in the run
+  const char* base_mode = ""; // "exact" / "sketch"
+  size_t landmarks = 0;
+  size_t row_builds = 0;      // on-demand Dijkstra rows computed
+  double neighbor_hit_rate = 0.0;
+};
+
+SparseScalePoint RunSparsePoint(size_t target_nodes, uint64_t seed,
+                                size_t epochs) {
+  // The topology build is shared scaffolding, not backend cost; allocate it
+  // before the watermark reset so only overlay behavior is audited.
+  net::Topology topo = bench::MakeTransitStubTopology(target_nodes, seed);
+  g_max_alloc_size = 0;
+
+  overlay::Sbon::Options opts;
+  opts.seed = seed;
+  opts.latency_jitter_sigma = 0.1;
+  // Forced sparse regardless of --fabric: this section measures the sparse
+  // backend by definition (the flag selects the engine sections' substrate).
+  opts.fabric_mode = overlay::Sbon::FabricMode::kSparse;
+  SparseScalePoint out;
+  out.nodes = topo.NumNodes();
+
+  const Clock::time_point create_start = Clock::now();
+  auto s = overlay::Sbon::Create(std::move(topo), opts);
+  if (!s.ok()) {
+    std::fprintf(stderr, "sparse sbon creation failed: %s\n",
+                 s.status().ToString().c_str());
+    std::abort();
+  }
+  out.bringup_ms = NsSince(create_start) * 1e-6;
+  overlay::Sbon& sbon = **s;
+
+  const Clock::time_point tick_start = Clock::now();
+  for (size_t e = 0; e < epochs; ++e) sbon.TickNetwork();
+  out.tick_ns = NsSince(tick_start) / static_cast<double>(epochs);
+
+  const Clock::time_point maint_start = Clock::now();
+  for (size_t e = 0; e < epochs; ++e) {
+    sbon.TickNetwork();
+    sbon.Tick(1.0);
+    sbon.UpdateCoordinatesOnline(1);
+    sbon.RefreshIndex(1.0);
+  }
+  out.maint_ns = NsSince(maint_start) / static_cast<double>(epochs);
+  out.max_alloc = g_max_alloc_size;
+
+  const auto* fabric =
+      dynamic_cast<const net::SparseFabric*>(&sbon.fabric());
+  if (fabric != nullptr) {
+    out.base_mode = fabric->exact_base() ? "exact" : "sketch";
+    out.landmarks = fabric->num_landmarks();
+    const auto& stats = fabric->cache_stats();
+    out.row_builds = stats.row_builds;
+    out.neighbor_hit_rate =
+        stats.base_reads > 0
+            ? static_cast<double>(stats.neighbor_hits) /
+                  static_cast<double>(stats.base_reads)
+            : 0.0;
+  }
   return out;
 }
 
@@ -296,90 +397,167 @@ int main(int argc, char** argv) {
   const size_t epochs = std::max<size_t>(
       1, sbon::bench::FlagOr(argc, argv, "epochs", smoke ? 4 : 32));
   const double epsilon = sbon::bench::DoubleFlagOr(argc, argv, "epsilon", 1.0);
-  const size_t threads =
-      std::max<size_t>(1, sbon::bench::FlagOr(argc, argv, "threads", 1));
+  // 0 = resolve from SBON_EPOCH_THREADS inside the engine (the documented
+  // env path); any positive value pins the pipeline's worker count.
+  const size_t threads = sbon::bench::FlagOr(argc, argv, "threads", 0);
+
+  const bool dense_requested = sbon::bench::FabricFlag() == "dense";
+  if (dense_requested && nodes > 20000) {
+    std::fprintf(stderr,
+                 "--fabric=dense above 20000 nodes would materialize two "
+                 "N^2 latency matrices (%zu GB); use --fabric=sparse\n",
+                 2 * nodes * nodes * sizeof(double) >> 30);
+    return 2;
+  }
+  // The engine-loop sections track the dense-scale baseline; above the
+  // sparse auto threshold they would spend minutes measuring a regime the
+  // dense backend cannot reach anyway, so the binary runs the sparse
+  // scaling section only.
+  const bool scaling_only = nodes > 4096 && !dense_requested;
 
   std::printf("perf_epoch: N=%zu nodes, Q=%zu queries, E=%zu epochs, "
-              "T=%zu threads\n",
-              nodes, queries, epochs, threads);
+              "T=%zu threads%s, fabric=%s\n",
+              nodes, queries, epochs, threads,
+              threads == 0 ? " (0: SBON_EPOCH_THREADS)" : "",
+              sbon::bench::FabricFlag().c_str());
 
-  sbon::bench::Section("Epoch+Submit throughput (dirty refresh, epsilon)");
-  const auto primary = sbon::RunEpochLoop(nodes, queries, epochs, epsilon,
-                                          /*seed=*/42, /*churn_rate=*/0.0,
-                                          threads);
-  std::printf(
-      "epsilon=%-4g  %10.0f ns/epoch  %10.0f ns/submit  %zu queries\n"
-      "              republished=%zu skipped=%zu quiet_refreshes=%zu/%zu\n",
-      epsilon, primary.ns_per_epoch, primary.ns_per_submit,
-      primary.queries_running, primary.refresh.republished,
-      primary.refresh.skipped, primary.refresh.quiet_refreshes,
-      primary.refresh.refreshes);
-
-  sbon::bench::Section("Epoch+Submit throughput (epsilon=0: every change)");
-  const auto eps0 = sbon::RunEpochLoop(nodes, queries, epochs, 0.0,
-                                       /*seed=*/42, /*churn_rate=*/0.0,
-                                       threads);
-  std::printf("epsilon=0     %10.0f ns/epoch  %10.0f ns/submit\n",
-              eps0.ns_per_epoch, eps0.ns_per_submit);
-
-  sbon::bench::Section("Epoch throughput under churn (crashes + repair)");
-  const double churn_rate =
-      sbon::bench::DoubleFlagOr(argc, argv, "churn-rate", 0.5);
-  const auto churned = sbon::RunEpochLoop(nodes, queries, epochs, epsilon,
-                                          /*seed=*/42, churn_rate, threads);
-  std::printf(
-      "churn=%-5g  %10.0f ns/epoch  (%+0.0f%% vs churn-free)\n"
-      "              crashes=%zu rejoins=%zu evicted=%zu orphaned=%zu "
-      "repaired=%zu dropped=%zu\n",
-      churn_rate, churned.ns_per_epoch,
-      primary.ns_per_epoch > 0.0
-          ? 100.0 * (churned.ns_per_epoch / primary.ns_per_epoch - 1.0)
-          : 0.0,
-      churned.repair.crashes, churned.repair.rejoins,
-      churned.repair.services_evicted, churned.repair.circuits_orphaned,
-      churned.repair.queries_repaired, churned.repair.queries_dropped);
-
-  sbon::bench::Section("Parallel epoch pipeline (AdvanceEpoch only)");
+  sbon::EpochLoopResult primary, eps0, churned;
+  sbon::PipelineRunResult pipe1, pipeN;
+  bool bit_identical = true;
+  double vivaldi_allocs = 0.0, knearest_allocs = 0.0;
   const size_t hw_threads = std::max(1u, std::thread::hardware_concurrency());
   const size_t par_threads = std::max<size_t>(4, threads);
-  const auto pipe1 =
-      sbon::RunPipelineOnly(nodes, queries, epochs, /*threads=*/1, 42);
-  const auto pipeN =
-      sbon::RunPipelineOnly(nodes, queries, epochs, par_threads, 42);
-  const bool bit_identical = pipe1.fingerprint == pipeN.fingerprint;
-  const double speedup =
-      pipeN.ns_per_epoch > 0.0 ? pipe1.ns_per_epoch / pipeN.ns_per_epoch
-                               : 0.0;
-  std::printf(
-      "threads=1     %10.0f ns/epoch\n"
-      "threads=%-4zu  %10.0f ns/epoch   speedup %.2fx  (hw threads: %zu)\n"
-      "state fingerprints %s\n",
-      pipe1.ns_per_epoch, par_threads, pipeN.ns_per_epoch, speedup,
-      hw_threads, bit_identical ? "bit-identical across thread counts"
-                                : "DIVERGED ACROSS THREAD COUNTS");
-  if (!bit_identical) {
-    std::fprintf(stderr,
-                 "FAIL: thread count changed results (t1=%016llx tN=%016llx)\n",
-                 static_cast<unsigned long long>(pipe1.fingerprint),
-                 static_cast<unsigned long long>(pipeN.fingerprint));
-    return 1;
+  // A parallel speedup is only measurable with at least as many cores as
+  // worker threads; a time-sliced run produces a meaningless ~1x that must
+  // not be recorded as if it were the parallelization's value.
+  const bool speedup_measurable = hw_threads >= par_threads;
+  double speedup = 0.0;
+  const double churn_rate =
+      sbon::bench::DoubleFlagOr(argc, argv, "churn-rate", 0.5);
+
+  if (!scaling_only) {
+    sbon::bench::Section("Epoch+Submit throughput (dirty refresh, epsilon)");
+    primary = sbon::RunEpochLoop(nodes, queries, epochs, epsilon,
+                                 /*seed=*/42, /*churn_rate=*/0.0, threads);
+    std::printf(
+        "epsilon=%-4g  %10.0f ns/epoch  %10.0f ns/submit  %zu queries\n"
+        "              republished=%zu skipped=%zu quiet_refreshes=%zu/%zu\n",
+        epsilon, primary.ns_per_epoch, primary.ns_per_submit,
+        primary.queries_running, primary.refresh.republished,
+        primary.refresh.skipped, primary.refresh.quiet_refreshes,
+        primary.refresh.refreshes);
+
+    sbon::bench::Section("Epoch+Submit throughput (epsilon=0: every change)");
+    eps0 = sbon::RunEpochLoop(nodes, queries, epochs, 0.0,
+                              /*seed=*/42, /*churn_rate=*/0.0, threads);
+    std::printf("epsilon=0     %10.0f ns/epoch  %10.0f ns/submit\n",
+                eps0.ns_per_epoch, eps0.ns_per_submit);
+
+    sbon::bench::Section("Epoch throughput under churn (crashes + repair)");
+    churned = sbon::RunEpochLoop(nodes, queries, epochs, epsilon,
+                                 /*seed=*/42, churn_rate, threads);
+    std::printf(
+        "churn=%-5g  %10.0f ns/epoch  (%+0.0f%% vs churn-free)\n"
+        "              crashes=%zu rejoins=%zu evicted=%zu orphaned=%zu "
+        "repaired=%zu dropped=%zu\n",
+        churn_rate, churned.ns_per_epoch,
+        primary.ns_per_epoch > 0.0
+            ? 100.0 * (churned.ns_per_epoch / primary.ns_per_epoch - 1.0)
+            : 0.0,
+        churned.repair.crashes, churned.repair.rejoins,
+        churned.repair.services_evicted, churned.repair.circuits_orphaned,
+        churned.repair.queries_repaired, churned.repair.queries_dropped);
+
+    sbon::bench::Section("Parallel epoch pipeline (AdvanceEpoch only)");
+    pipe1 = sbon::RunPipelineOnly(nodes, queries, epochs, /*threads=*/1, 42);
+    pipeN = sbon::RunPipelineOnly(nodes, queries, epochs, par_threads, 42);
+    bit_identical = pipe1.fingerprint == pipeN.fingerprint;
+    speedup = pipeN.ns_per_epoch > 0.0
+                  ? pipe1.ns_per_epoch / pipeN.ns_per_epoch
+                  : 0.0;
+    std::printf("threads=1     %10.0f ns/epoch\n", pipe1.ns_per_epoch);
+    if (speedup_measurable) {
+      std::printf("threads=%-4zu  %10.0f ns/epoch   speedup %.2fx  "
+                  "(hw threads: %zu)\n",
+                  par_threads, pipeN.ns_per_epoch, speedup, hw_threads);
+    } else {
+      std::printf("threads=%-4zu  %10.0f ns/epoch   speedup n/a: only %zu "
+                  "hw thread(s) for %zu workers\n",
+                  par_threads, pipeN.ns_per_epoch, hw_threads, par_threads);
+    }
+    std::printf("state fingerprints %s\n",
+                bit_identical ? "bit-identical across thread counts"
+                              : "DIVERGED ACROSS THREAD COUNTS");
+    if (!bit_identical) {
+      std::fprintf(
+          stderr,
+          "FAIL: thread count changed results (t1=%016llx tN=%016llx)\n",
+          static_cast<unsigned long long>(pipe1.fingerprint),
+          static_cast<unsigned long long>(pipeN.fingerprint));
+      return 1;
+    }
+
+    sbon::bench::Section("Hot-loop allocation audit");
+    vivaldi_allocs = sbon::MeasureVivaldiAllocs();
+    // A small dedicated overlay keeps the audit cheap under --smoke.
+    auto audit_sbon = sbon::bench::MakeTransitStubSbon(
+        sbon::bench::Nodes(200), /*seed=*/7);
+    knearest_allocs = sbon::MeasureKNearestAllocs(*audit_sbon);
+    std::printf("allocs/VivaldiSystem::Update = %g (want 0)\n",
+                vivaldi_allocs);
+    std::printf("allocs/KNearestInto          = %g (want 0)\n",
+                knearest_allocs);
+    if (vivaldi_allocs != 0.0 || knearest_allocs != 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: hot loops allocate (vivaldi=%g knearest=%g)\n",
+                   vivaldi_allocs, knearest_allocs);
+      return 1;
+    }
   }
 
-  sbon::bench::Section("Hot-loop allocation audit");
-  const double vivaldi_allocs = sbon::MeasureVivaldiAllocs();
-  // A small dedicated overlay keeps the audit cheap under --smoke.
-  auto audit_sbon = sbon::bench::MakeTransitStubSbon(
-      sbon::bench::Nodes(200), /*seed=*/7);
-  const double knearest_allocs = sbon::MeasureKNearestAllocs(*audit_sbon);
-  std::printf("allocs/VivaldiSystem::Update = %g (want 0)\n", vivaldi_allocs);
-  std::printf("allocs/KNearestInto          = %g (want 0)\n",
-              knearest_allocs);
-  if (vivaldi_allocs != 0.0 || knearest_allocs != 0.0) {
-    std::fprintf(stderr,
-                 "FAIL: hot loops allocate (vivaldi=%g knearest=%g)\n",
-                 vivaldi_allocs, knearest_allocs);
-    return 1;
+  sbon::bench::Section("Sparse fabric scaling (generative substrate)");
+  const size_t sparse_epochs = smoke ? 4 : 8;
+  const size_t small_target = std::max<size_t>(100, nodes / 5);
+  const auto sp_small = sbon::RunSparsePoint(small_target, 42, sparse_epochs);
+  const auto sp_full = nodes > small_target
+                           ? sbon::RunSparsePoint(nodes, 42, sparse_epochs)
+                           : sp_small;
+  for (const auto* p : {&sp_small, &sp_full}) {
+    std::printf(
+        "N=%-7zu  bringup %8.1f ms  tick %10.0f ns  maint %12.0f ns\n"
+        "           base=%s landmarks=%zu row_builds=%zu nbr_hit=%.0f%% "
+        "max_alloc=%zu B\n",
+        p->nodes, p->bringup_ms, p->tick_ns, p->maint_ns, p->base_mode,
+        p->landmarks, p->row_builds, 100.0 * p->neighbor_hit_rate,
+        p->max_alloc);
+    if (p == &sp_full && nodes <= small_target) break;
   }
+  const double maint_exponent =
+      sp_full.nodes > sp_small.nodes && sp_small.maint_ns > 0.0
+          ? std::log(sp_full.maint_ns / sp_small.maint_ns) /
+                std::log(static_cast<double>(sp_full.nodes) /
+                         static_cast<double>(sp_small.nodes))
+          : 0.0;
+  // The flat-memory acceptance gate: no single allocation anywhere near an
+  // N x N double matrix (or the N(N+1)/2 jitter triangle) may happen while
+  // the sparse backend runs. Only meaningful once quadratic buffers dwarf
+  // the backend's legitimate O(N) arrays (a few hundred bytes per node);
+  // below ~512 nodes the two regimes overlap and the dense-vs-sparse
+  // equivalence test owns the precise assertion.
+  bool sparse_mem_flat = true;
+  for (const auto* p : {&sp_small, &sp_full}) {
+    if (p->nodes < 512) continue;
+    if (p->max_alloc * 2 >= p->nodes * (p->nodes + 1) * sizeof(double)) {
+      sparse_mem_flat = false;
+      std::fprintf(stderr,
+                   "FAIL: sparse run allocated an O(N^2)-sized buffer "
+                   "(%zu bytes at N=%zu)\n",
+                   p->max_alloc, p->nodes);
+    }
+  }
+  std::printf("maintenance-epoch scaling exponent: %.2f  (dense is 2.0)\n",
+              maint_exponent);
+  if (!sparse_mem_flat) return 1;
 
   if (!sbon::bench::JsonFlag().empty()) {
     std::FILE* f = std::fopen(sbon::bench::JsonFlag().c_str(), "w");
@@ -388,56 +566,99 @@ int main(int argc, char** argv) {
                    sbon::bench::JsonFlag().c_str());
       return 1;
     }
-    std::fprintf(
-        f,
-        "{\n"
-        "  \"bench\": \"perf_epoch\",\n"
-        "  \"smoke\": %s,\n"
-        "  \"nodes\": %zu,\n"
-        "  \"queries\": %zu,\n"
-        "  \"epochs\": %zu,\n"
-        "  \"refresh_epsilon\": %g,\n"
-        "  \"ns_per_epoch\": %.1f,\n"
-        "  \"ns_per_submit\": %.1f,\n"
-        "  \"ns_per_epoch_eps0\": %.1f,\n"
-        "  \"allocs_per_epoch\": %.1f,\n"
-        "  \"republished\": %zu,\n"
-        "  \"republish_skipped\": %zu,\n"
-        "  \"quiet_refreshes\": %zu,\n"
-        "  \"refreshes\": %zu,\n"
-        "  \"allocs_per_vivaldi_update\": %g,\n"
-        "  \"allocs_per_knearest\": %g,\n"
-        "  \"parallel\": {\n"
-        "    \"hw_threads\": %zu,\n"
-        "    \"threads\": %zu,\n"
-        "    \"vivaldi_samples\": 4,\n"
-        "    \"ns_per_epoch_threads1\": %.1f,\n"
-        "    \"ns_per_epoch_threadsN\": %.1f,\n"
-        "    \"speedup\": %.2f,\n"
-        "    \"bit_identical\": %s\n"
-        "  },\n"
-        "  \"churn\": {\n"
-        "    \"crash_rate\": %g,\n"
-        "    \"ns_per_epoch\": %.1f,\n"
-        "    \"crashes\": %zu,\n"
-        "    \"rejoins\": %zu,\n"
-        "    \"services_evicted\": %zu,\n"
-        "    \"circuits_orphaned\": %zu,\n"
-        "    \"queries_repaired\": %zu,\n"
-        "    \"queries_dropped\": %zu\n"
-        "  }\n"
-        "}\n",
-        smoke ? "true" : "false", nodes, queries, epochs, epsilon,
-        primary.ns_per_epoch, primary.ns_per_submit, eps0.ns_per_epoch,
-        primary.allocs_per_epoch, primary.refresh.republished,
-        primary.refresh.skipped, primary.refresh.quiet_refreshes,
-        primary.refresh.refreshes, vivaldi_allocs, knearest_allocs,
-        hw_threads, par_threads, pipe1.ns_per_epoch, pipeN.ns_per_epoch,
-        speedup, bit_identical ? "true" : "false",
-        churn_rate, churned.ns_per_epoch, churned.repair.crashes,
-        churned.repair.rejoins, churned.repair.services_evicted,
-        churned.repair.circuits_orphaned, churned.repair.queries_repaired,
-        churned.repair.queries_dropped);
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"perf_epoch\",\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"mode\": \"%s\",\n"
+                 "  \"fabric\": \"%s\",\n"
+                 "  \"nodes\": %zu,\n"
+                 "  \"queries\": %zu,\n"
+                 "  \"epochs\": %zu,\n",
+                 smoke ? "true" : "false",
+                 scaling_only ? "sparse-scaling" : "standard",
+                 sbon::bench::FabricFlag().c_str(), nodes, queries, epochs);
+    if (!scaling_only) {
+      char speedup_buf[64];
+      if (speedup_measurable) {
+        std::snprintf(speedup_buf, sizeof(speedup_buf), "%.2f", speedup);
+      } else {
+        std::snprintf(speedup_buf, sizeof(speedup_buf), "null");
+      }
+      std::fprintf(
+          f,
+          "  \"refresh_epsilon\": %g,\n"
+          "  \"ns_per_epoch\": %.1f,\n"
+          "  \"ns_per_submit\": %.1f,\n"
+          "  \"ns_per_epoch_eps0\": %.1f,\n"
+          "  \"allocs_per_epoch\": %.1f,\n"
+          "  \"republished\": %zu,\n"
+          "  \"republish_skipped\": %zu,\n"
+          "  \"quiet_refreshes\": %zu,\n"
+          "  \"refreshes\": %zu,\n"
+          "  \"allocs_per_vivaldi_update\": %g,\n"
+          "  \"allocs_per_knearest\": %g,\n"
+          "  \"parallel\": {\n"
+          "    \"hw_threads\": %zu,\n"
+          "    \"threads\": %zu,\n"
+          "    \"vivaldi_samples\": 4,\n"
+          "    \"ns_per_epoch_threads1\": %.1f,\n"
+          "    \"ns_per_epoch_threadsN\": %.1f,\n"
+          "    \"speedup\": %s,\n"
+          "    \"speedup_note\": \"%s\",\n"
+          "    \"bit_identical\": %s\n"
+          "  },\n"
+          "  \"churn\": {\n"
+          "    \"crash_rate\": %g,\n"
+          "    \"ns_per_epoch\": %.1f,\n"
+          "    \"crashes\": %zu,\n"
+          "    \"rejoins\": %zu,\n"
+          "    \"services_evicted\": %zu,\n"
+          "    \"circuits_orphaned\": %zu,\n"
+          "    \"queries_repaired\": %zu,\n"
+          "    \"queries_dropped\": %zu\n"
+          "  },\n",
+          epsilon, primary.ns_per_epoch, primary.ns_per_submit,
+          eps0.ns_per_epoch, primary.allocs_per_epoch,
+          primary.refresh.republished, primary.refresh.skipped,
+          primary.refresh.quiet_refreshes, primary.refresh.refreshes,
+          vivaldi_allocs, knearest_allocs, hw_threads, par_threads,
+          pipe1.ns_per_epoch, pipeN.ns_per_epoch, speedup_buf,
+          speedup_measurable ? "ok" : "skipped-single-core",
+          bit_identical ? "true" : "false", churn_rate, churned.ns_per_epoch,
+          churned.repair.crashes, churned.repair.rejoins,
+          churned.repair.services_evicted, churned.repair.circuits_orphaned,
+          churned.repair.queries_repaired, churned.repair.queries_dropped);
+    }
+    auto write_point = [f](const char* key,
+                           const sbon::SparseScalePoint& p) {
+      std::fprintf(f,
+                   "    \"%s\": {\n"
+                   "      \"nodes\": %zu,\n"
+                   "      \"bringup_ms\": %.1f,\n"
+                   "      \"tick_ns\": %.1f,\n"
+                   "      \"maint_ns\": %.1f,\n"
+                   "      \"max_single_alloc_bytes\": %zu,\n"
+                   "      \"base_mode\": \"%s\",\n"
+                   "      \"landmarks\": %zu,\n"
+                   "      \"row_builds\": %zu,\n"
+                   "      \"neighbor_hit_rate\": %.3f\n"
+                   "    }",
+                   key, p.nodes, p.bringup_ms, p.tick_ns, p.maint_ns,
+                   p.max_alloc, p.base_mode, p.landmarks, p.row_builds,
+                   p.neighbor_hit_rate);
+    };
+    std::fprintf(f, "  \"sparse\": {\n");
+    write_point("small", sp_small);
+    std::fprintf(f, ",\n");
+    write_point("full", sp_full);
+    std::fprintf(f,
+                 ",\n"
+                 "    \"maint_scaling_exponent\": %.2f,\n"
+                 "    \"mem_flat\": %s\n"
+                 "  }\n"
+                 "}\n",
+                 maint_exponent, sparse_mem_flat ? "true" : "false");
     std::fclose(f);
     std::printf("\nwrote %s\n", sbon::bench::JsonFlag().c_str());
   }

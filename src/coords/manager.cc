@@ -6,8 +6,16 @@
 
 namespace sbon::coords {
 
+namespace {
+// Mass-publish batches at or above this size go through the ring's bulk
+// window (O(log m) per publish instead of O(m) vector splices). Below it
+// the window's map build would cost more allocations than it saves; the
+// final ring is bit-identical either way, so this is purely a perf knob.
+constexpr size_t kBulkPublishThreshold = 2048;
+}  // namespace
+
 StatusOr<std::unique_ptr<CoordinateManager>> CoordinateManager::Build(
-    Params params, const net::LatencyMatrix& lat, Rng* rng) {
+    Params params, const net::LatencyView& lat, Rng* rng) {
   const size_t n = lat.NumNodes();
   std::unique_ptr<CoordinateManager> mgr(new CoordinateManager());
   mgr->params_ = params;
@@ -70,15 +78,18 @@ void CoordinateManager::BuildIndex(const std::vector<NodeId>& overlay_nodes) {
   }
   index_ = std::make_unique<dht::CoordinateIndex>(
       dht::HilbertQuantizer::FitTo(box_points, params_.hilbert_bits));
+  const bool bulk = overlay_nodes.size() >= kBulkPublishThreshold;
+  if (bulk) index_->BeginBulkUpdate();
   for (size_t k = 0; k < overlay_nodes.size(); ++k) {
     index_->Publish(overlay_nodes[k], full_coords[k]);
     last_published_[overlay_nodes[k]] = std::move(full_coords[k]);
   }
+  if (bulk) index_->EndBulkUpdate();
   index_->Stabilize();
 }
 
 void CoordinateManager::UpdateCoordinatesOnline(
-    const net::LatencyMatrix& live, size_t samples_per_node,
+    const net::LatencyView& live, size_t samples_per_node,
     const std::vector<bool>& alive, double rtt_noise_sigma, Rng* rng,
     ThreadPool* pool) {
   if (vivaldi_ == nullptr) return;
@@ -221,8 +232,12 @@ void CoordinateManager::RefreshIndex(const std::vector<NodeId>& overlay_nodes,
     }
   });
   // Phase 2 — serial re-publish in node order (ring mutation), identical to
-  // the order the legacy single-pass refresh issued.
+  // the order the legacy single-pass refresh issued. Bulk window: a busy
+  // epoch republishes most of the overlay, and per-publish vector splices
+  // would make the refresh O(m^2) at large N.
   size_t republished = 0;
+  const bool bulk = m >= kBulkPublishThreshold;
+  if (bulk) index_->BeginBulkUpdate();
   for (size_t k = 0; k < m; ++k) {
     if (dirty_[k]) {
       const NodeId n = overlay_nodes[k];
@@ -233,6 +248,7 @@ void CoordinateManager::RefreshIndex(const std::vector<NodeId>& overlay_nodes,
       refresh_stats_.skipped += 1;
     }
   }
+  if (bulk) index_->EndBulkUpdate();
   refresh_stats_.republished += republished;
   if (republished > 0) {
     index_->Stabilize();

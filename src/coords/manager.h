@@ -63,7 +63,7 @@ class CoordinateManager {
   /// vector part. Scalar metrics start at zero; call SetScalarMetrics then
   /// BuildIndex to finish bring-up.
   static StatusOr<std::unique_ptr<CoordinateManager>> Build(
-      Params params, const net::LatencyMatrix& lat, Rng* rng);
+      Params params, const net::LatencyView& lat, Rng* rng);
 
   CoordinateManager(const CoordinateManager&) = delete;
   CoordinateManager& operator=(const CoordinateManager&) = delete;
@@ -91,7 +91,7 @@ class CoordinateManager {
   /// Sample draws come from `rng` in the legacy serial order; the updates
   /// execute either in index order (serial) or as a dependency wavefront
   /// over `pool` — bit-identical either way. No-op without Vivaldi.
-  void UpdateCoordinatesOnline(const net::LatencyMatrix& live,
+  void UpdateCoordinatesOnline(const net::LatencyView& live,
                                size_t samples_per_node,
                                const std::vector<bool>& alive,
                                double rtt_noise_sigma, Rng* rng,

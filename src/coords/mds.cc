@@ -7,7 +7,7 @@
 
 namespace sbon::coords {
 
-std::vector<Vec> ClassicalMds(const net::LatencyMatrix& lat, size_t dims,
+std::vector<Vec> ClassicalMds(const net::LatencyView& lat, size_t dims,
                               Rng* rng, size_t power_iters) {
   const size_t n = lat.NumNodes();
   std::vector<Vec> out(n, Vec(dims));
@@ -82,7 +82,7 @@ std::vector<Vec> ClassicalMds(const net::LatencyMatrix& lat, size_t dims,
   return out;
 }
 
-EmbeddingError EvaluateEmbedding(const net::LatencyMatrix& lat,
+EmbeddingError EvaluateEmbedding(const net::LatencyView& lat,
                                  const std::vector<Vec>& coords,
                                  size_t max_pairs) {
   EmbeddingError err;

@@ -17,7 +17,7 @@ namespace sbon::coords {
 ///
 /// Implementation: double-center the squared-latency matrix and extract the
 /// top `dims` eigenvectors by power iteration with deflation.
-std::vector<Vec> ClassicalMds(const net::LatencyMatrix& lat, size_t dims,
+std::vector<Vec> ClassicalMds(const net::LatencyView& lat, size_t dims,
                               Rng* rng, size_t power_iters = 200);
 
 /// Embedding quality metrics comparing coordinate distances against true
@@ -31,7 +31,7 @@ struct EmbeddingError {
 
 /// Evaluates `coords` against the true latency matrix over all pairs (or a
 /// sample of `max_pairs` pairs for large n).
-EmbeddingError EvaluateEmbedding(const net::LatencyMatrix& lat,
+EmbeddingError EvaluateEmbedding(const net::LatencyView& lat,
                                  const std::vector<Vec>& coords,
                                  size_t max_pairs = 200000);
 

@@ -43,7 +43,7 @@ void VivaldiSystem::UpdateAgainst(NodeId self, NodeId peer,
   coords_[self].AddScaled(dir, delta * (rtt - dist));
 }
 
-VivaldiSystem RunVivaldi(const net::LatencyMatrix& lat,
+VivaldiSystem RunVivaldi(const net::LatencyView& lat,
                          const VivaldiSystem::Params& params,
                          const VivaldiRunOptions& options, Rng* rng) {
   const size_t n = lat.NumNodes();

@@ -72,7 +72,7 @@ struct VivaldiRunOptions {
 /// Runs Vivaldi over simulated RTTs from `lat` (shortest-path latencies with
 /// multiplicative noise) and leaves converged coordinates in the returned
 /// system. Deterministic given `rng`'s state.
-VivaldiSystem RunVivaldi(const net::LatencyMatrix& lat,
+VivaldiSystem RunVivaldi(const net::LatencyView& lat,
                          const VivaldiSystem::Params& params,
                          const VivaldiRunOptions& options, Rng* rng);
 

@@ -16,6 +16,19 @@ bool InIntervalOpenClosed(const U128& x, const U128& a, const U128& b) {
 }  // namespace
 
 void ChordRing::Join(U128 key, NodeId node) {
+  if (in_bulk_) {
+    // Same perturbation rule against the map: "does this exact key exist?"
+    // is what the vector's lower_bound equality probe asks, so the final
+    // key assignment is identical to the sequential vector path.
+    U128 k = key;
+    while (bulk_members_.count(k) != 0) {
+      k = k + U128::FromU64((static_cast<uint64_t>(node) << 1) | 1);
+    }
+    bulk_members_.emplace(k, node);
+    bulk_key_of_[node] = k;
+    stale_ = true;
+    return;
+  }
   // Perturb exact duplicates so every member has a unique ring key.
   // `members_` stays sorted by key, so existence is a binary search and the
   // new member is spliced in at its lower bound instead of re-sorting the
@@ -34,12 +47,45 @@ void ChordRing::Join(U128 key, NodeId node) {
 }
 
 void ChordRing::Leave(NodeId node) {
+  if (in_bulk_) {
+    auto it = bulk_key_of_.find(node);
+    if (it != bulk_key_of_.end()) {
+      bulk_members_.erase(it->second);
+      bulk_key_of_.erase(it);
+      stale_ = true;
+    }
+    return;
+  }
   members_.erase(std::remove_if(members_.begin(), members_.end(),
                                 [&](const Member& m) {
                                   return m.node == node;
                                 }),
                  members_.end());
   stale_ = true;
+}
+
+void ChordRing::BeginBulk() {
+  if (in_bulk_) return;
+  in_bulk_ = true;
+  bulk_members_.clear();
+  bulk_key_of_.clear();
+  bulk_key_of_.reserve(members_.size());
+  for (const Member& m : members_) {
+    bulk_members_.emplace(m.key, m.node);
+    bulk_key_of_.emplace(m.node, m.key);
+  }
+}
+
+void ChordRing::EndBulk() {
+  if (!in_bulk_) return;
+  in_bulk_ = false;
+  members_.clear();
+  members_.reserve(bulk_members_.size());
+  for (const auto& [k, node] : bulk_members_) {
+    members_.push_back(Member{k, node});
+  }
+  bulk_members_.clear();
+  bulk_key_of_.clear();
 }
 
 size_t ChordRing::SuccessorIndex(U128 key) const {

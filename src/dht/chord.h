@@ -2,6 +2,8 @@
 #define SBON_DHT_CHORD_H_
 
 #include <cstdint>
+#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -37,7 +39,21 @@ class ChordRing {
   /// Removes all entries owned by `node`.
   void Leave(NodeId node);
 
-  size_t NumMembers() const { return members_.size(); }
+  /// Bulk-update window for mass re-publish (index refresh, bring-up): the
+  /// sorted membership vector makes each Leave/Join O(members) — quadratic
+  /// when every node re-publishes in one refresh. Between BeginBulk and
+  /// EndBulk the membership lives in an ordered map instead, so the same
+  /// Join/Leave sequence (including duplicate-key perturbation, which only
+  /// asks "does this exact key exist?") costs O(log members) per call and
+  /// produces a bit-identical final membership. Lookups and successor walks
+  /// are invalid inside the window — the ring is stale until the Stabilize
+  /// that follows EndBulk, exactly as after any Join/Leave.
+  void BeginBulk();
+  void EndBulk();
+
+  size_t NumMembers() const {
+    return in_bulk_ ? bulk_members_.size() : members_.size();
+  }
   const std::vector<Member>& members() const { return members_; }
 
   /// (Re)builds finger tables. Must be called after membership changes and
@@ -62,6 +78,12 @@ class ChordRing {
 
   // Sorted by key.
   std::vector<Member> members_;
+  // Bulk-window state: key-sorted membership plus the reverse index Leave
+  // needs (each node holds at most one ring entry — Publish always Leaves
+  // before re-Joining).
+  bool in_bulk_ = false;
+  std::map<U128, NodeId> bulk_members_;
+  std::unordered_map<NodeId, U128> bulk_key_of_;
   // Flat row-major finger table: fingers_[m * kFingerBits + i] = index of
   // successor(members_[m].key + 2^i). Kept flat so Stabilize rewrites it in
   // place without per-member allocations and lookups walk one cache-friendly

@@ -30,42 +30,6 @@ void LoadModel::SetLoad(NodeId n, double load) {
   load_[n] = std::clamp(load, 0.0, 1.0);
 }
 
-namespace {
-
-// The i-th output of a SplitMix64 stream seeded with `seed` (0-based). The
-// stream's state is affine in the call index (state_i = seed + (i+1)*gamma),
-// so any slice of an epoch's factors can be generated independently — the
-// hook the parallel Resample shards on — while matching the sequential walk
-// bit for bit.
-uint64_t SplitMix64At(uint64_t seed, size_t i) {
-  uint64_t z = seed + (static_cast<uint64_t>(i) + 1) * 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-// e^s for the jitter exponent range (|s| <= ~1.8 at the sigmas the library
-// uses): degree-6 Taylor core on s/4, squared twice. Relative error < 1e-5
-// over that range — far below the statistical noise of the jitter itself —
-// at a handful of multiplies instead of a libm call. Exponents outside the
-// envelope (exotic sigma configurations) fall back to libm so the factor
-// distribution stays accurate instead of silently drifting in the tails.
-double FastExp(double s) {
-  if (s < -2.0 || s > 2.0) return std::exp(s);
-  const double r = s * 0.25;
-  double p =
-      1.0 +
-      r * (1.0 +
-           r * (1.0 / 2 +
-                r * (1.0 / 6 +
-                     r * (1.0 / 24 + r * (1.0 / 120 + r * (1.0 / 720))))));
-  p *= p;
-  p *= p;
-  return p;
-}
-
-}  // namespace
-
 LatencyJitter::LatencyJitter(size_t n, double sigma, Rng* rng)
     : n_(n), sigma_(sigma) {
   factors_.resize(n * (n + 1) / 2, 1.0);
@@ -88,26 +52,14 @@ void LatencyJitter::Resample(Rng* rng, ThreadPool* pool) {
 
 void LatencyJitter::GenerateFactors(size_t begin, size_t end) {
   for (size_t i = begin; i < end; ++i) {
-    // CLT normal from the four 16-bit lanes of one SplitMix64 output:
-    // mean 2, variance 1/3 before standardization; support bounded at
-    // +/- 2*sqrt(3) sigma, which keeps factors within the multiplicative
-    // bounds downstream consumers assume.
-    const uint64_t z = SplitMix64At(epoch_seed_, i);
-    const double sum = static_cast<double>(z & 0xffff) +
-                       static_cast<double>((z >> 16) & 0xffff) +
-                       static_cast<double>((z >> 32) & 0xffff) +
-                       static_cast<double>(z >> 48);
-    const double zn =
-        (sum * (1.0 / 65536.0) - 2.0) * 1.7320508075688772;  // * sqrt(3)
-    factors_[i] = FastExp(sigma_ * zn);
+    factors_[i] = JitterFactorAt(epoch_seed_, sigma_, i);
   }
 }
 
 size_t LatencyJitter::Index(NodeId a, NodeId b) const {
   if (a > b) std::swap(a, b);
   // Row-major upper triangle including the diagonal.
-  return static_cast<size_t>(a) * n_ - static_cast<size_t>(a) * (a + 1) / 2 +
-         b;
+  return JitterPairIndex(a, b, n_);
 }
 
 double LatencyJitter::Factor(NodeId a, NodeId b) const {

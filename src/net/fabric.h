@@ -14,10 +14,57 @@
 
 namespace sbon::net {
 
-/// The physical-network substrate of the overlay: the pristine all-pairs
-/// latency matrix, the live (jittered) view every cost measurement reads,
-/// the per-epoch congestion jitter, and the soft-partition overlay that
-/// inflates cross-cut latency during connectivity faults.
+/// The latency-substrate seam: everything the overlay needs from "the
+/// network" — a pristine and a live pairwise-latency view, the per-epoch
+/// congestion tick, and the soft-partition overlay — behind one interface so
+/// the representation can be swapped by scale:
+///
+///  - NetworkFabric (dense): materialized O(n^2) base + live matrices.
+///    Exact, O(1) reads, the right choice up to a few thousand nodes.
+///  - SparseFabric (generative, net/sparse_fabric.h): computes base latency
+///    on demand from the topology, derives jitter index-addressably from the
+///    epoch seed, and applies the partition penalty as a predicate over the
+///    cut. O(n) memory — the only backend that reaches 100k+ nodes.
+///
+/// Contract shared by all backends: `TickNetwork` consumes exactly one Rng
+/// draw per call when the backend was built with jitter (none otherwise);
+/// construction consumes exactly one draw iff jitter_sigma > 0; and at sizes
+/// where both backends exist, fixed-seed live latencies are bit-identical
+/// across backends.
+class FabricBackend {
+ public:
+  virtual ~FabricBackend() = default;
+
+  /// The live latency view: jitter times base, partition penalty on top.
+  virtual const LatencyView& live() const = 0;
+  /// The pristine latencies (before jitter/partition), for drift measurement.
+  virtual const LatencyView& base() const = 0;
+  virtual bool has_jitter() const = 0;
+  virtual size_t NumNodes() const = 0;
+  /// Backend name for logs/bench JSON ("dense" / "sparse").
+  virtual const char* name() const = 0;
+  /// True when TickNetwork does O(n^2) work worth sharding across a pool
+  /// (dense rewrite); false when it is O(1) (sparse seed bump) and the
+  /// epoch pipeline should not bother scheduling it on workers.
+  virtual bool sharded_tick() const = 0;
+
+  /// Starts a new latency epoch. One draw from `rng` iff built with jitter.
+  virtual void TickNetwork(Rng* rng, ThreadPool* pool = nullptr) = 0;
+
+  /// Soft link partition: the live latency of every pair that crosses the
+  /// cut (`group` vs. the rest) is scaled by `factor` until EndPartition.
+  /// One partition may be active at a time.
+  virtual Status BeginPartition(const std::vector<NodeId>& group,
+                                double factor) = 0;
+  /// Heals the active partition, restoring jittered (or base) latencies.
+  virtual Status EndPartition(ThreadPool* pool = nullptr) = 0;
+  virtual bool partition_active() const = 0;
+};
+
+/// The dense physical-network substrate of the overlay: the pristine
+/// all-pairs latency matrix, the live (jittered) view every cost measurement
+/// reads, the per-epoch congestion jitter, and the soft-partition overlay
+/// that inflates cross-cut latency during connectivity faults.
 ///
 /// One of the three substrates `overlay::Sbon` composes (alongside
 /// coords::CoordinateManager and overlay::ServiceLedger). It owns latency
@@ -26,7 +73,7 @@ namespace sbon::net {
 /// The jitter path (TickNetwork) shards across an optional ThreadPool by
 /// matrix row; results are bit-identical at any thread count (see
 /// LatencyJitter).
-class NetworkFabric {
+class NetworkFabric final : public FabricBackend {
  public:
   /// Builds the base matrix from `topo` (all-pairs shortest paths) and the
   /// live view as a copy. `jitter_sigma > 0` attaches a LatencyJitter whose
@@ -37,25 +84,29 @@ class NetworkFabric {
   NetworkFabric(const NetworkFabric&) = delete;
   NetworkFabric& operator=(const NetworkFabric&) = delete;
 
-  /// The live latency view: jitter times base, partition penalty on top.
-  const LatencyMatrix& live() const { return *live_; }
+  /// The live latency matrix: jitter times base, partition penalty on top
+  /// (covariant — callers holding the concrete type keep raw-buffer access).
+  const LatencyMatrix& live() const override { return *live_; }
   /// The pristine matrix (before jitter/partition), for drift measurement.
-  const LatencyMatrix& base() const { return *base_; }
-  bool has_jitter() const { return jitter_ != nullptr; }
-  size_t NumNodes() const { return n_; }
+  const LatencyMatrix& base() const override { return *base_; }
+  bool has_jitter() const override { return jitter_ != nullptr; }
+  size_t NumNodes() const override { return n_; }
+  const char* name() const override { return "dense"; }
+  bool sharded_tick() const override { return true; }
 
   /// Starts a new latency epoch: resamples pairwise jitter factors (one
   /// draw from `rng`), rewrites the live matrix, and re-applies the active
   /// partition's penalty on top of the fresh jitter. No-op without jitter.
-  void TickNetwork(Rng* rng, ThreadPool* pool = nullptr);
+  void TickNetwork(Rng* rng, ThreadPool* pool = nullptr) override;
 
   /// Soft link partition: multiplies the live latency of every pair that
   /// crosses the cut (`group` vs. the rest) by `factor` until EndPartition.
   /// One partition may be active at a time.
-  Status BeginPartition(const std::vector<NodeId>& group, double factor);
+  Status BeginPartition(const std::vector<NodeId>& group,
+                        double factor) override;
   /// Heals the active partition, restoring jittered (or base) latencies.
-  Status EndPartition(ThreadPool* pool = nullptr);
-  bool partition_active() const { return partition_active_; }
+  Status EndPartition(ThreadPool* pool = nullptr) override;
+  bool partition_active() const override { return partition_active_; }
 
  private:
   /// Multiplies cross-cut pairs of the live matrix by the partition factor.

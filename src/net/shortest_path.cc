@@ -43,6 +43,38 @@ std::vector<double> DijkstraLatencies(const Topology& topo, NodeId src) {
   return dist;
 }
 
+double LatencyView::MeanLatency() const {
+  const size_t n = NumNodes();
+  if (n < 2) return 0.0;
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const double v =
+          Latency(static_cast<NodeId>(a), static_cast<NodeId>(b));
+      if (v < kInf) {
+        sum += v;
+        ++count;
+      }
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double LatencyView::MaxLatency() const {
+  const size_t n = NumNodes();
+  double mx = 0.0;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      const double v =
+          Latency(static_cast<NodeId>(a), static_cast<NodeId>(b));
+      if (v < kInf && v > mx) mx = v;
+    }
+  }
+  return mx;
+}
+
 LatencyMatrix::LatencyMatrix(const Topology& topo) : n_(topo.NumNodes()) {
   m_.resize(n_ * n_);
   for (NodeId s = 0; s < n_; ++s) {

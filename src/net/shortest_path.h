@@ -18,18 +18,42 @@ void DijkstraWithPredecessors(const Topology& topo, NodeId src,
                               std::vector<double>* dist,
                               std::vector<NodeId>* pred);
 
+/// Read-only pairwise-latency oracle: the interface every latency consumer
+/// (Vivaldi sampling, circuit cost accounting, embedding evaluation) reads
+/// through. Implemented densely by LatencyMatrix and generatively by the
+/// sparse fabric backend's on-demand views — consumers cannot tell the two
+/// apart because fixed-seed values are bit-identical where both exist.
+class LatencyView {
+ public:
+  virtual ~LatencyView() = default;
+
+  virtual size_t NumNodes() const = 0;
+
+  /// Shortest-path latency in ms between a and b. Generative
+  /// implementations compute this on demand; treat a read as "cheap but not
+  /// free" (an O(1)-to-O(landmarks) lookup, never an O(n) scan).
+  virtual double Latency(NodeId a, NodeId b) const = 0;
+
+  /// Mean of all off-diagonal pairwise latencies (used for normalization).
+  /// O(n^2) reads — the default walks every pair in the same order the
+  /// dense matrix does, so dense and generative views agree bitwise.
+  virtual double MeanLatency() const;
+  /// Maximum finite pairwise latency (network diameter in ms). O(n^2) reads.
+  virtual double MaxLatency() const;
+};
+
 /// Dense all-pairs latency matrix. Built once per topology; queries are O(1).
 /// This is the "network oracle" that stands in for real RTT measurements:
 /// Vivaldi samples it with noise, and circuit cost accounting uses it exactly.
-class LatencyMatrix {
+class LatencyMatrix final : public LatencyView {
  public:
   /// Runs Dijkstra from every node. O(n * m log n).
   explicit LatencyMatrix(const Topology& topo);
 
-  size_t NumNodes() const { return n_; }
+  size_t NumNodes() const override { return n_; }
 
   /// Shortest-path latency in ms between a and b.
-  double Latency(NodeId a, NodeId b) const { return m_[a * n_ + b]; }
+  double Latency(NodeId a, NodeId b) const override { return m_[a * n_ + b]; }
 
   /// Overrides one symmetric pairwise latency (dynamic-latency models
   /// apply jitter factors on top of a pristine base matrix).
@@ -44,10 +68,10 @@ class LatencyMatrix {
   const double* data() const { return m_.data(); }
   double* MutableData() { return m_.data(); }
 
-  /// Mean of all off-diagonal pairwise latencies (used for normalization).
-  double MeanLatency() const;
-  /// Maximum finite pairwise latency (network diameter in ms).
-  double MaxLatency() const;
+  /// Direct-buffer overrides of the LatencyView pair sweeps (same walk
+  /// order, so results match the generic implementations bitwise).
+  double MeanLatency() const override;
+  double MaxLatency() const override;
 
  private:
   size_t n_;

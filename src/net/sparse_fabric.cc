@@ -1,0 +1,197 @@
+#include "net/sparse_fabric.h"
+
+#include <limits>
+
+#include "net/dynamics.h"
+
+namespace sbon::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+SparseFabric::SparseFabric(const Topology& topo, double jitter_sigma, Rng* rng,
+                           Options options)
+    : topo_(topo),
+      n_(topo.NumNodes()),
+      sigma_(jitter_sigma),
+      options_(options),
+      exact_(options.base_mode == Options::BaseMode::kExact ||
+             (options.base_mode == Options::BaseMode::kAuto &&
+              n_ <= options.exact_threshold)),
+      live_view_(this, /*live=*/true),
+      base_view_(this, /*live=*/false) {
+  if (!exact_) PlaceLandmarks();
+  if (options_.neighbor_cache_slots > 0) {
+    neighbor_cache_.resize(n_ * options_.neighbor_cache_slots);
+  }
+  if (exact_) {
+    const size_t rows =
+        options_.row_cache_rows < 1
+            ? 1
+            : (options_.row_cache_rows < n_ ? options_.row_cache_rows : n_);
+    row_cache_.resize(rows < 1 ? 1 : rows);
+  }
+  // Same construction draw order as the dense backend (whose LatencyJitter
+  // ctor resamples once): exactly one draw iff jitter is attached, so
+  // fixed-seed overlays agree on every subsequent draw across backends.
+  if (sigma_ > 0.0) epoch_seed_ = rng->Next();
+}
+
+void SparseFabric::TickNetwork(Rng* rng, ThreadPool* pool) {
+  (void)pool;  // the tick is O(1); nothing to shard
+  if (sigma_ <= 0.0) return;
+  epoch_seed_ = rng->Next();
+  jitter_applied_ = true;
+}
+
+Status SparseFabric::BeginPartition(const std::vector<NodeId>& group,
+                                    double factor) {
+  if (partition_active_) {
+    return Status::FailedPrecondition("a partition is already active");
+  }
+  if (group.empty()) return Status::InvalidArgument("empty partition group");
+  if (factor < 1.0) {
+    return Status::InvalidArgument("partition factor must be >= 1");
+  }
+  partitioned_.assign(n_, false);
+  for (NodeId n : group) {
+    if (n >= n_) {
+      return Status::OutOfRange("partition member out of range");
+    }
+    partitioned_[n] = true;
+  }
+  partition_active_ = true;
+  partition_factor_ = factor;
+  // Nothing to rewrite: the live view tests the cut predicate at read time.
+  return Status::OK();
+}
+
+Status SparseFabric::EndPartition(ThreadPool* pool) {
+  (void)pool;
+  if (!partition_active_) {
+    return Status::FailedPrecondition("no active partition");
+  }
+  partition_active_ = false;
+  // Mirror the dense state machine: NetworkFabric::EndPartition re-applies
+  // the *current* jitter factors over the base (no resample), which on an
+  // overlay whose network was never ticked stamps the construction-epoch
+  // factors onto the live matrix for the first time. Flag the same
+  // transition here so the read-time composition agrees bit for bit.
+  if (sigma_ > 0.0) jitter_applied_ = true;
+  return Status::OK();
+}
+
+double SparseFabric::BaseLatency(NodeId a, NodeId b) const {
+  if (a == b) return 0.0;
+  // Exact mode resolves through row `a`: the dense base matrix stores
+  // Dijkstra(a)[b] at entry (a, b), and Dijkstra(a)[b] can differ from
+  // Dijkstra(b)[a] in the last ulp (reversed fp accumulation order along the
+  // path), so the resolving source must match the dense layout, not be
+  // normalized to min(a, b).
+  return CachedBase(a, b);
+}
+
+double SparseFabric::LiveLatency(NodeId a, NodeId b) const {
+  if (a == b) return 0.0;
+  double v;
+  if (jitter_applied_) {
+    // The dense ApplyAll writes both mirror entries of a pair from the
+    // upper-triangle base entry times the symmetric factor, so a jittered
+    // live read resolves through row min(a, b) regardless of argument order.
+    const NodeId lo = a < b ? a : b;
+    const NodeId hi = a < b ? b : a;
+    v = CachedBase(lo, hi) *
+        JitterFactorAt(epoch_seed_, sigma_, JitterPairIndex(lo, hi, n_));
+  } else {
+    // Pre-first-tick the dense live matrix is a plain copy of base: row `a`.
+    v = CachedBase(a, b);
+  }
+  if (partition_active_ &&
+      static_cast<bool>(partitioned_[a]) != static_cast<bool>(partitioned_[b])) {
+    v *= partition_factor_;
+  }
+  return v;
+}
+
+double SparseFabric::CachedBase(NodeId row, NodeId col) const {
+  ++stats_.base_reads;
+  const size_t slots = options_.neighbor_cache_slots;
+  if (slots == 0) {
+    return exact_ ? RowFor(row)[col] : SketchBase(row, col);
+  }
+  NeighborSlot& slot =
+      neighbor_cache_[static_cast<size_t>(row) * slots + col % slots];
+  if (slot.peer == col) {
+    ++stats_.neighbor_hits;
+    return slot.value;
+  }
+  const double v = exact_ ? RowFor(row)[col] : SketchBase(row, col);
+  slot.peer = col;
+  slot.value = v;
+  return v;
+}
+
+double SparseFabric::SketchBase(NodeId a, NodeId b) const {
+  // Upper bound by triangle inequality, exact when a shortest path crosses a
+  // landmark. Symmetric in (a, b): addition is commutative and the landmark
+  // walk order is fixed, so both argument orders see identical fp ops.
+  double best = kInf;
+  for (const std::vector<double>& row : landmark_rows_) {
+    const double via = row[a] + row[b];
+    if (via < best) best = via;
+  }
+  return best;
+}
+
+const std::vector<double>& SparseFabric::RowFor(NodeId row) const {
+  CachedRow* victim = &row_cache_[0];
+  for (CachedRow& c : row_cache_) {
+    if (c.row == row) {
+      ++stats_.row_hits;
+      c.stamp = ++row_stamp_;
+      return c.dist;
+    }
+    if (c.stamp < victim->stamp) victim = &c;
+  }
+  ++stats_.row_builds;
+  victim->dist = DijkstraLatencies(topo_, row);
+  victim->row = row;
+  victim->stamp = ++row_stamp_;
+  return victim->dist;
+}
+
+void SparseFabric::PlaceLandmarks() {
+  // Deterministic farthest-point traversal from node 0: each new landmark is
+  // the node farthest (first-index tie-break) from the landmark set so far.
+  // No Rng involved — landmark placement must not perturb the caller's draw
+  // sequence, which is pinned by the cross-backend construction contract.
+  const size_t want =
+      options_.num_landmarks < 1
+          ? 1
+          : (options_.num_landmarks < n_ ? options_.num_landmarks : n_);
+  landmarks_.reserve(want);
+  landmark_rows_.reserve(want);
+  std::vector<double> min_dist(n_, kInf);
+  NodeId next = 0;
+  for (size_t k = 0; k < want; ++k) {
+    landmarks_.push_back(next);
+    landmark_rows_.push_back(DijkstraLatencies(topo_, next));
+    const std::vector<double>& row = landmark_rows_.back();
+    NodeId farthest = kInvalidNode;
+    double far_d = -1.0;
+    for (NodeId i = 0; i < n_; ++i) {
+      if (row[i] < min_dist[i]) min_dist[i] = row[i];
+      // Unreachable nodes (inf) are the farthest of all: the next landmark
+      // lands in their component and covers it.
+      if (min_dist[i] > far_d && min_dist[i] > 0.0) {
+        far_d = min_dist[i];
+        farthest = i;
+      }
+    }
+    if (farthest == kInvalidNode || far_d == 0.0) break;  // n small: covered
+    next = farthest;
+  }
+}
+
+}  // namespace sbon::net

@@ -1,0 +1,191 @@
+#ifndef SBON_NET_SPARSE_FABRIC_H_
+#define SBON_NET_SPARSE_FABRIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/fabric.h"
+#include "net/shortest_path.h"
+#include "net/topology.h"
+
+namespace sbon::net {
+
+/// Generative latency substrate: no O(n^2) state, ever. Base latency is
+/// computed on demand from the topology, congestion jitter is derived
+/// index-addressably from the epoch seed (the SplitMix64 counter scheme the
+/// dense LatencyJitter already uses — no per-epoch matrix rewrite), and the
+/// partition penalty is a predicate over the cut instead of a matrix pass.
+/// Memory is O((landmarks + cached_rows + cache_slots) * n + links): flat in
+/// the pair count, which is what lets the overlay reach 100k+ nodes.
+///
+/// Base-latency resolution has two modes:
+///
+///  - exact (n <= Options::exact_threshold, or forced): reads come from
+///    on-demand single-source Dijkstra rows — the same DijkstraLatencies the
+///    dense matrix is built from, resolved through the same source row the
+///    dense representation stores for that entry. Fixed-seed live latencies
+///    are therefore BIT-IDENTICAL to NetworkFabric's (the dense-vs-sparse
+///    equivalence suite pins this), which is how all existing goldens and
+///    determinism pins survive behind the backend switch.
+///  - sketch (above the threshold, or forced): a cached landmark sketch.
+///    `num_landmarks` landmarks are chosen by deterministic farthest-point
+///    traversal, each contributing one exact Dijkstra row; a pair's base
+///    latency is min over landmarks of d(l,a) + d(l,b). Symmetric, exact for
+///    pairs whose shortest path crosses a landmark, an upper bound (triangle
+///    inequality) otherwise. At this scale a dense comparison no longer
+///    exists, so there is nothing to bit-match against.
+///
+/// Two caches accelerate the hot pairs the placers actually probe; both are
+/// pure memoization — every read is a pure function of (topology, epoch
+/// state, pair), so cache contents can never change a returned value:
+///
+///  - a bounded per-node neighbor cache (`neighbor_cache_slots` slots per
+///    node, direct-mapped by peer id — the fixed-size-bucket idiom of
+///    up4w's DhtSpace) holding resolved base latencies, and
+///  - an LRU of whole Dijkstra rows (`row_cache_rows` rows, exact mode
+///    only), which turns the per-self consecutive sample reads of the
+///    online Vivaldi stage into one row build per node per epoch.
+///
+/// Jitter is applied at read time (base values are epoch-invariant, so
+/// neither cache ever needs invalidation on TickNetwork).
+///
+/// Reads mutate the caches; like every substrate here, concurrent reads of
+/// the same view require external ordering. The epoch pipeline only reads
+/// live latencies from serial stages, so no locking is needed or taken.
+class SparseFabric final : public FabricBackend {
+ public:
+  struct Options {
+    enum class BaseMode {
+      kAuto,    ///< exact at n <= exact_threshold, sketch above
+      kExact,   ///< force on-demand Dijkstra rows (tests, equivalence pins)
+      kSketch,  ///< force the landmark sketch (tests at small n)
+    };
+    BaseMode base_mode = BaseMode::kAuto;
+    /// Largest n the exact on-demand mode auto-selects at.
+    size_t exact_threshold = 2048;
+    /// Landmarks of the sketch mode (each costs one n-vector of doubles).
+    size_t num_landmarks = 32;
+    /// Per-node direct-mapped base-latency cache slots (0 disables).
+    size_t neighbor_cache_slots = 16;
+    /// Exact-mode LRU capacity in whole Dijkstra rows (min 1).
+    size_t row_cache_rows = 32;
+  };
+
+  /// Cumulative read/cache counters (bench + test observability).
+  struct CacheStats {
+    size_t base_reads = 0;      ///< base resolutions (cache hits included)
+    size_t neighbor_hits = 0;   ///< served from the per-node slot cache
+    size_t row_hits = 0;        ///< served from an already-built row
+    size_t row_builds = 0;      ///< on-demand Dijkstra row computations
+  };
+
+  /// Builds the generative substrate over `topo` (copied: the backend must
+  /// answer reads for its whole lifetime). Consumes exactly one draw from
+  /// `rng` iff `jitter_sigma > 0` — the same construction draw order as the
+  /// dense NetworkFabric, so fixed-seed overlays agree across backends.
+  SparseFabric(const Topology& topo, double jitter_sigma, Rng* rng,
+               Options options);
+  SparseFabric(const Topology& topo, double jitter_sigma, Rng* rng)
+      : SparseFabric(topo, jitter_sigma, rng, Options()) {}
+
+  SparseFabric(const SparseFabric&) = delete;
+  SparseFabric& operator=(const SparseFabric&) = delete;
+
+  const LatencyView& live() const override { return live_view_; }
+  const LatencyView& base() const override { return base_view_; }
+  bool has_jitter() const override { return sigma_ > 0.0; }
+  size_t NumNodes() const override { return n_; }
+  const char* name() const override { return "sparse"; }
+  /// TickNetwork is an O(1) seed bump — nothing to shard.
+  bool sharded_tick() const override { return false; }
+
+  /// Starts a new congestion epoch: one draw from `rng` becomes the epoch
+  /// seed every jitter factor is derived from on demand. No matrix exists,
+  /// so nothing is rewritten; `pool` is accepted for interface parity and
+  /// ignored. No-op (and no draw) without jitter.
+  void TickNetwork(Rng* rng, ThreadPool* pool = nullptr) override;
+
+  Status BeginPartition(const std::vector<NodeId>& group,
+                        double factor) override;
+  Status EndPartition(ThreadPool* pool = nullptr) override;
+  bool partition_active() const override { return partition_active_; }
+
+  /// True when base reads resolve through exact on-demand Dijkstra rows.
+  bool exact_base() const { return exact_; }
+  /// Landmarks actually placed (0 in exact mode).
+  size_t num_landmarks() const { return landmarks_.size(); }
+  const CacheStats& cache_stats() const { return stats_; }
+
+ private:
+  /// On-demand view over the parent fabric; `live` selects jitter +
+  /// partition composition, otherwise pristine base resolution.
+  class View final : public LatencyView {
+   public:
+    View(const SparseFabric* fabric, bool live)
+        : fabric_(fabric), live_(live) {}
+    size_t NumNodes() const override { return fabric_->n_; }
+    double Latency(NodeId a, NodeId b) const override {
+      return live_ ? fabric_->LiveLatency(a, b) : fabric_->BaseLatency(a, b);
+    }
+
+   private:
+    const SparseFabric* fabric_;
+    bool live_;
+  };
+
+  double BaseLatency(NodeId a, NodeId b) const;
+  double LiveLatency(NodeId a, NodeId b) const;
+  /// Base resolution through the neighbor cache; `row` is the resolving
+  /// source (exact mode reads Dijkstra(row)[col], matching which source row
+  /// the dense matrix stores for the entry — bit-identity depends on it).
+  double CachedBase(NodeId row, NodeId col) const;
+  double SketchBase(NodeId a, NodeId b) const;
+  /// Exact Dijkstra row of `row`, LRU-cached.
+  const std::vector<double>& RowFor(NodeId row) const;
+  void PlaceLandmarks();
+
+  Topology topo_;
+  size_t n_;
+  double sigma_;
+  Options options_;
+  bool exact_;
+
+  // Congestion epoch: the dense path's state machine, minus the matrices.
+  // `jitter_applied_` mirrors "ApplyAll has run at least once" — false until
+  // the first TickNetwork (or a jittered EndPartition), during which the
+  // live view equals base exactly as the dense live matrix does.
+  uint64_t epoch_seed_ = 0;
+  bool jitter_applied_ = false;
+
+  bool partition_active_ = false;
+  double partition_factor_ = 1.0;
+  std::vector<bool> partitioned_;  ///< by node id; one side of the cut
+
+  std::vector<NodeId> landmarks_;
+  std::vector<std::vector<double>> landmark_rows_;  ///< per landmark: n dists
+
+  struct NeighborSlot {
+    NodeId peer = kInvalidNode;
+    double value = 0.0;
+  };
+  mutable std::vector<NeighborSlot> neighbor_cache_;  ///< n * slots
+  struct CachedRow {
+    NodeId row = kInvalidNode;
+    uint64_t stamp = 0;
+    std::vector<double> dist;
+  };
+  mutable std::vector<CachedRow> row_cache_;
+  mutable uint64_t row_stamp_ = 0;
+  mutable CacheStats stats_;
+
+  View live_view_;
+  View base_view_;
+};
+
+}  // namespace sbon::net
+
+#endif  // SBON_NET_SPARSE_FABRIC_H_

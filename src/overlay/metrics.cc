@@ -11,7 +11,7 @@ namespace {
 // Circuits are trees, so a bottom-up DP over plan ops suffices. A reused
 // vertex acts as a leaf whose path already accumulated the source circuit's
 // upstream latency.
-double CriticalPathLatency(const Circuit& c, const net::LatencyMatrix& lat) {
+double CriticalPathLatency(const Circuit& c, const net::LatencyView& lat) {
   const query::LogicalPlan& plan = c.plan();
   std::vector<double> longest(plan.NumOps(), 0.0);
   double best = 0.0;
@@ -53,7 +53,7 @@ double LoadPenalty(const Circuit& circuit, const coords::CostSpace& space) {
 }  // namespace
 
 StatusOr<CircuitCost> ComputeCircuitCost(const Circuit& circuit,
-                                         const net::LatencyMatrix& lat,
+                                         const net::LatencyView& lat,
                                          const coords::CostSpace* space) {
   if (!circuit.FullyPlaced()) {
     return Status::FailedPrecondition("circuit not fully placed");
@@ -101,7 +101,7 @@ StatusOr<CircuitCost> EstimateCircuitCostInSpace(
 
 StatusOr<double> UpstreamLatencyToService(const Circuit& circuit,
                                           ServiceInstanceId service,
-                                          const net::LatencyMatrix& lat) {
+                                          const net::LatencyView& lat) {
   const query::LogicalPlan& plan = circuit.plan();
   std::vector<double> longest(plan.NumOps(), 0.0);
   for (int i = 0; i < static_cast<int>(plan.NumOps()); ++i) {

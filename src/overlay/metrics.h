@@ -35,7 +35,7 @@ struct CircuitCost {
 /// service instance contributes its node penalty once per circuit that uses
 /// it (each circuit is charged for the load it depends on).
 StatusOr<CircuitCost> ComputeCircuitCost(const Circuit& circuit,
-                                         const net::LatencyMatrix& lat,
+                                         const net::LatencyView& lat,
                                          const coords::CostSpace* space);
 
 /// Estimates the same cost from cost-space coordinates instead of true
@@ -49,7 +49,7 @@ StatusOr<CircuitCost> EstimateCircuitCostInSpace(
 /// service instance and needs the upstream latency it inherits.
 StatusOr<double> UpstreamLatencyToService(const Circuit& circuit,
                                           ServiceInstanceId service,
-                                          const net::LatencyMatrix& lat);
+                                          const net::LatencyView& lat);
 
 }  // namespace sbon::overlay
 

@@ -15,6 +15,7 @@
 #include "net/dynamics.h"
 #include "net/fabric.h"
 #include "net/shortest_path.h"
+#include "net/sparse_fabric.h"
 #include "net/topology.h"
 #include "overlay/circuit.h"
 #include "overlay/metrics.h"
@@ -31,8 +32,10 @@ using IndexRefreshStats = coords::IndexRefreshStats;
 /// against. A thin composition root wiring three independently ownable
 /// substrates behind one facade:
 ///
-///  - net::NetworkFabric — pristine + live latency matrices, per-epoch
-///    congestion jitter, soft-partition overlay (the TickNetwork path);
+///  - a net::FabricBackend — pristine + live latency views, per-epoch
+///    congestion jitter, soft-partition overlay (the TickNetwork path).
+///    Dense (materialized matrices) by default; the sparse generative
+///    backend takes over above Options::sparse_auto_threshold nodes;
 ///  - coords::CoordinateManager — Vivaldi/MDS embedding, cost space,
 ///    coordinate index, dirty-coordinate tracking, epsilon-gated refresh;
 ///  - overlay::ServiceLedger — circuits, service instances, reuse catalog,
@@ -52,6 +55,13 @@ class Sbon {
   /// aliased for source compatibility with `Sbon::CoordMode::...`).
   using CoordMode = coords::CoordMode;
 
+  /// Which latency-substrate representation backs the overlay.
+  enum class FabricMode {
+    kAuto,    ///< dense up to sparse_auto_threshold nodes, sparse above
+    kDense,   ///< force materialized O(n^2) matrices (net::NetworkFabric)
+    kSparse,  ///< force the generative O(n) backend (net::SparseFabric)
+  };
+
   struct Options {
     coords::CostSpaceSpec space_spec = coords::CostSpaceSpec::LatencyAndLoad();
     CoordMode coord_mode = CoordMode::kVivaldi;
@@ -69,6 +79,18 @@ class Sbon {
     /// `TickNetwork` epoch (0 = static latencies). Must be >= 0 (validated
     /// at Create).
     double latency_jitter_sigma = 0.0;
+    /// Latency-substrate backend selection. kAuto keeps the dense matrices
+    /// (exact, O(1) reads) up to `sparse_auto_threshold` nodes and switches
+    /// to the sparse generative backend above it — the size where two
+    /// N x N double matrices start crowding out everything else. The sparse
+    /// backend requires Vivaldi coordinates (validated at Create): the MDS /
+    /// true-coordinate ablations are centralized O(n^2) solves that need a
+    /// dense matrix anyway.
+    FabricMode fabric_mode = FabricMode::kAuto;
+    size_t sparse_auto_threshold = 4096;
+    /// Tuning of the sparse backend when it is selected (exact-vs-sketch
+    /// threshold, landmark count, cache geometry). Ignored by the dense one.
+    net::SparseFabric::Options sparse_options;
     uint64_t seed = 1;
   };
 
@@ -83,10 +105,10 @@ class Sbon {
 
   // --- substrate accessors ---
   const net::Topology& topology() const { return topo_; }
-  const net::NetworkFabric& fabric() const { return *fabric_; }
+  const net::FabricBackend& fabric() const { return *fabric_; }
   const coords::CoordinateManager& coords() const { return *coords_; }
   const ServiceLedger& ledger() const { return *ledger_; }
-  const net::LatencyMatrix& latency() const { return fabric_->live(); }
+  const net::LatencyView& latency() const { return fabric_->live(); }
   const coords::CostSpace& cost_space() const { return coords_->space(); }
   const dht::CoordinateIndex& index() const { return coords_->index(); }
   dht::IndexQueryCost& index_cost() { return coords_->index_cost(); }
@@ -178,9 +200,9 @@ class Sbon {
   /// deterministic dependency wavefront.
   void UpdateCoordinatesOnline(size_t samples_per_node,
                                ThreadPool* pool = nullptr);
-  /// The pristine latency matrix (before jitter), for measuring how far
+  /// The pristine latency view (before jitter), for measuring how far
   /// the current epoch has drifted.
-  const net::LatencyMatrix& base_latency() const { return fabric_->base(); }
+  const net::LatencyView& base_latency() const { return fabric_->base(); }
   /// Dirty-driven index refresh: republishes the full coordinate of every
   /// overlay node that moved more than `epsilon` (cost-space units) since
   /// its last publish, then restabilizes the ring — unless nothing moved,
@@ -216,7 +238,7 @@ class Sbon {
   net::Topology topo_;
   Options options_;
   Rng rng_;
-  std::unique_ptr<net::NetworkFabric> fabric_;
+  std::unique_ptr<net::FabricBackend> fabric_;
   std::unique_ptr<coords::CoordinateManager> coords_;
   std::unique_ptr<ServiceLedger> ledger_;
   std::unique_ptr<net::LoadModel> load_model_;

@@ -1,0 +1,219 @@
+// Dense-vs-sparse fabric equivalence at overlay scale: for 5 seeds at
+// N in {64, 512}, a full engine bring-up plus maintenance epochs must end
+// BIT-IDENTICAL across backends — live latencies, Vivaldi coordinates,
+// scalar penalties, and every placed circuit vertex. This is the contract
+// that lets the sparse backend slide in behind the FabricBackend seam
+// without invalidating a single golden or determinism pin.
+//
+// The binary also audits the sparse backend's memory claim through a
+// counting operator new: while the sparse overlay is built and driven, no
+// single heap allocation may come anywhere near an N x N latency matrix
+// (or the N(N+1)/2 dense jitter triangle).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/stream_engine.h"
+#include "harness/fixtures.h"
+#include "net/generators.h"
+#include "net/sparse_fabric.h"
+
+namespace {
+size_t g_max_alloc_size = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (size > g_max_alloc_size) g_max_alloc_size = size;
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sbon::test {
+namespace {
+
+// Transit-stub topology of ~target nodes (the fixture presets only cover a
+// few sizes; the suite pins N = 64 and 512 exactly as the issue specifies).
+net::Topology TopoOfSize(size_t target, uint64_t seed) {
+  net::TransitStubParams p;
+  p.transit_domains = 2;
+  p.transit_nodes_per_domain = 2;
+  p.stub_domains_per_transit_node = 3;
+  const size_t transit = p.transit_domains * p.transit_nodes_per_domain;
+  p.nodes_per_stub_domain = std::max<size_t>(
+      2, (target - transit) / (transit * p.stub_domains_per_transit_node));
+  Rng rng(seed);
+  auto topo = net::GenerateTransitStub(p, &rng);
+  EXPECT_TRUE(topo.ok());
+  return std::move(topo.value());
+}
+
+struct BackendRun {
+  std::unique_ptr<engine::StreamEngine> eng;
+  std::vector<engine::QueryHandle> handles;
+};
+
+BackendRun BuildRun(size_t target, uint64_t seed,
+                    overlay::Sbon::FabricMode mode) {
+  engine::EngineOptions eo;
+  eo.topology = TopoOfSize(target, seed);
+  eo.sbon.seed = seed;
+  eo.sbon.latency_jitter_sigma = 0.1;
+  eo.sbon.fabric_mode = mode;
+  eo.config = TestOptimizerConfig();
+  BackendRun run;
+  run.eng = engine::StreamEngine::Create(std::move(eo)).value();
+  const overlay::Sbon& sbon = run.eng->sbon();
+  const query::WorkloadParams wp = TestWorkloadParams();
+  run.eng->SetCatalog(MakeCatalog(sbon, wp, seed * 3 + 1));
+  const auto specs =
+      MakeQueries(sbon, run.eng->catalog(), wp, 6, seed * 5 + 2);
+  for (const auto& spec : specs) {
+    auto h = run.eng->Submit(spec);
+    if (h.ok()) run.handles.push_back(*h);
+  }
+  return run;
+}
+
+// Every upper-triangle live pair plus a strided sample of mirror reads
+// (the full mirror sweep would thrash the sparse row cache for no extra
+// coverage: mirrors resolve through the same source row by construction).
+void ExpectLiveLatenciesEqual(const overlay::Sbon& dense,
+                              const overlay::Sbon& sparse,
+                              const char* where) {
+  const size_t n = dense.topology().NumNodes();
+  ASSERT_EQ(n, sparse.topology().NumNodes());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a; b < n; ++b) {
+      ASSERT_EQ(dense.latency().Latency(a, b), sparse.latency().Latency(a, b))
+          << where << ": live (" << a << "," << b << ")";
+    }
+    const NodeId mirror_b = static_cast<NodeId>((a * 31 + 7) % n);
+    ASSERT_EQ(dense.latency().Latency(a, mirror_b),
+              sparse.latency().Latency(a, mirror_b))
+        << where << ": mirror (" << a << "," << mirror_b << ")";
+  }
+}
+
+void ExpectCoordsEqual(const overlay::Sbon& dense,
+                       const overlay::Sbon& sparse, const char* where) {
+  const auto& ds = dense.cost_space();
+  const auto& ss = sparse.cost_space();
+  ASSERT_EQ(ds.NumNodes(), ss.NumNodes());
+  for (NodeId n = 0; n < ds.NumNodes(); ++n) {
+    const Vec& dv = ds.VectorCoord(n);
+    const Vec& sv = ss.VectorCoord(n);
+    ASSERT_EQ(dv.dims(), sv.dims());
+    for (size_t d = 0; d < dv.dims(); ++d) {
+      ASSERT_EQ(dv[d], sv[d]) << where << ": coord " << n << " dim " << d;
+    }
+    ASSERT_EQ(ds.ScalarPenalty(n), ss.ScalarPenalty(n))
+        << where << ": scalar " << n;
+  }
+}
+
+void ExpectPlacementsEqual(const overlay::Sbon& dense,
+                           const overlay::Sbon& sparse, const char* where) {
+  const auto& dc = dense.circuits();
+  const auto& sc = sparse.circuits();
+  ASSERT_EQ(dc.size(), sc.size()) << where;
+  auto it_d = dc.begin();
+  auto it_s = sc.begin();
+  for (; it_d != dc.end(); ++it_d, ++it_s) {
+    ASSERT_EQ(it_d->first, it_s->first) << where << ": circuit ids";
+    const auto& cd = it_d->second;
+    const auto& cs = it_s->second;
+    ASSERT_EQ(cd.NumVertices(), cs.NumVertices());
+    for (size_t v = 0; v < cd.NumVertices(); ++v) {
+      ASSERT_EQ(cd.vertex(static_cast<int>(v)).host,
+                cs.vertex(static_cast<int>(v)).host)
+          << where << ": circuit " << it_d->first << " vertex " << v;
+    }
+  }
+}
+
+TEST(FabricEquivalenceTest, BitIdenticalAcrossBackendsSeedsAndSizes) {
+  for (const size_t target : {size_t{64}, size_t{512}}) {
+    for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+      // Sparse first, under the allocation watermark: bring-up, catalog,
+      // and placement of the sparse overlay must never touch an O(N^2)
+      // buffer.
+      g_max_alloc_size = 0;
+      BackendRun sparse =
+          BuildRun(target, seed, overlay::Sbon::FabricMode::kSparse);
+      const size_t sparse_build_max = g_max_alloc_size;
+      BackendRun dense =
+          BuildRun(target, seed, overlay::Sbon::FabricMode::kDense);
+      const overlay::Sbon& ds = dense.eng->sbon();
+      const overlay::Sbon& ss = sparse.eng->sbon();
+      ASSERT_STREQ(ds.fabric().name(), "dense");
+      ASSERT_STREQ(ss.fabric().name(), "sparse");
+      ASSERT_EQ(dense.handles.size(), sparse.handles.size());
+
+      ExpectLiveLatenciesEqual(ds, ss, "post-bring-up");
+      ExpectCoordsEqual(ds, ss, "post-bring-up");
+      ExpectPlacementsEqual(ds, ss, "post-bring-up");
+
+      engine::EpochOptions epoch;
+      epoch.dt = 1.0;
+      epoch.tick_network = true;
+      epoch.vivaldi_samples = 1;
+      epoch.refresh_index = true;
+      epoch.refresh_epsilon = 1.0;
+      epoch.threads = 1;
+      g_max_alloc_size = 0;
+      for (int e = 0; e < 3; ++e) {
+        dense.eng->AdvanceEpoch(epoch);
+        sparse.eng->AdvanceEpoch(epoch);
+        ExpectLiveLatenciesEqual(ds, ss, "epoch");
+        ExpectCoordsEqual(ds, ss, "epoch");
+      }
+      ExpectPlacementsEqual(ds, ss, "post-epochs");
+      const size_t epochs_max = g_max_alloc_size;
+
+      // The flat-memory claim, asserted where quadratic buffers are
+      // unambiguously larger than any legitimate O(N) array.
+      const size_t n = ss.topology().NumNodes();
+      if (n >= 256) {
+        const size_t triangle_bytes = n * (n + 1) / 2 * sizeof(double);
+        EXPECT_LT(sparse_build_max, triangle_bytes)
+            << "sparse bring-up allocated a dense-sized buffer at N=" << n;
+        EXPECT_LT(epochs_max, triangle_bytes)
+            << "epoch loop allocated a dense-sized buffer at N=" << n;
+      }
+    }
+  }
+}
+
+// The auto threshold picks the backend by size, and the sparse backend
+// refuses the centralized MDS ablation (it would rebuild the dense matrix
+// read by read).
+TEST(FabricEquivalenceTest, AutoSelectionAndModeGuards) {
+  overlay::Sbon::Options opts;
+  opts.sparse_auto_threshold = 40;  // below kTiny's ~50 nodes
+  auto sparse_auto = MakeTransitStubSbon(TopologySize::kTiny, 3, opts);
+  EXPECT_STREQ(sparse_auto->fabric().name(), "sparse");
+
+  opts.sparse_auto_threshold = 4096;
+  auto dense_auto = MakeTransitStubSbon(TopologySize::kTiny, 3, opts);
+  EXPECT_STREQ(dense_auto->fabric().name(), "dense");
+
+  overlay::Sbon::Options bad;
+  bad.fabric_mode = overlay::Sbon::FabricMode::kSparse;
+  bad.coord_mode = overlay::Sbon::CoordMode::kMds;
+  auto status = overlay::Sbon::Create(
+      MakeTransitStubTopology(TopologySize::kTiny, 3), bad);
+  EXPECT_EQ(status.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sbon::test

@@ -1,0 +1,233 @@
+// net::SparseFabric, the generative latency backend: exact-mode bit-identity
+// against the dense NetworkFabric across every state the substrate can be in
+// (pristine, jittered epochs, partitions, the end-partition-without-tick
+// edge), the cross-backend Rng draw contract, the sketch estimator's
+// guarantees, and value-invariance of the perf caches.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "harness/fixtures.h"
+#include "net/fabric.h"
+#include "net/sparse_fabric.h"
+
+namespace sbon::test {
+namespace {
+
+net::Topology TinyTopo(uint64_t seed) {
+  return MakeTransitStubTopology(TopologySize::kTiny, seed);
+}
+
+// Bitwise equality over every pair of both views. EXPECT_EQ on doubles is
+// exact equality — one differing ulp anywhere fails.
+void ExpectBackendsIdentical(const net::FabricBackend& dense,
+                             const net::FabricBackend& sparse,
+                             const char* where) {
+  ASSERT_EQ(dense.NumNodes(), sparse.NumNodes());
+  const size_t n = dense.NumNodes();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      EXPECT_EQ(dense.live().Latency(a, b), sparse.live().Latency(a, b))
+          << where << ": live (" << a << "," << b << ")";
+      EXPECT_EQ(dense.base().Latency(a, b), sparse.base().Latency(a, b))
+          << where << ": base (" << a << "," << b << ")";
+    }
+  }
+}
+
+net::SparseFabric::Options ExactOptions() {
+  net::SparseFabric::Options o;
+  o.base_mode = net::SparseFabric::Options::BaseMode::kExact;
+  return o;
+}
+
+TEST(SparseFabricTest, PristineViewsMatchDenseBitwise) {
+  const net::Topology topo = TinyTopo(3);
+  Rng rd(11), rs(11);
+  net::NetworkFabric dense(topo, 0.0, &rd);
+  net::SparseFabric sparse(topo, 0.0, &rs, ExactOptions());
+  EXPECT_STREQ(dense.name(), "dense");
+  EXPECT_STREQ(sparse.name(), "sparse");
+  EXPECT_TRUE(dense.sharded_tick());
+  EXPECT_FALSE(sparse.sharded_tick());
+  EXPECT_FALSE(sparse.has_jitter());
+  EXPECT_TRUE(sparse.exact_base());
+  ExpectBackendsIdentical(dense, sparse, "pristine");
+}
+
+TEST(SparseFabricTest, JitteredEpochsMatchDenseBitwise) {
+  const net::Topology topo = TinyTopo(5);
+  Rng rd(99), rs(99);
+  net::NetworkFabric dense(topo, 0.15, &rd);
+  net::SparseFabric sparse(topo, 0.15, &rs, ExactOptions());
+  EXPECT_TRUE(sparse.has_jitter());
+  // Pre-first-tick the live views equal base on both backends.
+  ExpectBackendsIdentical(dense, sparse, "pre-tick");
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    dense.TickNetwork(&rd);
+    sparse.TickNetwork(&rs);
+    ExpectBackendsIdentical(dense, sparse, "epoch");
+  }
+}
+
+TEST(SparseFabricTest, PartitionLifecycleMatchesDenseBitwise) {
+  const net::Topology topo = TinyTopo(7);
+  Rng rd(21), rs(21);
+  net::NetworkFabric dense(topo, 0.1, &rd);
+  net::SparseFabric sparse(topo, 0.1, &rs, ExactOptions());
+  dense.TickNetwork(&rd);
+  sparse.TickNetwork(&rs);
+
+  const std::vector<NodeId> group = {0, 1, 2, 5};
+  ASSERT_TRUE(dense.BeginPartition(group, 8.0).ok());
+  ASSERT_TRUE(sparse.BeginPartition(group, 8.0).ok());
+  EXPECT_TRUE(sparse.partition_active());
+  ExpectBackendsIdentical(dense, sparse, "partitioned");
+
+  // Penalty must survive a jitter resample on top of the fresh factors.
+  dense.TickNetwork(&rd);
+  sparse.TickNetwork(&rs);
+  ExpectBackendsIdentical(dense, sparse, "partitioned+ticked");
+
+  ASSERT_TRUE(dense.EndPartition().ok());
+  ASSERT_TRUE(sparse.EndPartition().ok());
+  EXPECT_FALSE(sparse.partition_active());
+  ExpectBackendsIdentical(dense, sparse, "healed");
+}
+
+// NetworkFabric::EndPartition re-applies the *current* jitter factors, so on
+// an overlay whose network was never ticked it stamps the construction-epoch
+// factors onto the live matrix for the first time — live != base afterwards.
+// The sparse backend must reproduce that exact (surprising) state machine.
+TEST(SparseFabricTest, EndPartitionWithoutTickMatchesDenseBitwise) {
+  const net::Topology topo = TinyTopo(9);
+  Rng rd(5), rs(5);
+  net::NetworkFabric dense(topo, 0.2, &rd);
+  net::SparseFabric sparse(topo, 0.2, &rs, ExactOptions());
+  const std::vector<NodeId> group = {1, 3};
+  ASSERT_TRUE(dense.BeginPartition(group, 4.0).ok());
+  ASSERT_TRUE(sparse.BeginPartition(group, 4.0).ok());
+  ASSERT_TRUE(dense.EndPartition().ok());
+  ASSERT_TRUE(sparse.EndPartition().ok());
+  ExpectBackendsIdentical(dense, sparse, "end-without-tick");
+  // And the state really is jittered now, not pristine.
+  bool any_jittered = false;
+  const size_t n = dense.NumNodes();
+  for (NodeId a = 0; a < n && !any_jittered; ++a) {
+    for (NodeId b = a + 1; b < n && !any_jittered; ++b) {
+      any_jittered = dense.live().Latency(a, b) != dense.base().Latency(a, b);
+    }
+  }
+  EXPECT_TRUE(any_jittered);
+}
+
+// The cross-backend draw contract: exactly one draw at construction iff
+// sigma > 0, exactly one per TickNetwork iff jitter exists, none anywhere
+// else — so a shared caller Rng stays stream-aligned whichever backend is
+// behind the interface.
+TEST(SparseFabricTest, RngDrawCountsMatchDense) {
+  const net::Topology topo = TinyTopo(13);
+  for (const double sigma : {0.0, 0.1}) {
+    Rng rd(77), rs(77);
+    net::NetworkFabric dense(topo, sigma, &rd);
+    net::SparseFabric sparse(topo, sigma, &rs, ExactOptions());
+    EXPECT_EQ(rd.Next(), rs.Next()) << "construction drift, sigma=" << sigma;
+    dense.TickNetwork(&rd);
+    sparse.TickNetwork(&rs);
+    const std::vector<NodeId> group = {0, 2};
+    ASSERT_TRUE(dense.BeginPartition(group, 2.0).ok());
+    ASSERT_TRUE(sparse.BeginPartition(group, 2.0).ok());
+    ASSERT_TRUE(dense.EndPartition().ok());
+    ASSERT_TRUE(sparse.EndPartition().ok());
+    EXPECT_EQ(rd.Next(), rs.Next()) << "lifecycle drift, sigma=" << sigma;
+  }
+}
+
+TEST(SparseFabricTest, PartitionValidationMatchesDense) {
+  const net::Topology topo = TinyTopo(17);
+  Rng rs(1);
+  net::SparseFabric sparse(topo, 0.0, &rs, ExactOptions());
+  EXPECT_EQ(sparse.EndPartition().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sparse.BeginPartition({}, 2.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sparse.BeginPartition({0}, 0.5).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sparse
+                .BeginPartition({static_cast<NodeId>(topo.NumNodes())}, 2.0)
+                .code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(sparse.BeginPartition({0, 1}, 2.0).ok());
+  EXPECT_EQ(sparse.BeginPartition({2}, 2.0).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(sparse.EndPartition().ok());
+}
+
+TEST(SparseFabricTest, SketchIsSymmetricZeroDiagonalUpperBound) {
+  const net::Topology topo = TinyTopo(23);
+  net::SparseFabric::Options opts;
+  opts.base_mode = net::SparseFabric::Options::BaseMode::kSketch;
+  opts.num_landmarks = 8;
+  Rng rs(4), rd(4);
+  net::SparseFabric sketch(topo, 0.0, &rs, opts);
+  net::NetworkFabric dense(topo, 0.0, &rd);
+  EXPECT_FALSE(sketch.exact_base());
+  EXPECT_EQ(sketch.num_landmarks(), 8u);
+  const size_t n = topo.NumNodes();
+  for (NodeId a = 0; a < n; ++a) {
+    EXPECT_EQ(sketch.base().Latency(a, a), 0.0);
+    for (NodeId b = a + 1; b < n; ++b) {
+      const double est = sketch.base().Latency(a, b);
+      EXPECT_EQ(est, sketch.base().Latency(b, a)) << "asymmetric sketch";
+      // Triangle inequality: the landmark detour can only overestimate.
+      EXPECT_GE(est, dense.base().Latency(a, b) - 1e-9)
+          << "sketch undercut the true shortest path at (" << a << "," << b
+          << ")";
+    }
+  }
+}
+
+// The caches are pure memoization: reads in any order, under any (tiny)
+// cache geometry, return exactly what the dense matrix holds.
+TEST(SparseFabricTest, CachesNeverChangeValues) {
+  const net::Topology topo = TinyTopo(29);
+  net::SparseFabric::Options opts = ExactOptions();
+  opts.neighbor_cache_slots = 1;  // maximal eviction pressure
+  opts.row_cache_rows = 1;
+  Rng rd(8), rs(8);
+  net::NetworkFabric dense(topo, 0.1, &rd);
+  net::SparseFabric sparse(topo, 0.1, &rs, opts);
+  dense.TickNetwork(&rd);
+  sparse.TickNetwork(&rs);
+  const size_t n = topo.NumNodes();
+  // Adversarial access order: stride through pairs to churn both caches,
+  // reading each pair twice (cold, then possibly cached).
+  for (size_t pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < n * n; i += 7) {
+      const NodeId a = static_cast<NodeId>(i / n);
+      const NodeId b = static_cast<NodeId>(i % n);
+      EXPECT_EQ(sparse.live().Latency(a, b), dense.live().Latency(a, b));
+      EXPECT_EQ(sparse.live().Latency(b, a), dense.live().Latency(b, a));
+    }
+  }
+  const auto& stats = sparse.cache_stats();
+  EXPECT_GT(stats.base_reads, 0u);
+  EXPECT_GT(stats.row_builds, 0u);
+}
+
+// Mean/Max run the generic O(n^2) LatencyView walk on the sparse backend in
+// the dense loop order, so even the fp accumulation matches.
+TEST(SparseFabricTest, MeanAndMaxMatchDense) {
+  const net::Topology topo = TinyTopo(31);
+  Rng rd(6), rs(6);
+  net::NetworkFabric dense(topo, 0.1, &rd);
+  net::SparseFabric sparse(topo, 0.1, &rs, ExactOptions());
+  dense.TickNetwork(&rd);
+  sparse.TickNetwork(&rs);
+  EXPECT_EQ(dense.live().MeanLatency(), sparse.live().MeanLatency());
+  EXPECT_EQ(dense.live().MaxLatency(), sparse.live().MaxLatency());
+  EXPECT_EQ(dense.base().MeanLatency(), sparse.base().MeanLatency());
+}
+
+}  // namespace
+}  // namespace sbon::test
