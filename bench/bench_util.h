@@ -62,6 +62,21 @@ inline overlay::Sbon::FabricMode FabricMode() {
   return overlay::Sbon::FabricMode::kAuto;
 }
 
+/// Coordinate/ring maintenance execution (`--exec=oracle|message`):
+/// "oracle" keeps the engine's global-knowledge maintenance stages,
+/// "message" re-expresses them as explicit control traffic through
+/// msg::MessageBus (README "Execution modes").
+inline std::string& ExecFlag() {
+  static std::string name = "oracle";
+  return name;
+}
+
+/// The engine execution mode the --exec= flag selects.
+inline engine::ExecMode ExecMode() {
+  return ExecFlag() == "message" ? engine::ExecMode::kMessage
+                                 : engine::ExecMode::kOracle;
+}
+
 /// Call first in main(): enables smoke mode on `--smoke` or
 /// `SBON_BENCH_SMOKE=1` (ctest smoke-runs every figure harness this way so
 /// benchmarks cannot silently bit-rot), and parses `--optimizer=NAME` /
@@ -84,6 +99,14 @@ inline void ParseBenchArgs(int argc, char** argv) {
         std::fprintf(stderr,
                      "unknown fabric '%s'; expected auto, dense or sparse\n",
                      FabricFlag().c_str());
+        std::exit(2);
+      }
+    } else if (arg.rfind("--exec=", 0) == 0) {
+      ExecFlag() = std::string(arg.substr(std::strlen("--exec=")));
+      if (ExecFlag() != "oracle" && ExecFlag() != "message") {
+        std::fprintf(stderr,
+                     "unknown exec mode '%s'; expected oracle or message\n",
+                     ExecFlag().c_str());
         std::exit(2);
       }
     }

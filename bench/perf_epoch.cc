@@ -18,7 +18,9 @@
 // threads for the epoch pipeline's parallel stages; T=0 defers to the
 // SBON_EPOCH_THREADS environment variable exactly like the engine API;
 // results are bit-identical at any T), --fabric=auto|dense|sparse (latency
-// substrate backend; see README "Architecture").
+// substrate backend; see README "Architecture"), --exec=oracle|message
+// (coordinate/ring maintenance execution for the engine-loop sections; see
+// README "Execution modes").
 //
 // The `parallel` section measures the pure AdvanceEpoch pipeline (no
 // submit/remove churn in the loop) at threads=1 vs threads=4 and verifies
@@ -38,6 +40,14 @@
 // skipped (they exist to track the dense-scale baseline) and the binary
 // runs the sparse scaling section only, which is what lets
 // `--fabric=sparse --nodes=100000 --smoke` complete in minutes.
+//
+// The `decentralized` section always runs on a pinned small workload
+// (independent of --nodes): a message-mode engine with a scripted crash
+// burst and partition window, reporting control-traffic volume
+// (bytes/node/epoch, per-protocol messages), ring convergence after the
+// last churn event, placement-staleness percentiles, and a threads=1 vs
+// threads=4 replay check (message stages are serial by contract, so the
+// full run must be bit-identical at any thread count).
 
 #include <algorithm>
 #include <chrono>
@@ -54,6 +64,7 @@
 #include "common/rng.h"
 #include "coords/vivaldi.h"
 #include "engine/stream_engine.h"
+#include "msg/message.h"
 #include "net/churn.h"
 #include "net/shortest_path.h"
 #include "net/sparse_fabric.h"
@@ -110,7 +121,8 @@ struct EpochLoopResult {
 // SBON_EPOCH_THREADS via the engine's own resolution.
 EpochLoopResult RunEpochLoop(size_t nodes, size_t queries, size_t epochs,
                              double epsilon, uint64_t seed,
-                             double churn_rate = 0.0, size_t threads = 1) {
+                             double churn_rate = 0.0, size_t threads = 1,
+                             engine::ExecMode exec = engine::ExecMode::kOracle) {
   engine::EngineOptions opts;
   opts.sbon.latency_jitter_sigma = 0.1;
   auto eng = bench::MakeTransitStubEngine(nodes, seed, std::move(opts));
@@ -146,6 +158,7 @@ EpochLoopResult RunEpochLoop(size_t nodes, size_t queries, size_t epochs,
   epoch.refresh_index = true;
   epoch.refresh_epsilon = epsilon;
   epoch.threads = threads;
+  epoch.exec_mode = exec;
   // Stack-constructed (a heap ChurnModel here trips gcc's
   // -Wmismatched-new-delete against this file's counting operator new);
   // only attached when the churn section is measured.
@@ -237,7 +250,9 @@ uint64_t StateFingerprint(const overlay::Sbon& sbon) {
 // identical seeds must end in bit-identical state at any thread count.
 PipelineRunResult RunPipelineOnly(size_t nodes, size_t queries,
                                   size_t epochs, size_t threads,
-                                  uint64_t seed) {
+                                  uint64_t seed,
+                                  engine::ExecMode exec =
+                                      engine::ExecMode::kOracle) {
   engine::EngineOptions opts;
   opts.sbon.latency_jitter_sigma = 0.1;
   auto eng = bench::MakeTransitStubEngine(nodes, seed, std::move(opts));
@@ -258,6 +273,7 @@ PipelineRunResult RunPipelineOnly(size_t nodes, size_t queries,
   epoch.refresh_index = true;
   epoch.refresh_epsilon = 1.0;
   epoch.threads = threads;
+  epoch.exec_mode = exec;
   eng->AdvanceEpoch(epoch);  // warm-up (pool spawn, cold caches)
 
   PipelineRunResult out;
@@ -265,6 +281,128 @@ PipelineRunResult RunPipelineOnly(size_t nodes, size_t queries,
   for (size_t e = 0; e < epochs; ++e) eng->AdvanceEpoch(epoch);
   out.ns_per_epoch = NsSince(start) / static_cast<double>(epochs);
   out.fingerprint = StateFingerprint(sbon);
+  return out;
+}
+
+struct MessageModeResult {
+  size_t nodes = 0;
+  size_t queries = 0;
+  size_t epochs = 0;         // active epochs measured (drain excluded)
+  double ns_per_epoch = 0.0;
+  msg::TrafficSummary summary;
+  uint64_t fingerprint = 0;  ///< overlay state + traffic counters
+};
+
+// The decentralized-execution workload: pinned size (this section tracks
+// per-protocol traffic constants and convergence behavior, not scale), a
+// scripted crash burst at epoch 2 and a partition window through the
+// middle of the run, steady-state query replacement so placements keep
+// sampling publish staleness — including under the partition — and a
+// sampling-free drain at the end. The drain is what makes convergence
+// observable: ring publishes are displacement-gated, so they never go
+// quiet while Vivaldi keeps sampling; once sampling stops, the epochs
+// until the publish stream dries up after the last churn event are the
+// reported convergence figure.
+MessageModeResult RunMessageSection(size_t threads, uint64_t seed) {
+  const size_t nodes = 256;
+  const size_t queries = 16;
+  const size_t active_epochs = sbon::bench::SmokeMode() ? 8 : 20;
+  const size_t drain_epochs = 8;
+
+  engine::EngineOptions opts;
+  opts.sbon.latency_jitter_sigma = 0.1;
+  auto eng = bench::MakeTransitStubEngine(nodes, seed, std::move(opts));
+  overlay::Sbon& sbon = eng->sbon();
+
+  engine::EpochOptions epoch;
+  epoch.dt = 1.0;
+  epoch.tick_network = true;
+  epoch.vivaldi_samples = 1;
+  epoch.refresh_index = true;
+  epoch.refresh_epsilon = 1.0;
+  epoch.threads = threads;
+  epoch.exec_mode = engine::ExecMode::kMessage;
+  eng->AdvanceEpoch(epoch);  // creates the msg runtime before any placement
+
+  query::WorkloadParams wp;
+  wp.num_streams = 48;
+  eng->SetCatalog(query::RandomCatalog(wp, sbon.overlay_nodes(), &sbon.rng()));
+  std::vector<query::QuerySpec> specs;
+  std::vector<engine::QueryHandle> handles;
+  for (size_t q = 0; q < queries; ++q) {
+    specs.push_back(query::RandomQuery(wp, eng->catalog(),
+                                       sbon.overlay_nodes(), &sbon.rng()));
+    auto h = eng->Submit(specs.back());
+    if (h.ok()) handles.push_back(*h);
+  }
+
+  net::ChurnModel::Params cp;
+  cp.seed = seed * 7919 + 3;
+  net::ChurnModel churn(sbon.overlay_nodes(), cp);
+  const std::vector<NodeId>& eligible = churn.eligible();
+  for (size_t i = 0; i < 3; ++i) {
+    net::ChurnEvent crash;
+    crash.type = net::ChurnEventType::kCrash;
+    crash.node = eligible[(i * 5 + 3) % eligible.size()];
+    churn.ScheduleAt(2, crash);
+  }
+  net::ChurnEvent cut;
+  cut.type = net::ChurnEventType::kPartitionStart;
+  cut.group.assign(eligible.begin(), eligible.begin() + eligible.size() / 4);
+  cut.severity = 8.0;
+  churn.ScheduleAt(active_epochs / 2, cut);
+  net::ChurnEvent heal;
+  heal.type = net::ChurnEventType::kPartitionHeal;
+  churn.ScheduleAt(active_epochs / 2 + 3, heal);
+  epoch.churn = &churn;
+
+  MessageModeResult out;
+  out.nodes = nodes;
+  out.queries = handles.size();
+  out.epochs = active_epochs;
+  const Clock::time_point start = Clock::now();
+  for (size_t e = 0; e < active_epochs; ++e) {
+    eng->AdvanceEpoch(epoch);
+    // Steady-state replacement keeps placement probes flowing (each Submit
+    // pays DHT traffic and samples the staleness of the publishes it read).
+    const size_t victim = (e * 7 + 3) % handles.size();
+    const Status removed = eng->Remove(handles[victim]);
+    if (removed.ok() || removed.code() == StatusCode::kNotFound) {
+      auto h = eng->Submit(specs[victim % specs.size()]);
+      if (h.ok()) handles[victim] = *h;
+    }
+  }
+  out.ns_per_epoch = NsSince(start) / static_cast<double>(active_epochs);
+
+  // Quiescent drain: no churn, no Vivaldi sampling, no load drift or
+  // jitter ticks. Publishes are displacement-gated, so once nothing moves
+  // the publish stream dries up and the runtime stamps convergence.
+  epoch.churn = nullptr;
+  epoch.vivaldi_samples = 0;
+  epoch.dt = 0.0;
+  epoch.tick_network = false;
+  for (size_t e = 0; e < drain_epochs; ++e) eng->AdvanceEpoch(epoch);
+
+  const engine::EngineSnapshot snapshot = eng->Snapshot();
+  if (snapshot.decentralized.has_value()) out.summary = *snapshot.decentralized;
+  uint64_t h = StateFingerprint(sbon);
+  auto mix = [&h](size_t v) {
+    h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  };
+  const msg::TrafficSummary& t = out.summary;
+  mix(t.msgs_sent);
+  mix(t.msgs_delivered);
+  mix(t.msgs_dropped_dead);
+  mix(t.msgs_dropped_partition);
+  mix(t.bytes_total);
+  for (size_t p = 0; p < msg::kNumProtocols; ++p) {
+    mix(t.protocol_msgs[p]);
+    mix(t.protocol_bytes[p]);
+  }
+  mix(t.convergence_epochs);
+  mix(t.staleness_samples);
+  out.fingerprint = h;
   return out;
 }
 
@@ -415,11 +553,13 @@ int main(int argc, char** argv) {
   // scaling section only.
   const bool scaling_only = nodes > 4096 && !dense_requested;
 
+  const sbon::engine::ExecMode exec = sbon::bench::ExecMode();
   std::printf("perf_epoch: N=%zu nodes, Q=%zu queries, E=%zu epochs, "
-              "T=%zu threads%s, fabric=%s\n",
+              "T=%zu threads%s, fabric=%s, exec=%s\n",
               nodes, queries, epochs, threads,
               threads == 0 ? " (0: SBON_EPOCH_THREADS)" : "",
-              sbon::bench::FabricFlag().c_str());
+              sbon::bench::FabricFlag().c_str(),
+              sbon::bench::ExecFlag().c_str());
 
   sbon::EpochLoopResult primary, eps0, churned;
   sbon::PipelineRunResult pipe1, pipeN;
@@ -438,7 +578,8 @@ int main(int argc, char** argv) {
   if (!scaling_only) {
     sbon::bench::Section("Epoch+Submit throughput (dirty refresh, epsilon)");
     primary = sbon::RunEpochLoop(nodes, queries, epochs, epsilon,
-                                 /*seed=*/42, /*churn_rate=*/0.0, threads);
+                                 /*seed=*/42, /*churn_rate=*/0.0, threads,
+                                 exec);
     std::printf(
         "epsilon=%-4g  %10.0f ns/epoch  %10.0f ns/submit  %zu queries\n"
         "              republished=%zu skipped=%zu quiet_refreshes=%zu/%zu\n",
@@ -449,13 +590,13 @@ int main(int argc, char** argv) {
 
     sbon::bench::Section("Epoch+Submit throughput (epsilon=0: every change)");
     eps0 = sbon::RunEpochLoop(nodes, queries, epochs, 0.0,
-                              /*seed=*/42, /*churn_rate=*/0.0, threads);
+                              /*seed=*/42, /*churn_rate=*/0.0, threads, exec);
     std::printf("epsilon=0     %10.0f ns/epoch  %10.0f ns/submit\n",
                 eps0.ns_per_epoch, eps0.ns_per_submit);
 
     sbon::bench::Section("Epoch throughput under churn (crashes + repair)");
     churned = sbon::RunEpochLoop(nodes, queries, epochs, epsilon,
-                                 /*seed=*/42, churn_rate, threads);
+                                 /*seed=*/42, churn_rate, threads, exec);
     std::printf(
         "churn=%-5g  %10.0f ns/epoch  (%+0.0f%% vs churn-free)\n"
         "              crashes=%zu rejoins=%zu evicted=%zu orphaned=%zu "
@@ -469,8 +610,10 @@ int main(int argc, char** argv) {
         churned.repair.queries_repaired, churned.repair.queries_dropped);
 
     sbon::bench::Section("Parallel epoch pipeline (AdvanceEpoch only)");
-    pipe1 = sbon::RunPipelineOnly(nodes, queries, epochs, /*threads=*/1, 42);
-    pipeN = sbon::RunPipelineOnly(nodes, queries, epochs, par_threads, 42);
+    pipe1 = sbon::RunPipelineOnly(nodes, queries, epochs, /*threads=*/1, 42,
+                                  exec);
+    pipeN = sbon::RunPipelineOnly(nodes, queries, epochs, par_threads, 42,
+                                  exec);
     bit_identical = pipe1.fingerprint == pipeN.fingerprint;
     speedup = pipeN.ns_per_epoch > 0.0
                   ? pipe1.ns_per_epoch / pipeN.ns_per_epoch
@@ -513,6 +656,39 @@ int main(int argc, char** argv) {
                    vivaldi_allocs, knearest_allocs);
       return 1;
     }
+  }
+
+  sbon::bench::Section("Decentralized execution (message mode, pinned size)");
+  const auto msg1 = sbon::RunMessageSection(/*threads=*/1, /*seed=*/42);
+  const auto msgN = sbon::RunMessageSection(/*threads=*/4, /*seed=*/42);
+  const bool msg_replay_identical = msg1.fingerprint == msgN.fingerprint;
+  {
+    const sbon::msg::TrafficSummary& t = msg1.summary;
+    std::printf(
+        "N=%zu Q=%zu E=%zu  %10.0f ns/epoch  %.1f bytes/node/epoch\n"
+        "  sent=%zu delivered=%zu dropped_dead=%zu dropped_partition=%zu\n"
+        "  vivaldi=%zu msgs ring=%zu msgs placement=%zu msgs\n"
+        "  convergence=%zu epochs after last churn (%s)  "
+        "staleness p50=%.1f p95=%.1f (%zu samples)\n"
+        "  replay %s\n",
+        msg1.nodes, msg1.queries, msg1.epochs, msg1.ns_per_epoch,
+        t.bytes_per_node_per_epoch, t.msgs_sent, t.msgs_delivered,
+        t.msgs_dropped_dead, t.msgs_dropped_partition,
+        t.protocol_msgs[static_cast<size_t>(sbon::msg::Protocol::kVivaldi)],
+        t.protocol_msgs[static_cast<size_t>(sbon::msg::Protocol::kRing)],
+        t.protocol_msgs[static_cast<size_t>(sbon::msg::Protocol::kPlacement)],
+        t.convergence_epochs, t.converged ? "converged" : "NOT CONVERGED",
+        t.staleness_p50, t.staleness_p95, t.staleness_samples,
+        msg_replay_identical ? "bit-identical across thread counts"
+                             : "DIVERGED ACROSS THREAD COUNTS");
+  }
+  if (!msg_replay_identical) {
+    std::fprintf(
+        stderr,
+        "FAIL: message-mode replay diverged (t1=%016llx t4=%016llx)\n",
+        static_cast<unsigned long long>(msg1.fingerprint),
+        static_cast<unsigned long long>(msgN.fingerprint));
+    return 1;
   }
 
   sbon::bench::Section("Sparse fabric scaling (generative substrate)");
@@ -572,12 +748,14 @@ int main(int argc, char** argv) {
                  "  \"smoke\": %s,\n"
                  "  \"mode\": \"%s\",\n"
                  "  \"fabric\": \"%s\",\n"
+                 "  \"exec\": \"%s\",\n"
                  "  \"nodes\": %zu,\n"
                  "  \"queries\": %zu,\n"
                  "  \"epochs\": %zu,\n",
                  smoke ? "true" : "false",
                  scaling_only ? "sparse-scaling" : "standard",
-                 sbon::bench::FabricFlag().c_str(), nodes, queries, epochs);
+                 sbon::bench::FabricFlag().c_str(),
+                 sbon::bench::ExecFlag().c_str(), nodes, queries, epochs);
     if (!scaling_only) {
       char speedup_buf[64];
       if (speedup_measurable) {
@@ -648,6 +826,48 @@ int main(int argc, char** argv) {
                    p.max_alloc, p.base_mode, p.landmarks, p.row_builds,
                    p.neighbor_hit_rate);
     };
+    {
+      const sbon::msg::TrafficSummary& t = msg1.summary;
+      std::fprintf(
+          f,
+          "  \"decentralized\": {\n"
+          "    \"nodes\": %zu,\n"
+          "    \"queries\": %zu,\n"
+          "    \"epochs\": %zu,\n"
+          "    \"ns_per_epoch\": %.1f,\n"
+          "    \"bytes_per_node_per_epoch\": %.1f,\n"
+          "    \"msgs_sent\": %zu,\n"
+          "    \"msgs_delivered\": %zu,\n"
+          "    \"msgs_dropped_dead\": %zu,\n"
+          "    \"msgs_dropped_partition\": %zu,\n"
+          "    \"vivaldi_msgs\": %zu,\n"
+          "    \"vivaldi_bytes\": %zu,\n"
+          "    \"ring_msgs\": %zu,\n"
+          "    \"ring_bytes\": %zu,\n"
+          "    \"placement_msgs\": %zu,\n"
+          "    \"placement_bytes\": %zu,\n"
+          "    \"convergence_epochs_after_churn\": %zu,\n"
+          "    \"converged\": %s,\n"
+          "    \"staleness_p50\": %.1f,\n"
+          "    \"staleness_p95\": %.1f,\n"
+          "    \"staleness_samples\": %zu,\n"
+          "    \"replay_bit_identical\": %s\n"
+          "  },\n",
+          msg1.nodes, msg1.queries, msg1.epochs, msg1.ns_per_epoch,
+          t.bytes_per_node_per_epoch, t.msgs_sent, t.msgs_delivered,
+          t.msgs_dropped_dead, t.msgs_dropped_partition,
+          t.protocol_msgs[static_cast<size_t>(sbon::msg::Protocol::kVivaldi)],
+          t.protocol_bytes[static_cast<size_t>(sbon::msg::Protocol::kVivaldi)],
+          t.protocol_msgs[static_cast<size_t>(sbon::msg::Protocol::kRing)],
+          t.protocol_bytes[static_cast<size_t>(sbon::msg::Protocol::kRing)],
+          t.protocol_msgs[static_cast<size_t>(
+              sbon::msg::Protocol::kPlacement)],
+          t.protocol_bytes[static_cast<size_t>(
+              sbon::msg::Protocol::kPlacement)],
+          t.convergence_epochs, t.converged ? "true" : "false",
+          t.staleness_p50, t.staleness_p95, t.staleness_samples,
+          msg_replay_identical ? "true" : "false");
+    }
     std::fprintf(f, "  \"sparse\": {\n");
     write_point("small", sp_small);
     std::fprintf(f, ",\n");

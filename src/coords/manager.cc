@@ -257,6 +257,39 @@ void CoordinateManager::RefreshIndex(const std::vector<NodeId>& overlay_nodes,
   }
 }
 
+void CoordinateManager::ApplyRemoteSample(NodeId self, NodeId peer,
+                                          const Vec& peer_coord,
+                                          double peer_error, double rtt_ms) {
+  if (vivaldi_ == nullptr) return;
+  vivaldi_->UpdateAgainst(self, peer, peer_coord, peer_error, rtt_ms);
+}
+
+void CoordinateManager::SyncVectorCoords() {
+  if (vivaldi_ == nullptr) return;
+  for (NodeId i = 0; i < space_->NumNodes(); ++i) {
+    space_->SetVectorCoord(i, vivaldi_->Coord(i));
+  }
+}
+
+void CoordinateManager::CollectDisplaced(
+    const std::vector<NodeId>& overlay_nodes, double epsilon,
+    std::vector<NodeId>* out) const {
+  const double eps2 = epsilon * epsilon;
+  for (NodeId n : overlay_nodes) {
+    // Strictly-greater, matching RefreshIndex: epsilon 0 flags any changed
+    // coordinate and skips bit-identical ones.
+    if (space_->FullCoord(n).DistanceSquaredTo(last_published_[n]) > eps2) {
+      out->push_back(n);
+    }
+  }
+}
+
+void CoordinateManager::PublishWithoutStabilize(NodeId n) {
+  Vec full = space_->FullCoord(n);
+  index_->Publish(n, full);
+  last_published_[n] = std::move(full);
+}
+
 void CoordinateManager::Withdraw(NodeId n) {
   // Ring Leave: the index must stop returning the dead node immediately so
   // repair placement cannot land replacements on it.

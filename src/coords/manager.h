@@ -112,6 +112,35 @@ class CoordinateManager {
   /// (stale vector part + fresh scalars) and restabilizes.
   void Publish(NodeId n);
 
+  // --- message-mode hooks (msg::Runtime) -----------------------------------
+  // The message-passing execution mode re-expresses the two substrate
+  // sweeps above (UpdateCoordinatesOnline, RefreshIndex) as explicit
+  // request/response traffic; these are the primitive steps its agents
+  // compose, each one a fragment of the corresponding oracle sweep.
+
+  /// Vivaldi read access for agents answering coordinate pings (nullptr
+  /// for MDS/true-coordinate ablations).
+  const VivaldiSystem* vivaldi() const { return vivaldi_.get(); }
+  /// Applies one remotely measured RTT sample: `self` runs its spring
+  /// update against the peer state a pong carried. No-op without Vivaldi.
+  void ApplyRemoteSample(NodeId self, NodeId peer, const Vec& peer_coord,
+                         double peer_error, double rtt_ms);
+  /// Copies the Vivaldi coordinates into the cost space's vector part —
+  /// what UpdateCoordinatesOnline does after its sweep. Call once per epoch
+  /// after the message drain. No-op without Vivaldi.
+  void SyncVectorCoords();
+  /// Appends to `out` every node of `overlay_nodes` whose full coordinate
+  /// moved more than `epsilon` since its last publish — RefreshIndex's
+  /// displacement scan without the publishes (the RingAgent turns each hit
+  /// into a routed publish message instead).
+  void CollectDisplaced(const std::vector<NodeId>& overlay_nodes,
+                        double epsilon, std::vector<NodeId>* out) const;
+  /// Publishes `n`'s current full coordinate without restabilizing; the
+  /// message-mode refresh batches one StabilizeIndex per epoch over however
+  /// many publish messages were delivered.
+  void PublishWithoutStabilize(NodeId n);
+  void StabilizeIndex() { index_->Stabilize(); }
+
  private:
   CoordinateManager() = default;
 

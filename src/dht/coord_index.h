@@ -66,6 +66,11 @@ class CoordinateIndex {
 
   size_t NumPublished() const { return ring_.NumMembers(); }
 
+  /// The underlying Chord ring, read-only — message-mode agents route
+  /// publish/join traffic through `ring().Lookup` to bill real hop counts
+  /// and walk `ring().members()` for successor heartbeats.
+  const ChordRing& ring() const { return ring_; }
+
   /// Returns up to `k` published nodes closest to `target` (by true
   /// distance in the indexed space), examining `probe_width` ring members
   /// on each side of the target key. `cost` (optional) accumulates DHT

@@ -97,6 +97,50 @@ void PastryRing::Stabilize() {
   stale_ = false;
 }
 
+Status PastryRing::CheckRoutingInvariants() const {
+  if (stale_) return Status::FailedPrecondition("ring not stabilized");
+  const size_t n = members_.size();
+  if (routing_.size() != n) {
+    return Status::Internal("routing table count != membership");
+  }
+  const unsigned cols = 1u << digit_bits_;
+  for (size_t m = 0; m < n; ++m) {
+    const U128& self = members_[m].key;
+    for (unsigned row = 0; row < num_digits_; ++row) {
+      for (unsigned col = 0; col < cols; ++col) {
+        const size_t e = routing_[m][row][col];
+        if (e == SIZE_MAX) continue;
+        if (e >= n || e == m) {
+          return Status::Internal("routing entry out of range or self");
+        }
+        const U128& entry = members_[e].key;
+        if (SharedPrefixDigits(self, entry) != row) {
+          return Status::Internal("routing entry at wrong prefix row");
+        }
+        if (DigitAt(entry, row) != col || DigitAt(self, row) == col) {
+          return Status::Internal("routing entry at wrong column");
+        }
+      }
+    }
+    // Completeness + deterministic tie-break: every other member must be
+    // reachable through its (shared-prefix, digit) slot, and the occupant
+    // must be the minimum-key member qualifying for that slot.
+    for (size_t o = 0; o < n; ++o) {
+      if (o == m) continue;
+      const unsigned row = SharedPrefixDigits(self, members_[o].key);
+      if (row >= num_digits_) continue;  // perturbed duplicate digit-twin
+      const size_t e = routing_[m][row][DigitAt(members_[o].key, row)];
+      if (e == SIZE_MAX) {
+        return Status::Internal("empty slot with a qualifying member");
+      }
+      if (members_[e].key > members_[o].key) {
+        return Status::Internal("slot occupant is not the minimum key");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 StatusOr<PastryRing::LookupResult> PastryRing::Lookup(
     U128 key, U128 origin_key) const {
   if (members_.empty()) return Status::FailedPrecondition("empty ring");

@@ -36,6 +36,17 @@ class PastryRing {
   void Join(U128 key, NodeId node);
   void Leave(NodeId node);
   size_t NumMembers() const { return members_.size(); }
+  /// Current membership, sorted by key (valid independent of Stabilize).
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Validates the stabilized routing state against the Pastry invariants:
+  /// every table entry at (row, col) names a live member whose key shares
+  /// exactly `row` digits with the owner and has digit `col` at that row
+  /// (never the owner's own digit); every slot some member qualifies for is
+  /// filled; and each filled slot holds the minimum-key qualifying member
+  /// (the deterministic tie-break Stabilize promises). Returns the first
+  /// violation as FailedPrecondition/Internal, OK otherwise.
+  Status CheckRoutingInvariants() const;
 
   /// Rebuilds routing tables and leaf sets; required before Lookup after
   /// membership changes.

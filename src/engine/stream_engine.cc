@@ -100,6 +100,13 @@ Status StreamEngine::OptimizeAndInstall(const StrategySpec& strategy,
   // exactly as it was before the call.
   auto circuit_id = sbon_->InstallCircuit(std::move(circuit));
   if (!circuit_id.ok()) return circuit_id.status();
+  if (msg_runtime_ != nullptr) {
+    // Message mode bills the run's DHT traffic (the mapping stage's index
+    // lookups/hops/probes) as kPlacement messages and stamps each placed
+    // vertex with its host's coordinate staleness.
+    msg_runtime_->BillPlacement(result->mapping.dht_cost,
+                                sbon_->FindCircuit(*circuit_id));
+  }
   record->optimizer = std::move(optimizer_name);
   record->placer = std::move(placer_name);
   record->config = resolved.config;
@@ -200,6 +207,10 @@ StatusOr<ReoptOutcome> StreamEngine::Reoptimize(QueryHandle handle,
   if (!report.ok()) return report.status();
   outcome.full = *report;
   if (report->redeployed) {
+    if (msg_runtime_ != nullptr) {
+      msg_runtime_->BillPlacement(report->candidate.mapping.dht_cost,
+                                  sbon_->FindCircuit(report->new_circuit));
+    }
     // The handle now refers to the replacement circuit; the record's
     // accounting must describe the run that produced it, not the cancelled
     // original's.
@@ -265,6 +276,10 @@ void StreamEngine::ApplyChurn(const std::vector<net::ChurnEvent>& events) {
         // The overlay may refuse (e.g. last alive node): no repair needed.
         if (!report.ok()) break;
         ++repair_stats_.crashes;
+        // In message mode the crash produces detector traffic (leaf-set
+        // kLeave fan-out) and restarts the convergence clock. Notify before
+        // the repairs so their placement probes land after the churn stamp.
+        if (msg_runtime_ != nullptr) msg_runtime_->NotifyChurn(ev);
         repair_stats_.services_evicted += report->services_evicted;
         repair_stats_.circuits_orphaned += report->orphaned.size();
         // Phase 1: tear down every orphaned remnant (dropping unrepairable
@@ -302,15 +317,22 @@ void StreamEngine::ApplyChurn(const std::vector<net::ChurnEvent>& events) {
         break;
       }
       case net::ChurnEventType::kRejoin:
-        if (sbon_->RejoinNode(ev.node).ok()) ++repair_stats_.rejoins;
+        if (sbon_->RejoinNode(ev.node).ok()) {
+          ++repair_stats_.rejoins;
+          if (msg_runtime_ != nullptr) msg_runtime_->NotifyChurn(ev);
+        }
         break;
       case net::ChurnEventType::kPartitionStart:
         if (sbon_->BeginPartition(ev.group, ev.severity).ok()) {
           ++repair_stats_.partitions;
+          if (msg_runtime_ != nullptr) msg_runtime_->NotifyChurn(ev);
         }
         break;
       case net::ChurnEventType::kPartitionHeal:
-        if (sbon_->EndPartition().ok()) ++repair_stats_.heals;
+        if (sbon_->EndPartition().ok()) {
+          ++repair_stats_.heals;
+          if (msg_runtime_ != nullptr) msg_runtime_->NotifyChurn(ev);
+        }
         break;
     }
   }
@@ -329,6 +351,11 @@ void StreamEngine::AdvanceEpoch(const EpochOptions& epoch) {
       epoch.threads > 0 ? epoch.threads : DefaultEpochThreads();
   EpochPipeline pipeline(PoolFor(threads));
 
+  const bool message = epoch.exec_mode == ExecMode::kMessage;
+  if (message && msg_runtime_ == nullptr) {
+    msg_runtime_ = std::make_unique<msg::Runtime>(sbon_.get(), epoch.msg);
+  }
+
   // Stage order is the epoch's semantics: each stage sees exactly what the
   // previous stages produced.
   // The jitter stage is only worth scheduling on workers when the fabric
@@ -340,10 +367,25 @@ void StreamEngine::AdvanceEpoch(const EpochOptions& epoch) {
   // Ambient load is one serial O(n) sweep over the shared Rng stream.
   pipeline.Run("load", epoch.dt > 0.0, /*parallelizable=*/false,
                [&](ThreadPool*) { sbon_->Tick(epoch.dt); });
-  pipeline.Run("coords", epoch.vivaldi_samples > 0, /*parallelizable=*/true,
-               [&](ThreadPool* pool) {
-                 sbon_->UpdateCoordinatesOnline(epoch.vivaldi_samples, pool);
-               });
+  if (message) {
+    // Message-mode coordinate maintenance: advance the bus clock and fan
+    // out this epoch's pings. Pongs (and their spring updates) land in the
+    // msg-refresh stage's drain. Serial by contract — single-threaded
+    // discrete-event execution is what makes replay trivially thread-count
+    // independent.
+    pipeline.Run("msg-coords", /*enabled=*/true, /*parallelizable=*/false,
+                 [&](ThreadPool*) {
+                   msg_runtime_->BeginEpoch();
+                   if (epoch.vivaldi_samples > 0) {
+                     msg_runtime_->StepVivaldi(epoch.vivaldi_samples);
+                   }
+                 });
+  } else {
+    pipeline.Run("coords", epoch.vivaldi_samples > 0, /*parallelizable=*/true,
+                 [&](ThreadPool* pool) {
+                   sbon_->UpdateCoordinatesOnline(epoch.vivaldi_samples, pool);
+                 });
+  }
   // Churn lands after the network/load/coordinate updates (repairs place
   // against this epoch's state) and before the refresh (so the refresh
   // publishes post-repair load for every surviving node). Repairs stay
@@ -352,10 +394,21 @@ void StreamEngine::AdvanceEpoch(const EpochOptions& epoch) {
   pipeline.Run("churn+repair", epoch.churn != nullptr,
                /*parallelizable=*/false,
                [&](ThreadPool*) { ApplyChurn(epoch.churn->Step()); });
-  pipeline.Run("refresh", epoch.refresh_index, /*parallelizable=*/true,
-               [&](ThreadPool* pool) {
-                 sbon_->RefreshIndex(epoch.refresh_epsilon, pool);
-               });
+  if (message) {
+    // Message-mode refresh: displacement publishes + ring heartbeats, the
+    // epoch drain (delivering pongs and publishes in latency order), one
+    // stabilization if any publish landed, and the coordinate sync.
+    pipeline.Run("msg-refresh", /*enabled=*/true, /*parallelizable=*/false,
+                 [&](ThreadPool*) {
+                   msg_runtime_->FinishEpoch(epoch.refresh_index,
+                                             epoch.refresh_epsilon);
+                 });
+  } else {
+    pipeline.Run("refresh", epoch.refresh_index, /*parallelizable=*/true,
+                 [&](ThreadPool* pool) {
+                   sbon_->RefreshIndex(epoch.refresh_epsilon, pool);
+                 });
+  }
   last_epoch_trace_ = pipeline.trace();
 }
 
@@ -393,6 +446,7 @@ EngineSnapshot StreamEngine::Snapshot() const {
   snapshot.total_network_usage = sbon_->TotalNetworkUsage();
   snapshot.max_load = sbon_->MaxLoad();
   snapshot.repair = repair_stats_;
+  if (msg_runtime_ != nullptr) snapshot.decentralized = msg_runtime_->Summary();
   snapshot.queries.reserve(queries_.size());
   for (const auto& [handle, record] : queries_) {
     auto stats = StatsOf(handle);

@@ -15,6 +15,7 @@
 #include "core/reopt.h"
 #include "engine/epoch_pipeline.h"
 #include "engine/registry.h"
+#include "msg/agents.h"
 #include "net/churn.h"
 #include "net/topology.h"
 #include "overlay/metrics.h"
@@ -63,6 +64,20 @@ struct EngineOptions {
   bool refresh_index_on_install = false;
 };
 
+/// How AdvanceEpoch executes the coordinate/ring maintenance stages.
+enum class ExecMode {
+  /// God's-eye maintenance: global Vivaldi sweep against the live latency
+  /// oracle, direct index refresh. Zero control traffic; bit-identical to
+  /// the engine before message mode existed.
+  kOracle,
+  /// Decentralized message passing: node-local agents exchange explicit
+  /// ping/pong, publish/stabilize, and placement-probe traffic over a
+  /// deterministic discrete-event bus (msg::MessageBus) whose deliveries
+  /// pay live fabric latency and drop across partitions / to dead nodes.
+  /// Surfaces per-epoch TrafficStats through EngineSnapshot::decentralized.
+  kMessage,
+};
+
 /// One engine epoch: what AdvanceEpoch should advance. Replaces the manual
 /// `TickNetwork` / `Tick` / `UpdateCoordinatesOnline` / `RefreshIndex`
 /// sequence every client used to hand-wire.
@@ -97,6 +112,14 @@ struct EpochOptions {
   /// results are bit-identical at any thread count — the pool changes only
   /// how epochs are scheduled, never what they compute.
   size_t threads = 0;
+  /// Coordinate/ring maintenance execution (see ExecMode). The first
+  /// kMessage epoch creates the engine's msg::Runtime from `msg`; later
+  /// epochs keep that runtime (its params are pinned at creation, so agents
+  /// and counters stay continuous across epochs). The message stages run
+  /// serially whatever `threads` says — replay is bit-identical per seed at
+  /// any thread count by construction.
+  ExecMode exec_mode = ExecMode::kOracle;
+  msg::RuntimeParams msg;
 };
 
 /// How Reoptimize should treat a query.
@@ -168,6 +191,10 @@ struct EngineSnapshot {
   double max_load = 0.0;
   RepairStats repair;               ///< cumulative churn/repair accounting
   std::vector<QueryStats> queries;  ///< in submission (handle) order
+  /// Control-traffic summary of message-mode execution (absent until the
+  /// engine has run a kMessage epoch): msgs/bytes by protocol, bytes per
+  /// node per epoch, convergence epochs after churn, placement staleness.
+  std::optional<msg::TrafficSummary> decentralized;
 };
 
 /// The SBON as a service (paper Sec. 4): clients submit continuous queries
@@ -268,6 +295,12 @@ class StreamEngine {
   overlay::Sbon& sbon() { return *sbon_; }
   const overlay::Sbon& sbon() const { return *sbon_; }
 
+  /// The message-mode runtime (nullptr until the first kMessage epoch).
+  /// Once created, every subsequent placement (Submit/Repair/full reopt) is
+  /// billed as kPlacement traffic and staleness-stamped, whichever exec
+  /// mode later epochs use.
+  const msg::Runtime* msg_runtime() const { return msg_runtime_.get(); }
+
  private:
   /// Everything the engine remembers about a submitted query.
   struct QueryRecord {
@@ -345,6 +378,9 @@ class StreamEngine {
   RepairStats repair_stats_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<EpochStageTrace> last_epoch_trace_;
+  /// Created lazily by the first kMessage AdvanceEpoch; never torn down
+  /// (traffic accounting is cumulative, like repair_stats_).
+  std::unique_ptr<msg::Runtime> msg_runtime_;
 };
 
 }  // namespace sbon::engine

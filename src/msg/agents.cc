@@ -1,0 +1,332 @@
+#include "msg/agents.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sbon::msg {
+
+// --- VivaldiAgent ----------------------------------------------------------
+
+VivaldiAgent::VivaldiAgent(MessageBus* bus, overlay::Sbon* sbon,
+                           const VivaldiAgentParams& params)
+    : bus_(bus), sbon_(sbon), params_(params) {
+  peers_.assign(sbon_->topology().NumNodes() * params_.peer_set_size,
+                kInvalidNode);
+  bus_->SetHandler(Protocol::kVivaldi,
+                   [this](const Envelope& e) { HandleMessage(e); });
+}
+
+NodeId VivaldiAgent::PeerFor(NodeId self, size_t slot) {
+  NodeId& peer = peers_[static_cast<size_t>(self) * params_.peer_set_size +
+                        slot % params_.peer_set_size];
+  if (peer == kInvalidNode || !sbon_->IsAlive(peer)) {
+    // Re-sample a dead/empty slot from the currently alive overlay nodes
+    // (the caller guarantees at least two, so the self-rejection loop
+    // terminates).
+    const std::vector<NodeId>& alive = sbon_->overlay_nodes();
+    do {
+      peer = alive[bus_->rng().UniformInt(
+          static_cast<uint64_t>(alive.size()))];
+    } while (peer == self);
+  }
+  return peer;
+}
+
+void VivaldiAgent::StepEpoch(size_t samples_per_node) {
+  if (sbon_->overlay_nodes().size() < 2) return;
+  if (sbon_->coords().vivaldi() == nullptr) return;
+  for (NodeId self : sbon_->overlay_nodes()) {
+    for (size_t s = 0; s < samples_per_node; ++s) {
+      Envelope ping;
+      ping.proto = Protocol::kVivaldi;
+      ping.kind = MsgKind::kPing;
+      ping.from = self;
+      ping.to = PeerFor(self, round_ + s);
+      ping.bytes = params_.ping_bytes;
+      bus_->Send(std::move(ping));
+    }
+  }
+  // Next epoch pings the following round-robin slice of each peer set, so a
+  // node cycles its whole bounded view instead of hammering one slot.
+  round_ += samples_per_node;
+}
+
+void VivaldiAgent::HandleMessage(const Envelope& e) {
+  const coords::VivaldiSystem* vivaldi = sbon_->coords().vivaldi();
+  if (vivaldi == nullptr) return;
+  switch (e.kind) {
+    case MsgKind::kPing: {
+      Envelope pong;
+      pong.proto = Protocol::kVivaldi;
+      pong.kind = MsgKind::kPong;
+      pong.from = e.to;
+      pong.to = e.from;
+      pong.subject = e.to;
+      pong.coord = vivaldi->Coord(e.to);
+      pong.aux0 = e.send_ms;  // echo: the sampler recovers the round trip
+      pong.aux1 = vivaldi->LocalError(e.to);
+      pong.bytes = params_.pong_base_bytes + 8 * vivaldi->dims();
+      bus_->Send(std::move(pong));
+      break;
+    }
+    case MsgKind::kPong: {
+      // One-way latency estimate: half the measured round trip (the oracle
+      // sweep samples the one-way live latency directly).
+      const double rtt = (bus_->now_ms() - e.aux0) * 0.5;
+      sbon_->mutable_coords().ApplyRemoteSample(e.to, e.from, e.coord, e.aux1,
+                                                rtt);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// --- RingAgent -------------------------------------------------------------
+
+RingAgent::RingAgent(MessageBus* bus, overlay::Sbon* sbon,
+                     const RingAgentParams& params)
+    : bus_(bus), sbon_(sbon), params_(params) {
+  publish_epoch_.assign(sbon_->topology().NumNodes(), 0);
+  bus_->SetHandler(Protocol::kRing,
+                   [this](const Envelope& e) { HandleMessage(e); });
+}
+
+dht::ChordRing::LookupResult RingAgent::Route(const dht::U128& key,
+                                              const dht::U128& origin,
+                                              NodeId self) {
+  auto result = sbon_->index().ring().Lookup(key, origin);
+  if (result.ok()) return *result;
+  // Degenerate ring (e.g. a single member): apply locally, zero hops.
+  dht::ChordRing::LookupResult local;
+  local.node = self;
+  local.key = key;
+  return local;
+}
+
+void RingAgent::BillHops(NodeId via, size_t hops) {
+  if (hops == 0) return;
+  // Intermediate hops relay the message; they are billed as sent ring
+  // traffic (attributed to the originator's account — per-relay attribution
+  // would need the route's member list, which Lookup doesn't expose) but
+  // not enqueued: only the final delivery is simulated.
+  TrafficStats& stats = bus_->stats();
+  TrafficCounters& c = stats.protocol[static_cast<size_t>(Protocol::kRing)];
+  c.sent += hops;
+  c.bytes += hops * params_.per_hop_bytes;
+  stats.node_msgs[via] += hops;
+  stats.node_bytes[via] += hops * params_.per_hop_bytes;
+}
+
+NodeId RingAgent::NextAliveAfter(NodeId n) const {
+  const std::vector<NodeId>& alive = sbon_->overlay_nodes();
+  if (alive.empty()) return kInvalidNode;
+  auto it = std::upper_bound(alive.begin(), alive.end(), n);
+  return it == alive.end() ? alive.front() : *it;
+}
+
+void RingAgent::StepEpoch(double epsilon) {
+  publishes_sent_epoch_ = 0;
+  const dht::CoordinateIndex& index = sbon_->index();
+  if (epsilon >= 0.0) {
+    displaced_.clear();
+    sbon_->coords().CollectDisplaced(sbon_->overlay_nodes(), epsilon,
+                                     &displaced_);
+    for (NodeId n : displaced_) {
+      const Vec full = sbon_->cost_space().FullCoord(n);
+      const dht::U128 key = index.quantizer().Key(full);
+      // Route from the node's own key region toward the new key: a
+      // displacement republish travels from where the node sits to where
+      // it belongs, which is short for small drifts and longer the further
+      // the coordinate moved.
+      const dht::ChordRing::LookupResult route = Route(key, key, n);
+      BillHops(n, route.hops);
+      Envelope publish;
+      publish.proto = Protocol::kRing;
+      publish.kind = MsgKind::kPublish;
+      publish.from = n;
+      publish.to = route.node;
+      publish.subject = n;
+      publish.coord = full;
+      publish.bytes = params_.publish_base_bytes + 8 * full.dims();
+      bus_->Send(std::move(publish));
+      ++publishes_sent_epoch_;
+    }
+  }
+  // Successor heartbeats: the steady-state ring maintenance every member
+  // pays every epoch whether or not anything moved.
+  const std::vector<dht::ChordRing::Member>& members = index.ring().members();
+  if (members.size() >= 2) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      Envelope beat;
+      beat.proto = Protocol::kRing;
+      beat.kind = MsgKind::kStabilize;
+      beat.from = members[i].node;
+      beat.to = members[(i + 1) % members.size()].node;
+      beat.bytes = params_.stabilize_bytes;
+      bus_->Send(std::move(beat));
+    }
+  }
+}
+
+void RingAgent::HandleMessage(const Envelope& e) {
+  switch (e.kind) {
+    case MsgKind::kPublish:
+      // The owner records the (re)published coordinate. Reads the node's
+      // *current* full coordinate — deliveries later in the drain see any
+      // Vivaldi movement that landed before them, exactly like a datagram
+      // serialized at transmission time would have been re-read on retry.
+      if (sbon_->IsAlive(e.subject)) {
+        sbon_->mutable_coords().PublishWithoutStabilize(e.subject);
+        publish_epoch_[e.subject] = static_cast<uint32_t>(bus_->epoch());
+        ++publishes_applied_;
+      }
+      break;
+    case MsgKind::kJoin:
+      // Ring membership already transitioned at RejoinNode (instant
+      // idealized detection); the join message landing is when the node's
+      // published view stops being stale.
+      publish_epoch_[e.subject] = static_cast<uint32_t>(bus_->epoch());
+      break;
+    case MsgKind::kStabilize:
+    case MsgKind::kLeave:
+      break;  // heartbeat/notification traffic: cost only
+    default:
+      break;
+  }
+}
+
+void RingAgent::OnCrash(NodeId n) {
+  // Idealized fast failure detection: the dead node's ring neighborhood
+  // learns of the crash within the epoch. The detector (its successor in
+  // node-id order) notifies `leaf_fanout` leaf-set members.
+  const NodeId detector = NextAliveAfter(n);
+  if (detector == kInvalidNode) return;
+  const std::vector<NodeId>& alive = sbon_->overlay_nodes();
+  auto it = std::upper_bound(alive.begin(), alive.end(), detector);
+  size_t idx = static_cast<size_t>(it - alive.begin()) % alive.size();
+  for (size_t k = 0; k < params_.leaf_fanout && k + 1 < alive.size();
+       ++k, idx = (idx + 1) % alive.size()) {
+    if (alive[idx] == detector) break;  // wrapped the whole membership
+    Envelope leave;
+    leave.proto = Protocol::kRing;
+    leave.kind = MsgKind::kLeave;
+    leave.from = detector;
+    leave.to = alive[idx];
+    leave.subject = n;
+    leave.bytes = params_.leave_bytes;
+    bus_->Send(std::move(leave));
+  }
+}
+
+void RingAgent::OnRejoin(NodeId n) {
+  // The rejoining node routes a join toward its key's owner from the
+  // deterministic bootstrap origin (the ring's first member).
+  const Vec full = sbon_->cost_space().FullCoord(n);
+  const dht::U128 key = sbon_->index().quantizer().Key(full);
+  auto result = sbon_->index().ring().Lookup(key);
+  dht::ChordRing::LookupResult route;
+  if (result.ok()) {
+    route = *result;
+  } else {
+    route.node = n;
+    route.key = key;
+  }
+  BillHops(n, route.hops);
+  Envelope join;
+  join.proto = Protocol::kRing;
+  join.kind = MsgKind::kJoin;
+  join.from = n;
+  join.to = route.node;
+  join.subject = n;
+  join.bytes = params_.join_base_bytes + 8 * full.dims();
+  bus_->Send(std::move(join));
+}
+
+// --- Runtime ---------------------------------------------------------------
+
+Runtime::Runtime(overlay::Sbon* sbon, const RuntimeParams& params)
+    : sbon_(sbon),
+      bus_(&sbon->fabric(), params.bus),
+      vivaldi_(&bus_, sbon, params.vivaldi),
+      ring_(&bus_, sbon, params.ring),
+      placement_(params.placement) {}
+
+void Runtime::NotifyChurn(const net::ChurnEvent& ev) {
+  TrafficStats& stats = bus_.stats();
+  stats.last_churn_epoch = bus_.epoch();
+  stats.churn_pending = true;
+  switch (ev.type) {
+    case net::ChurnEventType::kCrash:
+      ring_.OnCrash(ev.node);
+      break;
+    case net::ChurnEventType::kRejoin:
+      ring_.OnRejoin(ev.node);
+      break;
+    case net::ChurnEventType::kPartitionStart:
+    case net::ChurnEventType::kPartitionHeal:
+      break;  // connectivity-only: no membership traffic, clock still marked
+  }
+}
+
+void Runtime::FinishEpoch(bool refresh, double epsilon) {
+  ring_.StepEpoch(refresh ? epsilon : -1.0);
+  bus_.EndEpoch();
+  // One stabilization over however many publish messages landed this epoch
+  // (the oracle refresh restabilizes once per batch the same way).
+  if (ring_.TakeAppliedPublishes() > 0) {
+    sbon_->mutable_coords().StabilizeIndex();
+  }
+  sbon_->mutable_coords().SyncVectorCoords();
+
+  TrafficStats& stats = bus_.stats();
+  const size_t completed = bus_.epoch() - 1;  // EndEpoch advanced the count
+  if (stats.churn_pending && completed > stats.last_churn_epoch &&
+      ring_.publishes_sent_epoch() == 0) {
+    // First fully quiet ring epoch after churn: membership and coordinates
+    // have re-converged.
+    stats.convergence_epochs = completed - stats.last_churn_epoch;
+    stats.churn_pending = false;
+  }
+}
+
+void Runtime::BillPlacement(const dht::IndexQueryCost& delta,
+                            const overlay::Circuit* circuit) {
+  const size_t msgs = delta.lookups + delta.routing_hops + delta.ring_probes;
+  TrafficStats& stats = bus_.stats();
+  if (msgs > 0) {
+    const size_t bytes = delta.lookups * placement_.lookup_bytes +
+                         delta.routing_hops * placement_.per_hop_bytes +
+                         delta.ring_probes * placement_.probe_bytes;
+    TrafficCounters& c =
+        stats.protocol[static_cast<size_t>(Protocol::kPlacement)];
+    // Placement probes are synchronous RPCs resolved within the placement
+    // run; request and response are collapsed into one accounted message.
+    c.sent += msgs;
+    c.delivered += msgs;
+    c.bytes += bytes;
+    if (circuit != nullptr) {
+      for (const overlay::CircuitVertex& v : circuit->vertices()) {
+        if (v.host != kInvalidNode) {
+          stats.node_msgs[v.host] += msgs;
+          stats.node_bytes[v.host] += bytes;
+          break;  // billed to the circuit's root host
+        }
+      }
+    }
+  }
+  if (circuit != nullptr) {
+    // Staleness stamp: how old (in epochs) the published coordinate view of
+    // each chosen host was when this placement committed. Pinned endpoints
+    // are spec constraints, not index decisions.
+    const uint32_t now = static_cast<uint32_t>(bus_.epoch());
+    for (const overlay::CircuitVertex& v : circuit->vertices()) {
+      if (v.pinned || v.host == kInvalidNode) continue;
+      const uint32_t published = ring_.publish_epoch()[v.host];
+      stats.staleness_samples.push_back(now >= published ? now - published
+                                                         : 0);
+    }
+  }
+}
+
+}  // namespace sbon::msg

@@ -1,0 +1,190 @@
+#ifndef SBON_MSG_AGENTS_H_
+#define SBON_MSG_AGENTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "dht/coord_index.h"
+#include "msg/message.h"
+#include "msg/message_bus.h"
+#include "net/churn.h"
+#include "overlay/circuit.h"
+#include "overlay/sbon.h"
+
+namespace sbon::msg {
+
+/// Wire-size model of the Vivaldi protocol (bytes per message; coordinate
+/// payloads add 8 bytes per dimension on top of the base).
+struct VivaldiAgentParams {
+  /// Long-lived sampled peers per node. Bounds each node's view: message
+  /// mode samples this set round-robin instead of the oracle's any-alive
+  /// global draw, re-sampling a slot only when its peer is found dead.
+  size_t peer_set_size = 8;
+  size_t ping_bytes = 24;
+  size_t pong_base_bytes = 32;
+};
+
+/// Wire-size model of the ring-maintenance protocol.
+struct RingAgentParams {
+  size_t publish_base_bytes = 40;
+  size_t per_hop_bytes = 32;  ///< each Chord routing hop forwards this much
+  size_t stabilize_bytes = 16;
+  size_t join_base_bytes = 48;
+  size_t leave_bytes = 24;
+  /// kLeave notifications fanned out by a crash detector (leaf-set size a
+  /// real ring would inform).
+  size_t leaf_fanout = 4;
+};
+
+/// Wire-size model of placement probing.
+struct PlacementAgentParams {
+  size_t lookup_bytes = 40;
+  size_t per_hop_bytes = 32;
+  size_t probe_bytes = 48;
+};
+
+struct RuntimeParams {
+  MessageBus::Options bus;
+  VivaldiAgentParams vivaldi;
+  RingAgentParams ring;
+  PlacementAgentParams placement;
+};
+
+/// Node-local Vivaldi sampling as explicit traffic: each epoch every alive
+/// overlay node pings a round-robin slice of its bounded peer set; peers
+/// answer with their coordinate + error; the pong applies the spring update
+/// at the sampler. RTT is half the measured round trip — the same one-way
+/// live latency the oracle sweep samples, plus whatever extra delay an
+/// active partition or queued epoch boundary added.
+class VivaldiAgent {
+ public:
+  VivaldiAgent(MessageBus* bus, overlay::Sbon* sbon,
+               const VivaldiAgentParams& params);
+
+  /// Sends this epoch's pings (`samples_per_node` per alive overlay node).
+  void StepEpoch(size_t samples_per_node);
+  void HandleMessage(const Envelope& e);
+
+ private:
+  /// The peer in `slot` for `self`, (re)sampled from the currently alive
+  /// overlay nodes when empty or dead. Draws come from the bus Rng in
+  /// deterministic (node, slot) order.
+  NodeId PeerFor(NodeId self, size_t slot);
+
+  MessageBus* bus_;
+  overlay::Sbon* sbon_;
+  VivaldiAgentParams params_;
+  std::vector<NodeId> peers_;  ///< n * peer_set_size, kInvalidNode = empty
+  size_t round_ = 0;           ///< round-robin cursor over peer slots
+};
+
+/// Ring maintenance as explicit traffic: displacement-gated coordinate
+/// publishes routed to the key's owner (hop counts billed from the real
+/// Chord route), per-member successor heartbeats, join routing for rejoins
+/// and leaf-set leave notifications for crashes. State transitions
+/// themselves ride the oracle path (Sbon::FailNode / RejoinNode keep the
+/// ring correct for repair placement — idealized instant failure
+/// detection); the agent carries the *cost* and the staleness clock.
+class RingAgent {
+ public:
+  RingAgent(MessageBus* bus, overlay::Sbon* sbon,
+            const RingAgentParams& params);
+
+  /// The message-mode refresh: collects nodes displaced beyond `epsilon`
+  /// and sends each a routed kPublish (`epsilon < 0` skips the scan —
+  /// refresh disabled this epoch), then one kStabilize heartbeat from every
+  /// ring member to its successor.
+  void StepEpoch(double epsilon);
+  void HandleMessage(const Envelope& e);
+
+  void OnCrash(NodeId n);
+  void OnRejoin(NodeId n);
+
+  /// kPublish sends this epoch (the ring-quiescence signal convergence
+  /// tracking watches).
+  size_t publishes_sent_epoch() const { return publishes_sent_epoch_; }
+  /// Publishes applied since the last Take (resets the counter): when
+  /// nonzero the runtime owes the index one StabilizeIndex.
+  size_t TakeAppliedPublishes() {
+    const size_t n = publishes_applied_;
+    publishes_applied_ = 0;
+    return n;
+  }
+  /// Engine epoch each node's coordinate was last published at (the
+  /// staleness clock placement decisions are stamped against).
+  const std::vector<uint32_t>& publish_epoch() const { return publish_epoch_; }
+
+ private:
+  /// Routes toward `key` on the stabilized ring; falls back to (self, 0
+  /// hops) when the lookup is unavailable.
+  dht::ChordRing::LookupResult Route(const dht::U128& key,
+                                     const dht::U128& origin, NodeId self);
+  /// Bills `hops` forwarding messages to `via` without enqueueing them
+  /// (intermediate hops relay; only the final delivery is simulated).
+  void BillHops(NodeId via, size_t hops);
+  /// First alive overlay node strictly after `n` in node-id order (wraps);
+  /// kInvalidNode when none.
+  NodeId NextAliveAfter(NodeId n) const;
+
+  MessageBus* bus_;
+  overlay::Sbon* sbon_;
+  RingAgentParams params_;
+  std::vector<uint32_t> publish_epoch_;  ///< by node id
+  size_t publishes_sent_epoch_ = 0;
+  size_t publishes_applied_ = 0;
+  std::vector<NodeId> displaced_;  ///< scratch for the displacement scan
+};
+
+/// The message-mode execution runtime the engine drives: owns the bus and
+/// agents, exposes the per-epoch steps AdvanceEpoch schedules in message
+/// mode, and folds placement billing + churn notifications into the
+/// TrafficStats the snapshot/bench surface.
+class Runtime {
+ public:
+  Runtime(overlay::Sbon* sbon, const RuntimeParams& params);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Advances the bus clock to this engine epoch (the msg-coords stage).
+  void BeginEpoch() { bus_.BeginEpoch(); }
+  /// Fans out this epoch's Vivaldi pings.
+  void StepVivaldi(size_t samples_per_node) {
+    vivaldi_.StepEpoch(samples_per_node);
+  }
+  /// Records a churn event the engine just applied (convergence clock +
+  /// ring join/leave traffic).
+  void NotifyChurn(const net::ChurnEvent& ev);
+  /// The msg-refresh stage: displacement publishes + heartbeats, the epoch
+  /// drain, one index stabilization if any publish landed, the Vivaldi ->
+  /// cost-space sync, and the convergence bookkeeping. `refresh` mirrors
+  /// EpochOptions::refresh_index.
+  void FinishEpoch(bool refresh, double epsilon);
+
+  /// Bills the DHT traffic of one placement run (`delta` of the index's
+  /// cumulative query cost) as kPlacement messages, attributed to the
+  /// deployed circuit's root host, and stamps each placed (non-pinned)
+  /// vertex with the staleness of its host's published coordinate.
+  void BillPlacement(const dht::IndexQueryCost& delta,
+                     const overlay::Circuit* circuit);
+
+  MessageBus& bus() { return bus_; }
+  TrafficStats& stats() { return bus_.stats(); }
+  const TrafficStats& stats() const { return bus_.stats(); }
+  TrafficSummary Summary() const {
+    return Summarize(bus_.stats(), sbon_->topology().NumNodes());
+  }
+
+ private:
+  overlay::Sbon* sbon_;
+  MessageBus bus_;
+  VivaldiAgent vivaldi_;
+  RingAgent ring_;
+  PlacementAgentParams placement_;
+};
+
+}  // namespace sbon::msg
+
+#endif  // SBON_MSG_AGENTS_H_

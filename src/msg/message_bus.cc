@@ -1,0 +1,74 @@
+#include "msg/message_bus.h"
+
+#include <cmath>
+#include <utility>
+
+namespace sbon::msg {
+
+MessageBus::MessageBus(const net::FabricBackend* fabric,
+                       const Options& options)
+    : fabric_(fabric), options_(options), rng_(options.seed) {
+  stats_.node_msgs.assign(fabric_->NumNodes(), 0);
+  stats_.node_bytes.assign(fabric_->NumNodes(), 0);
+}
+
+void MessageBus::SetHandler(Protocol proto, Handler handler) {
+  handlers_[static_cast<size_t>(proto)] = std::move(handler);
+}
+
+void MessageBus::Send(Envelope e) {
+  TrafficCounters& c = stats_.protocol[static_cast<size_t>(e.proto)];
+  ++c.sent;
+  c.bytes += e.bytes;
+  stats_.node_msgs[e.from] += 1;
+  stats_.node_bytes[e.from] += e.bytes;
+  e.send_ms = now_ms_;
+  e.seq = next_seq_++;
+  if (fabric_->EndpointDown(e.from) || fabric_->EndpointDown(e.to)) {
+    ++c.dropped_dead;
+    return;
+  }
+  if (options_.drop_across_partition &&
+      fabric_->CrossesPartition(e.from, e.to)) {
+    ++c.dropped_partition;
+    return;
+  }
+  const double latency = fabric_->live().Latency(e.from, e.to);
+  if (std::isinf(latency)) {
+    // Unreachable by the fabric's own account (dead-endpoint sentinel or a
+    // disconnected topology component): the datagram is lost, not parked
+    // on the queue forever.
+    ++c.dropped_dead;
+    return;
+  }
+  e.deliver_ms = now_ms_ + latency;
+  queue_.push(std::move(e));
+}
+
+void MessageBus::BeginEpoch() {
+  now_ms_ = static_cast<double>(stats_.epochs) * options_.epoch_ms;
+}
+
+void MessageBus::EndEpoch() {
+  const double horizon =
+      static_cast<double>(stats_.epochs + 1) * options_.epoch_ms;
+  while (!queue_.empty() && queue_.top().deliver_ms <= horizon) {
+    Envelope e = queue_.top();
+    queue_.pop();
+    now_ms_ = e.deliver_ms;
+    // Endpoints can die between send and delivery (the churn stage runs
+    // mid-epoch): a message addressed to a now-dead node is lost.
+    if (fabric_->EndpointDown(e.to)) {
+      ++stats_.protocol[static_cast<size_t>(e.proto)].dropped_dead;
+      continue;
+    }
+    TrafficCounters& c = stats_.protocol[static_cast<size_t>(e.proto)];
+    ++c.delivered;
+    const Handler& h = handlers_[static_cast<size_t>(e.proto)];
+    if (h) h(e);
+  }
+  now_ms_ = horizon;
+  ++stats_.epochs;
+}
+
+}  // namespace sbon::msg

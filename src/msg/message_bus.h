@@ -1,0 +1,104 @@
+#ifndef SBON_MSG_MESSAGE_BUS_H_
+#define SBON_MSG_MESSAGE_BUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "net/fabric.h"
+#include "msg/message.h"
+
+namespace sbon::msg {
+
+/// Deterministic discrete-event message loop over the live network fabric.
+///
+/// The bus is the delivery substrate of message-mode execution: agents Send
+/// typed envelopes, the bus schedules each at `now + live one-way latency`
+/// between the endpoints (read from net::FabricBackend — jitter and
+/// partition penalties delay messages exactly as they delay everything
+/// else), and EndEpoch drains deliveries due within the epoch's simulated
+/// duration in (deliver time, send sequence) order. Messages slower than an
+/// epoch carry over and deliver in a later epoch — convergence lag under
+/// partition emerges from the latency model instead of being scripted.
+///
+/// Drop semantics (counted per protocol, never delivered):
+///  - either endpoint is down (`FabricBackend::EndpointDown`), or the live
+///    latency reads +inf (the fabric's dead-endpoint sentinel);
+///  - the pair crosses an active partition cut and the bus was built with
+///    `drop_across_partition` (the default): a soft partition inflates
+///    latency for the oracle, but control-plane datagrams across the cut
+///    are treated as lost, which is what makes staleness measurable.
+///
+/// Determinism: single-threaded by contract (like every substrate here);
+/// delivery order is a total order (deliver_ms, then send seq); the bus
+/// owns a private seeded Rng that agents draw peer samples from, so
+/// message-mode never perturbs the overlay's oracle RNG stream.
+class MessageBus {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Simulated wall-clock duration of one engine epoch, in ms. Messages
+    /// whose one-way latency exceeds the remaining epoch budget deliver in
+    /// a later epoch.
+    double epoch_ms = 100.0;
+    bool drop_across_partition = true;
+  };
+
+  using Handler = std::function<void(const Envelope&)>;
+
+  MessageBus(const net::FabricBackend* fabric, const Options& options);
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  /// Registers the delivery handler for one protocol (replacing any
+  /// previous one). Handlers may Send — replies scheduled within the
+  /// current epoch's horizon deliver in the same drain.
+  void SetHandler(Protocol proto, Handler handler);
+
+  /// Queues `e` for delivery (stamping send_ms/deliver_ms/seq/bytes
+  /// accounting) or drops it per the class-comment semantics. `e.bytes`
+  /// must be set by the caller.
+  void Send(Envelope e);
+
+  /// Advances the clock to the start of the next engine epoch.
+  void BeginEpoch();
+  /// Drains every message due by the end of the current epoch, advancing
+  /// `now_ms` to each delivery time, then to the epoch boundary.
+  void EndEpoch();
+
+  double now_ms() const { return now_ms_; }
+  /// Engine epochs fully drained so far.
+  size_t epoch() const { return stats_.epochs; }
+  size_t pending() const { return queue_.size(); }
+  Rng& rng() { return rng_; }
+  const net::FabricBackend& fabric() const { return *fabric_; }
+  size_t NumNodes() const { return fabric_->NumNodes(); }
+
+  TrafficStats& stats() { return stats_; }
+  const TrafficStats& stats() const { return stats_; }
+
+ private:
+  struct Later {
+    bool operator()(const Envelope& a, const Envelope& b) const {
+      if (a.deliver_ms != b.deliver_ms) return a.deliver_ms > b.deliver_ms;
+      return a.seq > b.seq;
+    }
+  };
+
+  const net::FabricBackend* fabric_;
+  Options options_;
+  Rng rng_;
+  double now_ms_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Envelope, std::vector<Envelope>, Later> queue_;
+  Handler handlers_[kNumProtocols];
+  TrafficStats stats_;
+};
+
+}  // namespace sbon::msg
+
+#endif  // SBON_MSG_MESSAGE_BUS_H_

@@ -1,14 +1,20 @@
 #include "net/fabric.h"
 
+#include <limits>
 #include <utility>
 
 namespace sbon::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
 
 NetworkFabric::NetworkFabric(const Topology& topo, double jitter_sigma,
                              Rng* rng)
     : n_(topo.NumNodes()) {
   base_ = std::make_unique<LatencyMatrix>(topo);
   live_ = std::make_unique<LatencyMatrix>(*base_);
+  down_.assign(n_, 0);
   if (jitter_sigma > 0.0) {
     jitter_ = std::make_unique<LatencyJitter>(n_, jitter_sigma, rng);
   }
@@ -18,9 +24,12 @@ void NetworkFabric::TickNetwork(Rng* rng, ThreadPool* pool) {
   if (jitter_ == nullptr) return;
   jitter_->Resample(rng, pool);
   jitter_->ApplyAll(*base_, live_.get(), pool);
+  jitter_applied_ = true;
   // ApplyAll rebuilt the live matrix from the pristine base, so an active
-  // partition's penalty must be re-applied on top of the fresh jitter.
+  // partition's penalty — and the +inf rows of down endpoints — must be
+  // re-applied on top of the fresh jitter.
   if (partition_active_) ApplyPartitionToLive(pool);
+  if (down_count_ > 0) ApplyDownToLive();
 }
 
 Status NetworkFabric::BeginPartition(const std::vector<NodeId>& group,
@@ -55,10 +64,82 @@ Status NetworkFabric::EndPartition(ThreadPool* pool) {
   // base itself on a jitter-free overlay.
   if (jitter_ != nullptr) {
     jitter_->ApplyAll(*base_, live_.get(), pool);
+    jitter_applied_ = true;
   } else {
     *live_ = *base_;
   }
+  if (down_count_ > 0) ApplyDownToLive();
   return Status::OK();
+}
+
+void NetworkFabric::SetEndpointDown(NodeId n, bool down) {
+  if (static_cast<bool>(down_[n]) == down) return;
+  down_[n] = down ? 1 : 0;
+  if (down) {
+    ++down_count_;
+    double* m = live_->MutableData();
+    for (size_t b = 0; b < n_; ++b) {
+      m[static_cast<size_t>(n) * n_ + b] = kInf;
+      m[b * n_ + n] = kInf;
+    }
+  } else {
+    --down_count_;
+    RestoreRow(n);
+  }
+}
+
+void NetworkFabric::ApplyDownToLive() {
+  double* m = live_->MutableData();
+  for (NodeId n = 0; n < n_; ++n) {
+    if (!down_[n]) continue;
+    for (size_t b = 0; b < n_; ++b) {
+      m[static_cast<size_t>(n) * n_ + b] = kInf;
+      m[b * n_ + n] = kInf;
+    }
+  }
+}
+
+void NetworkFabric::RestoreRow(NodeId n) {
+  double* m = live_->MutableData();
+  for (size_t b = 0; b < n_; ++b) {
+    if (down_[b]) {
+      m[static_cast<size_t>(n) * n_ + b] = kInf;
+      m[b * n_ + n] = kInf;
+      continue;
+    }
+    if (b == n) {
+      // Diagonal entries are copied through unjittered (see ApplyAll).
+      m[static_cast<size_t>(n) * n_ + n] = base_->Latency(n, n);
+      continue;
+    }
+    const NodeId nb = static_cast<NodeId>(b);
+    const bool crosses = CrossesPartition(n, nb);
+    if (jitter_ != nullptr && jitter_applied_) {
+      // ApplyAll writes both mirrors of a pair from the *upper-triangle*
+      // base entry times the symmetric factor; replay exactly that product
+      // so a revived row is bit-identical to never having crashed. The base
+      // mirrors themselves can differ in the last ulp (per-source Dijkstra
+      // accumulates the path sum in opposite orders), so resolving through
+      // base(n, b) here would leave a permanent one-ulp scar.
+      const NodeId lo = n < nb ? n : nb;
+      const NodeId hi = n < nb ? nb : n;
+      double v = jitter_->Apply(lo, hi, base_->Latency(lo, hi));
+      if (crosses) v *= partition_factor_;
+      m[static_cast<size_t>(n) * n_ + b] = v;
+      m[b * n_ + n] = v;
+    } else {
+      // A jitter-free live matrix is a plain copy of the base, whose mirror
+      // entries are independent; restore each side from its own base entry.
+      double va = base_->Latency(n, nb);
+      double vb = base_->Latency(nb, n);
+      if (crosses) {
+        va *= partition_factor_;
+        vb *= partition_factor_;
+      }
+      m[static_cast<size_t>(n) * n_ + b] = va;
+      m[b * n_ + n] = vb;
+    }
+  }
 }
 
 void NetworkFabric::ApplyPartitionToLive(ThreadPool* pool) {

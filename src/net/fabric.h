@@ -35,6 +35,23 @@ class FabricBackend {
  public:
   virtual ~FabricBackend() = default;
 
+  /// Marks an endpoint down (crashed) or back up. While a node is down,
+  /// every `live()` latency read involving it — the self-pair included —
+  /// returns +infinity: the pinned cross-backend semantic for dead
+  /// endpoints. A crashed node is unreachable, never "as fast as it was
+  /// before the crash" (the stale value the live view used to return) and
+  /// never NaN (the penalty composes multiplicatively with jitter and
+  /// partition factors, which are finite and positive). `base()` is
+  /// unaffected: it answers "what would the healed network look like",
+  /// which is what drift measurement and rejoin placement need.
+  virtual void SetEndpointDown(NodeId n, bool down) = 0;
+  /// True while SetEndpointDown(n, true) is in effect.
+  virtual bool EndpointDown(NodeId n) const = 0;
+  /// True when an active partition separates `a` and `b` (the pair crosses
+  /// the cut); always false without an active partition. This is the drop
+  /// predicate message delivery tests before paying cross-cut latency.
+  virtual bool CrossesPartition(NodeId a, NodeId b) const = 0;
+
   /// The live latency view: jitter times base, partition penalty on top.
   virtual const LatencyView& live() const = 0;
   /// The pristine latencies (before jitter/partition), for drift measurement.
@@ -108,19 +125,46 @@ class NetworkFabric final : public FabricBackend {
   Status EndPartition(ThreadPool* pool = nullptr) override;
   bool partition_active() const override { return partition_active_; }
 
+  /// Infs row/column `n` of the live matrix while down; restores it from
+  /// base x current jitter factors (plus partition penalty) on revival.
+  void SetEndpointDown(NodeId n, bool down) override;
+  bool EndpointDown(NodeId n) const override {
+    return static_cast<bool>(down_[n]);
+  }
+  bool CrossesPartition(NodeId a, NodeId b) const override {
+    return partition_active_ && static_cast<bool>(partitioned_[a]) !=
+                                    static_cast<bool>(partitioned_[b]);
+  }
+
  private:
   /// Multiplies cross-cut pairs of the live matrix by the partition factor.
   /// Row-sharded when `pool` is given; each entry sees one multiply either
   /// way, so the result is bit-identical at any thread count.
   void ApplyPartitionToLive(ThreadPool* pool);
+  /// Re-infs the rows/columns of every down endpoint. Must run after any
+  /// full live-matrix rebuild (TickNetwork's ApplyAll, EndPartition's
+  /// restore), which writes finite values over the +inf sentinels.
+  void ApplyDownToLive();
+  /// Recomputes live row/column `n` exactly as a full rebuild would —
+  /// base x current jitter factor (once factors have been stamped),
+  /// partition penalty on cross-cut pairs, +inf against endpoints that are
+  /// still down — so a revived node's latencies are bit-identical to never
+  /// having crashed.
+  void RestoreRow(NodeId n);
 
   size_t n_;
   std::unique_ptr<LatencyMatrix> base_;  // pristine
   std::unique_ptr<LatencyMatrix> live_;  // jittered + partitioned view
   std::unique_ptr<LatencyJitter> jitter_;
+  /// True once jitter factors have been stamped onto the live matrix (first
+  /// TickNetwork or a jittered EndPartition) — mirrors the sparse backend's
+  /// flag; RestoreRow must not apply factors the matrix never saw.
+  bool jitter_applied_ = false;
   bool partition_active_ = false;
   double partition_factor_ = 1.0;
   std::vector<bool> partitioned_;  ///< by node id; one side of the cut
+  std::vector<uint8_t> down_;      ///< by node id; endpoint marked down
+  size_t down_count_ = 0;
 };
 
 }  // namespace sbon::net

@@ -21,6 +21,7 @@ SparseFabric::SparseFabric(const Topology& topo, double jitter_sigma, Rng* rng,
               n_ <= options.exact_threshold)),
       live_view_(this, /*live=*/true),
       base_view_(this, /*live=*/false) {
+  down_.assign(n_, 0);
   if (!exact_) PlaceLandmarks();
   if (options_.neighbor_cache_slots > 0) {
     neighbor_cache_.resize(n_ * options_.neighbor_cache_slots);
@@ -93,6 +94,9 @@ double SparseFabric::BaseLatency(NodeId a, NodeId b) const {
 }
 
 double SparseFabric::LiveLatency(NodeId a, NodeId b) const {
+  // Dead endpoints read as unreachable — the self-pair included, matching
+  // the dense backend, which infs the whole row/column while a node is down.
+  if (down_[a] || down_[b]) return kInf;
   if (a == b) return 0.0;
   double v;
   if (jitter_applied_) {

@@ -114,6 +114,17 @@ class SparseFabric final : public FabricBackend {
   Status EndPartition(ThreadPool* pool = nullptr) override;
   bool partition_active() const override { return partition_active_; }
 
+  /// O(1) flag flip: the live view tests the down predicate at read time
+  /// (before any base resolution), exactly like the partition penalty.
+  void SetEndpointDown(NodeId n, bool down) override { down_[n] = down; }
+  bool EndpointDown(NodeId n) const override {
+    return static_cast<bool>(down_[n]);
+  }
+  bool CrossesPartition(NodeId a, NodeId b) const override {
+    return partition_active_ && static_cast<bool>(partitioned_[a]) !=
+                                    static_cast<bool>(partitioned_[b]);
+  }
+
   /// True when base reads resolve through exact on-demand Dijkstra rows.
   bool exact_base() const { return exact_; }
   /// Landmarks actually placed (0 in exact mode).
@@ -164,6 +175,7 @@ class SparseFabric final : public FabricBackend {
   bool partition_active_ = false;
   double partition_factor_ = 1.0;
   std::vector<bool> partitioned_;  ///< by node id; one side of the cut
+  std::vector<uint8_t> down_;      ///< by node id; endpoint marked down
 
   std::vector<NodeId> landmarks_;
   std::vector<std::vector<double>> landmark_rows_;  ///< per landmark: n dists

@@ -153,6 +153,10 @@ StatusOr<FailureReport> Sbon::FailNode(NodeId n) {
   // Ring Leave: the index must stop returning the dead node immediately so
   // repair placement cannot land replacements on it.
   coords_->Withdraw(n);
+  // Live latencies involving the dead node read +inf until it rejoins (the
+  // fabric's pinned dead-endpoint semantic) instead of stale pre-crash
+  // values; message delivery and cost reads both see it as unreachable.
+  fabric_->SetEndpointDown(n, true);
   UpdateScalarMetrics();
   return report;
 }
@@ -168,6 +172,7 @@ Status Sbon::RejoinNode(NodeId n) {
   alive_[n] = true;
   overlay_nodes_.insert(
       std::upper_bound(overlay_nodes_.begin(), overlay_nodes_.end(), n), n);
+  fabric_->SetEndpointDown(n, false);
   UpdateScalarMetrics();
   // Ring Join: republish the full coordinate (stale vector part + fresh
   // load scalar) so placement sees the node again.

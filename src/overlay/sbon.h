@@ -107,6 +107,10 @@ class Sbon {
   const net::Topology& topology() const { return topo_; }
   const net::FabricBackend& fabric() const { return *fabric_; }
   const coords::CoordinateManager& coords() const { return *coords_; }
+  /// Mutable coordinate substrate, for the message-mode runtime
+  /// (msg::Runtime) whose agents drive Vivaldi updates and ring publishes
+  /// through explicit traffic instead of the oracle sweeps.
+  coords::CoordinateManager& mutable_coords() { return *coords_; }
   const ServiceLedger& ledger() const { return *ledger_; }
   const net::LatencyView& latency() const { return fabric_->live(); }
   const coords::CostSpace& cost_space() const { return coords_->space(); }

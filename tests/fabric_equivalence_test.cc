@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <new>
 #include <vector>
@@ -190,6 +191,69 @@ TEST(FabricEquivalenceTest, BitIdenticalAcrossBackendsSeedsAndSizes) {
         EXPECT_LT(epochs_max, triangle_bytes)
             << "epoch loop allocated a dense-sized buffer at N=" << n;
       }
+    }
+  }
+}
+
+// The pinned dead-endpoint semantic, identical across backends: while an
+// endpoint is down, every live() read involving it (self-pair included) is
+// +infinity — never stale-finite, never NaN — base() stays pristine, the
+// sentinel survives jitter ticks and partitions, and a revived node's row
+// is bit-identical to never having crashed.
+TEST(FabricEquivalenceTest, DeadEndpointLatencyIsInfiniteAcrossBackends) {
+  for (const auto mode : {overlay::Sbon::FabricMode::kDense,
+                          overlay::Sbon::FabricMode::kSparse}) {
+    overlay::Sbon::Options opts;
+    opts.fabric_mode = mode;
+    opts.latency_jitter_sigma = 0.1;
+    auto sbon = MakeTransitStubSbon(TopologySize::kTiny, 11, opts);
+    const char* where = sbon->fabric().name();
+    const size_t n = sbon->topology().NumNodes();
+    const NodeId victim = sbon->overlay_nodes()[2];
+
+    // Reference row captured from an untouched twin driven through the
+    // same epoch schedule: crash + rejoin must be invisible afterwards.
+    auto twin = MakeTransitStubSbon(TopologySize::kTiny, 11, opts);
+
+    ASSERT_TRUE(sbon->FailNode(victim).ok());
+    EXPECT_TRUE(sbon->fabric().EndpointDown(victim));
+    for (NodeId b = 0; b < n; ++b) {
+      EXPECT_TRUE(std::isinf(sbon->latency().Latency(victim, b)))
+          << where << ": live (" << victim << "," << b << ") not +inf";
+      EXPECT_TRUE(std::isinf(sbon->latency().Latency(b, victim)))
+          << where << ": live (" << b << "," << victim << ") not +inf";
+      EXPECT_FALSE(std::isnan(sbon->latency().Latency(victim, b)));
+      // The pristine view answers "what would the healed network look
+      // like" and must stay finite.
+      EXPECT_TRUE(std::isfinite(sbon->base_latency().Latency(victim, b)))
+          << where << ": base (" << victim << "," << b << ") poisoned";
+    }
+
+    // The sentinel must survive a jitter tick (which rewrites the live
+    // view) and an active partition on top.
+    sbon->TickNetwork();
+    twin->TickNetwork();
+    EXPECT_TRUE(std::isinf(sbon->latency().Latency(victim, 0)))
+        << where << ": tick restored a dead endpoint's latency";
+    std::vector<NodeId> group(sbon->overlay_nodes().begin(),
+                              sbon->overlay_nodes().begin() + 4);
+    ASSERT_TRUE(sbon->BeginPartition(group, 8.0).ok());
+    ASSERT_TRUE(twin->BeginPartition(group, 8.0).ok());
+    EXPECT_TRUE(std::isinf(sbon->latency().Latency(victim, 0)));
+    ASSERT_TRUE(sbon->EndPartition().ok());
+    ASSERT_TRUE(twin->EndPartition().ok());
+    EXPECT_TRUE(std::isinf(sbon->latency().Latency(victim, 0)));
+
+    // Revival restores the row bit-identically to the never-crashed twin.
+    ASSERT_TRUE(sbon->RejoinNode(victim).ok());
+    EXPECT_FALSE(sbon->fabric().EndpointDown(victim));
+    for (NodeId b = 0; b < n; ++b) {
+      ASSERT_EQ(sbon->latency().Latency(victim, b),
+                twin->latency().Latency(victim, b))
+          << where << ": revived row differs from never-crashed at b=" << b;
+      ASSERT_EQ(sbon->latency().Latency(b, victim),
+                twin->latency().Latency(b, victim))
+          << where << ": revived column differs at b=" << b;
     }
   }
 }

@@ -25,6 +25,22 @@ std::string RepairFingerprint(const engine::RepairStats& r) {
   return buf;
 }
 
+/// Rendered traffic counters for message-mode cells: replay must reproduce
+/// every protocol's message/byte/drop totals, not just the overlay state.
+std::string TrafficFingerprint(const msg::TrafficSummary& t) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "traffic sent=%zu delivered=%zu drop_dead=%zu drop_part=%zu "
+      "bytes=%zu viv=%zu ring=%zu place=%zu conv=%zu stale_n=%zu "
+      "stale_p95=%.1f\n",
+      t.msgs_sent, t.msgs_delivered, t.msgs_dropped_dead,
+      t.msgs_dropped_partition, t.bytes_total, t.protocol_msgs[0],
+      t.protocol_msgs[1], t.protocol_msgs[2], t.convergence_epochs,
+      t.staleness_samples, t.staleness_p95);
+  return buf;
+}
+
 }  // namespace
 
 std::string CellName(const MatrixCell& cell) {
@@ -186,6 +202,7 @@ CellOutcome ScenarioMatrix::RunCellOnce(const MatrixCell& cell) {
   epoch.refresh_index = true;
   epoch.refresh_epsilon = options_.refresh_epsilon;
   epoch.churn = &churn;
+  epoch.exec_mode = options_.exec_mode;
 
   for (size_t e = 0; e < options_.epochs; ++e) {
     eng.AdvanceEpoch(epoch);
@@ -210,6 +227,29 @@ CellOutcome ScenarioMatrix::RunCellOnce(const MatrixCell& cell) {
             outcome.queries_alive + snapshot.repair.queries_dropped);
   outcome.fingerprint =
       OverlayFingerprint(eng.sbon()) + RepairFingerprint(snapshot.repair);
+  if (options_.exec_mode == engine::ExecMode::kMessage) {
+    // Traffic invariants: the summary must exist, every epoch must have
+    // been drained, conservation must hold (nothing delivered that was
+    // never sent), and the per-node byte rate must stay bounded — a
+    // handful of protocol messages per node per epoch, not a broadcast
+    // storm. The bound is generous (the Vivaldi+ring+placement models sum
+    // to well under 4 KiB/node/epoch at test scale) but catches runaway
+    // retransmission outright.
+    if (!snapshot.decentralized.has_value()) {
+      ADD_FAILURE() << "message-mode snapshot lost its traffic summary";
+      return outcome;
+    }
+    const msg::TrafficSummary& t = *snapshot.decentralized;
+    EXPECT_EQ(t.epochs, options_.epochs);
+    EXPECT_GT(t.msgs_sent, 0u);
+    EXPECT_GE(t.msgs_sent,
+              t.msgs_delivered + t.msgs_dropped_dead + t.msgs_dropped_partition);
+    EXPECT_LT(t.bytes_per_node_per_epoch, 16384.0)
+        << "message-mode traffic exceeded the per-node byte budget";
+    outcome.fingerprint += TrafficFingerprint(t);
+  } else {
+    EXPECT_FALSE(snapshot.decentralized.has_value());
+  }
 
   // Full teardown: removing every surviving query must leave zero service
   // instances, zero circuits, and every node's load book at its base value.

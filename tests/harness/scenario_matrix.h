@@ -33,6 +33,10 @@ struct MatrixOptions {
   double dt = 0.5;
   size_t vivaldi_samples = 1;
   double refresh_epsilon = 0.0;
+  /// Execution mode every cell runs under. kMessage additionally asserts
+  /// the traffic invariants (summary present, per-node byte rate bounded)
+  /// and folds the traffic counters into the replay fingerprint.
+  engine::ExecMode exec_mode = engine::ExecMode::kOracle;
   /// ChurnModel parameter template; `crash_rate` and `seed` are overwritten
   /// per cell (partition knobs pass through, so a sweep can add partitions
   /// by setting `churn.partition_rate`).

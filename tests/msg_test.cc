@@ -1,0 +1,490 @@
+// Tests of the decentralized message-passing execution mode (src/msg/): the
+// deterministic MessageBus (latency-delayed delivery, drop semantics,
+// epoch-boundary carry-over), the protocol agents driven through
+// StreamEngine's ExecMode::kMessage epochs (traffic accounting, convergence
+// after churn, placement staleness), bit-identical multi-seed replay at any
+// thread count, and oracle-vs-message embedding convergence at zero churn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/stream_engine.h"
+#include "harness/fixtures.h"
+#include "harness/golden.h"
+#include "harness/scenario_matrix.h"
+#include "msg/agents.h"
+#include "msg/message.h"
+#include "msg/message_bus.h"
+#include "net/churn.h"
+#include "net/fabric.h"
+
+namespace sbon::test {
+namespace {
+
+// ----------------------------- MessageBus -----------------------------
+
+/// A dense fabric over the tiny transit-stub topology, jitter-free so
+/// latencies are exact and stable across ticks.
+struct BusFixture {
+  BusFixture()
+      : topo(MakeTransitStubTopology(TopologySize::kTiny, /*seed=*/7)),
+        rng(7),
+        fabric(topo, /*jitter_sigma=*/0.0, &rng) {}
+
+  net::Topology topo;
+  Rng rng;
+  net::NetworkFabric fabric;
+};
+
+msg::Envelope Ping(NodeId from, NodeId to, size_t bytes = 24) {
+  msg::Envelope e;
+  e.proto = msg::Protocol::kVivaldi;
+  e.kind = msg::MsgKind::kPing;
+  e.from = from;
+  e.to = to;
+  e.subject = from;
+  e.bytes = bytes;
+  return e;
+}
+
+TEST(MessageBus, DeliveryPaysLiveFabricLatency) {
+  BusFixture fx;
+  msg::MessageBus::Options opts;
+  opts.epoch_ms = 1000.0;  // wide horizon: everything lands in epoch 0
+  msg::MessageBus bus(&fx.fabric, opts);
+
+  std::vector<double> delivered_at;
+  bus.SetHandler(msg::Protocol::kVivaldi, [&](const msg::Envelope& e) {
+    EXPECT_EQ(e.deliver_ms, bus.now_ms());
+    delivered_at.push_back(e.deliver_ms - e.send_ms);
+  });
+
+  bus.BeginEpoch();
+  bus.Send(Ping(0, 5));
+  bus.Send(Ping(2, 9));
+  bus.EndEpoch();
+
+  ASSERT_EQ(delivered_at.size(), 2u);
+  // Min-heap delivery order: the lower-latency message arrives first.
+  EXPECT_EQ(delivered_at[0], std::min(fx.fabric.live().Latency(0, 5),
+                                      fx.fabric.live().Latency(2, 9)));
+  EXPECT_EQ(delivered_at[1], std::max(fx.fabric.live().Latency(0, 5),
+                                      fx.fabric.live().Latency(2, 9)));
+  const msg::TrafficStats& stats = bus.stats();
+  const auto& c = stats.protocol[static_cast<size_t>(msg::Protocol::kVivaldi)];
+  EXPECT_EQ(c.sent, 2u);
+  EXPECT_EQ(c.delivered, 2u);
+  EXPECT_EQ(c.bytes, 48u);
+  EXPECT_EQ(stats.node_msgs[0], 1u);
+  EXPECT_EQ(stats.node_bytes[2], 24u);
+}
+
+TEST(MessageBus, EqualDeliveryTimesBreakTiesInSendOrder) {
+  BusFixture fx;
+  msg::MessageBus::Options opts;
+  opts.epoch_ms = 1000.0;
+  msg::MessageBus bus(&fx.fabric, opts);
+
+  std::vector<NodeId> order;
+  bus.SetHandler(msg::Protocol::kVivaldi,
+                 [&](const msg::Envelope& e) { order.push_back(e.subject); });
+
+  bus.BeginEpoch();
+  // Same pair both ways: identical latency, so seq (send order) decides.
+  bus.Send(Ping(3, 4));
+  bus.Send(Ping(4, 3));
+  bus.Send(Ping(3, 4));
+  bus.EndEpoch();
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 4u);
+  EXPECT_EQ(order[2], 3u);
+}
+
+TEST(MessageBus, DropsToAndFromDeadEndpoints) {
+  BusFixture fx;
+  msg::MessageBus bus(&fx.fabric, {});
+  size_t handled = 0;
+  bus.SetHandler(msg::Protocol::kVivaldi,
+                 [&](const msg::Envelope&) { ++handled; });
+
+  fx.fabric.SetEndpointDown(5, true);
+  bus.BeginEpoch();
+  bus.Send(Ping(0, 5));  // to a dead node
+  bus.Send(Ping(5, 0));  // from a dead node
+  bus.Send(Ping(0, 1));  // control: alive pair
+  bus.EndEpoch();
+
+  const auto& c =
+      bus.stats().protocol[static_cast<size_t>(msg::Protocol::kVivaldi)];
+  EXPECT_EQ(handled, 1u);
+  EXPECT_EQ(c.sent, 3u);
+  EXPECT_EQ(c.delivered, 1u);
+  EXPECT_EQ(c.dropped_dead, 2u);
+  // The sender pays for the transmission whether or not it arrives.
+  EXPECT_EQ(c.bytes, 72u);
+}
+
+TEST(MessageBus, DeathBetweenSendAndDeliveryDropsInFlightMessages) {
+  BusFixture fx;
+  msg::MessageBus::Options opts;
+  opts.epoch_ms = 1000.0;
+  msg::MessageBus bus(&fx.fabric, opts);
+  size_t handled = 0;
+  bus.SetHandler(msg::Protocol::kVivaldi,
+                 [&](const msg::Envelope&) { ++handled; });
+
+  bus.BeginEpoch();
+  bus.Send(Ping(0, 5));
+  fx.fabric.SetEndpointDown(5, true);  // the churn stage runs mid-epoch
+  bus.EndEpoch();
+
+  const auto& c =
+      bus.stats().protocol[static_cast<size_t>(msg::Protocol::kVivaldi)];
+  EXPECT_EQ(handled, 0u);
+  EXPECT_EQ(c.delivered, 0u);
+  EXPECT_EQ(c.dropped_dead, 1u);
+}
+
+TEST(MessageBus, DropsAcrossActivePartition) {
+  BusFixture fx;
+  ASSERT_TRUE(fx.fabric.BeginPartition({0, 1, 2}, 8.0).ok());
+  msg::MessageBus bus(&fx.fabric, {});
+  size_t handled = 0;
+  bus.SetHandler(msg::Protocol::kVivaldi,
+                 [&](const msg::Envelope&) { ++handled; });
+
+  bus.BeginEpoch();
+  bus.Send(Ping(0, 9));  // crosses the cut
+  bus.Send(Ping(0, 1));  // same side
+  bus.EndEpoch();
+
+  const auto& c =
+      bus.stats().protocol[static_cast<size_t>(msg::Protocol::kVivaldi)];
+  EXPECT_EQ(handled, 1u);
+  EXPECT_EQ(c.dropped_partition, 1u);
+  EXPECT_EQ(c.dropped_dead, 0u);
+
+  // With drop_across_partition off, the cross-cut message goes through but
+  // pays the inflated live latency.
+  msg::MessageBus::Options lenient;
+  lenient.drop_across_partition = false;
+  lenient.epoch_ms = 10000.0;
+  msg::MessageBus bus2(&fx.fabric, lenient);
+  double cross_delay = -1.0;
+  bus2.SetHandler(msg::Protocol::kVivaldi, [&](const msg::Envelope& e) {
+    cross_delay = e.deliver_ms - e.send_ms;
+  });
+  bus2.BeginEpoch();
+  bus2.Send(Ping(0, 9));
+  bus2.EndEpoch();
+  EXPECT_EQ(cross_delay, fx.fabric.live().Latency(0, 9));
+  EXPECT_GT(cross_delay, fx.fabric.base().Latency(0, 9));
+}
+
+TEST(MessageBus, SlowMessagesCarryAcrossEpochBoundaries) {
+  BusFixture fx;
+  msg::MessageBus::Options opts;
+  // Epoch shorter than any link latency: nothing lands in its send epoch.
+  opts.epoch_ms = 1e-3;
+  msg::MessageBus bus(&fx.fabric, opts);
+  size_t handled = 0;
+  bus.SetHandler(msg::Protocol::kVivaldi,
+                 [&](const msg::Envelope&) { ++handled; });
+
+  bus.BeginEpoch();
+  bus.Send(Ping(0, 5));
+  bus.EndEpoch();
+  EXPECT_EQ(handled, 0u);
+  EXPECT_EQ(bus.pending(), 1u);
+
+  const double latency = fx.fabric.live().Latency(0, 5);
+  const size_t epochs_needed =
+      static_cast<size_t>(std::ceil(latency / opts.epoch_ms));
+  for (size_t e = 1; e <= epochs_needed && handled == 0; ++e) {
+    bus.BeginEpoch();
+    bus.EndEpoch();
+  }
+  EXPECT_EQ(handled, 1u);
+  EXPECT_EQ(bus.pending(), 0u);
+}
+
+// ------------------------- engine message mode -------------------------
+
+engine::EngineOptions MsgEngineOptions(uint64_t seed, double jitter = 0.0) {
+  engine::EngineOptions eo;
+  eo.topology = MakeTransitStubTopology(TopologySize::kTiny, seed);
+  eo.sbon.seed = seed;
+  eo.sbon.latency_jitter_sigma = jitter;
+  eo.config = TestOptimizerConfig();
+  return eo;
+}
+
+std::unique_ptr<engine::StreamEngine> MakeEngine(engine::EngineOptions eo) {
+  auto created = engine::StreamEngine::Create(std::move(eo));
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  return std::move(created.value());
+}
+
+engine::EpochOptions MessageEpoch(size_t threads = 1) {
+  engine::EpochOptions epoch;
+  epoch.dt = 0.5;
+  epoch.tick_network = true;
+  epoch.vivaldi_samples = 1;
+  epoch.refresh_index = true;
+  epoch.threads = threads;
+  epoch.exec_mode = engine::ExecMode::kMessage;
+  return epoch;
+}
+
+/// Canonical rendering of a traffic summary for replay comparison.
+std::string TrafficRender(const msg::TrafficSummary& t) {
+  char buf[360];
+  std::snprintf(
+      buf, sizeof(buf),
+      "epochs=%zu sent=%zu delivered=%zu drop_dead=%zu drop_part=%zu "
+      "bytes=%zu viv=%zu/%zu ring=%zu/%zu place=%zu/%zu conv=%zu "
+      "converged=%d stale_n=%zu stale_p50=%.1f stale_p95=%.1f\n",
+      t.epochs, t.msgs_sent, t.msgs_delivered, t.msgs_dropped_dead,
+      t.msgs_dropped_partition, t.bytes_total, t.protocol_msgs[0],
+      t.protocol_bytes[0], t.protocol_msgs[1], t.protocol_bytes[1],
+      t.protocol_msgs[2], t.protocol_bytes[2], t.convergence_epochs,
+      t.converged ? 1 : 0, t.staleness_samples, t.staleness_p50,
+      t.staleness_p95);
+  return buf;
+}
+
+/// One full message-mode scenario: warm-up epoch (creates the runtime so
+/// submissions are billed), query submission, churn-driven epochs, then the
+/// overlay + traffic fingerprint.
+std::string RunMessageScenario(uint64_t seed, size_t threads) {
+  auto eng = MakeEngine(MsgEngineOptions(seed, /*jitter=*/0.05));
+  const query::WorkloadParams wp = TestWorkloadParams();
+  eng->SetCatalog(MakeCatalog(eng->sbon(), wp, seed * 31 + 7));
+  const auto specs =
+      MakeQueries(eng->sbon(), eng->catalog(), wp, 4, seed * 131 + 13);
+
+  engine::EpochOptions epoch = MessageEpoch(threads);
+  eng->AdvanceEpoch(epoch);  // creates the msg runtime before any placement
+
+  for (const query::QuerySpec& spec : specs) {
+    auto handle = eng->Submit(spec);
+    EXPECT_TRUE(handle.ok()) << handle.status().ToString();
+  }
+
+  net::ChurnModel::Params cp;
+  cp.crash_rate = 0.4;
+  cp.partition_rate = 0.25;
+  cp.partition_duration_epochs = 2;
+  cp.seed = seed * 1000003 + 17;
+  net::ChurnModel churn(eng->sbon().overlay_nodes(), cp);
+  epoch.churn = &churn;
+  for (size_t e = 0; e < 8; ++e) eng->AdvanceEpoch(epoch);
+
+  const engine::EngineSnapshot snapshot = eng->Snapshot();
+  EXPECT_TRUE(snapshot.decentralized.has_value());
+  std::string fp = OverlayFingerprint(eng->sbon());
+  if (snapshot.decentralized.has_value()) {
+    fp += TrafficRender(*snapshot.decentralized);
+  }
+  return fp;
+}
+
+TEST(MsgEngine, MessageModeProducesTrafficSummaryAndOracleDoesNot) {
+  auto oracle = MakeEngine(MsgEngineOptions(21));
+  engine::EpochOptions epoch;
+  epoch.vivaldi_samples = 1;
+  oracle->AdvanceEpoch(epoch);
+  EXPECT_FALSE(oracle->Snapshot().decentralized.has_value());
+  EXPECT_EQ(oracle->msg_runtime(), nullptr);
+
+  auto messaged = MakeEngine(MsgEngineOptions(21));
+  engine::EpochOptions mepoch = MessageEpoch();
+  for (size_t e = 0; e < 4; ++e) messaged->AdvanceEpoch(mepoch);
+  const engine::EngineSnapshot snapshot = messaged->Snapshot();
+  ASSERT_TRUE(snapshot.decentralized.has_value());
+  const msg::TrafficSummary& t = *snapshot.decentralized;
+  EXPECT_EQ(t.epochs, 4u);
+  // Every epoch pings once per overlay node and heartbeats once per ring
+  // member; the first epoch also publishes whatever load drift displaced.
+  EXPECT_GT(t.protocol_msgs[static_cast<size_t>(msg::Protocol::kVivaldi)], 0u);
+  EXPECT_GT(t.protocol_msgs[static_cast<size_t>(msg::Protocol::kRing)], 0u);
+  EXPECT_GT(t.msgs_delivered, 0u);
+  EXPECT_GT(t.bytes_per_node_per_epoch, 0.0);
+  EXPECT_TRUE(t.converged);  // no churn ran
+}
+
+TEST(MsgEngine, PlacementsAfterRuntimeCreationAreBilledAndStamped) {
+  auto eng = MakeEngine(MsgEngineOptions(33));
+  engine::EpochOptions epoch = MessageEpoch();
+  eng->AdvanceEpoch(epoch);
+
+  const query::WorkloadParams wp = TestWorkloadParams();
+  eng->SetCatalog(MakeCatalog(eng->sbon(), wp, 333));
+  const auto specs = MakeQueries(eng->sbon(), eng->catalog(), wp, 3, 334);
+  for (const query::QuerySpec& spec : specs) {
+    ASSERT_TRUE(eng->Submit(spec).ok());
+  }
+
+  const engine::EngineSnapshot snapshot = eng->Snapshot();
+  ASSERT_TRUE(snapshot.decentralized.has_value());
+  const msg::TrafficSummary& t = *snapshot.decentralized;
+  EXPECT_GT(t.protocol_msgs[static_cast<size_t>(msg::Protocol::kPlacement)],
+            0u)
+      << "placement probes after runtime creation must be billed";
+  EXPECT_GT(t.staleness_samples, 0u)
+      << "every placed vertex must contribute a staleness sample";
+}
+
+TEST(MsgEngine, FiveSeedBitIdenticalReplay) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::string first = RunMessageScenario(seed, /*threads=*/1);
+    const std::string replay = RunMessageScenario(seed, /*threads=*/1);
+    EXPECT_EQ(first, replay) << "same-seed replay diverged";
+    const std::string threaded = RunMessageScenario(seed, /*threads=*/4);
+    EXPECT_EQ(first, threaded)
+        << "message-mode run changed with the thread count";
+  }
+}
+
+TEST(MsgEngine, MessageCoordinatesTrackOracleAtZeroChurn) {
+  // Same seed, no jitter, no churn: after K epochs of online sampling the
+  // message-mode embedding must predict latencies about as well as the
+  // oracle sweep's — the bounded peer set and pong round trips re-derive
+  // the same springs, just over explicit traffic.
+  auto oracle = MakeEngine(MsgEngineOptions(55));
+  auto messaged = MakeEngine(MsgEngineOptions(55));
+
+  engine::EpochOptions oepoch;
+  oepoch.dt = 0.0;
+  oepoch.tick_network = false;
+  oepoch.vivaldi_samples = 2;
+  engine::EpochOptions mepoch = oepoch;
+  mepoch.exec_mode = engine::ExecMode::kMessage;
+
+  for (size_t e = 0; e < 30; ++e) {
+    oracle->AdvanceEpoch(oepoch);
+    messaged->AdvanceEpoch(mepoch);
+  }
+
+  auto embedding_error = [](const engine::StreamEngine& eng) {
+    const coords::VivaldiSystem* vivaldi = eng.sbon().coords().vivaldi();
+    EXPECT_NE(vivaldi, nullptr);
+    const auto& nodes = eng.sbon().overlay_nodes();
+    double abs_err = 0.0, total = 0.0;
+    size_t pairs = 0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      for (size_t j = i + 1; j < nodes.size(); j += 3) {  // sampled pairs
+        const double actual = eng.sbon().latency().Latency(nodes[i], nodes[j]);
+        abs_err += std::fabs(vivaldi->Predict(nodes[i], nodes[j]) - actual);
+        total += actual;
+        ++pairs;
+      }
+    }
+    return pairs > 0 ? abs_err / total : 0.0;
+  };
+
+  const double oracle_err = embedding_error(*oracle);
+  const double msg_err = embedding_error(*messaged);
+  // Both embeddings must be usable (relative error well under 1) and the
+  // message-mode one must stay within shouting distance of the oracle's.
+  EXPECT_LT(oracle_err, 0.5);
+  EXPECT_LT(msg_err, 0.5);
+  EXPECT_LT(msg_err, oracle_err * 2.0 + 0.05);
+}
+
+TEST(MsgEngine, PartitionDropsTrafficWhileActive) {
+  auto eng = MakeEngine(MsgEngineOptions(77));
+  net::ChurnModel churn(eng->sbon().overlay_nodes(), {});
+
+  // Cut off a third of the overlay for three epochs.
+  const auto& nodes = eng->sbon().overlay_nodes();
+  net::ChurnEvent start;
+  start.type = net::ChurnEventType::kPartitionStart;
+  start.group.assign(nodes.begin(), nodes.begin() + nodes.size() / 3);
+  start.severity = 8.0;
+  churn.ScheduleAt(1, start);
+  net::ChurnEvent heal;
+  heal.type = net::ChurnEventType::kPartitionHeal;
+  churn.ScheduleAt(4, heal);
+
+  engine::EpochOptions epoch = MessageEpoch();
+  epoch.churn = &churn;
+  for (size_t e = 0; e < 6; ++e) eng->AdvanceEpoch(epoch);
+
+  const engine::EngineSnapshot snapshot = eng->Snapshot();
+  ASSERT_TRUE(snapshot.decentralized.has_value());
+  EXPECT_GT(snapshot.decentralized->msgs_dropped_partition, 0u)
+      << "cross-cut control traffic must drop while the partition is active";
+  EXPECT_GE(snapshot.decentralized->msgs_sent,
+            snapshot.decentralized->msgs_delivered);
+}
+
+TEST(MsgEngine, RingReconvergesAfterScriptedCrashBurst) {
+  auto eng = MakeEngine(MsgEngineOptions(91));
+  net::ChurnModel churn(eng->sbon().overlay_nodes(), {});
+  const auto& nodes = eng->sbon().overlay_nodes();
+  ASSERT_GE(nodes.size(), 9u);
+  for (size_t k = 0; k < 3; ++k) {
+    net::ChurnEvent crash;
+    crash.type = net::ChurnEventType::kCrash;
+    crash.node = nodes[2 + 3 * k];
+    churn.ScheduleAt(2, crash);
+  }
+
+  // Static network and load: the crash burst is the only perturbation.
+  // Sampling stays on through the burst (so in-flight pings to the dead
+  // nodes drop and repairs see moving coordinates), then stops — once
+  // nothing displaces coordinates anymore, the displacement-gated publishes
+  // drain to zero and the ring re-quiesces, which is what the convergence
+  // clock measures.
+  engine::EpochOptions epoch = MessageEpoch();
+  epoch.dt = 0.0;
+  epoch.tick_network = false;
+  epoch.refresh_epsilon = 1.0;
+  epoch.churn = &churn;
+  for (size_t e = 0; e < 5; ++e) eng->AdvanceEpoch(epoch);
+  epoch.vivaldi_samples = 0;
+  for (size_t e = 5; e < 12; ++e) eng->AdvanceEpoch(epoch);
+
+  const engine::EngineSnapshot snapshot = eng->Snapshot();
+  ASSERT_TRUE(snapshot.decentralized.has_value());
+  const msg::TrafficSummary& t = *snapshot.decentralized;
+  EXPECT_TRUE(t.converged)
+      << "the ring must re-quiesce within the epoch budget";
+  EXPECT_GE(t.convergence_epochs, 1u);
+  EXPECT_LT(t.convergence_epochs, 12u);
+  EXPECT_GT(t.msgs_dropped_dead, 0u)
+      << "in-flight traffic addressed to the crashed nodes must drop";
+}
+
+TEST(MsgEngine, ScenarioMatrixHoldsInvariantsInMessageMode) {
+  MatrixOptions mo;
+  mo.size = TopologySize::kTiny;
+  mo.queries = 4;
+  mo.epochs = 6;
+  mo.exec_mode = engine::ExecMode::kMessage;
+  mo.churn.partition_rate = 0.2;
+  mo.churn.partition_duration_epochs = 2;
+  ScenarioMatrix matrix(mo);
+  const auto cells = ScenarioMatrix::Rotation(
+      {0.0, 0.5}, {0.0, 0.05}, {0.0, 0.3}, {OptimizerKind::kIntegrated},
+      {101, 202, 303});
+  const auto outcomes = matrix.Run(cells);
+  EXPECT_EQ(outcomes.size(), cells.size());
+  for (const CellOutcome& o : outcomes) {
+    EXPECT_GT(o.queries_submitted, 0u);
+    EXPECT_NE(o.fingerprint.find("traffic "), std::string::npos)
+        << "message-mode fingerprints must pin the traffic counters";
+  }
+}
+
+}  // namespace
+}  // namespace sbon::test

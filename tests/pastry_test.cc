@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "dht/chord.h"
@@ -148,6 +150,90 @@ TEST(PastryVsChordTest, PastryNeedsFewerHopsAtScale) {
     chord_hops += static_cast<double>(rc->hops);
   }
   EXPECT_LT(pastry_hops, chord_hops * 0.8);
+}
+
+TEST(PastryTest, RoutingTableInvariantsHoldAcrossMembershipChanges) {
+  Rng rng(123);
+  PastryRing ring;
+  std::vector<NodeId> joined;
+  for (size_t i = 0; i < 96; ++i) {
+    ring.Join(HashU64(rng.Next()), static_cast<NodeId>(i));
+    joined.push_back(static_cast<NodeId>(i));
+  }
+  EXPECT_FALSE(ring.CheckRoutingInvariants().ok());  // not yet stabilized
+  ring.Stabilize();
+  {
+    const Status st = ring.CheckRoutingInvariants();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  // Post-churn: remove a third of the membership, add a fresh batch, and
+  // the rebuilt tables must satisfy the same invariants.
+  for (size_t i = 0; i < joined.size(); i += 3) ring.Leave(joined[i]);
+  EXPECT_FALSE(ring.CheckRoutingInvariants().ok());  // stale until rebuilt
+  for (size_t i = 0; i < 16; ++i) {
+    ring.Join(HashU64(rng.Next()), static_cast<NodeId>(1000 + i));
+  }
+  ring.Stabilize();
+  {
+    const Status st = ring.CheckRoutingInvariants();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  EXPECT_EQ(ring.NumMembers(), 96u - 32u + 16u);
+}
+
+TEST(PastryTest, DeterministicConvergenceAcrossRebuilds) {
+  // Two rings fed the identical join/leave script must stabilize to
+  // identical members and answer every lookup identically (node, key, and
+  // hop count) — and a third ring fed the same *set* in a different join
+  // order must still converge to the same stabilized tables, because
+  // Stabilize derives everything from the sorted membership.
+  auto script = [](PastryRing* ring, bool shuffled) {
+    Rng rng(2024);
+    std::vector<std::pair<U128, NodeId>> joins;
+    for (size_t i = 0; i < 64; ++i) {
+      joins.emplace_back(HashU64(rng.Next()), static_cast<NodeId>(i));
+    }
+    if (shuffled) {
+      std::reverse(joins.begin(), joins.end());
+    }
+    for (const auto& [key, node] : joins) ring->Join(key, node);
+    for (NodeId n : {3u, 17u, 42u}) ring->Leave(n);
+    ring->Stabilize();
+  };
+  PastryRing a, b, c;
+  script(&a, false);
+  script(&b, false);
+  script(&c, true);
+  {
+    const Status st = a.CheckRoutingInvariants();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  {
+    const Status st = c.CheckRoutingInvariants();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  ASSERT_EQ(a.NumMembers(), b.NumMembers());
+  ASSERT_EQ(a.NumMembers(), c.NumMembers());
+  for (size_t i = 0; i < a.NumMembers(); ++i) {
+    EXPECT_EQ(a.members()[i].key, b.members()[i].key);
+    EXPECT_EQ(a.members()[i].node, b.members()[i].node);
+    EXPECT_EQ(a.members()[i].key, c.members()[i].key);
+  }
+  Rng qrng(77);
+  for (int rep = 0; rep < 200; ++rep) {
+    const U128 q = HashU64(qrng.Next());
+    const U128 origin = HashU64(qrng.Next());
+    auto ra = a.Lookup(q, origin);
+    auto rb = b.Lookup(q, origin);
+    auto rc = c.Lookup(q, origin);
+    ASSERT_TRUE(ra.ok() && rb.ok() && rc.ok());
+    EXPECT_EQ(ra->node, rb->node);
+    EXPECT_EQ(ra->key, rb->key);
+    EXPECT_EQ(ra->hops, rb->hops);
+    EXPECT_EQ(ra->node, rc->node);
+    EXPECT_EQ(ra->hops, rc->hops);
+  }
 }
 
 TEST(PastryTest, DigitWidthOneStillCorrect) {
