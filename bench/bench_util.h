@@ -77,6 +77,21 @@ inline engine::ExecMode ExecMode() {
                                  : engine::ExecMode::kOracle;
 }
 
+/// Chaos fault rates for the message-mode chaos section
+/// (`--faults=LOSS,DUP[,JITTER_MS]`): per-message loss and duplication
+/// probabilities applied to every protocol, plus an optional mean
+/// exponential extra delivery delay in ms. Defaults are the acceptance
+/// plan: 10% loss, 5% duplication, no extra delay.
+struct FaultRatesFlag {
+  double loss = 0.10;
+  double duplicate = 0.05;
+  double delay_jitter_ms = 0.0;
+};
+inline FaultRatesFlag& FaultsFlag() {
+  static FaultRatesFlag f;
+  return f;
+}
+
 /// Call first in main(): enables smoke mode on `--smoke` or
 /// `SBON_BENCH_SMOKE=1` (ctest smoke-runs every figure harness this way so
 /// benchmarks cannot silently bit-rot), and parses `--optimizer=NAME` /
@@ -107,6 +122,26 @@ inline void ParseBenchArgs(int argc, char** argv) {
         std::fprintf(stderr,
                      "unknown exec mode '%s'; expected oracle or message\n",
                      ExecFlag().c_str());
+        std::exit(2);
+      }
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      FaultRatesFlag& f = FaultsFlag();
+      const char* s = argv[i] + std::strlen("--faults=");
+      char* end = nullptr;
+      f.loss = std::strtod(s, &end);
+      f.duplicate = 0.0;
+      f.delay_jitter_ms = 0.0;
+      if (end != nullptr && *end == ',') {
+        f.duplicate = std::strtod(end + 1, &end);
+        if (end != nullptr && *end == ',') {
+          f.delay_jitter_ms = std::strtod(end + 1, nullptr);
+        }
+      }
+      if (f.loss < 0.0 || f.loss > 1.0 || f.duplicate < 0.0 ||
+          f.duplicate > 1.0 || f.delay_jitter_ms < 0.0) {
+        std::fprintf(stderr,
+                     "--faults=LOSS,DUP[,JITTER_MS] wants probabilities in "
+                     "[0, 1] and a non-negative jitter\n");
         std::exit(2);
       }
     }

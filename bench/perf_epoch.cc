@@ -20,7 +20,8 @@
 // results are bit-identical at any T), --fabric=auto|dense|sparse (latency
 // substrate backend; see README "Architecture"), --exec=oracle|message
 // (coordinate/ring maintenance execution for the engine-loop sections; see
-// README "Execution modes").
+// README "Execution modes"), --faults=LOSS,DUP[,JITTER_MS] (fault rates of
+// the chaos section's injection plan; defaults 0.10,0.05,0).
 //
 // The `parallel` section measures the pure AdvanceEpoch pipeline (no
 // submit/remove churn in the loop) at threads=1 vs threads=4 and verifies
@@ -48,6 +49,14 @@
 // last churn event, placement-staleness percentiles, and a threads=1 vs
 // threads=4 replay check (message stages are serial by contract, so the
 // full run must be bit-identical at any thread count).
+//
+// The `chaos` section reruns that workload with seeded fault injection
+// (--faults rates on every protocol), ack/retry/backoff reliability and
+// the decentralized failure detector enabled, reporting delivery rate,
+// retry byte overhead, detection-latency percentiles, false suspicions,
+// and the same threads=1 vs threads=4 replay gate — faulty runs replay
+// bit-identically too, because all fault draws come from a dedicated
+// seeded stream.
 
 #include <algorithm>
 #include <chrono>
@@ -64,6 +73,7 @@
 #include "common/rng.h"
 #include "coords/vivaldi.h"
 #include "engine/stream_engine.h"
+#include "msg/agents.h"
 #include "msg/message.h"
 #include "net/churn.h"
 #include "net/shortest_path.h"
@@ -303,11 +313,17 @@ struct MessageModeResult {
 // quiet while Vivaldi keeps sampling; once sampling stops, the epochs
 // until the publish stream dries up after the last churn event are the
 // reported convergence figure.
-MessageModeResult RunMessageSection(size_t threads, uint64_t seed) {
+//
+// The chaos section reruns the same workload with `mp` carrying a fault
+// plan plus reliability/detector hardening, and a longer drain so capped
+// retry backoff chains finish inside the convergence window.
+MessageModeResult RunMessageSection(
+    size_t threads, uint64_t seed,
+    const msg::RuntimeParams& mp = msg::RuntimeParams(),
+    size_t drain_epochs = 8) {
   const size_t nodes = 256;
   const size_t queries = 16;
   const size_t active_epochs = sbon::bench::SmokeMode() ? 8 : 20;
-  const size_t drain_epochs = 8;
 
   engine::EngineOptions opts;
   opts.sbon.latency_jitter_sigma = 0.1;
@@ -322,7 +338,14 @@ MessageModeResult RunMessageSection(size_t threads, uint64_t seed) {
   epoch.refresh_epsilon = 1.0;
   epoch.threads = threads;
   epoch.exec_mode = engine::ExecMode::kMessage;
-  eng->AdvanceEpoch(epoch);  // creates the msg runtime before any placement
+  epoch.msg = mp;
+  // Creates the msg runtime before any placement; params are validated here.
+  const Status warm = eng->AdvanceEpoch(epoch);
+  if (!warm.ok()) {
+    std::fprintf(stderr, "message warm-up epoch failed: %s\n",
+                 warm.ToString().c_str());
+    std::abort();
+  }
 
   query::WorkloadParams wp;
   wp.num_streams = 48;
@@ -402,6 +425,19 @@ MessageModeResult RunMessageSection(size_t threads, uint64_t seed) {
   }
   mix(t.convergence_epochs);
   mix(t.staleness_samples);
+  mix(t.msgs_dropped_fault);
+  mix(t.msgs_duplicated);
+  mix(t.retries);
+  mix(t.retry_bytes);
+  mix(t.acks);
+  mix(t.dup_suppressed);
+  mix(t.retry_exhausted);
+  mix(t.retransmit_overflow);
+  mix(t.retry_pending);
+  mix(t.suspicions);
+  mix(t.false_suspicions);
+  mix(t.crash_confirmations);
+  mix(t.detection_samples);
   out.fingerprint = h;
   return out;
 }
@@ -691,6 +727,66 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  sbon::bench::Section("Chaos message mode (faults + reliability + detector)");
+  sbon::msg::RuntimeParams chaos_mp;
+  const sbon::bench::FaultRatesFlag& fault_rates = sbon::bench::FaultsFlag();
+  for (sbon::msg::FaultRates& r : chaos_mp.bus.faults.protocol) {
+    r.loss = fault_rates.loss;
+    r.duplicate = fault_rates.duplicate;
+    r.delay_jitter_ms = fault_rates.delay_jitter_ms;
+  }
+  chaos_mp.reliability.enabled = true;
+  // Tight retry schedule: the worst capped backoff chain (1 + 2 + 2 epochs)
+  // must drain inside the quiescent window so convergence stays observable.
+  chaos_mp.reliability.retry_after_epochs = 1;
+  chaos_mp.reliability.max_backoff_epochs = 2;
+  chaos_mp.reliability.max_retries = 3;
+  chaos_mp.detector.enabled = true;
+  const auto chaos1 = sbon::RunMessageSection(/*threads=*/1, /*seed=*/42,
+                                              chaos_mp, /*drain_epochs=*/12);
+  const auto chaosN = sbon::RunMessageSection(/*threads=*/4, /*seed=*/42,
+                                              chaos_mp, /*drain_epochs=*/12);
+  const bool chaos_replay_identical = chaos1.fingerprint == chaosN.fingerprint;
+  const sbon::msg::TrafficSummary& ct = chaos1.summary;
+  const double chaos_delivery_rate =
+      ct.msgs_delivered + ct.msgs_dropped_fault > 0
+          ? static_cast<double>(ct.msgs_delivered) /
+                static_cast<double>(ct.msgs_delivered + ct.msgs_dropped_fault)
+          : 1.0;
+  const double chaos_retry_overhead =
+      ct.bytes_total > ct.retry_bytes
+          ? static_cast<double>(ct.retry_bytes) /
+                static_cast<double>(ct.bytes_total - ct.retry_bytes)
+          : 0.0;
+  std::printf(
+      "loss=%.0f%% dup=%.0f%% jitter=%.1fms  %10.0f ns/epoch\n"
+      "  sent=%zu delivered=%zu dropped_fault=%zu duplicated=%zu  "
+      "delivery_rate=%.3f\n"
+      "  retries=%zu (%.1f%% byte overhead) acks=%zu dup_suppressed=%zu "
+      "exhausted=%zu overflow=%zu pending=%zu\n"
+      "  detector: suspicions=%zu false=%zu confirmations=%zu  "
+      "detection p50=%.1f p95=%.1f epochs (%zu samples)\n"
+      "  convergence=%zu epochs after last churn (%s)  replay %s\n",
+      100.0 * fault_rates.loss, 100.0 * fault_rates.duplicate,
+      fault_rates.delay_jitter_ms, chaos1.ns_per_epoch, ct.msgs_sent,
+      ct.msgs_delivered, ct.msgs_dropped_fault, ct.msgs_duplicated,
+      chaos_delivery_rate, ct.retries, 100.0 * chaos_retry_overhead, ct.acks,
+      ct.dup_suppressed, ct.retry_exhausted, ct.retransmit_overflow,
+      ct.retry_pending, ct.suspicions, ct.false_suspicions,
+      ct.crash_confirmations, ct.detection_p50, ct.detection_p95,
+      ct.detection_samples, ct.convergence_epochs,
+      ct.converged ? "converged" : "NOT CONVERGED",
+      chaos_replay_identical ? "bit-identical across thread counts"
+                             : "DIVERGED ACROSS THREAD COUNTS");
+  if (!chaos_replay_identical) {
+    std::fprintf(
+        stderr,
+        "FAIL: chaos message-mode replay diverged (t1=%016llx t4=%016llx)\n",
+        static_cast<unsigned long long>(chaos1.fingerprint),
+        static_cast<unsigned long long>(chaosN.fingerprint));
+    return 1;
+  }
+
   sbon::bench::Section("Sparse fabric scaling (generative substrate)");
   const size_t sparse_epochs = smoke ? 4 : 8;
   const size_t small_target = std::max<size_t>(100, nodes / 5);
@@ -868,6 +964,48 @@ int main(int argc, char** argv) {
           t.staleness_p50, t.staleness_p95, t.staleness_samples,
           msg_replay_identical ? "true" : "false");
     }
+    std::fprintf(
+        f,
+        "  \"chaos\": {\n"
+        "    \"faults\": {\"loss\": %g, \"duplicate\": %g, "
+        "\"delay_jitter_ms\": %g},\n"
+        "    \"nodes\": %zu,\n"
+        "    \"queries\": %zu,\n"
+        "    \"epochs\": %zu,\n"
+        "    \"ns_per_epoch\": %.1f,\n"
+        "    \"msgs_sent\": %zu,\n"
+        "    \"msgs_delivered\": %zu,\n"
+        "    \"msgs_dropped_fault\": %zu,\n"
+        "    \"msgs_duplicated\": %zu,\n"
+        "    \"delivery_rate\": %.4f,\n"
+        "    \"retries\": %zu,\n"
+        "    \"retry_bytes\": %zu,\n"
+        "    \"retry_byte_overhead\": %.4f,\n"
+        "    \"acks\": %zu,\n"
+        "    \"dup_suppressed\": %zu,\n"
+        "    \"retry_exhausted\": %zu,\n"
+        "    \"retransmit_overflow\": %zu,\n"
+        "    \"retry_pending\": %zu,\n"
+        "    \"suspicions\": %zu,\n"
+        "    \"false_suspicions\": %zu,\n"
+        "    \"crash_confirmations\": %zu,\n"
+        "    \"detection_p50\": %.1f,\n"
+        "    \"detection_p95\": %.1f,\n"
+        "    \"detection_samples\": %zu,\n"
+        "    \"convergence_epochs_after_churn\": %zu,\n"
+        "    \"converged\": %s,\n"
+        "    \"replay_bit_identical\": %s\n"
+        "  },\n",
+        fault_rates.loss, fault_rates.duplicate, fault_rates.delay_jitter_ms,
+        chaos1.nodes, chaos1.queries, chaos1.epochs, chaos1.ns_per_epoch,
+        ct.msgs_sent, ct.msgs_delivered, ct.msgs_dropped_fault,
+        ct.msgs_duplicated, chaos_delivery_rate, ct.retries, ct.retry_bytes,
+        chaos_retry_overhead, ct.acks, ct.dup_suppressed, ct.retry_exhausted,
+        ct.retransmit_overflow, ct.retry_pending, ct.suspicions,
+        ct.false_suspicions, ct.crash_confirmations, ct.detection_p50,
+        ct.detection_p95, ct.detection_samples, ct.convergence_epochs,
+        ct.converged ? "true" : "false",
+        chaos_replay_identical ? "true" : "false");
     std::fprintf(f, "  \"sparse\": {\n");
     write_point("small", sp_small);
     std::fprintf(f, ",\n");

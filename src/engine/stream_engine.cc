@@ -268,60 +268,91 @@ Status StreamEngine::Repair(QueryHandle handle, const std::string& optimizer) {
   return ReplanQuery(handle, optimizer);
 }
 
+bool StreamEngine::FailAndRepair(NodeId n, bool notify_msg_runtime) {
+  auto report = sbon_->FailNode(n);
+  // The overlay may refuse (e.g. last alive node): no repair needed.
+  if (!report.ok()) return false;
+  ++repair_stats_.crashes;
+  // In message mode the crash produces detector traffic (leaf-set kLeave
+  // fan-out) and restarts the convergence clock. Notify before the repairs
+  // so their placement probes land after the churn stamp.
+  if (notify_msg_runtime && msg_runtime_ != nullptr) {
+    net::ChurnEvent ev;
+    ev.type = net::ChurnEventType::kCrash;
+    ev.node = n;
+    msg_runtime_->NotifyChurn(ev);
+  }
+  repair_stats_.services_evicted += report->services_evicted;
+  repair_stats_.circuits_orphaned += report->orphaned.size();
+  // Phase 1: tear down every orphaned remnant (dropping unrepairable
+  // queries) before re-planning anything. Every circuit that depends
+  // on a broken reuse chain is in the orphan set (AttachDependencyChain
+  // guarantees it), so after this loop no instance missing its feeder
+  // is left in the signature index for a re-plan to pick up.
+  std::vector<QueryHandle> replan;
+  for (CircuitId cid : report->orphaned) {
+    const QueryHandle handle = HandleOf(cid);
+    if (!handle) {
+      // Not engine-managed (installed directly on the Sbon): release
+      // the broken remnant so no orphaned instances linger.
+      (void)sbon_->RemoveCircuit(cid);
+      continue;
+    }
+    if (DetachForRepair(handle).ok()) {
+      replan.push_back(handle);
+    } else {
+      // Unrepairable (a pinned endpoint died with the node): drop the
+      // query; its handle is released.
+      (void)Remove(handle);
+      ++repair_stats_.queries_dropped;
+    }
+  }
+  // Phase 2: re-plan the survivors in orphan (circuit-id) order.
+  for (QueryHandle handle : replan) {
+    if (ReplanQuery(handle, /*optimizer=*/{}).ok()) {
+      ++repair_stats_.queries_repaired;
+    } else {
+      (void)Remove(handle);
+      ++repair_stats_.queries_dropped;
+    }
+  }
+  return true;
+}
+
 void StreamEngine::ApplyChurn(const std::vector<net::ChurnEvent>& events) {
   for (const net::ChurnEvent& ev : events) {
     switch (ev.type) {
       case net::ChurnEventType::kCrash: {
-        auto report = sbon_->FailNode(ev.node);
-        // The overlay may refuse (e.g. last alive node): no repair needed.
-        if (!report.ok()) break;
-        ++repair_stats_.crashes;
-        // In message mode the crash produces detector traffic (leaf-set
-        // kLeave fan-out) and restarts the convergence clock. Notify before
-        // the repairs so their placement probes land after the churn stamp.
-        if (msg_runtime_ != nullptr) msg_runtime_->NotifyChurn(ev);
-        repair_stats_.services_evicted += report->services_evicted;
-        repair_stats_.circuits_orphaned += report->orphaned.size();
-        // Phase 1: tear down every orphaned remnant (dropping unrepairable
-        // queries) before re-planning anything. Every circuit that depends
-        // on a broken reuse chain is in the orphan set (AttachDependencyChain
-        // guarantees it), so after this loop no instance missing its feeder
-        // is left in the signature index for a re-plan to pick up.
-        std::vector<QueryHandle> replan;
-        for (CircuitId cid : report->orphaned) {
-          const QueryHandle handle = HandleOf(cid);
-          if (!handle) {
-            // Not engine-managed (installed directly on the Sbon): release
-            // the broken remnant so no orphaned instances linger.
-            (void)sbon_->RemoveCircuit(cid);
-            continue;
+        if (DetectorMode()) {
+          // Deferred crash: the endpoint goes dark now, silently — the
+          // membership transition (FailNode + repair) waits for the
+          // failure detector's confirmation. Refuse crashes that could
+          // leave no alive node once every pending crash confirms.
+          if (pending_crashes_.size() + 1 >= sbon_->overlay_nodes().size()) {
+            break;
           }
-          if (DetachForRepair(handle).ok()) {
-            replan.push_back(handle);
-          } else {
-            // Unrepairable (a pinned endpoint died with the node): drop the
-            // query; its handle is released.
-            (void)Remove(handle);
-            ++repair_stats_.queries_dropped;
+          if (sbon_->CrashEndpoint(ev.node).ok()) {
+            pending_crashes_.emplace(ev.node, msg_runtime_->bus_epoch());
           }
+          break;
         }
-        // Phase 2: re-plan the survivors in orphan (circuit-id) order.
-        for (QueryHandle handle : replan) {
-          if (ReplanQuery(handle, /*optimizer=*/{}).ok()) {
-            ++repair_stats_.queries_repaired;
-          } else {
-            (void)Remove(handle);
-            ++repair_stats_.queries_dropped;
-          }
-        }
+        FailAndRepair(ev.node, /*notify_msg_runtime=*/true);
         break;
       }
-      case net::ChurnEventType::kRejoin:
+      case net::ChurnEventType::kRejoin: {
+        auto pc = pending_crashes_.find(ev.node);
+        if (pc != pending_crashes_.end()) {
+          // Back before anyone noticed: the overlay never saw the crash,
+          // so restoring the endpoint is the whole rejoin.
+          if (sbon_->RestoreEndpoint(ev.node).ok()) pending_crashes_.erase(pc);
+          break;
+        }
         if (sbon_->RejoinNode(ev.node).ok()) {
           ++repair_stats_.rejoins;
           if (msg_runtime_ != nullptr) msg_runtime_->NotifyChurn(ev);
         }
         break;
+      }
       case net::ChurnEventType::kPartitionStart:
         if (sbon_->BeginPartition(ev.group, ev.severity).ok()) {
           ++repair_stats_.partitions;
@@ -346,13 +377,18 @@ ThreadPool* StreamEngine::PoolFor(size_t threads) {
   return pool_.get();
 }
 
-void StreamEngine::AdvanceEpoch(const EpochOptions& epoch) {
+Status StreamEngine::AdvanceEpoch(const EpochOptions& epoch) {
   const size_t threads =
       epoch.threads > 0 ? epoch.threads : DefaultEpochThreads();
   EpochPipeline pipeline(PoolFor(threads));
 
   const bool message = epoch.exec_mode == ExecMode::kMessage;
   if (message && msg_runtime_ == nullptr) {
+    // Validate once, at the construction that pins them (mirrors
+    // Sbon::Options validation at Create). Later epochs keep the runtime,
+    // so their (ignored) msg params aren't re-checked.
+    Status st = msg::ValidateRuntimeParams(epoch.msg);
+    if (!st.ok()) return st;
     msg_runtime_ = std::make_unique<msg::Runtime>(sbon_.get(), epoch.msg);
   }
 
@@ -409,7 +445,35 @@ void StreamEngine::AdvanceEpoch(const EpochOptions& epoch) {
                    sbon_->RefreshIndex(epoch.refresh_epsilon, pool);
                  });
   }
+  if (message && msg_runtime_->detector_enabled()) {
+    // Detector verdicts from this epoch's heartbeat sweep turn into the
+    // membership transitions oracle mode applied instantly at the crash:
+    // FailNode + the two-phase repair plan, with detection latency now a
+    // measured quantity instead of zero by construction.
+    pipeline.Run(
+        "detect+repair", /*enabled=*/true, /*parallelizable=*/false,
+        [&](ThreadPool*) {
+          const size_t completed = msg_runtime_->bus_epoch() - 1;
+          for (NodeId n : msg_runtime_->TakeConfirmedCrashes()) {
+            auto pc = pending_crashes_.find(n);
+            if (pc == pending_crashes_.end()) {
+              // The node never physically crashed — the detector was
+              // starved of its heartbeats (e.g. by a partition cut).
+              msg_runtime_->NoteSpuriousConfirm(n);
+              continue;
+            }
+            const size_t crash_epoch = pc->second;
+            if (FailAndRepair(n, /*notify_msg_runtime=*/false)) {
+              pending_crashes_.erase(pc);
+              msg_runtime_->NotifyCrashConfirmed(n, completed - crash_epoch);
+            }
+            // FailNode refused (e.g. last alive node): keep the pending
+            // record; suspicion rebuilds from silence and re-confirms.
+          }
+        });
+  }
   last_epoch_trace_ = pipeline.trace();
+  return Status::OK();
 }
 
 void StreamEngine::FillCurrentCost(QueryStats* stats) const {

@@ -257,10 +257,13 @@ class StreamEngine {
   Status Repair(QueryHandle handle, const std::string& optimizer = {});
   /// Advances simulated time one epoch through the explicit staged
   /// pipeline: jitter -> load -> coords -> churn+repair -> refresh (see
-  /// EpochPipeline). Stages whose work is deterministically shardable run
-  /// across `EpochOptions::threads` workers; results are bit-identical at
-  /// any thread count.
-  void AdvanceEpoch(const EpochOptions& epoch = EpochOptions());
+  /// EpochPipeline; message mode appends a detect+repair stage that
+  /// consumes failure-detector verdicts). Stages whose work is
+  /// deterministically shardable run across `EpochOptions::threads`
+  /// workers; results are bit-identical at any thread count. Returns
+  /// InvalidArgument (without running any stage) when the first kMessage
+  /// epoch carries out-of-range msg::RuntimeParams.
+  Status AdvanceEpoch(const EpochOptions& epoch = EpochOptions());
   /// Per-stage trace of the most recent AdvanceEpoch (empty before the
   /// first call): which stages ran, which sharded, and their wall time.
   const std::vector<EpochStageTrace>& last_epoch_trace() const {
@@ -349,6 +352,17 @@ class StreamEngine {
   /// of a broken reuse chain are fully released — never left in the
   /// signature index for a re-plan to reuse without their feeders.
   void ApplyChurn(const std::vector<net::ChurnEvent>& events);
+  /// The oracle crash path: FailNode + the two-phase repair plan over the
+  /// orphaned circuits. `notify_msg_runtime` reports the crash to message
+  /// mode's convergence clock / leaf-set fanout (false on the detector
+  /// path, which does its own post-confirmation notification). Returns
+  /// false when the overlay refused the failure (e.g. last alive node).
+  bool FailAndRepair(NodeId n, bool notify_msg_runtime);
+  /// True when message mode runs with the decentralized failure detector:
+  /// crashes defer membership transitions until the detector confirms.
+  bool DetectorMode() const {
+    return msg_runtime_ != nullptr && msg_runtime_->detector_enabled();
+  }
   /// Repair phase 1: validates the query is repairable (no dead pinned
   /// endpoint) and tears down its circuit remnant, leaving the record with
   /// kInvalidCircuit. Fails without side effects on a dead endpoint.
@@ -381,6 +395,11 @@ class StreamEngine {
   /// Created lazily by the first kMessage AdvanceEpoch; never torn down
   /// (traffic accounting is cumulative, like repair_stats_).
   std::unique_ptr<msg::Runtime> msg_runtime_;
+  /// Detector mode: physically crashed nodes (endpoint dark) whose
+  /// membership transition awaits detector confirmation, with the bus
+  /// epoch the crash happened at (detection latency = confirmation epoch
+  /// minus this).
+  std::map<NodeId, size_t> pending_crashes_;
 };
 
 }  // namespace sbon::engine

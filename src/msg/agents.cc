@@ -8,8 +8,14 @@ namespace sbon::msg {
 // --- VivaldiAgent ----------------------------------------------------------
 
 VivaldiAgent::VivaldiAgent(MessageBus* bus, overlay::Sbon* sbon,
-                           const VivaldiAgentParams& params)
-    : bus_(bus), sbon_(sbon), params_(params) {
+                           const VivaldiAgentParams& params,
+                           const ReliabilityParams& reliability)
+    : bus_(bus),
+      sbon_(sbon),
+      params_(params),
+      reliability_(reliability),
+      dedup_(sbon->topology().NumNodes(),
+             reliability.enabled ? reliability.dedup_window : 1) {
   peers_.assign(sbon_->topology().NumNodes() * params_.peer_set_size,
                 kInvalidNode);
   bus_->SetHandler(Protocol::kVivaldi,
@@ -52,6 +58,13 @@ void VivaldiAgent::StepEpoch(size_t samples_per_node) {
 }
 
 void VivaldiAgent::HandleMessage(const Envelope& e) {
+  if (reliability_.enabled && !dedup_.FirstSighting(e.to, e.tid)) {
+    // Duplicated ping or pong: suppress before any side effect (a repeated
+    // pong would apply the spring update twice; a repeated ping would send
+    // a second pong).
+    ++bus_->stats().reliability.dup_suppressed;
+    return;
+  }
   const coords::VivaldiSystem* vivaldi = sbon_->coords().vivaldi();
   if (vivaldi == nullptr) return;
   switch (e.kind) {
@@ -85,8 +98,14 @@ void VivaldiAgent::HandleMessage(const Envelope& e) {
 // --- RingAgent -------------------------------------------------------------
 
 RingAgent::RingAgent(MessageBus* bus, overlay::Sbon* sbon,
-                     const RingAgentParams& params)
-    : bus_(bus), sbon_(sbon), params_(params) {
+                     const RingAgentParams& params,
+                     const ReliabilityParams& reliability)
+    : bus_(bus),
+      sbon_(sbon),
+      params_(params),
+      reliability_(reliability),
+      dedup_(sbon->topology().NumNodes(),
+             reliability.enabled ? reliability.dedup_window : 1) {
   publish_epoch_.assign(sbon_->topology().NumNodes(), 0);
   bus_->SetHandler(Protocol::kRing,
                    [this](const Envelope& e) { HandleMessage(e); });
@@ -127,6 +146,9 @@ NodeId RingAgent::NextAliveAfter(NodeId n) const {
 
 void RingAgent::StepEpoch(double epsilon) {
   publishes_sent_epoch_ = 0;
+  // Retries first, outside the epsilon guard: pending transfers keep
+  // draining even in epochs where refresh is disabled.
+  RetryPending();
   const dht::CoordinateIndex& index = sbon_->index();
   if (epsilon >= 0.0) {
     displaced_.clear();
@@ -149,6 +171,10 @@ void RingAgent::StepEpoch(double epsilon) {
       publish.subject = n;
       publish.coord = full;
       publish.bytes = params_.publish_base_bytes + 8 * full.dims();
+      if (reliability_.enabled) {
+        publish.tid = bus_->IssueTid();
+        TrackReliable(publish);
+      }
       bus_->Send(std::move(publish));
       ++publishes_sent_epoch_;
     }
@@ -170,6 +196,24 @@ void RingAgent::StepEpoch(double epsilon) {
 }
 
 void RingAgent::HandleMessage(const Envelope& e) {
+  if (reliability_.enabled) {
+    if (e.kind == MsgKind::kAck) {
+      // The ack carries its transfer's tid; erase is idempotent, so a
+      // duplicated ack needs no dedup of its own.
+      pending_.erase(e.tid);
+      return;
+    }
+    if (!dedup_.FirstSighting(e.to, e.tid)) {
+      ++bus_->stats().reliability.dup_suppressed;
+      // A duplicate of a reliable kind still re-acks: the copy that
+      // produced the first sighting may have had its ack lost, and the
+      // sender is retransmitting because of it.
+      if (e.kind == MsgKind::kPublish || e.kind == MsgKind::kJoin) {
+        SendAck(e);
+      }
+      return;
+    }
+  }
   switch (e.kind) {
     case MsgKind::kPublish:
       // The owner records the (re)published coordinate. Reads the node's
@@ -181,19 +225,91 @@ void RingAgent::HandleMessage(const Envelope& e) {
         publish_epoch_[e.subject] = static_cast<uint32_t>(bus_->epoch());
         ++publishes_applied_;
       }
+      if (reliability_.enabled) SendAck(e);
       break;
     case MsgKind::kJoin:
       // Ring membership already transitioned at RejoinNode (instant
       // idealized detection); the join message landing is when the node's
       // published view stops being stale.
       publish_epoch_[e.subject] = static_cast<uint32_t>(bus_->epoch());
+      if (reliability_.enabled) SendAck(e);
       break;
     case MsgKind::kStabilize:
+      if (detector_ != nullptr) detector_->NoteHeartbeat(e.from);
+      break;
     case MsgKind::kLeave:
-      break;  // heartbeat/notification traffic: cost only
+      break;  // notification traffic: cost only
     default:
       break;
   }
+}
+
+void RingAgent::TrackReliable(const Envelope& e) {
+  ReliabilityCounters& r = bus_->stats().reliability;
+  if (pending_.size() >= reliability_.max_pending) {
+    // Bounded retransmit queue: the transfer goes out once, untracked.
+    ++r.retransmit_overflow;
+    return;
+  }
+  PendingTransfer p;
+  p.env = e;
+  p.backoff_epochs = reliability_.retry_after_epochs;
+  p.retry_epoch = bus_->epoch() + p.backoff_epochs;
+  pending_.emplace(e.tid, std::move(p));
+}
+
+void RingAgent::RetryPending() {
+  if (!reliability_.enabled || pending_.empty()) return;
+  const size_t epoch = bus_->epoch();
+  ReliabilityCounters& r = bus_->stats().reliability;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingTransfer& p = it->second;
+    if (p.retry_epoch > epoch) {
+      ++it;
+      continue;
+    }
+    if (p.attempts >= reliability_.max_retries ||
+        !sbon_->IsAlive(p.env.subject)) {
+      // Give up: retries are spent, or the subject left the overlay (its
+      // publish/join could no longer be applied anyway).
+      ++r.retry_exhausted;
+      it = pending_.erase(it);
+      continue;
+    }
+    // Retransmit with a fresh route and the subject's *current* full
+    // coordinate — the same re-serialization semantics a real datagram
+    // retry has (the ring may have repaired and the node drifted since).
+    Envelope again = p.env;
+    const Vec full = sbon_->cost_space().FullCoord(again.subject);
+    const dht::U128 key = sbon_->index().quantizer().Key(full);
+    const dht::ChordRing::LookupResult route = Route(key, key, again.subject);
+    BillHops(again.subject, route.hops);
+    again.to = route.node;
+    again.coord = full;
+    p.env.to = route.node;  // remember the refreshed destination
+    ++p.attempts;
+    p.backoff_epochs = std::min(p.backoff_epochs * reliability_.backoff_factor,
+                                reliability_.max_backoff_epochs);
+    p.retry_epoch = epoch + p.backoff_epochs;
+    ++r.retries;
+    r.retry_bytes += again.bytes;
+    if (again.kind == MsgKind::kPublish) ++publishes_sent_epoch_;
+    bus_->Send(std::move(again));
+    ++it;
+  }
+}
+
+void RingAgent::SendAck(const Envelope& e) {
+  Envelope ack;
+  ack.proto = Protocol::kRing;
+  ack.kind = MsgKind::kAck;
+  ack.from = e.to;
+  ack.to = e.from;
+  ack.subject = e.subject;
+  ack.tid = e.tid;  // identifies the acked transfer; acks aren't tracked
+  ack.bytes = reliability_.ack_bytes;
+  ++bus_->stats().reliability.acks;
+  bus_->Send(std::move(ack));
 }
 
 void RingAgent::OnCrash(NodeId n) {
@@ -240,17 +356,122 @@ void RingAgent::OnRejoin(NodeId n) {
   join.to = route.node;
   join.subject = n;
   join.bytes = params_.join_base_bytes + 8 * full.dims();
+  if (reliability_.enabled) {
+    join.tid = bus_->IssueTid();
+    TrackReliable(join);
+  }
   bus_->Send(std::move(join));
+}
+
+// --- FailureDetector -------------------------------------------------------
+
+FailureDetector::FailureDetector(size_t num_nodes,
+                                 const DetectorParams& params)
+    : params_(params),
+      heard_(num_nodes, 0),
+      missed_(num_nodes, 0),
+      suspect_(num_nodes, 0),
+      suspect_for_(num_nodes, 0) {}
+
+void FailureDetector::Reset(NodeId n) {
+  heard_[n] = 0;
+  missed_[n] = 0;
+  suspect_[n] = 0;
+  suspect_for_[n] = 0;
+}
+
+void FailureDetector::Step(const std::vector<NodeId>& members,
+                           DetectorCounters* counters,
+                           std::vector<NodeId>* confirmed) {
+  for (NodeId n : members) {
+    if (heard_[n]) {
+      // Alive by evidence. A heartbeat from a suspect is the detector
+      // catching its own mistake before the confirmation timeout fired.
+      if (suspect_[n]) ++counters->false_suspicions;
+      Reset(n);
+      continue;
+    }
+    ++missed_[n];
+    if (!suspect_[n]) {
+      if (missed_[n] >= params_.suspect_after_missed) {
+        suspect_[n] = 1;
+        suspect_for_[n] = 0;
+        ++counters->suspicions;
+      }
+      continue;
+    }
+    if (++suspect_for_[n] >= params_.confirm_after_suspect) {
+      confirmed->push_back(n);
+      Reset(n);  // the verdict is out; state rebuilds if the engine rejects
+    }
+  }
+  std::fill(heard_.begin(), heard_.end(), 0);
 }
 
 // --- Runtime ---------------------------------------------------------------
 
+Status ValidateRuntimeParams(const RuntimeParams& p) {
+  if (!(p.bus.epoch_ms > 0.0)) {
+    return Status::InvalidArgument("RuntimeParams: bus.epoch_ms must be > 0");
+  }
+  if (p.vivaldi.peer_set_size == 0) {
+    return Status::InvalidArgument(
+        "RuntimeParams: vivaldi.peer_set_size must be > 0");
+  }
+  if (p.vivaldi.ping_bytes == 0 || p.vivaldi.pong_base_bytes == 0 ||
+      p.ring.publish_base_bytes == 0 || p.ring.per_hop_bytes == 0 ||
+      p.ring.stabilize_bytes == 0 || p.ring.join_base_bytes == 0 ||
+      p.ring.leave_bytes == 0 || p.placement.lookup_bytes == 0 ||
+      p.placement.per_hop_bytes == 0 || p.placement.probe_bytes == 0) {
+    return Status::InvalidArgument(
+        "RuntimeParams: every wire-size model byte count must be > 0");
+  }
+  for (const FaultRates& r : p.bus.faults.protocol) {
+    if (r.loss < 0.0 || r.loss > 1.0 || r.duplicate < 0.0 ||
+        r.duplicate > 1.0 || r.delay_jitter_ms < 0.0) {
+      return Status::InvalidArgument(
+          "RuntimeParams: fault rates must be probabilities in [0, 1] and "
+          "delay jitter must be >= 0");
+    }
+  }
+  for (const LossBurst& b : p.bus.faults.bursts) {
+    if (b.loss < 0.0 || b.loss > 1.0) {
+      return Status::InvalidArgument(
+          "RuntimeParams: burst loss must be a probability in [0, 1]");
+    }
+  }
+  if (p.reliability.enabled) {
+    if (p.reliability.ack_bytes == 0 || p.reliability.retry_after_epochs == 0 ||
+        p.reliability.backoff_factor == 0 ||
+        p.reliability.max_backoff_epochs == 0 ||
+        p.reliability.max_pending == 0 || p.reliability.dedup_window == 0) {
+      return Status::InvalidArgument(
+          "RuntimeParams: enabled reliability needs nonzero ack_bytes, "
+          "retry_after_epochs, backoff_factor, max_backoff_epochs, "
+          "max_pending and dedup_window");
+    }
+  }
+  if (p.detector.enabled) {
+    if (p.detector.suspect_after_missed == 0 ||
+        p.detector.confirm_after_suspect == 0) {
+      return Status::InvalidArgument(
+          "RuntimeParams: enabled detector needs nonzero "
+          "suspect_after_missed and confirm_after_suspect");
+    }
+  }
+  return Status::OK();
+}
+
 Runtime::Runtime(overlay::Sbon* sbon, const RuntimeParams& params)
     : sbon_(sbon),
       bus_(&sbon->fabric(), params.bus),
-      vivaldi_(&bus_, sbon, params.vivaldi),
-      ring_(&bus_, sbon, params.ring),
-      placement_(params.placement) {}
+      vivaldi_(&bus_, sbon, params.vivaldi, params.reliability),
+      ring_(&bus_, sbon, params.ring, params.reliability),
+      placement_(params.placement),
+      detector_(sbon->topology().NumNodes(), params.detector),
+      detector_enabled_(params.detector.enabled) {
+  if (detector_enabled_) ring_.set_detector(&detector_);
+}
 
 void Runtime::NotifyChurn(const net::ChurnEvent& ev) {
   TrafficStats& stats = bus_.stats();
@@ -258,7 +479,9 @@ void Runtime::NotifyChurn(const net::ChurnEvent& ev) {
   stats.churn_pending = true;
   switch (ev.type) {
     case net::ChurnEventType::kCrash:
-      ring_.OnCrash(ev.node);
+      // Detector mode: a crash is silent — nobody is told. The leaf-set
+      // fanout waits for the detector's confirmation.
+      if (!detector_enabled_) ring_.OnCrash(ev.node);
       break;
     case net::ChurnEventType::kRejoin:
       ring_.OnRejoin(ev.node);
@@ -288,6 +511,38 @@ void Runtime::FinishEpoch(bool refresh, double epsilon) {
     stats.convergence_epochs = completed - stats.last_churn_epoch;
     stats.churn_pending = false;
   }
+
+  if (detector_enabled_) {
+    // Detector sweep over the current ring membership, after the drain so
+    // every heartbeat that could land this epoch has been heard. A ring
+    // below two members sends no heartbeats — monitor nothing.
+    members_scratch_.clear();
+    const std::vector<dht::ChordRing::Member>& members =
+        sbon_->index().ring().members();
+    if (members.size() >= 2) {
+      for (const dht::ChordRing::Member& m : members) {
+        members_scratch_.push_back(m.node);
+      }
+    }
+    detector_.Step(members_scratch_, &stats.detector, &confirmed_crashes_);
+  }
+}
+
+void Runtime::NotifyCrashConfirmed(NodeId n, size_t latency_epochs) {
+  TrafficStats& stats = bus_.stats();
+  ++stats.detector.crash_confirmations;
+  stats.detector.detection_latency_samples.push_back(
+      static_cast<uint32_t>(latency_epochs));
+  // The membership transition happens now, not at the physical crash: the
+  // convergence clock restarts from the confirmation.
+  stats.last_churn_epoch = bus_.epoch();
+  stats.churn_pending = true;
+  ring_.OnCrash(n);
+}
+
+void Runtime::NoteSpuriousConfirm(NodeId n) {
+  ++bus_.stats().detector.false_suspicions;
+  detector_.Reset(n);
 }
 
 void Runtime::BillPlacement(const dht::IndexQueryCost& delta,

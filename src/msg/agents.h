@@ -3,9 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/status.h"
 #include "dht/coord_index.h"
 #include "msg/message.h"
 #include "msg/message_bus.h"
@@ -45,11 +47,115 @@ struct PlacementAgentParams {
   size_t probe_bytes = 48;
 };
 
+/// Ack/timeout/retransmission hardening for the reliable ring kinds
+/// (kPublish, kJoin) plus the dedup windows that make every handler
+/// idempotent under network duplication. Off by default: with
+/// `enabled == false` no tid is pre-assigned, no dedup scan runs and no
+/// ack is ever sent, so fault-free runs stay bit-identical.
+struct ReliabilityParams {
+  bool enabled = false;
+  size_t ack_bytes = 16;
+  /// Epochs to wait for an ack before the first retransmission.
+  size_t retry_after_epochs = 2;
+  /// The wait multiplies by this per retry (capped), giving capped
+  /// exponential backoff.
+  size_t backoff_factor = 2;
+  size_t max_backoff_epochs = 8;
+  /// Retransmissions per transfer before giving up (counted as exhausted).
+  size_t max_retries = 4;
+  /// Bound on simultaneously tracked transfers; overflow transfers are
+  /// sent once, never tracked, and counted (graceful degradation, never
+  /// unbounded memory).
+  size_t max_pending = 1024;
+  /// Recent transfer ids remembered per node for duplicate suppression.
+  size_t dedup_window = 64;
+};
+
+/// Decentralized failure detection from kStabilize heartbeat silence.
+/// Off by default: message mode then keeps the instant-oracle crash
+/// notification (Sbon::FailNode at the churn event).
+struct DetectorParams {
+  bool enabled = false;
+  /// Consecutive silent epochs before a member becomes suspect.
+  size_t suspect_after_missed = 2;
+  /// Epochs a suspect must stay silent before the crash is confirmed.
+  size_t confirm_after_suspect = 2;
+};
+
 struct RuntimeParams {
   MessageBus::Options bus;
   VivaldiAgentParams vivaldi;
   RingAgentParams ring;
   PlacementAgentParams placement;
+  ReliabilityParams reliability;
+  DetectorParams detector;
+};
+
+/// InvalidArgument when any knob is out of range (non-positive epoch_ms,
+/// zero peer set, zero wire sizes, probabilities outside [0, 1], zeroed
+/// reliability/detector windows while enabled). The engine validates at
+/// construction, mirroring Sbon::Options validation.
+Status ValidateRuntimeParams(const RuntimeParams& params);
+
+/// Per-node bounded ring buffer of recently seen transfer ids: the dedup
+/// window that makes delivery handlers idempotent under duplication.
+/// Lookup is a linear scan of one node's window (windows are tens of
+/// entries); insertion overwrites the oldest slot, so memory is fixed at
+/// num_nodes * window ids.
+class DedupWindow {
+ public:
+  DedupWindow(size_t num_nodes, size_t window)
+      : window_(window),
+        slots_(num_nodes * window, 0),
+        cursor_(num_nodes, 0) {}
+
+  /// True the first time `tid` is seen at `node` (recording it); false for
+  /// a repeat still inside the window — the caller suppresses the delivery.
+  bool FirstSighting(NodeId node, uint64_t tid) {
+    uint64_t* base = &slots_[static_cast<size_t>(node) * window_];
+    for (size_t i = 0; i < window_; ++i) {
+      if (base[i] == tid) return false;
+    }
+    base[cursor_[node]] = tid;
+    cursor_[node] = (cursor_[node] + 1) % window_;
+    return true;
+  }
+
+ private:
+  size_t window_;
+  std::vector<uint64_t> slots_;  ///< 0 = empty slot (tids start at 1)
+  std::vector<size_t> cursor_;
+};
+
+/// Decentralized crash detection from heartbeat silence. Every epoch the
+/// runtime sweeps the ring membership: a member whose kStabilize heartbeat
+/// was not heard for `suspect_after_missed` consecutive epochs becomes
+/// suspect; a suspect silent for another `confirm_after_suspect` epochs is
+/// confirmed crashed — the verdict the engine's repair path consumes. A
+/// heartbeat from a suspect clears it and counts a false suspicion (the
+/// detector can be fooled by partitions; the engine rejects confirmations
+/// of nodes that are actually alive via Runtime::NoteSpuriousConfirm).
+class FailureDetector {
+ public:
+  FailureDetector(size_t num_nodes, const DetectorParams& params);
+
+  /// A kStabilize heartbeat from `from` was delivered this epoch.
+  void NoteHeartbeat(NodeId from) { heard_[from] = 1; }
+  /// End-of-epoch sweep over the current ring membership: updates
+  /// suspicion state, bumps `counters`, appends newly confirmed crashes to
+  /// `confirmed`. Pass an empty member list when the ring is too small to
+  /// heartbeat (< 2 members) — nothing is monitored then.
+  void Step(const std::vector<NodeId>& members, DetectorCounters* counters,
+            std::vector<NodeId>* confirmed);
+  /// Forgets all state about `n` (its verdict was consumed or rejected).
+  void Reset(NodeId n);
+
+ private:
+  DetectorParams params_;
+  std::vector<uint8_t> heard_;        ///< heartbeat seen this epoch
+  std::vector<uint32_t> missed_;      ///< consecutive silent epochs
+  std::vector<uint8_t> suspect_;
+  std::vector<uint32_t> suspect_for_; ///< epochs spent in suspect state
 };
 
 /// Node-local Vivaldi sampling as explicit traffic: each epoch every alive
@@ -61,7 +167,8 @@ struct RuntimeParams {
 class VivaldiAgent {
  public:
   VivaldiAgent(MessageBus* bus, overlay::Sbon* sbon,
-               const VivaldiAgentParams& params);
+               const VivaldiAgentParams& params,
+               const ReliabilityParams& reliability);
 
   /// Sends this epoch's pings (`samples_per_node` per alive overlay node).
   void StepEpoch(size_t samples_per_node);
@@ -76,6 +183,8 @@ class VivaldiAgent {
   MessageBus* bus_;
   overlay::Sbon* sbon_;
   VivaldiAgentParams params_;
+  ReliabilityParams reliability_;
+  DedupWindow dedup_;          ///< suppresses duplicated pings and pongs
   std::vector<NodeId> peers_;  ///< n * peer_set_size, kInvalidNode = empty
   size_t round_ = 0;           ///< round-robin cursor over peer slots
 };
@@ -90,7 +199,8 @@ class VivaldiAgent {
 class RingAgent {
  public:
   RingAgent(MessageBus* bus, overlay::Sbon* sbon,
-            const RingAgentParams& params);
+            const RingAgentParams& params,
+            const ReliabilityParams& reliability);
 
   /// The message-mode refresh: collects nodes displaced beyond `epsilon`
   /// and sends each a routed kPublish (`epsilon < 0` skips the scan —
@@ -116,7 +226,30 @@ class RingAgent {
   /// staleness clock placement decisions are stamped against).
   const std::vector<uint32_t>& publish_epoch() const { return publish_epoch_; }
 
+  /// Transfers still awaiting an ack (bounded by max_pending).
+  size_t pending_size() const { return pending_.size(); }
+  /// Wires the failure detector in: kStabilize deliveries report
+  /// heartbeats to it. Null (the default) disables reporting.
+  void set_detector(FailureDetector* detector) { detector_ = detector; }
+
  private:
+  /// One tracked reliable transfer awaiting its ack.
+  struct PendingTransfer {
+    Envelope env;               ///< resend template (route/coord re-read)
+    size_t attempts = 0;        ///< retransmissions sent so far
+    size_t backoff_epochs = 0;  ///< current wait between retries
+    size_t retry_epoch = 0;     ///< bus epoch of the next retry
+  };
+
+  /// Starts tracking a reliable send (tid already issued); counts an
+  /// overflow instead when the pending map is full.
+  void TrackReliable(const Envelope& e);
+  /// Retransmits every tracked transfer whose timer expired, with capped
+  /// exponential backoff; exhausted or moot transfers are dropped and
+  /// counted. Runs even when refresh is disabled so retries always drain.
+  void RetryPending();
+  /// Acks a delivered reliable envelope back to its sender.
+  void SendAck(const Envelope& e);
   /// Routes toward `key` on the stabilized ring; falls back to (self, 0
   /// hops) when the lookup is unavailable.
   dht::ChordRing::LookupResult Route(const dht::U128& key,
@@ -131,6 +264,12 @@ class RingAgent {
   MessageBus* bus_;
   overlay::Sbon* sbon_;
   RingAgentParams params_;
+  ReliabilityParams reliability_;
+  DedupWindow dedup_;
+  FailureDetector* detector_ = nullptr;  ///< owned by the Runtime
+  /// Tracked reliable transfers by tid. std::map for deterministic
+  /// retry iteration order.
+  std::map<uint64_t, PendingTransfer> pending_;
   std::vector<uint32_t> publish_epoch_;  ///< by node id
   size_t publishes_sent_epoch_ = 0;
   size_t publishes_applied_ = 0;
@@ -155,7 +294,9 @@ class Runtime {
     vivaldi_.StepEpoch(samples_per_node);
   }
   /// Records a churn event the engine just applied (convergence clock +
-  /// ring join/leave traffic).
+  /// ring join/leave traffic). With the detector enabled, a kCrash event
+  /// produces no oracle notification — the leaf-set fanout waits for the
+  /// detector's confirmation (NotifyCrashConfirmed).
   void NotifyChurn(const net::ChurnEvent& ev);
   /// The msg-refresh stage: displacement publishes + heartbeats, the epoch
   /// drain, one index stabilization if any publish landed, the Vivaldi ->
@@ -170,11 +311,33 @@ class Runtime {
   void BillPlacement(const dht::IndexQueryCost& delta,
                      const overlay::Circuit* circuit);
 
+  // --- failure-detector interface (engine's deferred-crash repair path) ---
+
+  bool detector_enabled() const { return detector_enabled_; }
+  size_t bus_epoch() const { return bus_.epoch(); }
+  /// Crashes the detector has confirmed since the last call (cleared).
+  std::vector<NodeId> TakeConfirmedCrashes() {
+    std::vector<NodeId> out;
+    out.swap(confirmed_crashes_);
+    return out;
+  }
+  /// The engine acted on a confirmed crash: records the confirmation and
+  /// its detection latency, restarts the convergence clock, and fans out
+  /// the leaf-set kLeave notifications that oracle mode sends at the crash.
+  void NotifyCrashConfirmed(NodeId n, size_t latency_epochs);
+  /// The engine rejected a confirmation (the node is actually alive — e.g.
+  /// heartbeat-starved by a partition): counted as a false suspicion, and
+  /// the detector's state about the node is wiped so suspicion must
+  /// rebuild from fresh silence.
+  void NoteSpuriousConfirm(NodeId n);
+
   MessageBus& bus() { return bus_; }
   TrafficStats& stats() { return bus_.stats(); }
   const TrafficStats& stats() const { return bus_.stats(); }
   TrafficSummary Summary() const {
-    return Summarize(bus_.stats(), sbon_->topology().NumNodes());
+    TrafficSummary s = Summarize(bus_.stats(), sbon_->topology().NumNodes());
+    s.retry_pending = ring_.pending_size();
+    return s;
   }
 
  private:
@@ -183,6 +346,10 @@ class Runtime {
   VivaldiAgent vivaldi_;
   RingAgent ring_;
   PlacementAgentParams placement_;
+  FailureDetector detector_;
+  bool detector_enabled_ = false;
+  std::vector<NodeId> confirmed_crashes_;  ///< verdicts awaiting the engine
+  std::vector<NodeId> members_scratch_;    ///< detector sweep scratch
 };
 
 }  // namespace sbon::msg

@@ -41,6 +41,7 @@ enum class MsgKind : uint8_t {
   kStabilize,  ///< ring successor heartbeat
   kJoin,       ///< routed ring join of a rejoining node
   kLeave,      ///< leaf-set notification that a member died
+  kAck,        ///< reliability ack of a kPublish/kJoin (carries its tid)
 };
 
 /// One typed message on the bus. Envelopes are plain values: the payload
@@ -57,6 +58,11 @@ struct Envelope {
   double send_ms = 0.0;
   double deliver_ms = 0.0;
   uint64_t seq = 0;  ///< send order; the deterministic delivery tiebreak
+  /// Transfer id: stable across retransmissions and network duplication
+  /// (the dedup/ack key), unlike `seq` which is fresh per wire copy. The
+  /// bus stamps an unset (0) tid at Send; reliable senders pre-assign via
+  /// MessageBus::IssueTid so they can match acks to pending transfers.
+  uint64_t tid = 0;
 
   /// kPong: the coordinate's owner == from. kPublish/kJoin: the node whose
   /// coordinate is being (re)published (usually == from; the routed hop
@@ -67,13 +73,40 @@ struct Envelope {
   double aux1 = 0.0; ///< kPong: the peer's local error estimate
 };
 
-/// Per-protocol send/delivery counters.
+/// Per-protocol send/delivery counters. Conservation holds exactly:
+/// sent == delivered + dropped_dead + dropped_partition + dropped_fault
+/// + (messages still queued on the bus) — duplicates count as sent wire
+/// copies, so both sides of the equation see them.
 struct TrafficCounters {
-  size_t sent = 0;               ///< messages handed to Send
+  size_t sent = 0;               ///< wire copies handed to the network
   size_t delivered = 0;          ///< messages that reached their handler
   size_t dropped_dead = 0;       ///< sender or receiver endpoint was down
   size_t dropped_partition = 0;  ///< crossed an active partition cut
+  size_t dropped_fault = 0;      ///< lost by the fault injector
+  size_t duplicated = 0;         ///< extra copies the injector enqueued
   size_t bytes = 0;              ///< bytes sent (drops still paid for)
+};
+
+/// Protocol-hardening counters (ack/retry/backoff + dedup windows), bumped
+/// by the agents; all stay zero while reliability is disabled.
+struct ReliabilityCounters {
+  size_t acks = 0;                ///< kAck messages sent
+  size_t retries = 0;             ///< retransmissions sent after timeout
+  size_t retry_bytes = 0;         ///< bytes of those retransmissions
+  size_t dup_suppressed = 0;      ///< deliveries discarded by dedup windows
+  size_t retry_exhausted = 0;     ///< transfers abandoned (max retries, or
+                                  ///< the subject died while pending)
+  size_t retransmit_overflow = 0; ///< transfers never tracked: queue full
+};
+
+/// Failure-detector counters; all stay zero while the detector is disabled.
+struct DetectorCounters {
+  size_t suspicions = 0;          ///< nodes that entered the suspect state
+  size_t false_suspicions = 0;    ///< suspicions cleared by a heartbeat (or
+                                  ///< a confirm the engine rejected)
+  size_t crash_confirmations = 0; ///< verdicts the engine acted on
+  /// Epochs from physical crash to confirmed verdict, one per confirmation.
+  std::vector<uint32_t> detection_latency_samples;
 };
 
 /// Everything the message-mode epoch loop accounts: per-protocol traffic,
@@ -81,6 +114,8 @@ struct TrafficCounters {
 /// the MessageBus (counters) and msg::Runtime (convergence/staleness).
 struct TrafficStats {
   TrafficCounters protocol[kNumProtocols];
+  ReliabilityCounters reliability;
+  DetectorCounters detector;
   /// Messages/bytes *sent by* each node (drops included — the sender paid
   /// for the transmission whether or not it arrived).
   std::vector<uint64_t> node_msgs;
@@ -112,7 +147,7 @@ struct TrafficStats {
   size_t TotalDropped() const {
     size_t s = 0;
     for (const TrafficCounters& c : protocol) {
-      s += c.dropped_dead + c.dropped_partition;
+      s += c.dropped_dead + c.dropped_partition + c.dropped_fault;
     }
     return s;
   }
@@ -131,6 +166,8 @@ struct TrafficSummary {
   size_t msgs_delivered = 0;
   size_t msgs_dropped_dead = 0;
   size_t msgs_dropped_partition = 0;
+  size_t msgs_dropped_fault = 0;
+  size_t msgs_duplicated = 0;
   size_t bytes_total = 0;
   double bytes_per_node_per_epoch = 0.0;
   size_t protocol_msgs[kNumProtocols] = {0, 0, 0};
@@ -142,6 +179,23 @@ struct TrafficSummary {
   double staleness_p50 = 0.0;
   double staleness_p95 = 0.0;
   size_t staleness_samples = 0;
+  /// Reliability layer (all zero while it is disabled).
+  size_t retries = 0;
+  size_t retry_bytes = 0;
+  size_t acks = 0;
+  size_t dup_suppressed = 0;
+  size_t retry_exhausted = 0;
+  size_t retransmit_overflow = 0;
+  /// Transfers still awaiting an ack at summary time (folded in by
+  /// msg::Runtime, which can see the agents; Summarize leaves it 0).
+  size_t retry_pending = 0;
+  /// Failure detector (all zero while it is disabled).
+  size_t suspicions = 0;
+  size_t false_suspicions = 0;
+  size_t crash_confirmations = 0;
+  double detection_p50 = 0.0;
+  double detection_p95 = 0.0;
+  size_t detection_samples = 0;
 };
 
 /// Percentile (nearest-rank) over an unsorted copy of `samples`.
@@ -165,6 +219,8 @@ inline TrafficSummary Summarize(const TrafficStats& stats, size_t num_nodes) {
     s.protocol_bytes[p] = stats.protocol[p].bytes;
     s.msgs_dropped_dead += stats.protocol[p].dropped_dead;
     s.msgs_dropped_partition += stats.protocol[p].dropped_partition;
+    s.msgs_dropped_fault += stats.protocol[p].dropped_fault;
+    s.msgs_duplicated += stats.protocol[p].duplicated;
   }
   if (num_nodes > 0 && stats.epochs > 0) {
     s.bytes_per_node_per_epoch =
@@ -176,6 +232,20 @@ inline TrafficSummary Summarize(const TrafficStats& stats, size_t num_nodes) {
   s.staleness_p50 = StalenessPercentile(stats.staleness_samples, 0.50);
   s.staleness_p95 = StalenessPercentile(stats.staleness_samples, 0.95);
   s.staleness_samples = stats.staleness_samples.size();
+  s.retries = stats.reliability.retries;
+  s.retry_bytes = stats.reliability.retry_bytes;
+  s.acks = stats.reliability.acks;
+  s.dup_suppressed = stats.reliability.dup_suppressed;
+  s.retry_exhausted = stats.reliability.retry_exhausted;
+  s.retransmit_overflow = stats.reliability.retransmit_overflow;
+  s.suspicions = stats.detector.suspicions;
+  s.false_suspicions = stats.detector.false_suspicions;
+  s.crash_confirmations = stats.detector.crash_confirmations;
+  s.detection_p50 =
+      StalenessPercentile(stats.detector.detection_latency_samples, 0.50);
+  s.detection_p95 =
+      StalenessPercentile(stats.detector.detection_latency_samples, 0.95);
+  s.detection_samples = stats.detector.detection_latency_samples.size();
   return s;
 }
 

@@ -7,7 +7,10 @@ namespace sbon::msg {
 
 MessageBus::MessageBus(const net::FabricBackend* fabric,
                        const Options& options)
-    : fabric_(fabric), options_(options), rng_(options.seed) {
+    : fabric_(fabric),
+      options_(options),
+      rng_(options.seed),
+      faults_(options.faults) {
   stats_.node_msgs.assign(fabric_->NumNodes(), 0);
   stats_.node_bytes.assign(fabric_->NumNodes(), 0);
 }
@@ -16,22 +19,32 @@ void MessageBus::SetHandler(Protocol proto, Handler handler) {
   handlers_[static_cast<size_t>(proto)] = std::move(handler);
 }
 
-void MessageBus::Send(Envelope e) {
-  TrafficCounters& c = stats_.protocol[static_cast<size_t>(e.proto)];
+Status MessageBus::Send(Envelope e) {
+  if (e.bytes == 0) {
+    return Status::InvalidArgument("Send: envelope has bytes == 0");
+  }
+  const size_t pi = static_cast<size_t>(e.proto);
+  if (!handlers_[pi]) {
+    return Status::FailedPrecondition(
+        std::string("Send: no handler registered for protocol ") +
+        ProtocolName(e.proto));
+  }
+  TrafficCounters& c = stats_.protocol[pi];
   ++c.sent;
   c.bytes += e.bytes;
   stats_.node_msgs[e.from] += 1;
   stats_.node_bytes[e.from] += e.bytes;
   e.send_ms = now_ms_;
   e.seq = next_seq_++;
+  if (e.tid == 0) e.tid = next_tid_++;
   if (fabric_->EndpointDown(e.from) || fabric_->EndpointDown(e.to)) {
     ++c.dropped_dead;
-    return;
+    return Status::OK();
   }
   if (options_.drop_across_partition &&
       fabric_->CrossesPartition(e.from, e.to)) {
     ++c.dropped_partition;
-    return;
+    return Status::OK();
   }
   const double latency = fabric_->live().Latency(e.from, e.to);
   if (std::isinf(latency)) {
@@ -39,10 +52,32 @@ void MessageBus::Send(Envelope e) {
     // disconnected topology component): the datagram is lost, not parked
     // on the queue forever.
     ++c.dropped_dead;
-    return;
+    return Status::OK();
   }
-  e.deliver_ms = now_ms_ + latency;
+  // Chaos layer: only messages the polite network would have delivered are
+  // eligible for injected loss / duplication / delay (drops above already
+  // have their own counters; double-counting would break conservation).
+  const FaultInjector::Decision fault = faults_.Decide(e.proto, stats_.epochs);
+  if (fault.drop) {
+    ++c.dropped_fault;
+    return Status::OK();
+  }
+  e.deliver_ms = now_ms_ + latency + fault.extra_delay_ms;
+  if (fault.duplicate) {
+    // The duplicate is a real wire copy: same transfer id (dedup windows
+    // key on it), fresh seq (the delivery total order needs uniqueness),
+    // its own delay draw, and it is billed as sent bytes — but not against
+    // the sender's node counters, which measure what the node transmitted.
+    Envelope dup = e;
+    dup.seq = next_seq_++;
+    dup.deliver_ms = now_ms_ + latency + fault.dup_extra_delay_ms;
+    ++c.sent;
+    ++c.duplicated;
+    c.bytes += dup.bytes;
+    queue_.push(std::move(dup));
+  }
   queue_.push(std::move(e));
+  return Status::OK();
 }
 
 void MessageBus::BeginEpoch() {

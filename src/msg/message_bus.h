@@ -8,7 +8,9 @@
 
 #include "common/ids.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "net/fabric.h"
+#include "msg/fault.h"
 #include "msg/message.h"
 
 namespace sbon::msg {
@@ -45,6 +47,10 @@ class MessageBus {
     /// a later epoch.
     double epoch_ms = 100.0;
     bool drop_across_partition = true;
+    /// Chaos plan for the fault injector. The default (all-zero rates, no
+    /// bursts) is provably inert: no fault Rng draw ever happens and the
+    /// bus is bit-identical to one without an injector.
+    FaultPlan faults;
   };
 
   using Handler = std::function<void(const Envelope&)>;
@@ -60,9 +66,21 @@ class MessageBus {
   void SetHandler(Protocol proto, Handler handler);
 
   /// Queues `e` for delivery (stamping send_ms/deliver_ms/seq/bytes
-  /// accounting) or drops it per the class-comment semantics. `e.bytes`
-  /// must be set by the caller.
-  void Send(Envelope e);
+  /// accounting) or drops it per the class-comment semantics, then runs
+  /// the fault injector (loss / duplication / extra delay) on anything
+  /// still deliverable. `e.bytes` must be set by the caller; a zero-byte
+  /// envelope or a protocol with no registered handler is a programming
+  /// error and fails loudly instead of vanishing into the drop counters.
+  Status Send(Envelope e);
+
+  /// Hands out the next transfer id. Reliable senders pre-assign tids so
+  /// acks can be matched to pending transfers; the bus stamps unset (0)
+  /// tids itself at Send from the same counter.
+  uint64_t IssueTid() { return next_tid_++; }
+
+  /// The chaos layer (exposed so tests and the bench can script loss
+  /// bursts after construction).
+  FaultInjector& fault_injector() { return faults_; }
 
   /// Advances the clock to the start of the next engine epoch.
   void BeginEpoch();
@@ -92,8 +110,10 @@ class MessageBus {
   const net::FabricBackend* fabric_;
   Options options_;
   Rng rng_;
+  FaultInjector faults_;
   double now_ms_ = 0.0;
   uint64_t next_seq_ = 0;
+  uint64_t next_tid_ = 1;  ///< 0 means "unset" on an Envelope
   std::priority_queue<Envelope, std::vector<Envelope>, Later> queue_;
   Handler handlers_[kNumProtocols];
   TrafficStats stats_;

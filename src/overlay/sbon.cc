@@ -180,6 +180,41 @@ Status Sbon::RejoinNode(NodeId n) {
   return Status::OK();
 }
 
+Status Sbon::CrashEndpoint(NodeId n) {
+  if (n >= topo_.NumNodes()) {
+    return Status::OutOfRange("crashed endpoint out of range");
+  }
+  if (!topo_.overlay_eligible(n)) {
+    return Status::InvalidArgument("only overlay nodes participate in churn");
+  }
+  if (!alive_[n]) return Status::FailedPrecondition("node already down");
+  if (fabric_->EndpointDown(n)) {
+    return Status::FailedPrecondition("endpoint already dark");
+  }
+  // No overlay/ring/ledger transition and no scalar-metric refresh: the
+  // failure is invisible until a detector (or FailNode) acts on it.
+  fabric_->SetEndpointDown(n, true);
+  return Status::OK();
+}
+
+Status Sbon::RestoreEndpoint(NodeId n) {
+  if (n >= topo_.NumNodes()) {
+    return Status::OutOfRange("restored endpoint out of range");
+  }
+  if (!topo_.overlay_eligible(n)) {
+    return Status::InvalidArgument("only overlay nodes participate in churn");
+  }
+  if (!alive_[n]) {
+    return Status::FailedPrecondition(
+        "node fully failed; use RejoinNode instead");
+  }
+  if (!fabric_->EndpointDown(n)) {
+    return Status::FailedPrecondition("endpoint is not dark");
+  }
+  fabric_->SetEndpointDown(n, false);
+  return Status::OK();
+}
+
 Status Sbon::BeginPartition(const std::vector<NodeId>& group, double factor) {
   return fabric_->BeginPartition(group, factor);
 }

@@ -137,6 +137,16 @@ class Sbon {
   /// keeps its last known vector coordinate until online Vivaldi samples
   /// refresh it — exactly how a real rejoin would start from stale state.
   Status RejoinNode(NodeId n);
+  /// Physical crash without the membership transition: the node's fabric
+  /// endpoint goes dark (its traffic drops, its latencies read +inf) but
+  /// it stays alive in the overlay and the ring. Message mode's failure
+  /// detector uses this — the overlay only learns of the crash when the
+  /// detector confirms it and FailNode runs. Safe to follow with FailNode
+  /// (SetEndpointDown is idempotent).
+  Status CrashEndpoint(NodeId n);
+  /// Undoes CrashEndpoint before detection confirmed (the node came back
+  /// while nobody had noticed it was gone — no rejoin needed).
+  Status RestoreEndpoint(NodeId n);
   /// Soft link partition: multiplies the live latency of every pair that
   /// crosses the cut (`group` vs. the rest) by `factor` until EndPartition.
   /// One partition may be active at a time; the penalty re-applies on every

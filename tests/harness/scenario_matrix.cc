@@ -26,18 +26,25 @@ std::string RepairFingerprint(const engine::RepairStats& r) {
 }
 
 /// Rendered traffic counters for message-mode cells: replay must reproduce
-/// every protocol's message/byte/drop totals, not just the overlay state.
+/// every protocol's message/byte/drop totals — and under chaos, every
+/// fault, retry, dedup, and detector counter — not just the overlay state.
 std::string TrafficFingerprint(const msg::TrafficSummary& t) {
-  char buf[320];
+  char buf[512];
   std::snprintf(
       buf, sizeof(buf),
       "traffic sent=%zu delivered=%zu drop_dead=%zu drop_part=%zu "
-      "bytes=%zu viv=%zu ring=%zu place=%zu conv=%zu stale_n=%zu "
-      "stale_p95=%.1f\n",
+      "drop_fault=%zu dup=%zu bytes=%zu viv=%zu ring=%zu place=%zu "
+      "conv=%zu stale_n=%zu stale_p95=%.1f retries=%zu rbytes=%zu "
+      "acks=%zu supp=%zu exh=%zu ovf=%zu pend=%zu susp=%zu fsusp=%zu "
+      "conf=%zu dlat_p95=%.1f\n",
       t.msgs_sent, t.msgs_delivered, t.msgs_dropped_dead,
-      t.msgs_dropped_partition, t.bytes_total, t.protocol_msgs[0],
-      t.protocol_msgs[1], t.protocol_msgs[2], t.convergence_epochs,
-      t.staleness_samples, t.staleness_p95);
+      t.msgs_dropped_partition, t.msgs_dropped_fault, t.msgs_duplicated,
+      t.bytes_total, t.protocol_msgs[0], t.protocol_msgs[1],
+      t.protocol_msgs[2], t.convergence_epochs, t.staleness_samples,
+      t.staleness_p95, t.retries, t.retry_bytes, t.acks, t.dup_suppressed,
+      t.retry_exhausted, t.retransmit_overflow, t.retry_pending,
+      t.suspicions, t.false_suspicions, t.crash_confirmations,
+      t.detection_p95);
   return buf;
 }
 
@@ -203,9 +210,11 @@ CellOutcome ScenarioMatrix::RunCellOnce(const MatrixCell& cell) {
   epoch.refresh_epsilon = options_.refresh_epsilon;
   epoch.churn = &churn;
   epoch.exec_mode = options_.exec_mode;
+  epoch.msg = options_.msg;
 
   for (size_t e = 0; e < options_.epochs; ++e) {
-    eng.AdvanceEpoch(epoch);
+    const Status st = eng.AdvanceEpoch(epoch);
+    EXPECT_TRUE(st.ok()) << "AdvanceEpoch failed: " << st.ToString();
     if (options_.check_every_epoch) {
       SCOPED_TRACE("epoch " + std::to_string(e));
       CheckLiveInvariants(eng);
@@ -242,10 +251,26 @@ CellOutcome ScenarioMatrix::RunCellOnce(const MatrixCell& cell) {
     const msg::TrafficSummary& t = *snapshot.decentralized;
     EXPECT_EQ(t.epochs, options_.epochs);
     EXPECT_GT(t.msgs_sent, 0u);
-    EXPECT_GE(t.msgs_sent,
-              t.msgs_delivered + t.msgs_dropped_dead + t.msgs_dropped_partition);
+    // Conservation under chaos: every wire copy is delivered, dropped with
+    // a named cause (dead endpoint / partition / injected fault), or still
+    // queued — the `sent` side also includes billed relay hops, hence >=.
+    EXPECT_GE(t.msgs_sent, t.msgs_delivered + t.msgs_dropped_dead +
+                               t.msgs_dropped_partition + t.msgs_dropped_fault);
     EXPECT_LT(t.bytes_per_node_per_epoch, 16384.0)
         << "message-mode traffic exceeded the per-node byte budget";
+    // Bounded retransmit queue: pending reliable transfers can never
+    // exceed the configured cap, no matter how much the injector loses.
+    EXPECT_LE(t.retry_pending, options_.msg.reliability.max_pending)
+        << "retransmit queue grew past its bound";
+    if (!options_.msg.reliability.enabled) {
+      EXPECT_EQ(t.retries, 0u);
+      EXPECT_EQ(t.acks, 0u);
+      EXPECT_EQ(t.retry_pending, 0u);
+    }
+    if (!options_.msg.detector.enabled) {
+      EXPECT_EQ(t.suspicions, 0u);
+      EXPECT_EQ(t.crash_confirmations, 0u);
+    }
     outcome.fingerprint += TrafficFingerprint(t);
   } else {
     EXPECT_FALSE(snapshot.decentralized.has_value());

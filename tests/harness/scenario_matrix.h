@@ -41,6 +41,11 @@ struct MatrixOptions {
   /// per cell (partition knobs pass through, so a sweep can add partitions
   /// by setting `churn.partition_rate`).
   net::ChurnModel::Params churn;
+  /// Message-mode runtime parameters for kMessage cells: fault-injection
+  /// plan (msg.bus.faults), reliability hardening, failure detector. The
+  /// default (no faults, reliability and detector off) reproduces the
+  /// polite-network message mode bit-identically.
+  msg::RuntimeParams msg;
   /// Run every cell twice and require bit-identical overlay fingerprints
   /// and repair stats — the deterministic-replay invariant.
   bool check_replay = true;

@@ -4,6 +4,12 @@
 // StreamEngine's ExecMode::kMessage epochs (traffic accounting, convergence
 // after churn, placement staleness), bit-identical multi-seed replay at any
 // thread count, and oracle-vs-message embedding convergence at zero churn.
+//
+// Chaos hardening: the seeded FaultInjector (loss / duplication / delay
+// jitter / scripted loss bursts), ack+retry+backoff reliability for the
+// ring's kPublish/kJoin, handler idempotence under duplication, the
+// heartbeat-silence failure detector with its deferred-crash repair path,
+// and bit-identical chaos replay at any thread count.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -18,6 +24,7 @@
 #include "harness/golden.h"
 #include "harness/scenario_matrix.h"
 #include "msg/agents.h"
+#include "msg/fault.h"
 #include "msg/message.h"
 #include "msg/message_bus.h"
 #include "net/churn.h"
@@ -215,6 +222,205 @@ TEST(MessageBus, SlowMessagesCarryAcrossEpochBoundaries) {
   EXPECT_EQ(bus.pending(), 0u);
 }
 
+// ------------------------ fault injection (bus) ------------------------
+
+TEST(MessageBus, SendRejectsZeroByteEnvelopes) {
+  BusFixture fx;
+  msg::MessageBus bus(&fx.fabric, {});
+  bus.SetHandler(msg::Protocol::kVivaldi, [](const msg::Envelope&) {});
+
+  bus.BeginEpoch();
+  const Status st = bus.Send(Ping(0, 1, /*bytes=*/0));
+  bus.EndEpoch();
+
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+  const auto& c =
+      bus.stats().protocol[static_cast<size_t>(msg::Protocol::kVivaldi)];
+  EXPECT_EQ(c.sent, 0u) << "a rejected send must not be billed";
+  EXPECT_EQ(c.bytes, 0u);
+}
+
+TEST(MessageBus, SendRejectsProtocolsWithoutAHandler) {
+  BusFixture fx;
+  msg::MessageBus bus(&fx.fabric, {});
+  // Only Vivaldi is wired up; a kRing send would vanish silently without
+  // the guard.
+  bus.SetHandler(msg::Protocol::kVivaldi, [](const msg::Envelope&) {});
+
+  msg::Envelope e = Ping(0, 1);
+  e.proto = msg::Protocol::kRing;
+  e.kind = msg::MsgKind::kPublish;
+  bus.BeginEpoch();
+  const Status st = bus.Send(e);
+  bus.EndEpoch();
+
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+  const auto& c =
+      bus.stats().protocol[static_cast<size_t>(msg::Protocol::kRing)];
+  EXPECT_EQ(c.sent, 0u);
+}
+
+TEST(MessageBus, ZeroRateFaultPlanIsInert) {
+  // An explicitly constructed (but all-zero) plan must behave exactly like
+  // the default bus: nothing dropped, nothing duplicated, delivery pays the
+  // raw fabric latency.
+  BusFixture fx;
+  msg::MessageBus::Options opts;
+  opts.epoch_ms = 1000.0;
+  opts.faults.seed = 99;  // a live injector, just with nothing to do
+  msg::MessageBus bus(&fx.fabric, opts);
+
+  size_t handled = 0;
+  bus.SetHandler(msg::Protocol::kVivaldi, [&](const msg::Envelope& e) {
+    EXPECT_EQ(e.deliver_ms - e.send_ms, fx.fabric.live().Latency(e.from, e.to));
+    ++handled;
+  });
+  bus.BeginEpoch();
+  for (NodeId n = 0; n < 6; ++n) EXPECT_TRUE(bus.Send(Ping(n, n + 1)).ok());
+  bus.EndEpoch();
+
+  const auto& c =
+      bus.stats().protocol[static_cast<size_t>(msg::Protocol::kVivaldi)];
+  EXPECT_EQ(handled, 6u);
+  EXPECT_EQ(c.dropped_fault, 0u);
+  EXPECT_EQ(c.duplicated, 0u);
+}
+
+TEST(MessageBus, CertainLossDropsOnlyOtherwiseDeliverableMessages) {
+  BusFixture fx;
+  msg::MessageBus::Options opts;
+  opts.faults.protocol[static_cast<size_t>(msg::Protocol::kVivaldi)].loss =
+      1.0;
+  msg::MessageBus bus(&fx.fabric, opts);
+  size_t handled = 0;
+  bus.SetHandler(msg::Protocol::kVivaldi,
+                 [&](const msg::Envelope&) { ++handled; });
+
+  fx.fabric.SetEndpointDown(5, true);
+  bus.BeginEpoch();
+  EXPECT_TRUE(bus.Send(Ping(0, 5)).ok());  // dead endpoint wins over fault
+  EXPECT_TRUE(bus.Send(Ping(0, 1)).ok());
+  EXPECT_TRUE(bus.Send(Ping(2, 3)).ok());
+  bus.EndEpoch();
+
+  const auto& c =
+      bus.stats().protocol[static_cast<size_t>(msg::Protocol::kVivaldi)];
+  EXPECT_EQ(handled, 0u);
+  EXPECT_EQ(c.sent, 3u);
+  EXPECT_EQ(c.dropped_dead, 1u) << "drop precedence: dead before faults";
+  EXPECT_EQ(c.dropped_fault, 2u);
+  EXPECT_EQ(c.bytes, 72u) << "lost transmissions are still paid for";
+  // Conservation, exactly: sent == delivered + drops (no pending left).
+  EXPECT_EQ(c.sent, c.delivered + c.dropped_dead + c.dropped_partition +
+                        c.dropped_fault);
+}
+
+TEST(MessageBus, DuplicationDeliversTwoCopiesWithSharedTransferId) {
+  BusFixture fx;
+  msg::MessageBus::Options opts;
+  opts.epoch_ms = 1000.0;
+  opts.faults.protocol[static_cast<size_t>(msg::Protocol::kVivaldi)]
+      .duplicate = 1.0;
+  msg::MessageBus bus(&fx.fabric, opts);
+
+  std::vector<std::pair<uint64_t, uint64_t>> copies;  // (tid, seq)
+  bus.SetHandler(msg::Protocol::kVivaldi, [&](const msg::Envelope& e) {
+    copies.emplace_back(e.tid, e.seq);
+  });
+  bus.BeginEpoch();
+  EXPECT_TRUE(bus.Send(Ping(0, 1)).ok());
+  bus.EndEpoch();
+
+  ASSERT_EQ(copies.size(), 2u);
+  EXPECT_EQ(copies[0].first, copies[1].first)
+      << "both wire copies carry the transfer id (the dedup key)";
+  EXPECT_NE(copies[0].second, copies[1].second)
+      << "each wire copy gets its own send sequence";
+
+  const auto& c =
+      bus.stats().protocol[static_cast<size_t>(msg::Protocol::kVivaldi)];
+  EXPECT_EQ(c.sent, 2u) << "the duplicate is a real wire copy";
+  EXPECT_EQ(c.delivered, 2u);
+  EXPECT_EQ(c.duplicated, 1u);
+  EXPECT_EQ(c.bytes, 48u);
+  EXPECT_EQ(bus.stats().node_msgs[0], 1u)
+      << "the *node* transmitted once; the network made the second copy";
+}
+
+TEST(MessageBus, ScheduledLossBurstCoversExactlyItsWindow) {
+  BusFixture fx;
+  msg::MessageBus bus(&fx.fabric, {});
+  bus.fault_injector().ScheduleLossBurstAt(/*epoch=*/1,
+                                           /*duration_epochs=*/2);
+  size_t handled = 0;
+  bus.SetHandler(msg::Protocol::kVivaldi,
+                 [&](const msg::Envelope&) { ++handled; });
+
+  std::vector<size_t> handled_by_epoch;
+  for (size_t e = 0; e < 4; ++e) {
+    bus.BeginEpoch();
+    EXPECT_TRUE(bus.Send(Ping(0, 1)).ok());
+    bus.EndEpoch();
+    handled_by_epoch.push_back(handled);
+  }
+
+  // Epoch 0 delivers, the burst swallows epochs 1-2, epoch 3 delivers.
+  EXPECT_EQ(handled_by_epoch[0], 1u);
+  EXPECT_EQ(handled_by_epoch[1], 1u);
+  EXPECT_EQ(handled_by_epoch[2], 1u);
+  EXPECT_EQ(handled_by_epoch[3], 2u);
+  EXPECT_EQ(bus.stats()
+                .protocol[static_cast<size_t>(msg::Protocol::kVivaldi)]
+                .dropped_fault,
+            2u);
+}
+
+TEST(MessageBus, FaultyBusReplaysBitIdenticallyFromItsPlan) {
+  // Two independently built buses over the same plan must make identical
+  // fault decisions and identical delivery schedules — the chaos layer is
+  // a pure function of (plan, send stream).
+  auto run = [] {
+    BusFixture fx;
+    msg::MessageBus::Options opts;
+    opts.epoch_ms = 50.0;
+    auto& r = opts.faults.protocol[static_cast<size_t>(msg::Protocol::kVivaldi)];
+    r.loss = 0.3;
+    r.duplicate = 0.3;
+    r.delay_jitter_ms = 20.0;
+    msg::MessageBus bus(&fx.fabric, opts);
+
+    std::string trace;
+    bus.SetHandler(msg::Protocol::kVivaldi, [&](const msg::Envelope& e) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%llu/%llu@%.6f ",
+                    static_cast<unsigned long long>(e.tid),
+                    static_cast<unsigned long long>(e.seq), e.deliver_ms);
+      trace += buf;
+    });
+    for (size_t e = 0; e < 6; ++e) {
+      bus.BeginEpoch();
+      for (NodeId n = 0; n < 8; ++n) EXPECT_TRUE(bus.Send(Ping(n, n + 2)).ok());
+      bus.EndEpoch();
+    }
+    const auto& c =
+        bus.stats().protocol[static_cast<size_t>(msg::Protocol::kVivaldi)];
+    char tail[128];
+    std::snprintf(tail, sizeof(tail), "| sent=%zu del=%zu fault=%zu dup=%zu",
+                  c.sent, c.delivered, c.dropped_fault, c.duplicated);
+    // Conservation under chaos: every wire copy is delivered, dropped, or
+    // still queued.
+    EXPECT_EQ(c.sent, c.delivered + c.dropped_dead + c.dropped_partition +
+                          c.dropped_fault + bus.pending());
+    EXPECT_GT(c.dropped_fault, 0u);
+    EXPECT_GT(c.duplicated, 0u);
+    return trace + tail;
+  };
+
+  const std::string first = run();
+  const std::string replay = run();
+  EXPECT_EQ(first, replay);
+}
+
 // ------------------------- engine message mode -------------------------
 
 engine::EngineOptions MsgEngineOptions(uint64_t seed, double jitter = 0.0) {
@@ -243,27 +449,53 @@ engine::EpochOptions MessageEpoch(size_t threads = 1) {
   return epoch;
 }
 
-/// Canonical rendering of a traffic summary for replay comparison.
+/// Canonical rendering of a traffic summary for replay comparison (chaos
+/// and reliability counters included, so faulty replays are pinned too).
 std::string TrafficRender(const msg::TrafficSummary& t) {
-  char buf[360];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "epochs=%zu sent=%zu delivered=%zu drop_dead=%zu drop_part=%zu "
-      "bytes=%zu viv=%zu/%zu ring=%zu/%zu place=%zu/%zu conv=%zu "
-      "converged=%d stale_n=%zu stale_p50=%.1f stale_p95=%.1f\n",
+      "drop_fault=%zu dup=%zu bytes=%zu viv=%zu/%zu ring=%zu/%zu "
+      "place=%zu/%zu conv=%zu converged=%d stale_n=%zu stale_p50=%.1f "
+      "stale_p95=%.1f retries=%zu rbytes=%zu acks=%zu supp=%zu exh=%zu "
+      "ovf=%zu pend=%zu susp=%zu fsusp=%zu conf=%zu dlat_p50=%.1f "
+      "dlat_p95=%.1f\n",
       t.epochs, t.msgs_sent, t.msgs_delivered, t.msgs_dropped_dead,
-      t.msgs_dropped_partition, t.bytes_total, t.protocol_msgs[0],
-      t.protocol_bytes[0], t.protocol_msgs[1], t.protocol_bytes[1],
-      t.protocol_msgs[2], t.protocol_bytes[2], t.convergence_epochs,
-      t.converged ? 1 : 0, t.staleness_samples, t.staleness_p50,
-      t.staleness_p95);
+      t.msgs_dropped_partition, t.msgs_dropped_fault, t.msgs_duplicated,
+      t.bytes_total, t.protocol_msgs[0], t.protocol_bytes[0],
+      t.protocol_msgs[1], t.protocol_bytes[1], t.protocol_msgs[2],
+      t.protocol_bytes[2], t.convergence_epochs, t.converged ? 1 : 0,
+      t.staleness_samples, t.staleness_p50, t.staleness_p95, t.retries,
+      t.retry_bytes, t.acks, t.dup_suppressed, t.retry_exhausted,
+      t.retransmit_overflow, t.retry_pending, t.suspicions,
+      t.false_suspicions, t.crash_confirmations, t.detection_p50,
+      t.detection_p95);
   return buf;
+}
+
+/// Chaos knobs for engine scenarios: the same (loss, duplicate, jitter)
+/// rates on every protocol, plus the hardening layers.
+msg::RuntimeParams ChaosParams(double loss, double duplicate,
+                               double delay_jitter_ms, bool reliability,
+                               bool detector) {
+  msg::RuntimeParams mp;
+  for (msg::FaultRates& r : mp.bus.faults.protocol) {
+    r.loss = loss;
+    r.duplicate = duplicate;
+    r.delay_jitter_ms = delay_jitter_ms;
+  }
+  mp.reliability.enabled = reliability;
+  mp.detector.enabled = detector;
+  return mp;
 }
 
 /// One full message-mode scenario: warm-up epoch (creates the runtime so
 /// submissions are billed), query submission, churn-driven epochs, then the
 /// overlay + traffic fingerprint.
-std::string RunMessageScenario(uint64_t seed, size_t threads) {
+std::string RunMessageScenario(uint64_t seed, size_t threads,
+                               const msg::RuntimeParams& mp =
+                                   msg::RuntimeParams()) {
   auto eng = MakeEngine(MsgEngineOptions(seed, /*jitter=*/0.05));
   const query::WorkloadParams wp = TestWorkloadParams();
   eng->SetCatalog(MakeCatalog(eng->sbon(), wp, seed * 31 + 7));
@@ -271,6 +503,7 @@ std::string RunMessageScenario(uint64_t seed, size_t threads) {
       MakeQueries(eng->sbon(), eng->catalog(), wp, 4, seed * 131 + 13);
 
   engine::EpochOptions epoch = MessageEpoch(threads);
+  epoch.msg = mp;
   eng->AdvanceEpoch(epoch);  // creates the msg runtime before any placement
 
   for (const query::QuerySpec& spec : specs) {
@@ -285,7 +518,10 @@ std::string RunMessageScenario(uint64_t seed, size_t threads) {
   cp.seed = seed * 1000003 + 17;
   net::ChurnModel churn(eng->sbon().overlay_nodes(), cp);
   epoch.churn = &churn;
-  for (size_t e = 0; e < 8; ++e) eng->AdvanceEpoch(epoch);
+  for (size_t e = 0; e < 8; ++e) {
+    const Status st = eng->AdvanceEpoch(epoch);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
 
   const engine::EngineSnapshot snapshot = eng->Snapshot();
   EXPECT_TRUE(snapshot.decentralized.has_value());
@@ -463,6 +699,376 @@ TEST(MsgEngine, RingReconvergesAfterScriptedCrashBurst) {
   EXPECT_LT(t.convergence_epochs, 12u);
   EXPECT_GT(t.msgs_dropped_dead, 0u)
       << "in-flight traffic addressed to the crashed nodes must drop";
+}
+
+// --------------------- chaos mode (engine + agents) ---------------------
+
+TEST(MsgEngine, RuntimeParamsAreValidatedAtTheFirstMessageEpoch) {
+  struct Case {
+    const char* what;
+    void (*break_params)(msg::RuntimeParams*);
+  };
+  const Case cases[] = {
+      {"non-positive epoch_ms",
+       [](msg::RuntimeParams* p) { p->bus.epoch_ms = 0.0; }},
+      {"zero peer set",
+       [](msg::RuntimeParams* p) { p->vivaldi.peer_set_size = 0; }},
+      {"zero wire size",
+       [](msg::RuntimeParams* p) { p->ring.stabilize_bytes = 0; }},
+      {"loss above 1",
+       [](msg::RuntimeParams* p) {
+         p->bus.faults.protocol[0].loss = 1.5;
+       }},
+      {"negative delay jitter",
+       [](msg::RuntimeParams* p) {
+         p->bus.faults.protocol[1].delay_jitter_ms = -1.0;
+       }},
+      {"reliability with zero dedup window",
+       [](msg::RuntimeParams* p) {
+         p->reliability.enabled = true;
+         p->reliability.dedup_window = 0;
+       }},
+      {"detector with zero confirm window",
+       [](msg::RuntimeParams* p) {
+         p->detector.enabled = true;
+         p->detector.confirm_after_suspect = 0;
+       }},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.what);
+    auto eng = MakeEngine(MsgEngineOptions(11));
+    engine::EpochOptions epoch = MessageEpoch();
+    c.break_params(&epoch.msg);
+    const Status st = eng->AdvanceEpoch(epoch);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+    EXPECT_EQ(eng->msg_runtime(), nullptr)
+        << "a rejected first message epoch must not create the runtime";
+
+    // Oracle epochs never consult the message params: the same broken
+    // knobs are inert outside message mode.
+    engine::EpochOptions oracle;
+    oracle.msg = epoch.msg;
+    EXPECT_TRUE(eng->AdvanceEpoch(oracle).ok());
+  }
+}
+
+TEST(MsgEngine, ReliabilityRetriesLostPublishesUntilAcked) {
+  // 40% ring loss with reliability on: publishes (and their acks) keep
+  // getting lost, the pending queue times out and retransmits with capped
+  // backoff, and the retry traffic is billed as real bytes.
+  msg::RuntimeParams mp;
+  mp.bus.faults.protocol[static_cast<size_t>(msg::Protocol::kRing)].loss =
+      0.4;
+  mp.reliability.enabled = true;
+  mp.reliability.retry_after_epochs = 1;
+
+  auto eng = MakeEngine(MsgEngineOptions(63));
+  engine::EpochOptions epoch = MessageEpoch();
+  epoch.msg = mp;
+  for (size_t e = 0; e < 12; ++e) {
+    ASSERT_TRUE(eng->AdvanceEpoch(epoch).ok());
+  }
+
+  const engine::EngineSnapshot snapshot = eng->Snapshot();
+  ASSERT_TRUE(snapshot.decentralized.has_value());
+  const msg::TrafficSummary& t = *snapshot.decentralized;
+  EXPECT_GT(t.msgs_dropped_fault, 0u);
+  EXPECT_GT(t.acks, 0u) << "delivered reliable kinds must be acked";
+  EXPECT_GT(t.retries, 0u) << "lost publishes must be retransmitted";
+  EXPECT_GT(t.retry_bytes, 0u) << "retransmissions are real traffic";
+  EXPECT_LE(t.retry_pending, mp.reliability.max_pending);
+  EXPECT_GE(t.msgs_sent, t.msgs_delivered + t.msgs_dropped_dead +
+                             t.msgs_dropped_partition + t.msgs_dropped_fault);
+}
+
+TEST(MsgEngine, DuplicatedDeliveryIsIdempotentForEveryHandler) {
+  // Certain duplication of every message vs. no faults at all, both with
+  // the dedup windows on, across a scripted crash + rejoin (so every kind
+  // is exercised: ping/pong, publish, stabilize, leave fanout, join, ack).
+  // The overlay must end bit-identical: the windows suppress every second
+  // copy before it reaches a handler side effect.
+  auto run = [](const msg::RuntimeParams& mp) {
+    auto eng = MakeEngine(MsgEngineOptions(47));
+    engine::EpochOptions epoch = MessageEpoch();
+    epoch.msg = mp;
+    EXPECT_TRUE(eng->AdvanceEpoch(epoch).ok());
+
+    net::ChurnModel churn(eng->sbon().overlay_nodes(), {});
+    const NodeId victim = eng->sbon().overlay_nodes()[3];
+    net::ChurnEvent crash;
+    crash.type = net::ChurnEventType::kCrash;
+    crash.node = victim;
+    churn.ScheduleAt(1, crash);
+    net::ChurnEvent rejoin;
+    rejoin.type = net::ChurnEventType::kRejoin;
+    rejoin.node = victim;
+    churn.ScheduleAt(4, rejoin);
+
+    epoch.churn = &churn;
+    for (size_t e = 0; e < 8; ++e) {
+      EXPECT_TRUE(eng->AdvanceEpoch(epoch).ok());
+    }
+    const engine::EngineSnapshot snapshot = eng->Snapshot();
+    EXPECT_TRUE(snapshot.decentralized.has_value());
+    return std::make_pair(OverlayFingerprint(eng->sbon()),
+                          *snapshot.decentralized);
+  };
+
+  const auto clean = run(ChaosParams(0.0, 0.0, 0.0, /*reliability=*/true,
+                                     /*detector=*/false));
+  const auto duplicated = run(ChaosParams(0.0, 1.0, 0.0, /*reliability=*/true,
+                                          /*detector=*/false));
+
+  EXPECT_EQ(clean.first, duplicated.first)
+      << "network duplication leaked into overlay state";
+  EXPECT_EQ(clean.second.msgs_duplicated, 0u)
+      << "the clean run's network must make no copies";
+  EXPECT_GT(duplicated.second.msgs_duplicated, 0u);
+  // The clean run may suppress the odd crash-induced *retransmission* (the
+  // windows exist for those too); the duplicated run must suppress far
+  // more — every network copy that reaches a handler.
+  EXPECT_GT(duplicated.second.dup_suppressed, clean.second.dup_suppressed)
+      << "the dedup windows must be doing the suppression";
+}
+
+TEST(MsgEngine, RetransmitQueueIsBoundedAndOverflowCounts) {
+  // A two-slot pending queue under heavy ring loss: most displacement
+  // publishes can't be tracked. They still go out once (best effort), the
+  // overflow is counted, and the queue never exceeds its bound.
+  msg::RuntimeParams mp;
+  mp.bus.faults.protocol[static_cast<size_t>(msg::Protocol::kRing)].loss =
+      0.5;
+  mp.reliability.enabled = true;
+  mp.reliability.max_pending = 2;
+  mp.reliability.retry_after_epochs = 1;
+
+  auto eng = MakeEngine(MsgEngineOptions(29));
+  engine::EpochOptions epoch = MessageEpoch();
+  epoch.msg = mp;
+  for (size_t e = 0; e < 10; ++e) {
+    ASSERT_TRUE(eng->AdvanceEpoch(epoch).ok());
+  }
+
+  const engine::EngineSnapshot snapshot = eng->Snapshot();
+  ASSERT_TRUE(snapshot.decentralized.has_value());
+  const msg::TrafficSummary& t = *snapshot.decentralized;
+  EXPECT_GT(t.retransmit_overflow, 0u);
+  EXPECT_LE(t.retry_pending, 2u);
+}
+
+TEST(MsgEngine, FailureDetectorConfirmsACrashAndDrivesRepair) {
+  // Scripted crash with the detector on: the node's endpoint goes dark but
+  // the overlay is not told. Silence builds suspicion, the confirmation
+  // timeout expires, and only then does the engine run FailNode + repair.
+  // With (suspect_after_missed, confirm_after_suspect) = (2, 2) the crash
+  // at epoch 2 confirms at epoch 5: detection latency exactly 3 epochs.
+  auto eng = MakeEngine(MsgEngineOptions(44));
+  net::ChurnModel churn(eng->sbon().overlay_nodes(), {});
+  const NodeId victim = eng->sbon().overlay_nodes()[4];
+  net::ChurnEvent crash;
+  crash.type = net::ChurnEventType::kCrash;
+  crash.node = victim;
+  churn.ScheduleAt(2, crash);
+
+  engine::EpochOptions epoch = MessageEpoch();
+  epoch.msg = ChaosParams(0.0, 0.0, 0.0, /*reliability=*/false,
+                          /*detector=*/true);
+  epoch.churn = &churn;
+
+  size_t confirmed_at = 0;
+  for (size_t e = 0; e < 10; ++e) {
+    ASSERT_TRUE(eng->AdvanceEpoch(epoch).ok());
+    if (e >= 2 && e < 5) {
+      EXPECT_TRUE(eng->sbon().IsAlive(victim))
+          << "the overlay must not learn of the crash before confirmation";
+      EXPECT_EQ(eng->Snapshot().repair.crashes, 0u);
+    }
+    if (confirmed_at == 0 && !eng->sbon().IsAlive(victim)) confirmed_at = e;
+  }
+
+  EXPECT_EQ(confirmed_at, 5u);
+  EXPECT_FALSE(eng->sbon().IsAlive(victim));
+  const engine::EngineSnapshot snapshot = eng->Snapshot();
+  EXPECT_EQ(snapshot.repair.crashes, 1u) << "confirmation must drive repair";
+  ASSERT_TRUE(snapshot.decentralized.has_value());
+  const msg::TrafficSummary& t = *snapshot.decentralized;
+  EXPECT_EQ(t.crash_confirmations, 1u);
+  ASSERT_EQ(t.detection_samples, 1u);
+  EXPECT_EQ(t.detection_p50, 3.0);
+  EXPECT_GE(t.suspicions, 1u);
+}
+
+TEST(MsgEngine, RejoinBeforeConfirmationCancelsThePendingCrash) {
+  // The node comes back while the detector is still counting silence: the
+  // endpoint is simply restored, no failure or repair ever happens, and
+  // the suspicion is written off as false.
+  auto eng = MakeEngine(MsgEngineOptions(46));
+  net::ChurnModel churn(eng->sbon().overlay_nodes(), {});
+  const NodeId victim = eng->sbon().overlay_nodes()[4];
+  net::ChurnEvent crash;
+  crash.type = net::ChurnEventType::kCrash;
+  crash.node = victim;
+  churn.ScheduleAt(2, crash);
+  net::ChurnEvent rejoin;
+  rejoin.type = net::ChurnEventType::kRejoin;
+  rejoin.node = victim;
+  churn.ScheduleAt(4, rejoin);
+
+  engine::EpochOptions epoch = MessageEpoch();
+  epoch.msg = ChaosParams(0.0, 0.0, 0.0, /*reliability=*/false,
+                          /*detector=*/true);
+  epoch.churn = &churn;
+  for (size_t e = 0; e < 10; ++e) {
+    ASSERT_TRUE(eng->AdvanceEpoch(epoch).ok());
+  }
+
+  EXPECT_TRUE(eng->sbon().IsAlive(victim));
+  const engine::EngineSnapshot snapshot = eng->Snapshot();
+  EXPECT_EQ(snapshot.repair.crashes, 0u);
+  EXPECT_EQ(snapshot.repair.rejoins, 0u)
+      << "an un-noticed crash needs no ring re-join";
+  ASSERT_TRUE(snapshot.decentralized.has_value());
+  const msg::TrafficSummary& t = *snapshot.decentralized;
+  EXPECT_EQ(t.crash_confirmations, 0u);
+  EXPECT_EQ(t.detection_samples, 0u);
+  EXPECT_GE(t.false_suspicions, 1u)
+      << "the aborted suspicion must be accounted";
+}
+
+TEST(MsgEngine, PartitionSilenceIsAFalseSuspicionNotACrash) {
+  // A long partition starves cross-cut heartbeats. The detector suspects —
+  // and even confirms — members that are perfectly alive; the engine
+  // rejects those verdicts (the nodes never went through CrashEndpoint)
+  // and the detector starts over. Nobody is ever failed.
+  auto eng = MakeEngine(MsgEngineOptions(48));
+  net::ChurnModel churn(eng->sbon().overlay_nodes(), {});
+  const auto& nodes = eng->sbon().overlay_nodes();
+  net::ChurnEvent start;
+  start.type = net::ChurnEventType::kPartitionStart;
+  start.group.assign(nodes.begin(), nodes.begin() + nodes.size() / 3);
+  start.severity = 8.0;
+  churn.ScheduleAt(1, start);
+  net::ChurnEvent heal;
+  heal.type = net::ChurnEventType::kPartitionHeal;
+  churn.ScheduleAt(8, heal);
+
+  engine::EpochOptions epoch = MessageEpoch();
+  epoch.msg = ChaosParams(0.0, 0.0, 0.0, /*reliability=*/false,
+                          /*detector=*/true);
+  epoch.churn = &churn;
+  for (size_t e = 0; e < 10; ++e) {
+    ASSERT_TRUE(eng->AdvanceEpoch(epoch).ok());
+  }
+
+  for (NodeId n : eng->sbon().overlay_nodes()) {
+    EXPECT_TRUE(eng->sbon().IsAlive(n));
+  }
+  const engine::EngineSnapshot snapshot = eng->Snapshot();
+  EXPECT_EQ(snapshot.repair.crashes, 0u)
+      << "partition-starved members must never be failed";
+  ASSERT_TRUE(snapshot.decentralized.has_value());
+  const msg::TrafficSummary& t = *snapshot.decentralized;
+  EXPECT_GT(t.suspicions, 0u);
+  EXPECT_GT(t.false_suspicions, 0u);
+  EXPECT_EQ(t.crash_confirmations, 0u);
+  EXPECT_EQ(t.detection_samples, 0u);
+}
+
+TEST(MsgEngine, RingReconvergesUnderChaosWithDetector) {
+  // The acceptance scenario: 10% loss + 5% duplication on every protocol,
+  // reliability + detector on, and a scripted three-node crash burst. The
+  // detector must confirm all three (with its fixed 3-epoch latency), the
+  // deferred repairs must run, and the ring must still re-quiesce within
+  // the epoch budget despite retries and lost publishes.
+  msg::RuntimeParams mp = ChaosParams(0.10, 0.05, 0.0, /*reliability=*/true,
+                                      /*detector=*/true);
+  // Tight retry schedule so exhausted transfers stop echoing publishes
+  // well inside the budget (worst chain: 5 + 1 + 2 + 2 epochs).
+  mp.reliability.retry_after_epochs = 1;
+  mp.reliability.max_backoff_epochs = 2;
+  mp.reliability.max_retries = 3;
+
+  auto eng = MakeEngine(MsgEngineOptions(91));
+  net::ChurnModel churn(eng->sbon().overlay_nodes(), {});
+  const auto& nodes = eng->sbon().overlay_nodes();
+  ASSERT_GE(nodes.size(), 9u);
+  for (size_t k = 0; k < 3; ++k) {
+    net::ChurnEvent crash;
+    crash.type = net::ChurnEventType::kCrash;
+    crash.node = nodes[2 + 3 * k];
+    churn.ScheduleAt(2, crash);
+  }
+
+  engine::EpochOptions epoch = MessageEpoch();
+  epoch.msg = mp;
+  epoch.dt = 0.0;
+  epoch.tick_network = false;
+  epoch.refresh_epsilon = 1.0;
+  epoch.churn = &churn;
+  for (size_t e = 0; e < 5; ++e) ASSERT_TRUE(eng->AdvanceEpoch(epoch).ok());
+  epoch.vivaldi_samples = 0;
+  for (size_t e = 5; e < 20; ++e) ASSERT_TRUE(eng->AdvanceEpoch(epoch).ok());
+
+  const engine::EngineSnapshot snapshot = eng->Snapshot();
+  EXPECT_EQ(snapshot.repair.crashes, 3u);
+  ASSERT_TRUE(snapshot.decentralized.has_value());
+  const msg::TrafficSummary& t = *snapshot.decentralized;
+  EXPECT_EQ(t.crash_confirmations, 3u);
+  EXPECT_EQ(t.detection_samples, 3u);
+  EXPECT_EQ(t.detection_p50, 3.0)
+      << "silent nodes confirm on the fixed detector schedule";
+  EXPECT_TRUE(t.converged)
+      << "the ring must re-quiesce under chaos within the epoch budget";
+  EXPECT_GT(t.msgs_dropped_fault, 0u);
+  EXPECT_GT(t.msgs_duplicated, 0u);
+  EXPECT_LE(t.retry_pending, mp.reliability.max_pending);
+  EXPECT_GE(t.msgs_sent, t.msgs_delivered + t.msgs_dropped_dead +
+                             t.msgs_dropped_partition + t.msgs_dropped_fault);
+}
+
+TEST(MsgEngine, ChaosRunsReplayBitIdenticallyAtAnyThreadCount) {
+  // The full chaos stack (loss + duplication + delay jitter + reliability
+  // + detector) over random churn: the run must be a pure function of the
+  // seed — same fingerprint (overlay + every chaos counter) on a second
+  // run and on a 4-thread run.
+  msg::RuntimeParams mp = ChaosParams(0.10, 0.05, 10.0, /*reliability=*/true,
+                                      /*detector=*/true);
+  for (uint64_t seed : {6u, 7u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::string first = RunMessageScenario(seed, /*threads=*/1, mp);
+    const std::string replay = RunMessageScenario(seed, /*threads=*/1, mp);
+    EXPECT_EQ(first, replay) << "same-seed chaos replay diverged";
+    const std::string threaded = RunMessageScenario(seed, /*threads=*/4, mp);
+    EXPECT_EQ(first, threaded) << "chaos run changed with the thread count";
+  }
+}
+
+TEST(MsgEngine, ScenarioMatrixHoldsInvariantsUnderChaos) {
+  // The chaos acceptance sweep: every matrix cell runs with 10% loss + 5%
+  // duplication + delay jitter, reliability and detector on, random crash
+  // churn and partitions — and the matrix's invariant battery (orphan
+  // scan, load books, conservation with dropped_fault, bounded pending,
+  // bit-identical replay) must hold in every cell.
+  MatrixOptions mo;
+  mo.size = TopologySize::kTiny;
+  mo.queries = 4;
+  mo.epochs = 8;
+  mo.exec_mode = engine::ExecMode::kMessage;
+  mo.churn.partition_rate = 0.2;
+  mo.churn.partition_duration_epochs = 2;
+  mo.msg = ChaosParams(0.10, 0.05, 5.0, /*reliability=*/true,
+                       /*detector=*/true);
+  ScenarioMatrix matrix(mo);
+  const auto cells = ScenarioMatrix::Rotation(
+      {0.0, 0.5}, {0.0, 0.05}, {0.0, 0.3}, {OptimizerKind::kIntegrated},
+      {401, 402, 403});
+  const auto outcomes = matrix.Run(cells);
+  EXPECT_EQ(outcomes.size(), cells.size());
+  for (const CellOutcome& o : outcomes) {
+    EXPECT_GT(o.queries_submitted, 0u);
+    EXPECT_NE(o.fingerprint.find("drop_fault"), std::string::npos)
+        << "chaos fingerprints must pin the fault counters";
+  }
 }
 
 TEST(MsgEngine, ScenarioMatrixHoldsInvariantsInMessageMode) {
