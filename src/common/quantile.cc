@@ -1,0 +1,88 @@
+#include "common/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbon {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+    }
+    return;
+  }
+  ++count_;
+
+  // Cell k: markers strictly above x shift up one rank.
+  size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Nudge the three interior markers toward their desired ranks: parabolic
+  // (piecewise-quadratic) interpolation when it keeps the heights ordered,
+  // linear otherwise — straight from the paper's Box 1.
+  for (size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double dp = positions_[i + 1] - positions_[i];
+    const double dm = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && dp > 1.0) || (d <= -1.0 && dm < -1.0)) {
+      const double sign = d >= 0.0 ? 1.0 : -1.0;
+      const double hp = (heights_[i + 1] - heights_[i]) / dp;
+      const double hm = (heights_[i - 1] - heights_[i]) / dm;
+      const double parabolic =
+          heights_[i] +
+          sign / (dp - dm) * ((sign - dm) * hp + (dp - sign) * hm);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        heights_[i] += sign * (sign > 0.0 ? hp : -hm);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ >= 5) return heights_[2];
+  // Exact small-sample order statistic (nearest-rank over the sorted
+  // prefix), so early estimates are never garbage.
+  std::array<double, 5> sorted = heights_;
+  std::sort(sorted.begin(), sorted.begin() + count_);
+  const double rank = q_ * static_cast<double>(count_ - 1);
+  const size_t idx = static_cast<size_t>(std::llround(rank));
+  return sorted[std::min(idx, count_ - 1)];
+}
+
+void LatencyDigest::Add(double x) {
+  ++count_;
+  sum_ += x;
+  max_ = std::max(max_, x);
+  p50_.Add(x);
+  p95_.Add(x);
+  p99_.Add(x);
+}
+
+void LatencyDigest::AddRepeated(double x, size_t n) {
+  for (size_t i = 0; i < n; ++i) Add(x);
+}
+
+}  // namespace sbon

@@ -1,0 +1,67 @@
+#ifndef SBON_COMMON_QUANTILE_H_
+#define SBON_COMMON_QUANTILE_H_
+
+#include <array>
+#include <cstddef>
+
+namespace sbon {
+
+/// Streaming quantile estimate via the P² algorithm (Jain & Chlamtac,
+/// CACM 1985): five markers tracking {min, q/2, q, (1+q)/2, max} positions,
+/// nudged toward their desired ranks with parabolic interpolation after
+/// every observation. O(1) memory whatever the stream length — the
+/// open-loop workload soak feeds millions of latencies through these
+/// without a sample buffer (unlike Summary, which stores every sample).
+///
+/// Exact for the first five observations; afterwards an estimate whose
+/// error shrinks with the stream (a few percent at thousands of samples
+/// for smooth distributions). Deterministic: the estimate is a pure
+/// function of the observation sequence.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.5 / 0.95 / 0.99.
+  explicit P2Quantile(double q);
+
+  void Add(double x);
+  /// Current estimate (exact order statistic until five observations;
+  /// 0 when empty).
+  double Value() const;
+  size_t count() const { return count_; }
+
+ private:
+  double q_;
+  size_t count_ = 0;
+  std::array<double, 5> heights_{};     // marker values, ascending
+  std::array<double, 5> positions_{};   // actual marker ranks (1-based)
+  std::array<double, 5> desired_{};     // target ranks
+  std::array<double, 5> increments_{};  // target-rank growth per sample
+};
+
+/// Fixed p50/p95/p99 digest plus the cheap exact aggregates, bundled the
+/// way every latency column in BENCH_workload.json wants them.
+class LatencyDigest {
+ public:
+  LatencyDigest() : p50_(0.50), p95_(0.95), p99_(0.99) {}
+
+  void Add(double x);
+  /// Folds `n` observations of the same value in (a batch's amortized
+  /// per-item latency).
+  void AddRepeated(double x, size_t n);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double max() const { return max_; }
+  double p50() const { return p50_.Value(); }
+  double p95() const { return p95_.Value(); }
+  double p99() const { return p99_.Value(); }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  P2Quantile p50_, p95_, p99_;
+};
+
+}  // namespace sbon
+
+#endif  // SBON_COMMON_QUANTILE_H_

@@ -139,12 +139,17 @@ StatusOr<QueryHandle> StreamEngine::Submit(const query::QuerySpec& spec,
   const QueryHandle handle{next_handle_++};
   by_circuit_.emplace(record.circuit, handle);
   queries_.emplace(handle, std::move(record));
-  if (refresh_index_on_install_) sbon_->RefreshIndex();
+  MaybeRefreshIndex();
   return handle;
 }
 
 std::vector<StatusOr<QueryHandle>> StreamEngine::SubmitAll(
     const std::vector<query::QuerySpec>& specs, const StrategySpec& strategy) {
+  // One deferred refresh for the whole batch: each Submit stays atomic and
+  // failure-isolated (a bad spec costs only its own slot), but the index
+  // republish that refresh_index_on_install engines pay per deployment is
+  // coalesced into a single pass when the scope closes.
+  DeferRefresh defer(this);
   std::vector<StatusOr<QueryHandle>> handles;
   handles.reserve(specs.size());
   for (const query::QuerySpec& spec : specs) {
@@ -162,7 +167,7 @@ Status StreamEngine::Remove(QueryHandle handle) {
   if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
   by_circuit_.erase(it->second.circuit);
   queries_.erase(it);
-  if (refresh_index_on_install_) sbon_->RefreshIndex();
+  MaybeRefreshIndex();
   return Status::OK();
 }
 
@@ -219,7 +224,7 @@ StatusOr<ReoptOutcome> StreamEngine::Reoptimize(QueryHandle handle,
     by_circuit_.emplace(record.circuit, handle);
     record.optimizer = optimizer_name;
     record.result = report->candidate;
-    if (refresh_index_on_install_) sbon_->RefreshIndex();
+    MaybeRefreshIndex();
   }
   return outcome;
 }
@@ -258,7 +263,7 @@ Status StreamEngine::ReplanQuery(QueryHandle handle,
       OptimizeAndInstall(StrategyFromRecord(record, optimizer), &record);
   if (!st.ok()) return st;
   by_circuit_.emplace(record.circuit, handle);
-  if (refresh_index_on_install_) sbon_->RefreshIndex();
+  MaybeRefreshIndex();
   return Status::OK();
 }
 
@@ -367,6 +372,15 @@ void StreamEngine::ApplyChurn(const std::vector<net::ChurnEvent>& events) {
         break;
     }
   }
+}
+
+void StreamEngine::MaybeRefreshIndex() {
+  if (!refresh_index_on_install_) return;
+  if (defer_refresh_depth_ > 0) {
+    deferred_refresh_pending_ = true;
+    return;
+  }
+  sbon_->RefreshIndex();
 }
 
 ThreadPool* StreamEngine::PoolFor(size_t threads) {
@@ -532,6 +546,11 @@ QueryHandle StreamEngine::HandleOf(CircuitId circuit) const {
 const query::QuerySpec* StreamEngine::SpecOf(QueryHandle handle) const {
   auto it = queries_.find(handle);
   return it == queries_.end() ? nullptr : &it->second.spec;
+}
+
+const core::OptimizeResult* StreamEngine::ResultOf(QueryHandle handle) const {
+  auto it = queries_.find(handle);
+  return it == queries_.end() ? nullptr : &it->second.result;
 }
 
 StatusOr<double> StreamEngine::CurrentEstimatedCost(QueryHandle handle) const {

@@ -213,6 +213,34 @@ class StreamEngine {
   StreamEngine(const StreamEngine&) = delete;
   StreamEngine& operator=(const StreamEngine&) = delete;
 
+  /// RAII scope that coalesces install-triggered index refreshes
+  /// (`EngineOptions::refresh_index_on_install`): while at least one scope
+  /// is open, Submit/Remove/Reoptimize/Repair skip their per-call
+  /// `RefreshIndex()` and the outermost scope's destructor performs one
+  /// refresh iff any deployment changed underneath it. SubmitAll opens one
+  /// internally (a Q-query batch pays one refresh, not Q); WorkloadEngine
+  /// wraps each departure burst the same way. A no-op on engines built
+  /// without refresh_index_on_install — there the AdvanceEpoch refresh
+  /// stage is the only publisher. Scopes nest.
+  class DeferRefresh {
+   public:
+    explicit DeferRefresh(StreamEngine* engine) : engine_(engine) {
+      ++engine_->defer_refresh_depth_;
+    }
+    ~DeferRefresh() {
+      if (--engine_->defer_refresh_depth_ == 0 &&
+          engine_->deferred_refresh_pending_) {
+        engine_->deferred_refresh_pending_ = false;
+        engine_->sbon_->RefreshIndex();
+      }
+    }
+    DeferRefresh(const DeferRefresh&) = delete;
+    DeferRefresh& operator=(const DeferRefresh&) = delete;
+
+   private:
+    StreamEngine* engine_;
+  };
+
   // --- stream catalog ---
   const query::Catalog& catalog() const { return catalog_; }
   /// Replaces the catalog wholesale (e.g. a pre-built workload). Running
@@ -283,6 +311,11 @@ class StreamEngine {
   QueryHandle HandleOf(CircuitId circuit) const;
   /// Spec the query was submitted with (nullptr if unknown).
   const query::QuerySpec* SpecOf(QueryHandle handle) const;
+  /// Submit-time optimizer accounting of the query's last (re)deployment —
+  /// reuse counters, plans considered — without the cost-space evaluation
+  /// StatsOf pays per call. nullptr if unknown. The embedded circuit is
+  /// empty by contract (the installed copy is authoritative).
+  const core::OptimizeResult* ResultOf(QueryHandle handle) const;
   /// The optimizer's cost metric for the query's circuit against the
   /// *current* cost space (drifts as the network churns).
   StatusOr<double> CurrentEstimatedCost(QueryHandle handle) const;
@@ -376,11 +409,21 @@ class StreamEngine {
   /// zero threading overhead).
   ThreadPool* PoolFor(size_t threads);
 
+  /// The install-time refresh gate shared by every deployment mutation:
+  /// refreshes immediately when the engine was built with
+  /// refresh_index_on_install and no DeferRefresh scope is open, otherwise
+  /// leaves the refresh pending for the outermost scope to flush.
+  void MaybeRefreshIndex();
+
   std::string default_optimizer_;
   std::string default_placer_;
   core::OptimizerConfig default_config_;
   core::MultiQueryOptimizer::Params default_multi_query_;
   bool refresh_index_on_install_ = false;
+  /// Open DeferRefresh scopes; > 0 redirects install-time refreshes into
+  /// deferred_refresh_pending_ for the outermost scope to flush.
+  size_t defer_refresh_depth_ = 0;
+  bool deferred_refresh_pending_ = false;
 
   std::unique_ptr<overlay::Sbon> sbon_;
   query::Catalog catalog_;

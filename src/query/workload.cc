@@ -1,14 +1,77 @@
 #include "query/workload.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 namespace sbon::query {
 
-Catalog RandomCatalog(const WorkloadParams& params,
-                      const std::vector<NodeId>& producer_sites, Rng* rng) {
-  assert(!producer_sites.empty());
+namespace {
+
+bool IsProb(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+Status ValidateWorkloadParams(const WorkloadParams& p) {
+  if (p.num_streams == 0) {
+    return Status::InvalidArgument("num_streams must be >= 1");
+  }
+  if (!(p.rate_pareto_xm > 0.0)) {
+    return Status::InvalidArgument("rate_pareto_xm must be > 0");
+  }
+  if (!(p.rate_pareto_alpha > 0.0)) {
+    return Status::InvalidArgument("rate_pareto_alpha must be > 0");
+  }
+  if (!(p.rate_cap >= p.rate_pareto_xm)) {
+    return Status::InvalidArgument("rate_cap must be >= rate_pareto_xm");
+  }
+  if (!(p.tuple_size_min > 0.0) || p.tuple_size_min > p.tuple_size_max) {
+    return Status::InvalidArgument(
+        "tuple size bounds need 0 < min <= max");
+  }
+  if (p.min_streams_per_query == 0 ||
+      p.min_streams_per_query > p.max_streams_per_query) {
+    return Status::InvalidArgument(
+        "streams per query need 1 <= min <= max");
+  }
+  if (p.join_sel_log10_min > p.join_sel_log10_max ||
+      p.join_sel_log10_max > 0.0) {
+    // log10(selectivity) <= 0 keeps every drawn selectivity in (0, 1].
+    return Status::InvalidArgument(
+        "join selectivity exponents need min <= max <= 0");
+  }
+  if (!IsProb(p.chain_prob) || !IsProb(p.filter_prob) ||
+      !IsProb(p.aggregate_prob)) {
+    return Status::InvalidArgument(
+        "chain/filter/aggregate probabilities must be in [0, 1]");
+  }
+  if (!(p.filter_sel_min > 0.0) || p.filter_sel_min > p.filter_sel_max ||
+      p.filter_sel_max > 1.0) {
+    return Status::InvalidArgument(
+        "filter selectivity bounds need 0 < min <= max <= 1");
+  }
+  if (!(p.aggregate_factor_min > 0.0) ||
+      p.aggregate_factor_min > p.aggregate_factor_max ||
+      p.aggregate_factor_max > 1.0) {
+    return Status::InvalidArgument(
+        "aggregate factor bounds need 0 < min <= max <= 1");
+  }
+  if (!(p.join_window_s > 0.0)) {
+    return Status::InvalidArgument("join_window_s must be > 0");
+  }
+  return Status::OK();
+}
+
+StatusOr<Catalog> MakeRandomCatalog(const WorkloadParams& params,
+                                    const std::vector<NodeId>& producer_sites,
+                                    Rng* rng) {
+  Status st = ValidateWorkloadParams(params);
+  if (!st.ok()) return st;
+  if (producer_sites.empty()) {
+    return Status::FailedPrecondition("no producer sites to pin streams to");
+  }
   Catalog catalog;
   for (size_t i = 0; i < params.num_streams; ++i) {
     const double rate = std::min(
@@ -23,10 +86,19 @@ Catalog RandomCatalog(const WorkloadParams& params,
   return catalog;
 }
 
-QuerySpec RandomQuery(const WorkloadParams& params, const Catalog& catalog,
-                      const std::vector<NodeId>& consumer_sites, Rng* rng) {
-  assert(!consumer_sites.empty());
-  assert(catalog.NumStreams() >= params.min_streams_per_query);
+StatusOr<QuerySpec> MakeRandomQuery(const WorkloadParams& params,
+                                    const Catalog& catalog,
+                                    const std::vector<NodeId>& consumer_sites,
+                                    Rng* rng) {
+  Status st = ValidateWorkloadParams(params);
+  if (!st.ok()) return st;
+  if (consumer_sites.empty()) {
+    return Status::FailedPrecondition("no consumer sites to deliver to");
+  }
+  if (catalog.NumStreams() < params.min_streams_per_query) {
+    return Status::FailedPrecondition(
+        "catalog has fewer streams than min_streams_per_query");
+  }
   const size_t hi =
       std::min(params.max_streams_per_query, catalog.NumStreams());
   const size_t lo = std::min(params.min_streams_per_query, hi);
@@ -83,6 +155,28 @@ QuerySpec RandomQuery(const WorkloadParams& params, const Catalog& catalog,
                                       params.aggregate_factor_max);
   }
   return q;
+}
+
+Catalog RandomCatalog(const WorkloadParams& params,
+                      const std::vector<NodeId>& producer_sites, Rng* rng) {
+  auto catalog = MakeRandomCatalog(params, producer_sites, rng);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "RandomCatalog: %s\n",
+                 catalog.status().message().c_str());
+    std::abort();
+  }
+  return std::move(catalog.value());
+}
+
+QuerySpec RandomQuery(const WorkloadParams& params, const Catalog& catalog,
+                      const std::vector<NodeId>& consumer_sites, Rng* rng) {
+  auto spec = MakeRandomQuery(params, catalog, consumer_sites, rng);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "RandomQuery: %s\n",
+                 spec.status().message().c_str());
+    std::abort();
+  }
+  return std::move(spec.value());
 }
 
 }  // namespace sbon::query

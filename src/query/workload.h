@@ -5,6 +5,7 @@
 
 #include "common/ids.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "query/catalog.h"
 #include "query/query_spec.h"
 
@@ -44,13 +45,34 @@ struct WorkloadParams {
   double join_window_s = 1.0;
 };
 
-/// Populates a catalog with random streams pinned to random nodes drawn from
-/// `producer_sites` (typically the overlay-eligible nodes of the topology).
-Catalog RandomCatalog(const WorkloadParams& params,
-                      const std::vector<NodeId>& producer_sites, Rng* rng);
+/// Rejects parameter combinations the generator would silently mangle:
+/// probabilities outside [0, 1], inverted min/max pairs, non-positive
+/// Pareto scale/tail or join window, selectivities outside (0, 1].
+Status ValidateWorkloadParams(const WorkloadParams& params);
+
+/// Populates a catalog with random streams pinned to random nodes drawn
+/// from `producer_sites` (typically the overlay-eligible nodes of the
+/// topology). Fails (without drawing from `rng`) on invalid params or an
+/// empty site list.
+StatusOr<Catalog> MakeRandomCatalog(const WorkloadParams& params,
+                                    const std::vector<NodeId>& producer_sites,
+                                    Rng* rng);
 
 /// Draws one random query over distinct catalog streams, delivered to a
-/// consumer drawn from `consumer_sites`.
+/// consumer drawn from `consumer_sites`. Fails (without drawing from `rng`)
+/// on invalid params, an empty site list, or a catalog smaller than
+/// `min_streams_per_query`.
+StatusOr<QuerySpec> MakeRandomQuery(const WorkloadParams& params,
+                                    const Catalog& catalog,
+                                    const std::vector<NodeId>& consumer_sites,
+                                    Rng* rng);
+
+/// Abort-on-error conveniences over the Make* factories, for generators in
+/// tests/benches where the inputs are constants and a Status would be
+/// unwrapped on the next line anyway. Unlike the old assert-only guards,
+/// these stay loud in Release builds (no silent garbage indexing).
+Catalog RandomCatalog(const WorkloadParams& params,
+                      const std::vector<NodeId>& producer_sites, Rng* rng);
 QuerySpec RandomQuery(const WorkloadParams& params, const Catalog& catalog,
                       const std::vector<NodeId>& consumer_sites, Rng* rng);
 

@@ -48,6 +48,18 @@ std::string TrafficFingerprint(const msg::TrafficSummary& t) {
   return buf;
 }
 
+/// Rendered workload counters for open-loop cells: replay must reproduce
+/// the entire arrival/admission/departure history, not just the survivors.
+std::string WorkloadFingerprint(const query::WorkloadPhaseStats& t) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "workload epochs=%zu arrivals=%zu shed=%zu admitted=%zu "
+                "submitted=%zu failures=%zu departures=%zu reuse=%zu\n",
+                t.epochs, t.arrivals, t.shed, t.admitted, t.submitted,
+                t.submit_failures, t.departures, t.reuse_hits);
+  return buf;
+}
+
 }  // namespace
 
 std::string CellName(const MatrixCell& cell) {
@@ -161,6 +173,7 @@ void ScenarioMatrix::CheckLiveInvariants(const engine::StreamEngine& engine) {
 }
 
 CellOutcome ScenarioMatrix::RunCellOnce(const MatrixCell& cell) {
+  if (options_.workload.enabled) return RunWorkloadCellOnce(cell);
   CellOutcome outcome;
   outcome.cell = cell;
 
@@ -236,50 +249,141 @@ CellOutcome ScenarioMatrix::RunCellOnce(const MatrixCell& cell) {
             outcome.queries_alive + snapshot.repair.queries_dropped);
   outcome.fingerprint =
       OverlayFingerprint(eng.sbon()) + RepairFingerprint(snapshot.repair);
-  if (options_.exec_mode == engine::ExecMode::kMessage) {
-    // Traffic invariants: the summary must exist, every epoch must have
-    // been drained, conservation must hold (nothing delivered that was
-    // never sent), and the per-node byte rate must stay bounded — a
-    // handful of protocol messages per node per epoch, not a broadcast
-    // storm. The bound is generous (the Vivaldi+ring+placement models sum
-    // to well under 4 KiB/node/epoch at test scale) but catches runaway
-    // retransmission outright.
-    if (!snapshot.decentralized.has_value()) {
-      ADD_FAILURE() << "message-mode snapshot lost its traffic summary";
-      return outcome;
-    }
-    const msg::TrafficSummary& t = *snapshot.decentralized;
-    EXPECT_EQ(t.epochs, options_.epochs);
-    EXPECT_GT(t.msgs_sent, 0u);
-    // Conservation under chaos: every wire copy is delivered, dropped with
-    // a named cause (dead endpoint / partition / injected fault), or still
-    // queued — the `sent` side also includes billed relay hops, hence >=.
-    EXPECT_GE(t.msgs_sent, t.msgs_delivered + t.msgs_dropped_dead +
-                               t.msgs_dropped_partition + t.msgs_dropped_fault);
-    EXPECT_LT(t.bytes_per_node_per_epoch, 16384.0)
-        << "message-mode traffic exceeded the per-node byte budget";
-    // Bounded retransmit queue: pending reliable transfers can never
-    // exceed the configured cap, no matter how much the injector loses.
-    EXPECT_LE(t.retry_pending, options_.msg.reliability.max_pending)
-        << "retransmit queue grew past its bound";
-    if (!options_.msg.reliability.enabled) {
-      EXPECT_EQ(t.retries, 0u);
-      EXPECT_EQ(t.acks, 0u);
-      EXPECT_EQ(t.retry_pending, 0u);
-    }
-    if (!options_.msg.detector.enabled) {
-      EXPECT_EQ(t.suspicions, 0u);
-      EXPECT_EQ(t.crash_confirmations, 0u);
-    }
-    outcome.fingerprint += TrafficFingerprint(t);
-  } else {
-    EXPECT_FALSE(snapshot.decentralized.has_value());
-  }
+  CheckTraffic(snapshot, &outcome);
 
   // Full teardown: removing every surviving query must leave zero service
   // instances, zero circuits, and every node's load book at its base value.
   for (engine::QueryHandle h : handles) {
     (void)eng.Remove(h);  // dropped handles return NotFound; that's fine
+  }
+  EXPECT_EQ(eng.NumQueries(), 0u);
+  EXPECT_EQ(eng.sbon().NumServices(), 0u);
+  EXPECT_TRUE(eng.sbon().circuits().empty());
+  for (NodeId n = 0; n < eng.sbon().topology().NumNodes(); ++n) {
+    EXPECT_NEAR(eng.sbon().ServiceLoad(n), 0.0, 1e-9)
+        << "node " << n << " retains service load after full removal";
+  }
+  return outcome;
+}
+
+void ScenarioMatrix::CheckTraffic(const engine::EngineSnapshot& snapshot,
+                                  CellOutcome* outcome) const {
+  if (options_.exec_mode != engine::ExecMode::kMessage) {
+    EXPECT_FALSE(snapshot.decentralized.has_value());
+    return;
+  }
+  // Traffic invariants: the summary must exist, every epoch must have
+  // been drained, conservation must hold (nothing delivered that was
+  // never sent), and the per-node byte rate must stay bounded — a
+  // handful of protocol messages per node per epoch, not a broadcast
+  // storm. The bound is generous (the Vivaldi+ring+placement models sum
+  // to well under 4 KiB/node/epoch at test scale) but catches runaway
+  // retransmission outright.
+  if (!snapshot.decentralized.has_value()) {
+    ADD_FAILURE() << "message-mode snapshot lost its traffic summary";
+    return;
+  }
+  const msg::TrafficSummary& t = *snapshot.decentralized;
+  EXPECT_EQ(t.epochs, options_.epochs);
+  EXPECT_GT(t.msgs_sent, 0u);
+  // Conservation under chaos: every wire copy is delivered, dropped with
+  // a named cause (dead endpoint / partition / injected fault), or still
+  // queued — the `sent` side also includes billed relay hops, hence >=.
+  EXPECT_GE(t.msgs_sent, t.msgs_delivered + t.msgs_dropped_dead +
+                             t.msgs_dropped_partition + t.msgs_dropped_fault);
+  EXPECT_LT(t.bytes_per_node_per_epoch, 16384.0)
+      << "message-mode traffic exceeded the per-node byte budget";
+  // Bounded retransmit queue: pending reliable transfers can never
+  // exceed the configured cap, no matter how much the injector loses.
+  EXPECT_LE(t.retry_pending, options_.msg.reliability.max_pending)
+      << "retransmit queue grew past its bound";
+  if (!options_.msg.reliability.enabled) {
+    EXPECT_EQ(t.retries, 0u);
+    EXPECT_EQ(t.acks, 0u);
+    EXPECT_EQ(t.retry_pending, 0u);
+  }
+  if (!options_.msg.detector.enabled) {
+    EXPECT_EQ(t.suspicions, 0u);
+    EXPECT_EQ(t.crash_confirmations, 0u);
+  }
+  outcome->fingerprint += TrafficFingerprint(t);
+}
+
+CellOutcome ScenarioMatrix::RunWorkloadCellOnce(const MatrixCell& cell) {
+  CellOutcome outcome;
+  outcome.cell = cell;
+
+  engine::EngineOptions eo;
+  eo.topology = MakeTransitStubTopology(options_.size, cell.seed);
+  eo.sbon.seed = cell.seed;
+  eo.sbon.latency_jitter_sigma = cell.jitter_sigma;
+  eo.sbon.load_params.hotspot_frac = cell.hotspot_frac;
+  eo.optimizer = OptimizerKindName(cell.optimizer);
+  eo.config = TestOptimizerConfig();
+  auto created = engine::StreamEngine::Create(std::move(eo));
+  if (!created.ok()) {
+    ADD_FAILURE() << "engine creation failed: "
+                  << created.status().ToString();
+    return outcome;
+  }
+  engine::StreamEngine& eng = **created;
+
+  net::ChurnModel::Params cp = options_.churn;
+  cp.crash_rate = cell.churn_rate;
+  cp.seed = cell.seed * 1000003 + 17;
+  net::ChurnModel churn(eng.sbon().overlay_nodes(), cp);
+
+  query::WorkloadEngineOptions wo;
+  wo.workload = TestWorkloadParams();
+  wo.arrivals = options_.workload.arrivals;
+  wo.admission = options_.workload.admission;
+  wo.seed = cell.seed * 131 + 13;
+  wo.epoch.dt = options_.dt;
+  wo.epoch.tick_network = true;
+  wo.epoch.vivaldi_samples = options_.vivaldi_samples;
+  wo.epoch.refresh_index = true;
+  wo.epoch.refresh_epsilon = options_.refresh_epsilon;
+  wo.epoch.churn = &churn;
+  wo.epoch.exec_mode = options_.exec_mode;
+  wo.epoch.msg = options_.msg;
+  auto wl = query::WorkloadEngine::Create(&eng, wo);
+  if (!wl.ok()) {
+    ADD_FAILURE() << "workload creation failed: " << wl.status().ToString();
+    return outcome;
+  }
+
+  for (size_t e = 0; e < options_.epochs; ++e) {
+    const Status st = (*wl)->Step();
+    EXPECT_TRUE(st.ok()) << "workload Step failed: " << st.ToString();
+    if (options_.check_every_epoch) {
+      SCOPED_TRACE("epoch " + std::to_string(e));
+      CheckLiveInvariants(eng);
+    }
+  }
+  if (!options_.check_every_epoch) CheckLiveInvariants(eng);
+
+  // Population conservation: every successfully submitted query is either
+  // still running, departed through its lifetime, or dropped by churn —
+  // the open-loop analogue of the fixed population's handle accounting.
+  const engine::EngineSnapshot snapshot = eng.Snapshot();
+  const query::WorkloadPhaseStats& t = (*wl)->totals();
+  outcome.repair = snapshot.repair;
+  outcome.queries_submitted = t.submitted;
+  outcome.queries_alive = snapshot.num_queries;
+  EXPECT_EQ(t.arrivals, t.shed + t.admitted);
+  EXPECT_EQ(t.admitted, t.submitted + t.submit_failures);
+  EXPECT_EQ(t.submitted, outcome.queries_alive + t.departures +
+                             snapshot.repair.queries_dropped);
+
+  outcome.fingerprint = OverlayFingerprint(eng.sbon()) +
+                        RepairFingerprint(snapshot.repair) +
+                        WorkloadFingerprint(t);
+  CheckTraffic(snapshot, &outcome);
+
+  // Full teardown of whatever is still running: the load books and the
+  // ledger must return to base exactly as in the fixed-population path.
+  for (const engine::QueryStats& qs : snapshot.queries) {
+    (void)eng.Remove(qs.handle);
   }
   EXPECT_EQ(eng.NumQueries(), 0u);
   EXPECT_EQ(eng.sbon().NumServices(), 0u);

@@ -8,6 +8,7 @@
 #include "harness/fixtures.h"
 #include "harness/scenario.h"
 #include "net/churn.h"
+#include "query/workload_engine.h"
 
 namespace sbon::test {
 
@@ -46,6 +47,18 @@ struct MatrixOptions {
   /// default (no faults, reliability and detector off) reproduces the
   /// polite-network message mode bit-identically.
   msg::RuntimeParams msg;
+  /// Open-loop workload cell: when enabled, the cell swaps its fixed
+  /// pre-churn query population for a WorkloadEngine soak — Poisson
+  /// arrivals (flash crowds and all) and exponential departures composing
+  /// with the cell's churn axis — so overload and failure stress the same
+  /// invariants together. Workload counters fold into the replay
+  /// fingerprint alongside the overlay and repair state.
+  struct Workload {
+    bool enabled = false;
+    query::ArrivalProcess arrivals;
+    query::AdmissionControl admission;
+  };
+  Workload workload;
   /// Run every cell twice and require bit-identical overlay fingerprints
   /// and repair stats — the deterministic-replay invariant.
   bool check_replay = true;
@@ -117,6 +130,12 @@ class ScenarioMatrix {
 
  private:
   CellOutcome RunCellOnce(const MatrixCell& cell);
+  /// The open-loop variant behind `MatrixOptions::workload.enabled`.
+  CellOutcome RunWorkloadCellOnce(const MatrixCell& cell);
+  /// Message-mode traffic invariants + fingerprint fold (no-op assertion
+  /// that no summary leaked in oracle mode).
+  void CheckTraffic(const engine::EngineSnapshot& snapshot,
+                    CellOutcome* outcome) const;
 
   MatrixOptions options_;
 };

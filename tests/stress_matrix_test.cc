@@ -81,6 +81,47 @@ TEST(StressMatrixTest, PartitionsUnderChurnHoldInvariants) {
   EXPECT_GT(heals, 0u);
 }
 
+// Open-loop workload composed with churn: Poisson arrivals, exponential
+// departures, a flash crowd overrunning the admission cap, and crashes all
+// at once — the invariants and the replay fingerprint (which now folds in
+// the full arrival/shed/departure history) must hold under the composition.
+TEST(StressMatrixTest, WorkloadFlashCrowdUnderChurnHoldsInvariants) {
+  MatrixOptions options;
+  options.size = TopologySize::kSmall;
+  options.queries = 0;  // population comes from the arrival process
+  options.epochs = 16;
+  options.churn.mean_downtime_epochs = 2.0;
+  options.workload.enabled = true;
+  options.workload.arrivals.base_rate_per_epoch = 2.0;
+  options.workload.arrivals.mean_lifetime_epochs = 5.0;
+  query::FlashCrowd crowd;
+  crowd.start_epoch = 6;
+  crowd.duration_epochs = 5;
+  crowd.rate_multiplier = 8.0;
+  crowd.hotspot_site_frac = 0.1;
+  options.workload.arrivals.flash_crowds.push_back(crowd);
+  options.workload.admission.max_running_queries = 12;
+  ScenarioMatrix matrix(options);
+
+  const auto outcomes = matrix.Run(ScenarioMatrix::Rotation(
+      {0.5, 1.0}, {0.0, 0.1}, {0.0, 0.2},
+      {OptimizerKind::kIntegrated, OptimizerKind::kMultiQuery},
+      {401, 402, 403, 404}));
+  size_t submitted = 0, crashes = 0;
+  for (const auto& o : outcomes) {
+    submitted += o.queries_submitted;
+    crashes += o.repair.crashes;
+    std::printf("[cell] %-52s submitted=%zu alive=%zu crashes=%zu "
+                "repaired=%zu dropped=%zu\n",
+                CellName(o.cell).c_str(), o.queries_submitted,
+                o.queries_alive, o.repair.crashes, o.repair.queries_repaired,
+                o.repair.queries_dropped);
+  }
+  // The composition must actually fire both stressors.
+  EXPECT_GT(submitted, 40u);
+  EXPECT_GT(crashes, 10u);
+}
+
 // Sustained-churn soak on one seed: a longer horizon with aggressive rates
 // verifies the repair path does not degrade state over many epochs.
 TEST(StressMatrixTest, LongHorizonSoakStaysConsistent) {
