@@ -1,0 +1,54 @@
+#include "common/kernel_stats.h"
+
+namespace sbon {
+
+const char* KernelName(Kernel k) {
+  switch (k) {
+    case Kernel::kVivaldiUpdate:
+      return "vivaldi_update";
+    case Kernel::kKNearestScan:
+      return "knearest_scan";
+    case Kernel::kCostEval:
+      return "cost_eval";
+  }
+  return "unknown";
+}
+
+KernelStatsSnapshot KernelStatsSnapshot::Since(
+    const KernelStatsSnapshot& base) const {
+  KernelStatsSnapshot out;
+  for (size_t i = 0; i < kNumKernels; ++i) {
+    out.kernel[i].calls = kernel[i].calls - base.kernel[i].calls;
+    out.kernel[i].ops = kernel[i].ops - base.kernel[i].ops;
+    out.kernel[i].ns = kernel[i].ns - base.kernel[i].ns;
+    out.kernel[i].allocs = kernel[i].allocs - base.kernel[i].allocs;
+  }
+  return out;
+}
+
+KernelStats& KernelStats::Instance() {
+  static KernelStats stats;
+  return stats;
+}
+
+KernelStatsSnapshot KernelStats::Snapshot() const {
+  KernelStatsSnapshot out;
+  for (size_t i = 0; i < kNumKernels; ++i) {
+    out.kernel[i].calls = counters_[i].calls.load(std::memory_order_relaxed);
+    out.kernel[i].ops = counters_[i].ops.load(std::memory_order_relaxed);
+    out.kernel[i].ns = counters_[i].ns.load(std::memory_order_relaxed);
+    out.kernel[i].allocs = counters_[i].allocs.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void KernelStats::Reset() {
+  for (size_t i = 0; i < kNumKernels; ++i) {
+    counters_[i].calls.store(0, std::memory_order_relaxed);
+    counters_[i].ops.store(0, std::memory_order_relaxed);
+    counters_[i].ns.store(0, std::memory_order_relaxed);
+    counters_[i].allocs.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sbon

@@ -1,0 +1,124 @@
+#ifndef SBON_COMMON_KERNEL_STATS_H_
+#define SBON_COMMON_KERNEL_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace sbon {
+
+/// The three hot coordinate kernels with dedicated ns/op + calls counters.
+enum class Kernel : int {
+  kVivaldiUpdate = 0,  ///< spring updates applied by the coords stage
+  kKNearestScan = 1,   ///< index distance scans (probed, exact, radius)
+  kCostEval = 2,       ///< batched cost-space evaluations (refresh
+                       ///< displacement scan, candidate-set distances)
+};
+inline constexpr size_t kNumKernels = 3;
+
+const char* KernelName(Kernel k);
+
+/// One kernel's cumulative counters at a point in time.
+struct KernelCounters {
+  uint64_t calls = 0;   ///< batched kernel invocations
+  uint64_t ops = 0;     ///< elements processed (updates, candidates, nodes)
+  uint64_t ns = 0;      ///< wall nanoseconds inside the kernel
+  uint64_t allocs = 0;  ///< heap allocations observed inside the kernel
+                        ///< (only meaningful when an alloc counter is
+                        ///< registered; see set_alloc_counter)
+};
+
+struct KernelStatsSnapshot {
+  std::array<KernelCounters, kNumKernels> kernel;
+
+  const KernelCounters& operator[](Kernel k) const {
+    return kernel[static_cast<size_t>(k)];
+  }
+  /// this - base, per counter — the usual way to attribute a measured loop.
+  KernelStatsSnapshot Since(const KernelStatsSnapshot& base) const;
+};
+
+/// Process-wide cumulative counters for the hot coordinate kernels. The
+/// kernels record at *batch* granularity (one Record per batched call, not
+/// per element), so the bookkeeping cost is two clock reads per batch and
+/// a handful of relaxed atomic adds — negligible against the batches they
+/// measure. Consumers (the epoch pipeline's stage trace, `perf_epoch`'s
+/// `kernels` JSON section) read snapshots and diff them around the work
+/// they want to attribute.
+class KernelStats {
+ public:
+  static KernelStats& Instance();
+
+  void Record(Kernel k, uint64_t ops, uint64_t ns, uint64_t allocs = 0) {
+    auto& c = counters_[static_cast<size_t>(k)];
+    c.calls.fetch_add(1, std::memory_order_relaxed);
+    c.ops.fetch_add(ops, std::memory_order_relaxed);
+    c.ns.fetch_add(ns, std::memory_order_relaxed);
+    if (allocs != 0) c.allocs.fetch_add(allocs, std::memory_order_relaxed);
+  }
+
+  KernelStatsSnapshot Snapshot() const;
+  void Reset();
+
+  /// Registers a heap-allocation counter (e.g. a bench harness's counting
+  /// `operator new` tally). When set, `KernelTimer` attributes the counter's
+  /// delta across each timed kernel call — how `perf_epoch` proves the hot
+  /// kernels allocation-free. Pass nullptr to detach. The counter must
+  /// outlive its registration and is read without synchronization, so only
+  /// single-threaded harness sections should register one.
+  void set_alloc_counter(const uint64_t* counter) {
+    alloc_counter_.store(counter, std::memory_order_relaxed);
+  }
+  const uint64_t* alloc_counter() const {
+    return alloc_counter_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> ops{0};
+    std::atomic<uint64_t> ns{0};
+    std::atomic<uint64_t> allocs{0};
+  };
+  std::array<Cell, kNumKernels> counters_;
+  std::atomic<const uint64_t*> alloc_counter_{nullptr};
+};
+
+/// RAII batch recorder: times its scope and records (1 call, `ops`
+/// elements, elapsed ns, alloc delta) into the global stats on destruction.
+class KernelTimer {
+ public:
+  KernelTimer(Kernel k, uint64_t ops)
+      : kernel_(k), ops_(ops), start_(std::chrono::steady_clock::now()) {
+    const uint64_t* ac = KernelStats::Instance().alloc_counter();
+    alloc_start_ = ac != nullptr ? *ac : 0;
+  }
+  ~KernelTimer() {
+    const uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    const uint64_t* ac = KernelStats::Instance().alloc_counter();
+    const uint64_t allocs = ac != nullptr ? *ac - alloc_start_ : 0;
+    KernelStats::Instance().Record(kernel_, ops_, ns, allocs);
+  }
+
+  KernelTimer(const KernelTimer&) = delete;
+  KernelTimer& operator=(const KernelTimer&) = delete;
+
+  /// For kernels whose element count is only known at the end of the scope
+  /// (adaptive walks).
+  void set_ops(uint64_t ops) { ops_ = ops; }
+
+ private:
+  Kernel kernel_;
+  uint64_t ops_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t alloc_start_ = 0;
+};
+
+}  // namespace sbon
+
+#endif  // SBON_COMMON_KERNEL_STATS_H_

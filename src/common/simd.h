@@ -1,0 +1,24 @@
+#ifndef SBON_COMMON_SIMD_H_
+#define SBON_COMMON_SIMD_H_
+
+/// Portable vectorization gate for the coordinate kernels.
+///
+/// When the build enables SIMD (CMake option `SBON_SIMD`, on by default),
+/// `SBON_SIMD_LOOP` expands to `#pragma omp simd` and the compiler is given
+/// `-fopenmp-simd`, which honors the pragma without pulling in any OpenMP
+/// runtime. With `SBON_SIMD=OFF` the macro expands to nothing and every
+/// kernel runs as the plain scalar loop.
+///
+/// The kernels only ever apply the pragma to loops whose iterations are
+/// independent per output element (vectorize *across candidates*, never
+/// across the dims of one accumulation), so both paths execute the exact
+/// same IEEE operation sequence per element and results are bit-identical
+/// — `tests/simd_equivalence_test.cc` and the CI scalar-fallback lane pin
+/// that property.
+#if defined(SBON_SIMD_ENABLED)
+#define SBON_SIMD_LOOP _Pragma("omp simd")
+#else
+#define SBON_SIMD_LOOP
+#endif
+
+#endif  // SBON_COMMON_SIMD_H_

@@ -42,6 +42,16 @@ class Vec {
     size_t i = 0;
     for (double x : init) p[i++] = x;
   }
+  /// Builds from `dims` contiguous doubles — the API-edge conversion from a
+  /// structure-of-arrays lane copy (`CoordBlock::NodeTo`) back to a value.
+  Vec(const double* src, size_t dims) { AssignFrom(src, dims); }
+
+  /// Replaces contents with `dims` contiguous doubles.
+  void AssignFrom(const double* src, size_t dims) {
+    Resize(dims);
+    double* p = data();
+    for (size_t i = 0; i < dims; ++i) p[i] = src[i];
+  }
 
   Vec(const Vec& o) { CopyFrom(o); }
   Vec& operator=(const Vec& o) {

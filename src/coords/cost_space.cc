@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/kernel_stats.h"
+#include "common/simd.h"
+
 namespace sbon::coords {
 
 CostSpaceSpec CostSpaceSpec::LatencyOnly(size_t vector_dims) {
@@ -19,16 +22,24 @@ CostSpaceSpec CostSpaceSpec::LatencyAndLoad(size_t vector_dims,
 
 CostSpace::CostSpace(CostSpaceSpec spec, size_t num_nodes)
     : spec_(std::move(spec)),
-      vector_coords_(num_nodes, Vec(spec_.vector_dims())),
-      raw_scalars_(num_nodes,
-                   std::vector<double>(spec_.num_scalar_dims(), 0.0)) {}
+      vector_coords_(spec_.vector_dims(), num_nodes),
+      raw_scalars_(spec_.num_scalar_dims(), num_nodes),
+      weighted_scalars_(spec_.num_scalar_dims(), num_nodes) {
+  // The weighted cache must hold w_i(0) for the all-zero initial metrics —
+  // not necessarily zero (weightings are only required to be >= 0).
+  for (size_t i = 0; i < spec_.num_scalar_dims(); ++i) {
+    const double w0 = spec_.scalar_dim(i).weighting->Apply(0.0);
+    double* lane = weighted_scalars_.lane(i);
+    for (size_t n = 0; n < num_nodes; ++n) lane[n] = w0;
+  }
+}
 
 Status CostSpace::SetVectorCoord(NodeId n, const Vec& coord) {
   if (n >= NumNodes()) return Status::OutOfRange("node id");
   if (coord.dims() != spec_.vector_dims()) {
     return Status::InvalidArgument("vector coord dims mismatch");
   }
-  vector_coords_[n] = coord;
+  vector_coords_.SetNode(n, coord);
   return Status::OK();
 }
 
@@ -37,47 +48,113 @@ Status CostSpace::SetScalarMetric(NodeId n, size_t i, double raw) {
   if (i >= spec_.num_scalar_dims()) {
     return Status::OutOfRange("scalar dim index");
   }
-  raw_scalars_[n][i] = raw;
+  raw_scalars_.At(i, n) = raw;
+  // Weightings are pure functions, so caching at write time returns exactly
+  // what compute-on-read returned.
+  weighted_scalars_.At(i, n) = spec_.scalar_dim(i).weighting->Apply(raw);
   return Status::OK();
-}
-
-double CostSpace::WeightedScalar(NodeId n, size_t i) const {
-  return spec_.scalar_dim(i).weighting->Apply(raw_scalars_[n][i]);
 }
 
 double CostSpace::ScalarPenalty(NodeId n) const {
   double s = 0.0;
   for (size_t i = 0; i < spec_.num_scalar_dims(); ++i) {
-    s += WeightedScalar(n, i);
+    s += weighted_scalars_.At(i, n);
   }
   return s;
 }
 
 Vec CostSpace::FullCoord(NodeId n) const {
-  Vec out = vector_coords_[n];
+  Vec out = vector_coords_.NodeVec(n);
   for (size_t i = 0; i < spec_.num_scalar_dims(); ++i) {
-    out.Append(WeightedScalar(n, i));
+    out.Append(weighted_scalars_.At(i, n));
   }
   return out;
 }
 
 double CostSpace::VectorDistance(NodeId a, NodeId b) const {
-  return vector_coords_[a].DistanceTo(vector_coords_[b]);
+  const double* pa = vector_coords_.lane(0) + a;
+  const double* pb = vector_coords_.lane(0) + b;
+  const size_t stride = vector_coords_.stride();
+  double s = 0.0;
+  for (size_t d = 0; d < spec_.vector_dims(); ++d) {
+    const double diff = pa[d * stride] - pb[d * stride];
+    s += diff * diff;
+  }
+  return std::sqrt(s);
 }
 
 double CostSpace::VectorDistanceTo(NodeId a, const Vec& vector_point) const {
-  return vector_coords_[a].DistanceTo(vector_point);
+  return std::sqrt(
+      kernels::DistanceSquaredAt(vector_coords_, a, vector_point.data()));
 }
 
 double CostSpace::FullDistanceToIdeal(NodeId n,
                                       const Vec& vector_point) const {
   assert(vector_point.dims() == spec_.vector_dims());
-  double s = vector_coords_[n].DistanceSquaredTo(vector_point);
+  double s = kernels::DistanceSquaredAt(vector_coords_, n, vector_point.data());
   for (size_t i = 0; i < spec_.num_scalar_dims(); ++i) {
-    const double w = WeightedScalar(n, i);  // target scalar coordinate is 0
+    const double w = weighted_scalars_.At(i, n);  // target scalar coord is 0
     s += w * w;
   }
   return std::sqrt(s);
+}
+
+void CostSpace::SyncVectorFrom(const CoordBlock& coords) {
+  assert(coords.dims() == spec_.vector_dims());
+  assert(coords.nodes() == NumNodes());
+  const size_t n = NumNodes();
+  for (size_t d = 0; d < spec_.vector_dims(); ++d) {
+    const double* src = coords.lane(d);
+    double* dst = vector_coords_.lane(d);
+    for (size_t i = 0; i < n; ++i) dst[i] = src[i];
+  }
+}
+
+void CostSpace::FullCoordsInto(const NodeId* nodes, size_t count,
+                               size_t out_begin, CoordBlock* out) const {
+  assert(out->dims() == spec_.total_dims());
+  assert(out->nodes() >= out_begin + count);
+  const size_t vdims = spec_.vector_dims();
+  for (size_t d = 0; d < vdims; ++d) {
+    const double* src = vector_coords_.lane(d);
+    double* dst = out->lane(d) + out_begin;
+    SBON_SIMD_LOOP
+    for (size_t j = 0; j < count; ++j) dst[j] = src[nodes[j]];
+  }
+  for (size_t i = 0; i < spec_.num_scalar_dims(); ++i) {
+    const double* src = weighted_scalars_.lane(i);
+    double* dst = out->lane(vdims + i) + out_begin;
+    SBON_SIMD_LOOP
+    for (size_t j = 0; j < count; ++j) dst[j] = src[nodes[j]];
+  }
+}
+
+void CostSpace::VectorDistancesToMany(const Vec& vector_point,
+                                      const NodeId* nodes, size_t count,
+                                      double* out) const {
+  assert(vector_point.dims() == spec_.vector_dims());
+  KernelTimer timer(Kernel::kCostEval, count);
+  kernels::DistanceSquaredToMany(vector_coords_, vector_point.data(), nodes,
+                                 count, out);
+  kernels::SqrtMany(out, count);
+}
+
+void CostSpace::FullDistancesToIdealMany(const Vec& vector_point,
+                                         const NodeId* nodes, size_t count,
+                                         double* out) const {
+  assert(vector_point.dims() == spec_.vector_dims());
+  KernelTimer timer(Kernel::kCostEval, count);
+  kernels::DistanceSquaredToMany(vector_coords_, vector_point.data(), nodes,
+                                 count, out);
+  for (size_t i = 0; i < spec_.num_scalar_dims(); ++i) {
+    const double* lane = weighted_scalars_.lane(i);
+    SBON_SIMD_LOOP
+    for (size_t j = 0; j < count; ++j) {
+      const double w = lane[nodes[j]];
+      out[j] += w * w;
+    }
+  }
+  kernels::SqrtMany(out, count);
 }
 
 }  // namespace sbon::coords

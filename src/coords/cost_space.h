@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/coord_block.h"
 #include "common/ids.h"
 #include "common/status.h"
 #include "common/vec.h"
@@ -53,24 +54,33 @@ class CostSpaceSpec {
 /// coordinate system such as Vivaldi) plus per-node raw scalar metrics
 /// (maintained by monitoring). A point in this space corresponds to a
 /// physical node (paper Sec. 3.1).
+///
+/// Storage is structure-of-arrays (`CoordBlock` lanes): batched evaluations
+/// — candidate-set distances, the refresh displacement scan — sweep
+/// unit-stride lanes, and `Vec` access materializes copies at the API edge.
+/// Weighted scalar coordinates are cached at metric-write time (weighting
+/// functions are pure), so every read path sees the same values the
+/// compute-on-read implementation produced.
 class CostSpace {
  public:
   CostSpace(CostSpaceSpec spec, size_t num_nodes);
 
   const CostSpaceSpec& spec() const { return spec_; }
-  size_t NumNodes() const { return vector_coords_.size(); }
+  size_t NumNodes() const { return vector_coords_.nodes(); }
 
   /// Installs the vector-part coordinate of a node (dims must match spec).
   Status SetVectorCoord(NodeId n, const Vec& coord);
   /// Installs the raw (unweighted) scalar metric of a node for dim `i`.
   Status SetScalarMetric(NodeId n, size_t i, double raw);
 
-  /// Vector part of the node's coordinate.
-  const Vec& VectorCoord(NodeId n) const { return vector_coords_[n]; }
+  /// Vector part of the node's coordinate, materialized as a value.
+  Vec VectorCoord(NodeId n) const { return vector_coords_.NodeVec(n); }
   /// Raw scalar metric before weighting.
-  double RawScalar(NodeId n, size_t i) const { return raw_scalars_[n][i]; }
+  double RawScalar(NodeId n, size_t i) const { return raw_scalars_.At(i, n); }
   /// Weighted scalar coordinate w_i(raw).
-  double WeightedScalar(NodeId n, size_t i) const;
+  double WeightedScalar(NodeId n, size_t i) const {
+    return weighted_scalars_.At(i, n);
+  }
   /// Sum of weighted scalar coordinates — the node's total penalty; used as
   /// the load term of circuit cost.
   double ScalarPenalty(NodeId n) const;
@@ -90,10 +100,41 @@ class CostSpace {
   /// metric physical mapping minimizes.
   double FullDistanceToIdeal(NodeId n, const Vec& vector_point) const;
 
+  // --- structure-of-arrays access and batched kernels ---------------------
+
+  /// The vector-part lanes (vector_dims x NumNodes), read-only.
+  const CoordBlock& vector_block() const { return vector_coords_; }
+  /// The cached weighted-scalar lanes (num_scalar_dims x NumNodes).
+  const CoordBlock& weighted_scalar_block() const { return weighted_scalars_; }
+
+  /// Bulk-copies the vector part from a lane-major block of the same shape
+  /// (the per-epoch Vivaldi -> cost-space sync).
+  void SyncVectorFrom(const CoordBlock& coords);
+
+  /// Writes the full coordinates of nodes[0..count) into `out` node slots
+  /// [out_begin, out_begin + count): vector lanes first, then the cached
+  /// weighted scalar lanes. `out` must be shaped total_dims x (>= out_begin
+  /// + count). Shard-safe: writes only the given slot range.
+  void FullCoordsInto(const NodeId* nodes, size_t count, size_t out_begin,
+                      CoordBlock* out) const;
+
+  /// Batched VectorDistanceTo over a candidate set: out[j] is the vector
+  /// subspace distance from nodes[j] to `vector_point`. Counted under the
+  /// cost_eval kernel.
+  void VectorDistancesToMany(const Vec& vector_point, const NodeId* nodes,
+                             size_t count, double* out) const;
+
+  /// Batched FullDistanceToIdeal over a candidate set: out[j] is the full
+  /// cost-space distance from nodes[j] to the ideal target over
+  /// `vector_point`. Counted under the cost_eval kernel.
+  void FullDistancesToIdealMany(const Vec& vector_point, const NodeId* nodes,
+                                size_t count, double* out) const;
+
  private:
   CostSpaceSpec spec_;
-  std::vector<Vec> vector_coords_;
-  std::vector<std::vector<double>> raw_scalars_;
+  CoordBlock vector_coords_;     // vector_dims x N lanes
+  CoordBlock raw_scalars_;       // num_scalar_dims x N lanes
+  CoordBlock weighted_scalars_;  // num_scalar_dims x N lanes, w_i(raw) cache
 };
 
 }  // namespace sbon::coords

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "common/kernel_stats.h"
+
 namespace sbon::coords {
 
 namespace {
@@ -43,7 +45,7 @@ StatusOr<std::unique_ptr<CoordinateManager>> CoordinateManager::Build(
     Status st = mgr->space_->SetVectorCoord(i, coords[i]);
     if (!st.ok()) return st;
   }
-  mgr->last_published_.assign(n, Vec());
+  mgr->last_published_.Reset(params.spec.total_dims(), n);
   return mgr;
 }
 
@@ -82,7 +84,7 @@ void CoordinateManager::BuildIndex(const std::vector<NodeId>& overlay_nodes) {
   if (bulk) index_->BeginBulkUpdate();
   for (size_t k = 0; k < overlay_nodes.size(); ++k) {
     index_->Publish(overlay_nodes[k], full_coords[k]);
-    last_published_[overlay_nodes[k]] = std::move(full_coords[k]);
+    last_published_.SetNode(overlay_nodes[k], full_coords[k]);
   }
   if (bulk) index_->EndBulkUpdate();
   index_->Stabilize();
@@ -123,10 +125,13 @@ void CoordinateManager::UpdateCoordinatesOnline(
     sample_end_[self] = samples_.size();
   }
 
-  // Phase 2 — spring updates. Serial semantics (the contract both paths
-  // implement): nodes update in index order, so a sample against a lower
-  // peer sees that peer's fully-updated epoch state and a sample against a
-  // higher peer sees its epoch-start state.
+  // Phase 2 — spring updates, counted as the vivaldi_update kernel. Serial
+  // semantics (the contract both paths implement): nodes update in index
+  // order, so a sample against a lower peer sees that peer's fully-updated
+  // epoch state and a sample against a higher peer sees its epoch-start
+  // state.
+  {
+  KernelTimer timer(Kernel::kVivaldiUpdate, samples_.size());
   if (pool == nullptr || pool->threads() <= 1) {
     for (NodeId self = 0; self < n; ++self) {
       const size_t begin = self == 0 ? 0 : sample_end_[self - 1];
@@ -141,10 +146,9 @@ void CoordinateManager::UpdateCoordinatesOnline(
     // serial order would otherwise impose. Generation numbers depend only
     // on the pre-drawn samples, and nodes within a generation write
     // disjoint state, so any thread count produces the serial result.
-    snap_coords_.resize(n);
+    snap_block_ = vivaldi_->coords();
     snap_error_.resize(n);
     for (NodeId i = 0; i < n; ++i) {
-      snap_coords_[i] = vivaldi_->Coord(i);
       snap_error_[i] = vivaldi_->LocalError(i);
     }
     generation_.assign(n, 0);
@@ -192,22 +196,19 @@ void CoordinateManager::UpdateCoordinatesOnline(
             const NodeId peer = samples_[k].peer;
             if (peer < self) {
               // Lower peer: finished in an earlier generation; live state.
-              vivaldi_->UpdateAgainst(self, peer, vivaldi_->Coord(peer),
-                                      vivaldi_->LocalError(peer),
-                                      samples_[k].rtt);
+              vivaldi_->Update(self, peer, samples_[k].rtt);
             } else {
-              vivaldi_->UpdateAgainst(self, peer, snap_coords_[peer],
-                                      snap_error_[peer], samples_[k].rtt);
+              vivaldi_->UpdateAgainstBlock(self, peer, snap_block_,
+                                           snap_error_[peer], samples_[k].rtt);
             }
           }
         }
       });
     }
   }
+  }  // KernelTimer(vivaldi_update) scope: phase 2 only
 
-  for (NodeId i = 0; i < n; ++i) {
-    space_->SetVectorCoord(i, vivaldi_->Coord(i));
-  }
+  space_->SyncVectorFrom(vivaldi_->coords());
 }
 
 void CoordinateManager::RefreshIndex(const std::vector<NodeId>& overlay_nodes,
@@ -215,22 +216,31 @@ void CoordinateManager::RefreshIndex(const std::vector<NodeId>& overlay_nodes,
   refresh_stats_.refreshes += 1;
   const double eps2 = epsilon * epsilon;
   const size_t m = overlay_nodes.size();
-  // Phase 1 — displacement scan (sharded): recompute every overlay node's
-  // full coordinate and flag the ones displaced beyond epsilon. Each slot
-  // is written by exactly one shard; dirty_ is byte-wide because
-  // vector<bool> packs bits and adjacent writes would race.
+  // Phase 1 — displacement scan (sharded), counted as the cost_eval kernel:
+  // gather every overlay node's full coordinate into positional SoA lanes,
+  // then diff lane-wise against the last-published block and flag the slots
+  // displaced beyond epsilon. Each slot is written by exactly one shard;
+  // dirty_ is byte-wide because vector<bool> packs bits and adjacent writes
+  // would race. Per slot the squared displacement accumulates dims-ascending
+  // — bitwise the order the per-Vec DistanceSquaredTo scan used.
   dirty_.assign(m, 0);
-  if (full_scratch_.size() < m) full_scratch_.resize(m);
-  ParallelSlices(pool, m, [&](size_t lo, size_t hi) {
-    for (size_t k = lo; k < hi; ++k) {
-      const NodeId n = overlay_nodes[k];
-      full_scratch_[k] = space_->FullCoord(n);
-      // Strictly-greater: epsilon 0 republishes any changed coordinate and
-      // skips bit-identical ones (the ring state is the same either way).
-      dirty_[k] =
-          full_scratch_[k].DistanceSquaredTo(last_published_[n]) > eps2;
-    }
-  });
+  full_block_.Reset(params_.spec.total_dims(), m);
+  disp_scratch_.resize(m);
+  {
+    KernelTimer timer(Kernel::kCostEval, m);
+    ParallelSlices(pool, m, [&](size_t lo, size_t hi) {
+      space_->FullCoordsInto(overlay_nodes.data() + lo, hi - lo, lo,
+                             &full_block_);
+      kernels::DisplacementSquared(full_block_, lo, last_published_,
+                                   overlay_nodes.data() + lo, hi - lo,
+                                   disp_scratch_.data() + lo);
+      for (size_t k = lo; k < hi; ++k) {
+        // Strictly-greater: epsilon 0 republishes any changed coordinate and
+        // skips bit-identical ones (the ring state is the same either way).
+        dirty_[k] = disp_scratch_[k] > eps2;
+      }
+    });
+  }
   // Phase 2 — serial re-publish in node order (ring mutation), identical to
   // the order the legacy single-pass refresh issued. Bulk window: a busy
   // epoch republishes most of the overlay, and per-publish vector splices
@@ -241,8 +251,9 @@ void CoordinateManager::RefreshIndex(const std::vector<NodeId>& overlay_nodes,
   for (size_t k = 0; k < m; ++k) {
     if (dirty_[k]) {
       const NodeId n = overlay_nodes[k];
-      index_->Publish(n, full_scratch_[k]);
-      last_published_[n] = std::move(full_scratch_[k]);
+      const Vec full = full_block_.NodeVec(k);
+      index_->Publish(n, full);
+      last_published_.SetNode(n, full);
       ++republished;
     } else {
       refresh_stats_.skipped += 1;
@@ -266,9 +277,7 @@ void CoordinateManager::ApplyRemoteSample(NodeId self, NodeId peer,
 
 void CoordinateManager::SyncVectorCoords() {
   if (vivaldi_ == nullptr) return;
-  for (NodeId i = 0; i < space_->NumNodes(); ++i) {
-    space_->SetVectorCoord(i, vivaldi_->Coord(i));
-  }
+  space_->SyncVectorFrom(vivaldi_->coords());
 }
 
 void CoordinateManager::CollectDisplaced(
@@ -276,18 +285,19 @@ void CoordinateManager::CollectDisplaced(
     std::vector<NodeId>* out) const {
   const double eps2 = epsilon * epsilon;
   for (NodeId n : overlay_nodes) {
+    const Vec full = space_->FullCoord(n);
     // Strictly-greater, matching RefreshIndex: epsilon 0 flags any changed
     // coordinate and skips bit-identical ones.
-    if (space_->FullCoord(n).DistanceSquaredTo(last_published_[n]) > eps2) {
+    if (kernels::DistanceSquaredAt(last_published_, n, full.data()) > eps2) {
       out->push_back(n);
     }
   }
 }
 
 void CoordinateManager::PublishWithoutStabilize(NodeId n) {
-  Vec full = space_->FullCoord(n);
+  const Vec full = space_->FullCoord(n);
   index_->Publish(n, full);
-  last_published_[n] = std::move(full);
+  last_published_.SetNode(n, full);
 }
 
 void CoordinateManager::Withdraw(NodeId n) {
@@ -295,13 +305,13 @@ void CoordinateManager::Withdraw(NodeId n) {
   // repair placement cannot land replacements on it.
   index_->Withdraw(n);
   index_->Stabilize();
-  last_published_[n] = Vec();
+  last_published_.ZeroNode(n);
 }
 
 void CoordinateManager::Publish(NodeId n) {
-  Vec full = space_->FullCoord(n);
+  const Vec full = space_->FullCoord(n);
   index_->Publish(n, full);
-  last_published_[n] = std::move(full);
+  last_published_.SetNode(n, full);
   index_->Stabilize();
 }
 

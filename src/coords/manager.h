@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/coord_block.h"
 #include "common/ids.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -155,9 +156,11 @@ class CoordinateManager {
   std::unique_ptr<CostSpace> space_;
   std::unique_ptr<dht::CoordinateIndex> index_;
   dht::IndexQueryCost index_cost_;
-  /// Full coordinate each node last published into the index (by node id);
-  /// RefreshIndex republishes only nodes displaced beyond its epsilon.
-  std::vector<Vec> last_published_;
+  /// Full coordinate each node last published into the index, as lane-major
+  /// SoA addressed by node id (total_dims x N); RefreshIndex's displacement
+  /// scan diffs it lane-wise against the recomputed full coordinates and
+  /// republishes only nodes displaced beyond its epsilon.
+  CoordBlock last_published_;
   IndexRefreshStats refresh_stats_;
 
   // Reused scratch for the online-update and refresh stages (allocation-free
@@ -167,9 +170,11 @@ class CoordinateManager {
   std::vector<size_t> generation_;   ///< wavefront generation per node
   std::vector<NodeId> wave_order_;   ///< nodes bucketed by generation
   std::vector<size_t> wave_begin_;   ///< bucket boundaries into wave_order_
-  std::vector<Vec> snap_coords_;     ///< epoch-start coordinate snapshot
+  CoordBlock snap_block_;            ///< epoch-start coordinate snapshot
   std::vector<double> snap_error_;   ///< epoch-start error snapshot
-  std::vector<Vec> full_scratch_;    ///< recomputed full coords (refresh)
+  CoordBlock full_block_;            ///< recomputed full coords (refresh),
+                                     ///< positional (slot k = overlay_nodes[k])
+  std::vector<double> disp_scratch_; ///< squared displacement per slot
   std::vector<uint8_t> dirty_;       ///< per overlay node: moved > epsilon
 };
 

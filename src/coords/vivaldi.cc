@@ -7,26 +7,62 @@ namespace sbon::coords {
 
 VivaldiSystem::VivaldiSystem(size_t num_nodes, const Params& params, Rng* rng)
     : params_(params),
-      coords_(num_nodes, Vec(params.dims)),
+      coords_(params.dims, num_nodes),
       error_(num_nodes, params.initial_error),
       rng_(rng) {
-  // Start at tiny random offsets so initial forces have direction.
-  for (auto& c : coords_) {
-    for (size_t d = 0; d < c.dims(); ++d) c[d] = rng->Uniform(-0.1, 0.1);
+  // Start at tiny random offsets so initial forces have direction. Draws
+  // are node-major (all dims of node 0, then node 1, ...), the order the
+  // per-node Vec layout always consumed the stream in.
+  for (size_t n = 0; n < num_nodes; ++n) {
+    for (size_t d = 0; d < params_.dims; ++d) {
+      coords_.At(d, n) = rng->Uniform(-0.1, 0.1);
+    }
   }
 }
 
 void VivaldiSystem::Update(NodeId self, NodeId peer, double measured_rtt_ms) {
-  UpdateAgainst(self, peer, coords_[peer], error_[peer], measured_rtt_ms);
+  UpdateKernel(self, peer, coords_.lane(0) + peer, coords_.stride(),
+               error_[peer], measured_rtt_ms);
 }
 
 void VivaldiSystem::UpdateAgainst(NodeId self, NodeId peer,
                                   const Vec& peer_coord, double peer_error,
                                   double measured_rtt_ms) {
+  UpdateKernel(self, peer, peer_coord.data(), 1, peer_error, measured_rtt_ms);
+}
+
+void VivaldiSystem::UpdateAgainstBlock(NodeId self, NodeId peer,
+                                       const CoordBlock& peers,
+                                       double peer_error,
+                                       double measured_rtt_ms) {
+  UpdateKernel(self, peer, peers.lane(0) + peer, peers.stride(), peer_error,
+               measured_rtt_ms);
+}
+
+void VivaldiSystem::UpdateKernel(NodeId self, NodeId peer,
+                                 const double* peer_base, size_t peer_stride,
+                                 double peer_error, double measured_rtt_ms) {
   const double rtt = std::max(measured_rtt_ms, params_.min_rtt_ms);
-  Vec diff = coords_[self];
-  diff -= peer_coord;
-  const double dist = diff.Norm();
+  const size_t dims = params_.dims;
+  const size_t stride = coords_.stride();
+  double* base = coords_.lane(0) + self;  // self's dim d at base[d * stride]
+
+  // diff = self - peer, in a stack buffer; cost spaces beyond kInlineDims
+  // spill to the heap exactly as the Vec-based implementation did.
+  double inline_buf[Vec::kInlineDims];
+  Vec spill;
+  double* diff = inline_buf;
+  if (dims > Vec::kInlineDims) {
+    spill = Vec(dims);
+    diff = spill.data();
+  }
+  for (size_t d = 0; d < dims; ++d) {
+    diff[d] = base[d * stride] - peer_base[d * peer_stride];
+  }
+  double norm2 = 0.0;
+  for (size_t d = 0; d < dims; ++d) norm2 += diff[d] * diff[d];
+  const double dist = std::sqrt(norm2);
+
   // Sample weight balances local vs remote confidence.
   const double w_self = error_[self];
   const double w_peer = peer_error;
@@ -37,10 +73,54 @@ void VivaldiSystem::UpdateAgainst(NodeId self, NodeId peer,
   error_[self] =
       es * params_.ce * w + error_[self] * (1.0 - params_.ce * w);
   error_[self] = std::clamp(error_[self], 0.0, 10.0);
-  // Move along the spring force direction.
+  // Move along the spring force direction. `dist` is bitwise the norm the
+  // historical `diff.Unit(tiebreak)` recomputed internally.
   const double delta = params_.cc * w;
-  const Vec dir = diff.Unit(static_cast<uint64_t>(self) * 1000003u + peer);
-  coords_[self].AddScaled(dir, delta * (rtt - dist));
+  const double step = delta * (rtt - dist);
+  if (dist > 1e-12) {
+    // dir[d] = diff[d] / dist, applied as self[d] += dir[d] * step: the
+    // divide-then-multiply rounding of the Vec path, element-independent.
+    for (size_t d = 0; d < dims; ++d) {
+      base[d * stride] += (diff[d] / dist) * step;
+    }
+  } else {
+    // Deterministic pseudo-random direction for coincident points —
+    // Vec::Unit's tiebreak, replicated on the stack buffer.
+    const uint64_t tiebreak = static_cast<uint64_t>(self) * 1000003u + peer;
+    uint64_t h = tiebreak * 0x9e3779b97f4a7c15ULL + 0x1234567ULL;
+    double dir_norm2 = 0.0;
+    for (size_t d = 0; d < dims; ++d) {
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      const double x =
+          static_cast<double>(h >> 11) * 0x1.0p-53 - 0.5;  // [-0.5, 0.5)
+      diff[d] = x;
+      dir_norm2 += x * x;
+    }
+    if (dir_norm2 < 1e-24 && dims > 0) diff[0] = 1.0;
+    double renorm2 = 0.0;
+    for (size_t d = 0; d < dims; ++d) renorm2 += diff[d] * diff[d];
+    const double n2 = std::sqrt(renorm2);
+    if (n2 > 0.0) {
+      for (size_t d = 0; d < dims; ++d) diff[d] /= n2;
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      base[d * stride] += diff[d] * step;
+    }
+  }
+}
+
+double VivaldiSystem::Predict(NodeId a, NodeId b) const {
+  const double* pa = coords_.lane(0) + a;
+  const double* pb = coords_.lane(0) + b;
+  const size_t stride = coords_.stride();
+  double s = 0.0;
+  for (size_t d = 0; d < params_.dims; ++d) {
+    const double diff = pa[d * stride] - pb[d * stride];
+    s += diff * diff;
+  }
+  return std::sqrt(s);
 }
 
 VivaldiSystem RunVivaldi(const net::LatencyView& lat,

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/coord_block.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/vec.h"
@@ -14,6 +15,14 @@ namespace sbon::coords {
 /// the coordinate system the paper cites for constructing latency cost
 /// spaces [17]. Each node keeps a coordinate and a confidence-weighted local
 /// error; pairwise RTT samples pull/push coordinates like springs.
+///
+/// Coordinates live in a structure-of-arrays `CoordBlock` (one contiguous
+/// lane per dimension) so the epoch's update sweep runs over unit-stride
+/// lanes; `Coord()` materializes a `Vec` copy at the API edge. The update
+/// kernel executes the exact scalar operation sequence of the historical
+/// `Vec` implementation (diff, norm, EWMA error, unit direction with the
+/// deterministic zero-norm tiebreak, scaled step), so fixed-seed results
+/// are bit-identical across the layout change.
 class VivaldiSystem {
  public:
   struct Params {
@@ -26,10 +35,13 @@ class VivaldiSystem {
 
   VivaldiSystem(size_t num_nodes, const Params& params, Rng* rng);
 
-  size_t NumNodes() const { return coords_.size(); }
+  size_t NumNodes() const { return coords_.nodes(); }
   size_t dims() const { return params_.dims; }
 
-  const Vec& Coord(NodeId n) const { return coords_[n]; }
+  /// The node's coordinate, materialized as a value.
+  Vec Coord(NodeId n) const { return coords_.NodeVec(n); }
+  /// The structure-of-arrays coordinate store (lane-major, read-only).
+  const CoordBlock& coords() const { return coords_; }
   double LocalError(NodeId n) const { return error_[n]; }
 
   /// Processes one RTT sample between `self` and `peer`, moving only `self`
@@ -45,14 +57,23 @@ class VivaldiSystem {
   void UpdateAgainst(NodeId self, NodeId peer, const Vec& peer_coord,
                      double peer_error, double measured_rtt_ms);
 
+  /// UpdateAgainst reading the peer coordinate out of a snapshot block
+  /// (same lane-major shape as `coords()`) without materializing a `Vec`.
+  void UpdateAgainstBlock(NodeId self, NodeId peer, const CoordBlock& peers,
+                          double peer_error, double measured_rtt_ms);
+
   /// Predicted latency between two nodes: coordinate distance.
-  double Predict(NodeId a, NodeId b) const {
-    return coords_[a].DistanceTo(coords_[b]);
-  }
+  double Predict(NodeId a, NodeId b) const;
 
  private:
+  /// The one spring-update implementation behind the three entry points;
+  /// reads the peer coordinate as `peer_base[d * peer_stride]`.
+  void UpdateKernel(NodeId self, NodeId peer, const double* peer_base,
+                    size_t peer_stride, double peer_error,
+                    double measured_rtt_ms);
+
   Params params_;
-  std::vector<Vec> coords_;
+  CoordBlock coords_;
   std::vector<double> error_;
   Rng* rng_;  // not owned; used for tiebreak directions
 };

@@ -54,6 +54,13 @@ StatusOr<OptimizeResult> MultiQueryOptimizer::Optimize(
   OptimizeResult best;
   bool have_best = false;
 
+  // Reused across reuse passes: surviving instances and their hosts, so the
+  // cost-space pruning distance runs as one batched kernel call per service
+  // instead of a per-instance strided probe.
+  std::vector<const overlay::ServiceInstance*> inst_scratch;
+  std::vector<NodeId> host_scratch;
+  std::vector<double> dist_scratch;
+
   for (const query::LogicalPlan& plan : *plans) {
     auto base = overlay::Circuit::FromPlan(plan, catalog);
     if (!base.ok()) return base.status();
@@ -93,11 +100,7 @@ StatusOr<OptimizeResult> MultiQueryOptimizer::Optimize(
         // radius-r hyper-sphere around the service's virtual coordinate.
         std::vector<ReuseCandidate> cands;
         if (params_.reuse_radius < 0.0) {
-          for (const overlay::ServiceInstance* inst : instances) {
-            const double d = sbon->cost_space().VectorDistanceTo(
-                inst->host, current.vertex(v).virtual_coord);
-            cands.push_back(ReuseCandidate{v, inst, d});
-          }
+          inst_scratch.assign(instances.begin(), instances.end());
         } else {
           // Hyper-sphere search via the Hilbert/Chord index, charged as
           // DHT traffic; only nodes the sphere search returns are eligible.
@@ -111,12 +114,22 @@ StatusOr<OptimizeResult> MultiQueryOptimizer::Optimize(
           if (!nearby.ok()) return nearby.status();
           std::set<NodeId> in_sphere;
           for (const dht::IndexMatch& m : *nearby) in_sphere.insert(m.node);
+          inst_scratch.clear();
           for (const overlay::ServiceInstance* inst : instances) {
-            if (in_sphere.count(inst->host) == 0) continue;
-            const double d = sbon->cost_space().VectorDistanceTo(
-                inst->host, current.vertex(v).virtual_coord);
-            cands.push_back(ReuseCandidate{v, inst, d});
+            if (in_sphere.count(inst->host) != 0) inst_scratch.push_back(inst);
           }
+        }
+        // One batched distance sweep over the surviving instances' hosts.
+        host_scratch.clear();
+        for (const overlay::ServiceInstance* inst : inst_scratch) {
+          host_scratch.push_back(inst->host);
+        }
+        dist_scratch.resize(host_scratch.size());
+        sbon->cost_space().VectorDistancesToMany(
+            current.vertex(v).virtual_coord, host_scratch.data(),
+            host_scratch.size(), dist_scratch.data());
+        for (size_t i = 0; i < inst_scratch.size(); ++i) {
+          cands.push_back(ReuseCandidate{v, inst_scratch[i], dist_scratch[i]});
         }
         std::sort(cands.begin(), cands.end(),
                   [](const ReuseCandidate& a, const ReuseCandidate& b) {

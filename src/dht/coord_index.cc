@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+
+#include "common/kernel_stats.h"
 
 namespace sbon::dht {
 namespace {
@@ -16,16 +19,16 @@ bool MatchLess(const IndexMatch& a, const IndexMatch& b) {
 }  // namespace
 
 CoordinateIndex::CoordinateIndex(HilbertQuantizer quantizer)
-    : quantizer_(std::move(quantizer)) {}
+    : quantizer_(std::move(quantizer)), coords_(quantizer_.dims(), 0) {}
 
 void CoordinateIndex::Publish(NodeId node, const Vec& coord) {
   assert(coord.dims() == quantizer_.dims());
-  if (coords_.size() <= node) {
-    coords_.resize(node + 1);
+  if (coords_.nodes() <= node) {
+    coords_.EnsureNodes(node + 1);
     published_.resize(node + 1, false);
   }
   if (published_[node]) ring_.Leave(node);
-  coords_[node] = coord;
+  coords_.SetNode(node, coord);
   published_[node] = true;
   ring_.Join(quantizer_.Key(coord), node);
 }
@@ -40,12 +43,12 @@ void CoordinateIndex::Withdraw(NodeId node) {
 void CoordinateIndex::Stabilize() { ring_.Stabilize(); }
 
 double CoordinateIndex::DistanceTo(NodeId n, const Vec& target) const {
-  return coords_[n].DistanceTo(target);
+  return std::sqrt(kernels::DistanceSquaredAt(coords_, n, target.data()));
 }
 
 void CoordinateIndex::BeginSeenEpoch() const {
-  if (seen_stamp_.size() < coords_.size()) {
-    seen_stamp_.resize(coords_.size(), 0);
+  if (seen_stamp_.size() < coords_.nodes()) {
+    seen_stamp_.resize(coords_.nodes(), 0);
   }
   if (++query_epoch_ == 0) {  // stamp wrap-around: invalidate all marks
     std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
@@ -80,7 +83,9 @@ Status CoordinateIndex::KNearestInto(const Vec& target, size_t k,
   // per-query seen-set. Each distinct member costs exactly one ring probe,
   // excluded or not — a member is never billed twice.
   const size_t total = std::min(2 * width + 1, n);
+  KernelTimer timer(Kernel::kKNearestScan, total);
   size_t considered = 0;
+  walk_scratch_.clear();
   auto consider = [&](const ChordRing::Member& m) {
     ++considered;
     if (cost != nullptr) cost->ring_probes += 1;
@@ -88,8 +93,7 @@ Status CoordinateIndex::KNearestInto(const Vec& target, size_t k,
                            m.node)) {
       return;
     }
-    out->push_back(
-        IndexMatch{m.node, DistanceTo(m.node, target), coords_[m.node]});
+    walk_scratch_.push_back(m.node);
   };
   consider(ring_.SuccessorAt(lookup->member_index, 0));
   for (size_t i = 1; considered < total; ++i) {
@@ -97,8 +101,29 @@ Status CoordinateIndex::KNearestInto(const Vec& target, size_t k,
     if (considered >= total) break;
     consider(ring_.PredecessorAt(lookup->member_index, i));
   }
-  std::sort(out->begin(), out->end(), MatchLess);
-  if (out->size() > k) out->resize(k);
+
+  // Batched distance sweep over the walked candidates, then rank 16-byte
+  // (distance, node) pairs; the coordinate payload is copied only for the
+  // final k matches.
+  const size_t count = walk_scratch_.size();
+  dist_scratch_.resize(count);
+  kernels::DistanceSquaredToMany(coords_, target.data(), walk_scratch_.data(),
+                                 count, dist_scratch_.data());
+  kernels::SqrtMany(dist_scratch_.data(), count);
+  pair_scratch_.clear();
+  for (size_t j = 0; j < count; ++j) {
+    pair_scratch_.push_back(DistNode{dist_scratch_[j], walk_scratch_[j]});
+  }
+  std::sort(pair_scratch_.begin(), pair_scratch_.end(),
+            [](const DistNode& a, const DistNode& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.node < b.node;
+            });
+  if (pair_scratch_.size() > k) pair_scratch_.resize(k);
+  out->reserve(pair_scratch_.size());
+  for (const DistNode& p : pair_scratch_) {
+    out->push_back(IndexMatch{p.node, p.distance, coords_.NodeVec(p.node)});
+  }
   return Status::OK();
 }
 
@@ -135,14 +160,17 @@ StatusOr<std::vector<IndexMatch>> CoordinateIndex::WithinRadius(
 
   std::vector<IndexMatch> out;
   BeginSeenEpoch();
+  KernelTimer timer(Kernel::kKNearestScan, 0);
+  size_t probes = 0;
   const size_t n = ring_.NumMembers();
   auto consider = [&](const ChordRing::Member& m) {
     if (seen_stamp_[m.node] == query_epoch_) return false;
     seen_stamp_[m.node] = query_epoch_;
+    ++probes;
     if (cost != nullptr) cost->ring_probes += 1;
     const double d = DistanceTo(m.node, target);
     if (d <= radius) {
-      out.push_back(IndexMatch{m.node, d, coords_[m.node]});
+      out.push_back(IndexMatch{m.node, d, coords_.NodeVec(m.node)});
     }
     return d <= radius;
   };
@@ -170,6 +198,7 @@ StatusOr<std::vector<IndexMatch>> CoordinateIndex::WithinRadius(
       }
     }
   }
+  timer.set_ops(probes);
   std::sort(out.begin(), out.end(), MatchLess);
   return out;
 }
@@ -177,18 +206,38 @@ StatusOr<std::vector<IndexMatch>> CoordinateIndex::WithinRadius(
 void CoordinateIndex::KNearestExactInto(const Vec& target, size_t k,
                                         std::vector<IndexMatch>* out) const {
   out->clear();
-  for (NodeId n = 0; n < published_.size(); ++n) {
+  const size_t slots = coords_.nodes();
+  if (slots == 0) return;
+  KernelTimer timer(Kernel::kKNearestScan, slots);
+  // Unit-stride distance sweep over every slot. Withdrawn slots keep their
+  // stale published coordinate (exactly as the per-Vec store did); their
+  // distances are computed and filtered below — cheaper than branching
+  // inside the vector loop.
+  dist_scratch_.resize(slots);
+  kernels::DistanceSquaredToMany(coords_, target.data(), dist_scratch_.data());
+  kernels::SqrtMany(dist_scratch_.data(), slots);
+  pair_scratch_.clear();
+  for (NodeId n = 0; n < slots; ++n) {
     if (!published_[n]) continue;
-    out->push_back(IndexMatch{n, DistanceTo(n, target), coords_[n]});
+    pair_scratch_.push_back(DistNode{dist_scratch_[n], n});
   }
-  if (out->size() > k) {
-    // MatchLess is a total order, so selecting k then sorting the prefix
-    // yields exactly the full-sort prefix, in O(N + k log k) instead of
-    // O(N log N).
-    std::nth_element(out->begin(), out->begin() + k, out->end(), MatchLess);
-    out->resize(k);
+  auto pair_less = [](const DistNode& a, const DistNode& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.node < b.node;
+  };
+  if (pair_scratch_.size() > k) {
+    // The (distance, node) order is total, so selecting k then sorting the
+    // prefix yields exactly the full-sort prefix, in O(N + k log k) instead
+    // of O(N log N).
+    std::nth_element(pair_scratch_.begin(), pair_scratch_.begin() + k,
+                     pair_scratch_.end(), pair_less);
+    pair_scratch_.resize(k);
   }
-  std::sort(out->begin(), out->end(), MatchLess);
+  std::sort(pair_scratch_.begin(), pair_scratch_.end(), pair_less);
+  out->reserve(pair_scratch_.size());
+  for (const DistNode& p : pair_scratch_) {
+    out->push_back(IndexMatch{p.node, p.distance, coords_.NodeVec(p.node)});
+  }
 }
 
 std::vector<IndexMatch> CoordinateIndex::KNearestExact(const Vec& target,

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/coord_block.h"
 #include "common/ids.h"
 #include "common/status.h"
 #include "common/vec.h"
@@ -38,6 +39,14 @@ struct IndexMatch {
 /// walk examines `probe_width` members on each side and re-ranks them by
 /// true coordinate distance; widening the walk trades DHT traffic for
 /// mapping accuracy (measured by `bench/fig3_placement_mapping`).
+///
+/// Published coordinates live in a structure-of-arrays `CoordBlock`, so the
+/// distance scans (`KNearestExactInto`'s full sweep, the probed walk's
+/// candidate ranking) run as unit-stride batched kernels over (distance,
+/// node) pairs, materializing `IndexMatch` coordinates only for the final
+/// k results. Results are bit-identical to the per-`Vec` scan: the batched
+/// kernels keep each candidate's accumulation order, and selection uses the
+/// same (distance, node) total order.
 ///
 /// Queries reuse per-index scratch buffers instead of allocating per call
 /// (they sit on the Submit hot path), so concurrent queries against the
@@ -104,15 +113,24 @@ class CoordinateIndex {
   std::vector<IndexMatch> KNearestExact(const Vec& target, size_t k) const;
 
   /// KNearestExact into a caller-owned buffer (`out` is cleared first);
+  /// sweeps all published coordinates with the batched distance kernel and
   /// selects the top k with nth_element instead of sorting all N members.
   void KNearestExactInto(const Vec& target, size_t k,
                          std::vector<IndexMatch>* out) const;
 
  private:
+  /// A (distance, node) pair — the 16-byte selection currency of the scan
+  /// kernels; `IndexMatch` (with its coordinate payload) is materialized
+  /// only for final results.
+  struct DistNode {
+    double distance;
+    NodeId node;
+  };
+
   HilbertQuantizer quantizer_;
   ChordRing ring_;
-  // Published coordinates, addressed by node id.
-  std::vector<Vec> coords_;
+  // Published coordinates as per-dimension lanes, addressed by node id.
+  CoordBlock coords_;
   std::vector<bool> published_;
 
   // Reusable query scratch (see class comment). `seen_stamp_[node] ==
@@ -122,6 +140,10 @@ class CoordinateIndex {
   mutable std::vector<IndexMatch> nearest_scratch_;
   mutable std::vector<uint32_t> seen_stamp_;
   mutable uint32_t query_epoch_ = 0;
+  // Batched-scan scratch: distances and (distance, node) pairs.
+  mutable std::vector<double> dist_scratch_;
+  mutable std::vector<DistNode> pair_scratch_;
+  mutable std::vector<NodeId> walk_scratch_;
 
   double DistanceTo(NodeId n, const Vec& target) const;
   /// Starts a WithinRadius walk: bumps the epoch and sizes the stamps.

@@ -12,6 +12,7 @@ void EpochPipeline::Run(const char* name, bool enabled, bool parallelizable,
     ThreadPool* stage_pool =
         parallelizable && pool_ != nullptr && pool_->threads() > 1 ? pool_
                                                                    : nullptr;
+    const KernelStatsSnapshot before = KernelStats::Instance().Snapshot();
     const auto start = std::chrono::steady_clock::now();
     fn(stage_pool);
     entry.ran = true;
@@ -20,6 +21,7 @@ void EpochPipeline::Run(const char* name, bool enabled, bool parallelizable,
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
             .count());
+    entry.kernels = KernelStats::Instance().Snapshot().Since(before);
   }
   trace_.push_back(entry);
 }

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/kernel_stats.h"
 #include "common/parallel.h"
 
 namespace sbon::engine {
@@ -14,6 +15,9 @@ struct EpochStageTrace {
   bool ran = false;       ///< stage was enabled this epoch
   bool sharded = false;   ///< executed across the thread pool
   double ns = 0.0;        ///< wall time spent in the stage
+  /// Hot-kernel activity attributed to this stage (KernelStats delta across
+  /// the stage body): per kernel, the calls/ops/ns/allocs it recorded.
+  KernelStatsSnapshot kernels;
 };
 
 /// The explicit staged runner behind StreamEngine::AdvanceEpoch. An epoch
